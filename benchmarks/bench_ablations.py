@@ -1,0 +1,186 @@
+"""Design-choice ablations.
+
+The paper motivates several architectural choices without quantifying
+them in the overview; DESIGN.md commits to ablating them:
+
+- **ADC resolution** (Sec. IV): "precise A/D converters" improve accuracy
+  but converter energy doubles per bit -- where is the knee?
+- **SPARTA context-switch penalty** (Sec. III): latency hiding pays as
+  long as a switch costs less than the latency it hides.
+- **DNA sequencing coverage** (Sec. VI): more reads per oligo buy
+  recovery robustness at linear sequencing cost.
+- **SCF operating voltage** (Sec. VII): the 0.55 V point trades peak
+  performance for efficiency along the DVFS curve.
+- **fixed-point bitwidth** (Sec. V): the paper quantizes FSRCNN to
+  16 bits -- the PSNR-vs-width curve shows why 16 is safe and 8 is not.
+"""
+
+import numpy as np
+
+from repro.core.tables import Table
+from repro.dna.channel import ChannelParams
+from repro.dna.decoder import DNAStorageSystem
+from repro.dna.encoding import OligoLayout
+from repro.imc.adc import ADCConfig
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.scf.power import CU_PUBLISHED, dvfs_scale
+from repro.sparta import bfs_tasks, random_graph, simulate
+
+ADC_BITS = (4, 6, 8, 10)
+SWITCH_PENALTIES = (0, 1, 4, 16, 64)
+COVERAGES = (2, 4, 8)
+VOLTAGES = (0.40, 0.55, 0.70, 0.90)
+
+
+def run_ablations():
+    rng = np.random.default_rng(0)
+
+    # ADC resolution vs MVM error and converter energy.
+    weights = rng.normal(0, 0.3, (32, 32))
+    x = rng.uniform(-1, 1, 32)
+    y_ref = weights.T @ x
+    adc_rows = []
+    for bits in ADC_BITS:
+        config = CrossbarConfig(rows=32, cols=32, adc=ADCConfig(bits=bits))
+        xbar = AnalogCrossbar(config, seed=1)
+        xbar.program_weights(weights)
+        errors = [
+            float(np.linalg.norm(xbar.mvm(x) - y_ref) / np.linalg.norm(y_ref))
+            for _ in range(5)
+        ]
+        adc_rows.append(
+            (bits, float(np.mean(errors)),
+             ADCConfig(bits=bits).energy_per_conversion_j)
+        )
+
+    # SPARTA switch penalty.
+    region = bfs_tasks(random_graph(num_nodes=128, avg_degree=8, seed=2))
+    sparta_rows = [
+        (penalty,
+         simulate(region, num_lanes=4, contexts_per_lane=8,
+                  switch_penalty=penalty).cycles)
+        for penalty in SWITCH_PENALTIES
+    ]
+
+    # DNA coverage.
+    payload = bytes(rng.integers(0, 256, 120, dtype=np.uint8))
+    dna_rows = []
+    for coverage in COVERAGES:
+        successes = 0
+        trials = 3
+        for trial in range(trials):
+            system = DNAStorageSystem(
+                layout=OligoLayout(payload_bytes=10, index_bytes=1),
+                rs_n=40, rs_k=30,
+                channel_params=ChannelParams(
+                    substitution_rate=0.02, insertion_rate=0.01,
+                    deletion_rate=0.01, mean_coverage=coverage,
+                    coverage_sigma=0.4,
+                ),
+                seed=100 + trial,
+            )
+            report = system.roundtrip(payload)
+            successes += int(report.success and report.payload == payload)
+        dna_rows.append((coverage, successes / trials))
+
+    # SCF DVFS.
+    dvfs_rows = [
+        (v, dvfs_scale(CU_PUBLISHED, v)) for v in VOLTAGES
+    ]
+
+    # Fixed-point bitwidth vs super-resolution PSNR (untrained model
+    # with the bilinear deconv initialization -- the *relative* PSNR
+    # across widths is what the ablation measures).
+    from repro.axc.data import sr_pair
+    from repro.axc.fsrcnn import FSRCNN, FSRCNN_25_5_1
+    from repro.core.fixedpoint import FixedPointFormat
+    from repro.core.metrics import psnr
+
+    model = FSRCNN(FSRCNN_25_5_1, seed=0)
+    lr_img, hr_img = sr_pair(64, 64, kind="mixed", seed=11)
+    float_out = model.forward(lr_img)
+    float_psnr = psnr(hr_img, float_out, peak=1.0)
+    quant_rows = []
+    for bits in (6, 8, 12, 16):
+        fmt = FixedPointFormat(total_bits=bits, frac_bits=bits - 4)
+        quant_out = model.forward(lr_img, quant_fmt=fmt)
+        quant_rows.append((bits, psnr(hr_img, quant_out, peak=1.0)))
+    return adc_rows, sparta_rows, dna_rows, dvfs_rows, quant_rows, float_psnr
+
+
+def test_ablations(benchmark):
+    (adc_rows, sparta_rows, dna_rows, dvfs_rows, quant_rows,
+     float_psnr) = benchmark(run_ablations)
+
+    adc_table = Table(
+        ["ADC bits", "MVM rel. error", "energy/conversion (J)"],
+        title="Ablation: ADC resolution (Sec. IV)",
+    )
+    for row in adc_rows:
+        adc_table.add_row(row)
+    print()
+    print(adc_table)
+
+    sparta_table = Table(
+        ["switch penalty (cycles)", "BFS cycles"],
+        title="Ablation: SPARTA context-switch penalty (Sec. III)",
+    )
+    for row in sparta_rows:
+        sparta_table.add_row(row)
+    print()
+    print(sparta_table)
+
+    dna_table = Table(
+        ["mean coverage (reads/oligo)", "recovery rate"],
+        title="Ablation: DNA sequencing coverage (Sec. VI)",
+    )
+    for row in dna_rows:
+        dna_table.add_row(row)
+    print()
+    print(dna_table)
+
+    dvfs_table = Table(
+        ["voltage (V)", "clock (MHz)", "peak GFLOPS", "TFLOPS/W"],
+        title="Ablation: CU operating voltage (Sec. VII)",
+    )
+    for v, op in dvfs_rows:
+        dvfs_table.add_row(
+            [v, op.clock_hz / 1e6, op.peak_flops / 1e9,
+             op.efficiency_tflops_per_w]
+        )
+    print()
+    print(dvfs_table)
+
+    # ADC: coarse converters hurt accuracy; energy doubles per bit.
+    errors = [err for _, err, _ in adc_rows]
+    assert errors[0] > 1.5 * errors[-2]  # 4-bit much worse than 8-bit
+    energies = [e for _, _, e in adc_rows]
+    assert energies[-1] == 4 * energies[-2]  # 10-bit = 4x the 8-bit energy
+    # SPARTA: cycles grow monotonically with the switch penalty, and
+    # cheap switches (<= 4 cycles vs 100-cycle memory) stay within 2x of
+    # free switching.
+    cycles = [c for _, c in sparta_rows]
+    assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+    assert cycles[2] < 2 * cycles[0]
+    # DNA: recovery rate is non-decreasing in coverage and perfect at 8x.
+    rates = [r for _, r in dna_rows]
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] == 1.0
+    # DVFS: efficiency falls monotonically with voltage; performance rises.
+    effs = [op.efficiency_tflops_per_w for _, op in dvfs_rows]
+    flops = [op.peak_flops for _, op in dvfs_rows]
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+    assert all(a <= b for a, b in zip(flops, flops[1:]))
+
+    quant_table = Table(
+        ["bits", "PSNR (dB)"],
+        title=f"Ablation: fixed-point width (float: {float_psnr:.2f} dB)",
+    )
+    for row in quant_rows:
+        quant_table.add_row(row)
+    print()
+    print(quant_table)
+    # 16-bit is transparent (the paper's choice); 6-bit visibly degrades.
+    psnrs = dict(quant_rows)
+    assert abs(psnrs[16] - float_psnr) < 0.3
+    assert psnrs[6] < psnrs[16]

@@ -1,0 +1,72 @@
+"""Experiment FIG1: regenerate Fig. 1 -- TOPS/W trends of SotA AI
+accelerators.
+
+Workload: the curated survey dataset grouped by platform class; the
+bench prints the power-vs-throughput scatter series with iso-TOPS/W
+diagonals and the per-class efficiency ranking, and asserts the figure's
+narrative: CPUs least efficient, GPUs well above CPUs, IMC-augmented
+NPUs at the top, with a positive year-over-year efficiency trend.
+"""
+
+import numpy as np
+
+from repro.core.tables import Table
+from repro.survey import (
+    PlatformClass,
+    class_statistics,
+    efficiency_trend,
+    iso_efficiency_line,
+    load_dataset,
+    scatter_series,
+)
+
+
+def regenerate_fig1():
+    """Build the full Fig. 1 data package."""
+    records = load_dataset()
+    series = scatter_series(records)
+    stats = class_statistics(records)
+    trend = efficiency_trend(records)
+    iso_lines = {
+        eff: iso_efficiency_line(eff, (0.001, 1000.0))
+        for eff in (0.1, 1.0, 10.0, 100.0)
+    }
+    return records, series, stats, trend, iso_lines
+
+
+def test_fig1_survey(benchmark):
+    records, series, stats, trend, iso_lines = benchmark(regenerate_fig1)
+
+    table = Table(
+        ["platform class", "n", "min TOPS/W", "median TOPS/W",
+         "max TOPS/W"],
+        title="Fig. 1 -- efficiency by platform class (ascending)",
+    )
+    for s in stats:
+        table.add_row(
+            [s.platform.value, s.count, s.min_tops_per_watt,
+             s.median_tops_per_watt, s.max_tops_per_watt]
+        )
+    print()
+    print(table)
+    print(
+        f"efficiency trend: x{trend.growth_per_year:.2f}/year "
+        f"(doubling every {trend.doubling_years:.1f} years)"
+    )
+    print(f"scatter series: {sorted(series)}")
+    print(f"iso-efficiency diagonals at {sorted(iso_lines)} TOPS/W")
+
+    # Shape assertions (the Fig. 1 narrative).
+    order = [s.platform for s in stats]
+    assert order[0] is PlatformClass.CPU
+    medians = {s.platform: s.median_tops_per_watt for s in stats}
+    assert medians[PlatformClass.GPU] > 3 * medians[PlatformClass.CPU]
+    imc_best = max(
+        medians[PlatformClass.NPU_SRAM_IMC],
+        medians[PlatformClass.NPU_RRAM_IMC],
+    )
+    assert imc_best > medians[PlatformClass.GPU]
+    assert trend.growth_per_year > 1.0
+    # The dataset spans the figure's six orders of magnitude in power.
+    powers = np.array([r.power_w for r in records])
+    assert powers.max() / powers.min() > 1e4

@@ -1,0 +1,67 @@
+"""Experiment FIG2: regenerate Fig. 2 -- processor-memory architectures.
+
+Workload: one 512x512 8-bit MVM priced under the four organizations of
+Fig. 2 (von Neumann, near-memory, SRAM-IMC, eNVM-IMC).  The bench prints
+the energy breakdown table and asserts the figure's message: each step
+from (a) to (d) removes data movement, IMC eliminates per-MVM weight
+traffic entirely, and the eNVM variant additionally retains weights for
+free during standby.
+"""
+
+from repro.core.tables import Table
+from repro.imc.taxonomy import (
+    ArchitectureKind,
+    mvm_cost,
+    standby_weight_energy_j,
+    taxonomy_table,
+)
+
+ROWS, COLS = 512, 512
+
+
+def regenerate_fig2():
+    table = taxonomy_table(ROWS, COLS)
+    costs = {kind: mvm_cost(kind, ROWS, COLS) for kind in ArchitectureKind}
+    standby = {
+        kind: standby_weight_energy_j(kind, ROWS, COLS, 3600.0)
+        for kind in ArchitectureKind
+    }
+    return table, costs, standby
+
+
+def test_fig2_taxonomy(benchmark):
+    rows, costs, standby = benchmark(regenerate_fig2)
+
+    table = Table(
+        ["architecture", "weights (pJ)", "activations (pJ)",
+         "compute (pJ)", "total (pJ)", "movement share"],
+        title=f"Fig. 2 -- {ROWS}x{COLS} MVM cost per organization",
+    )
+    for row in rows:
+        table.add_row(
+            [row["architecture"], row["weight_movement_pj"],
+             row["activation_movement_pj"], row["compute_pj"],
+             row["total_pj"], row["movement_fraction"]]
+        )
+    print()
+    print(table)
+    print("1-hour weight-retention energy (J):")
+    for kind, energy in standby.items():
+        print(f"  {kind.value}: {energy:.3g}")
+
+    # (a) -> (d) strictly reduces total energy.
+    totals = [costs[kind].total_energy_j for kind in ArchitectureKind]
+    assert totals == sorted(totals, reverse=True)
+    # Von Neumann is movement-dominated; IMC eliminates weight movement.
+    assert costs[ArchitectureKind.VON_NEUMANN].movement_fraction > 0.9
+    assert costs[ArchitectureKind.IMC_SRAM].weight_movement_j == 0.0
+    assert costs[ArchitectureKind.IMC_ENVM].weight_movement_j == 0.0
+    # The overall von-Neumann -> IMC gap is order(s) of magnitude.
+    ratio = (
+        costs[ArchitectureKind.VON_NEUMANN].total_energy_j
+        / costs[ArchitectureKind.IMC_ENVM].total_energy_j
+    )
+    assert ratio > 10
+    # Nonvolatility: eNVM standby is free, SRAM is not.
+    assert standby[ArchitectureKind.IMC_ENVM] == 0.0
+    assert standby[ArchitectureKind.IMC_SRAM] > 0.0

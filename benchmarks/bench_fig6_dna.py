@@ -1,0 +1,95 @@
+"""Experiment FIG6: regenerate Fig. 6 -- the DNA storage channel -- and
+the Sec. VI accelerator figures ("about 90% computing efficiency ...
+16.8 TCUPS ... 46 Mpair/Joule ... nearly 90% of FPGA basic-block
+hardware resources").
+
+Workload: a payload stored through the full pipeline (RS outer code ->
+oligos -> noisy channel -> clustering -> consensus -> decode) with an
+error-rate sweep; the clustering's DP cell-update ledger is then priced
+on the Alveo U50 accelerator model versus a software baseline.
+"""
+
+import numpy as np
+
+from repro.core.tables import Table
+from repro.core.units import si_format
+from repro.dna.channel import ChannelParams
+from repro.dna.decoder import DNAStorageSystem
+from repro.dna.encoding import OligoLayout
+from repro.dna.fpga_accel import (
+    EditDistanceAcceleratorModel,
+    SoftwareBaselineModel,
+)
+
+ERROR_RATES = (0.0, 0.01, 0.02, 0.04)
+
+
+def run_pipeline_sweep():
+    rng = np.random.default_rng(42)
+    payload = bytes(rng.integers(0, 256, size=240, dtype=np.uint8))
+    reports = {}
+    for rate in ERROR_RATES:
+        params = ChannelParams(
+            substitution_rate=rate / 2,
+            insertion_rate=rate / 4,
+            deletion_rate=rate / 4,
+            mean_coverage=8,
+            coverage_sigma=0.3,
+        )
+        system = DNAStorageSystem(
+            layout=OligoLayout(payload_bytes=10, index_bytes=1),
+            rs_n=40,
+            rs_k=30,
+            channel_params=params,
+            seed=7,
+        )
+        reports[rate] = (system.roundtrip(payload), payload)
+    return reports
+
+
+def test_fig6_dna_pipeline(benchmark):
+    reports = benchmark(run_pipeline_sweep)
+
+    table = Table(
+        ["error rate", "reads", "clusters", "missing chunks",
+         "cell updates", "recovered"],
+        title="Fig. 6 -- DNA storage pipeline vs channel error rate",
+    )
+    for rate, (report, payload) in sorted(reports.items()):
+        table.add_row(
+            [rate, report.num_reads, report.num_clusters,
+             report.missing_chunks, report.cell_updates,
+             report.success and report.payload == payload]
+        )
+    print()
+    print(table)
+
+    # Clean and low-noise channels recover the payload exactly.
+    for rate in (0.0, 0.01, 0.02):
+        report, payload = reports[rate]
+        assert report.success and report.payload == payload
+
+    # Accelerator economics on the measured workload.
+    fpga = EditDistanceAcceleratorModel()
+    cpu = SoftwareBaselineModel()
+    cells = reports[0.02][0].cell_updates
+    speedup = cpu.time_for_cells(cells) / fpga.time_for_cells(cells)
+    energy_ratio = cpu.energy_for_cells(cells) / fpga.energy_for_cells(
+        cells
+    )
+    print(
+        f"accelerator: {fpga.num_pes} PEs, "
+        f"{100 * fpga.resource_utilization:.1f}% LUTs, "
+        f"{si_format(fpga.sustained_cups, 'CUPS')}, "
+        f"{fpga.pairs_per_joule(80, 80) / 1e6:.1f} Mpair/J @ 80x80"
+    )
+    print(f"decode workload: {cells} cells -> FPGA speedup x{speedup:.0f},"
+          f" energy ratio x{energy_ratio:.0f}")
+
+    # The published operating point (shape + rough magnitude).
+    assert abs(fpga.sustained_cups / 1e12 - 16.8) < 0.6
+    assert abs(fpga.resource_utilization - 0.90) < 0.02
+    assert abs(fpga.computing_efficiency - 0.90) < 1e-9
+    assert abs(fpga.pairs_per_joule(80, 80) / 1e6 - 46.0) < 5.0
+    assert speedup > 1000
+    assert energy_ratio > 1000

@@ -1,0 +1,47 @@
+"""Experiment FIG7: regenerate Fig. 7 -- RISC-V acceleration SotA.
+
+Workload: the RISC-V subset of the survey; the bench prints the power
+-band histogram and asserts the figure's clustering claim: designs
+cluster "especially in the 100mW-1W power range", the >1 W HPC-inference
+region is sparse (the gap the ICSC Flagship 2 SCF targets), and the
+population has a strong European presence.
+"""
+
+from repro.core.tables import Table
+from repro.survey import power_band_histogram, riscv_subset
+from repro.survey.analysis import densest_band
+from repro.survey.dataset import europe_subset
+
+
+def regenerate_fig7():
+    subset = riscv_subset()
+    histogram = power_band_histogram(subset)
+    return subset, histogram, densest_band(subset)
+
+
+def test_fig7_riscv_clustering(benchmark):
+    subset, histogram, cluster = benchmark(regenerate_fig7)
+
+    table = Table(
+        ["power band (W)", "designs"],
+        title="Fig. 7 -- RISC-V DL accelerators per power band",
+    )
+    for (lo, hi), count in sorted(histogram.items()):
+        table.add_row([f"[{lo:g}, {hi:g})", count])
+    print()
+    print(table)
+    for record in sorted(subset, key=lambda r: r.power_w):
+        print(" ", record.describe())
+
+    # The 100 mW - 1 W band is the densest (Fig. 7's cluster), and the
+    # sub-watt region as a whole dwarfs the >1 W HPC-inference region --
+    # the gap the ICSC Flagship 2 SCF targets.
+    assert cluster == (0.1, 1.0)
+    below_1w = sum(
+        count for (lo, _), count in histogram.items() if lo < 1.0
+    )
+    above_1w = histogram[(1.0, 10.0)] + histogram[(10.0, 100.0)]
+    assert below_1w >= 2 * above_1w
+    # Strong EU presence among RISC-V designs (the sovereignty argument).
+    eu_riscv = [r for r in europe_subset() if r in subset]
+    assert len(eu_riscv) / len(subset) > 0.5

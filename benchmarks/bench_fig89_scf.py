@@ -1,0 +1,109 @@
+"""Experiment FIG8/9: the Scalable Compute Fabric and its Compute Unit.
+
+Workload: a BF16 transformer encoder block.  The bench (i) checks the
+modeled CU against the published Fig. 9 operating point (~150 GFLOPS,
+~1.5 TFLOPS/W at 460 MHz / 0.55 V, 1.21 mm^2 in GF12), (ii) runs the
+Fig. 8 scale-up study for 1..64 CUs under hierarchical-AXI and NoC
+interconnects, (iii) places the block's GEMMs on the CU roofline, and
+(iv) runs a small RV32IM control program on the functional core
+simulator to exercise the RISC-V substrate.
+"""
+
+import pytest
+
+from repro.core.tables import Table
+from repro.core.units import GIGA, TERA
+from repro.scf.cluster import ComputeUnit, ComputeUnitConfig
+from repro.scf.fabric import ScalableComputeFabric
+from repro.scf.interconnect import AXIHierarchy, NocMesh
+from repro.scf.roofline import gemm_intensity, ridge_intensity, roofline_performance
+from repro.scf.rv32 import assemble_and_run
+from repro.scf.workloads import TransformerConfig, transformer_block_gemms
+
+CU_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def run_scf_study():
+    # (i) single-CU operating point on one encoder block.
+    cu = ComputeUnit()
+    workload = TransformerConfig()
+    for _, m, n, k, count in transformer_block_gemms(workload):
+        for _ in range(count):
+            cu.run_gemm(m, n, k)
+    cu_gflops = cu.achieved_flops() / GIGA
+    cu_tflops_w = cu.achieved_efficiency_flops_per_w() / TERA
+
+    # (ii) the scale-up study.
+    big = TransformerConfig(seq_len=2048)
+    scaling = {
+        "NoC": ScalableComputeFabric(interconnect=NocMesh()).scaling_study(
+            big, CU_COUNTS
+        ),
+        "AXI": ScalableComputeFabric(
+            interconnect=AXIHierarchy()
+        ).scaling_study(big, CU_COUNTS),
+    }
+
+    # (iv) a RISC-V control program on the functional simulator (the CVA6
+    # host dispatching tiles: compute tile count for a 2048x512 workload).
+    host_program = """
+        li t0, 2048       # sequence length
+        li t1, 256        # tile rows per CU slice
+        divu a0, t0, t1   # number of tiles the host dispatches
+        li a7, 93
+        ecall
+    """
+    tiles = assemble_and_run(host_program).exit_code
+    return cu_gflops, cu_tflops_w, scaling, tiles
+
+
+def test_fig89_scf(benchmark):
+    cu_gflops, cu_tflops_w, scaling, tiles = benchmark(run_scf_study)
+
+    print()
+    print(
+        f"Fig. 9 CU (modeled): {cu_gflops:.1f} GFLOPS, "
+        f"{cu_tflops_w:.2f} TFLOPS/W @ 460 MHz, 0.55 V, "
+        f"{ComputeUnitConfig().area_mm2} mm^2 "
+        "(published: 150 GFLOPS, 1.5 TFLOPS/W, 1.21 mm^2)"
+    )
+    table = Table(
+        ["CUs", "NoC GFLOPS", "NoC eff", "AXI GFLOPS", "AXI eff"],
+        title="Fig. 8 -- SCF scale-up (transformer block, seq 2048)",
+    )
+    for noc_pt, axi_pt in zip(scaling["NoC"], scaling["AXI"]):
+        table.add_row(
+            [noc_pt.num_cus, noc_pt.sustained_flops / GIGA,
+             noc_pt.parallel_efficiency,
+             axi_pt.sustained_flops / GIGA,
+             axi_pt.parallel_efficiency]
+        )
+    print(table)
+
+    cu = ComputeUnit()
+    ridge = ridge_intensity(cu.peak_flops, 32 * GIGA)
+    print(f"CU roofline ridge at {ridge:.1f} FLOP/byte "
+          "(32 GB/s fabric port)")
+    for name, m, n, k, _ in transformer_block_gemms(TransformerConfig()):
+        intensity = gemm_intensity(m, n, k)
+        point = roofline_performance(cu.peak_flops, 32 * GIGA, intensity,
+                                     name)
+        print(f"  {name}: {intensity:.1f} FLOP/B -> "
+              f"{point.attainable_flops / GIGA:.0f} GFLOPS "
+              f"({'compute' if point.compute_bound else 'memory'}-bound)")
+    print(f"host RV32 program dispatched {tiles} tiles")
+
+    # (i) Fig. 9 anchor within 10%.
+    assert cu_gflops == pytest.approx(150.0, rel=0.10)
+    assert cu_tflops_w == pytest.approx(1.5, rel=0.10)
+    # (ii) NoC keeps >85% efficiency at 64 CUs; AXI collapses below 50%.
+    noc64 = scaling["NoC"][-1]
+    axi64 = scaling["AXI"][-1]
+    assert noc64.parallel_efficiency > 0.85
+    assert axi64.parallel_efficiency < 0.5
+    assert noc64.sustained_flops > 2 * axi64.sustained_flops
+    # Efficiencies never exceed 1 (sequence parallelism is sublinear).
+    for points in scaling.values():
+        assert all(p.parallel_efficiency <= 1.01 for p in points)
+    # (iv) the RISC-V host program computed the right tile count.
+    assert tiles == 8

@@ -1,0 +1,154 @@
+"""Experiment IMC: the Sec. IV device/circuit/architecture claims.
+
+Workloads:
+
+- device level: program-and-verify [10] vs open-loop programming
+  (RMS conductance error, MLC level error rate) under RRAM and PCM
+  physics;
+- circuit level: A/D conversion minimization via analog accumulation
+  [11] (conversions and converter energy per workload), analog crossbar
+  vs digital IMC energy;
+- architecture level: MLP inference accuracy on mapped tiles across a
+  drift-time sweep, with and without program-verify and digital drift
+  compensation.
+"""
+
+import numpy as np
+
+from repro.core.tables import Table
+from repro.imc.adc import ADCConfig
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.imc.devices import NVMDevice, PCM_PARAMS, RRAM_PARAMS
+from repro.imc.dimc import DIMCCostModel
+from repro.imc.nn import IMCInferenceEngine, make_blobs, train_mlp
+from repro.imc.program_verify import (
+    mlc_level_error_rate,
+    open_loop_program,
+    program_and_verify,
+)
+from repro.imc.tiles import TileConfig
+
+DRIFT_TIMES = (1.0, 1e3, 1e6)
+
+
+def run_imc_study():
+    rng = np.random.default_rng(0)
+
+    # Device level.
+    device_rows = []
+    for params in (RRAM_PARAMS, PCM_PARAMS):
+        targets = rng.uniform(params.g_min, params.g_max, (48, 48))
+        dev_ol = NVMDevice(params, (48, 48), seed=1)
+        rms_ol = open_loop_program(dev_ol, targets)
+        dev_pv = NVMDevice(params, (48, 48), seed=1)
+        result = program_and_verify(dev_pv, targets)
+        mlc_ol = mlc_level_error_rate(
+            NVMDevice(params, (4, 96), seed=2), bits=2, cells_per_level=96,
+            use_verify=False,
+        )
+        mlc_pv = mlc_level_error_rate(
+            NVMDevice(params, (4, 96), seed=2), bits=2, cells_per_level=96,
+            use_verify=True,
+        )
+        device_rows.append(
+            (params.name, rms_ol, result.final_rms_error,
+             result.iterations_used, mlc_ol, mlc_pv)
+        )
+
+    # Circuit level: analog accumulation (ADC minimization).
+    config = CrossbarConfig(rows=32, cols=32, accumulation_depth=4)
+    xbar_plain = AnalogCrossbar(config, seed=3)
+    xbar_acc = AnalogCrossbar(config, seed=3)
+    weights = rng.normal(0, 0.3, (32, 32))
+    xbar_plain.program_weights(weights)
+    xbar_acc.program_weights(weights)
+    xs = rng.uniform(-0.2, 0.2, (4, 32))
+    for x in xs:
+        xbar_plain.mvm(x)
+    xbar_acc.mvm_accumulated(xs)
+    circuit = {
+        "plain_conversions": xbar_plain.ledger.adc_conversions,
+        "accumulated_conversions": xbar_acc.ledger.adc_conversions,
+        "plain_energy": xbar_plain.ledger.adc_energy_j,
+        "accumulated_energy": xbar_acc.ledger.adc_energy_j,
+        "adc_energy_8b": ADCConfig(bits=8).energy_per_conversion_j,
+        "dimc_mvm_energy": DIMCCostModel().mvm_energy_j(32, 32, 8, 8),
+    }
+
+    # Architecture level: accuracy vs drift.
+    x, labels = make_blobs(n_samples=240, seed=5)
+    model = train_mlp(x, labels, seed=5)
+    float_acc = float(np.mean(model.predict(x) == labels))
+    accuracy = {}
+    for label, use_pv, compensate, params in (
+        ("PCM+verify+comp", True, True, PCM_PARAMS),
+        ("PCM open-loop no-comp", False, False, PCM_PARAMS),
+        ("RRAM+verify+comp", True, True, RRAM_PARAMS),
+    ):
+        tile = TileConfig(
+            crossbar=CrossbarConfig(
+                rows=32, cols=32, device=params, use_program_verify=use_pv
+            ),
+            drift_compensation=compensate,
+        )
+        engine = IMCInferenceEngine(model, tile, seed=6)
+        accuracy[label] = [
+            engine.accuracy(x[:120], labels[:120], t_seconds=t)
+            for t in DRIFT_TIMES
+        ]
+    return device_rows, circuit, accuracy, float_acc
+
+
+def test_imc_stack(benchmark):
+    device_rows, circuit, accuracy, float_acc = benchmark(run_imc_study)
+
+    dev_table = Table(
+        ["device", "open-loop RMS", "P&V RMS", "P&V iters",
+         "MLC err open", "MLC err P&V"],
+        title="Sec. IV device level -- program-and-verify [10]",
+    )
+    for row in device_rows:
+        dev_table.add_row(row)
+    print()
+    print(dev_table)
+
+    print(
+        "\ncircuit level -- analog accumulation [11]: "
+        f"{circuit['plain_conversions']} -> "
+        f"{circuit['accumulated_conversions']} ADC conversions, "
+        f"{circuit['plain_energy']:.3g} J -> "
+        f"{circuit['accumulated_energy']:.3g} J"
+    )
+    print(
+        f"digital IMC 32x32x8b MVM energy: "
+        f"{circuit['dimc_mvm_energy']:.3g} J"
+    )
+
+    acc_table = Table(
+        ["configuration"] + [f"t={t:g}s" for t in DRIFT_TIMES],
+        title=f"Sec. IV architecture level -- accuracy vs drift "
+              f"(float acc {float_acc:.2f})",
+    )
+    for label, accs in accuracy.items():
+        acc_table.add_row([label] + list(accs))
+    print()
+    print(acc_table)
+
+    # Device level: P&V beats open loop on both technologies.
+    for name, rms_ol, rms_pv, _, mlc_ol, mlc_pv in device_rows:
+        assert rms_pv < rms_ol / 2, name
+        assert mlc_pv <= mlc_ol, name
+    # Circuit level: accumulation divides conversions (and energy) by 4.
+    assert (
+        circuit["accumulated_conversions"]
+        == circuit["plain_conversions"] // 4
+    )
+    assert circuit["accumulated_energy"] < circuit["plain_energy"] / 3
+    # Architecture level: the full mitigation stack holds accuracy near
+    # float even after drift; the unmitigated PCM stack degrades.
+    assert accuracy["PCM+verify+comp"][-1] > float_acc - 0.10
+    assert accuracy["RRAM+verify+comp"][-1] > float_acc - 0.05
+    assert (
+        accuracy["PCM open-loop no-comp"][-1]
+        <= accuracy["PCM+verify+comp"][-1]
+    )

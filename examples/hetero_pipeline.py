@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The heterogeneous DL pipeline for medical segmentation (paper Sec. VI).
+
+Profiles the Fig. 5 end-to-end pipeline on CPU / GPU / FPGA platforms,
+identifies the bottleneck, applies the I/O-path optimizations
+(low-latency SSD, persistent memory, computational storage) and reports
+the training/inference gains -- plus a tiny accuracy demonstration on a
+synthetic CT phantom.
+
+Run:  python examples/hetero_pipeline.py
+"""
+
+from repro.core.metrics import dice_coefficient, relative_change
+from repro.hetero.devices import CPU_XEON, FPGA_ALVEO, GPU_A100
+from repro.hetero.pipeline import simulate_inference, simulate_training
+from repro.hetero.profiler import bottleneck_stage, io_share, profile_table
+from repro.hetero.storage import (
+    NVME_SSD,
+    PERSISTENT_MEMORY,
+    SATA_SSD,
+    computational_storage,
+)
+from repro.hetero.workload import ct_phantom, threshold_segmenter
+
+
+def main() -> None:
+    base_train = simulate_training(storage=SATA_SSD)
+    print(profile_table(base_train,
+                        title="Fig. 5 training profile (GPU + SATA SSD)"))
+    print(f"\nbottleneck: {bottleneck_stage(base_train).stage}; "
+          f"I/O path share {100 * io_share(base_train):.0f}%")
+
+    base_infer = simulate_inference(storage=SATA_SSD)
+    print("\nI/O-path optimization:")
+    for name, storage in [
+        ("NVMe SSD", NVME_SSD),
+        ("Persistent Memory", PERSISTENT_MEMORY),
+        ("Computational Storage", computational_storage()),
+    ]:
+        train = simulate_training(storage=storage)
+        infer = simulate_inference(storage=storage)
+        t_cut = -100 * relative_change(
+            base_train.total_seconds, train.total_seconds
+        )
+        i_gain = 100 * relative_change(
+            base_infer.throughput_volumes_s, infer.throughput_volumes_s
+        )
+        print(f"  {name:22s} training -{t_cut:.1f}%  "
+              f"inference +{i_gain:.1f}%")
+    print('(the paper: "training time reduction of up to 10% and '
+          'inference throughput improvement of up to 10%")')
+
+    print("\ninference device sweep (SATA):")
+    for device in (CPU_XEON, GPU_A100, FPGA_ALVEO):
+        result = simulate_inference(device=device)
+        print(f"  {device.name:16s} {result.throughput_volumes_s:6.2f} "
+              f"volumes/s, {result.energy_j / 1e3:7.1f} kJ")
+
+    volume, mask = ct_phantom(shape=(16, 48, 48), seed=0)
+    predicted = threshold_segmenter(volume)
+    print(f"\nsynthetic CT phantom: threshold segmenter Dice = "
+          f"{dice_coefficient(predicted, mask):.3f} "
+          f"({int(mask.sum())} lesion voxels)")
+
+
+if __name__ == "__main__":
+    main()

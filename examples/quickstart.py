@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Quickstart: a five-minute tour of the ICSC Flagship 2 reproduction.
+
+Touches one headline result from each research thrust of the paper:
+
+1. the survey's efficiency ranking (Fig. 1);
+2. an HLS + DSE run on a GEMM kernel (Sec. III);
+3. HTCONV's MAC saving at matched quality (Sec. V / Table I);
+4. an analog-IMC matrix-vector product (Sec. IV);
+5. a DNA-storage round trip (Sec. VI);
+6. the Compute Unit's operating point (Sec. VII / Fig. 9).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.axc.htconv import FovealRegion, htconv_mac_model
+from repro.core.units import GIGA, TERA, si_format
+from repro.dna.decoder import DNAStorageSystem
+from repro.dna.encoding import OligoLayout
+from repro.dse.explorer import NSGA2Explorer
+from repro.dse.runner import DSERunner
+from repro.hls.kernels import make_kernel
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.scf.cluster import ComputeUnit
+from repro.scf.workloads import TransformerConfig, transformer_block_gemms
+from repro.survey import class_statistics, load_dataset
+
+
+def main() -> None:
+    print("=== 1. Survey (Fig. 1): efficiency ranking ===")
+    for stats in class_statistics(load_dataset()):
+        print(
+            f"  {stats.platform.value:16s} median "
+            f"{stats.median_tops_per_watt:8.2f} TOPS/W ({stats.count} designs)"
+        )
+
+    print("\n=== 2. HLS + DSE (Sec. III): GEMM directive exploration ===")
+    runner = DSERunner(make_kernel("gemm", size=256))
+    result = runner.run(NSGA2Explorer(population=16), budget=80, seed=0)
+    print(f"  explored {result.unique_evaluations} design points, "
+          f"Pareto front of {len(result.front)}:")
+    for point in result.front[:5]:
+        print(
+            f"    unroll={point.config['unroll']:>2} "
+            f"pipeline={str(point.config['pipeline']):5s} -> "
+            f"{point.latency_s * 1e6:7.2f} us, area {point.area:.0f}"
+        )
+
+    print("\n=== 3. HTCONV (Sec. V): MAC saving at 25% foveal coverage ===")
+    fovea = FovealRegion.centered(540, 960, 0.25)
+    coverage = fovea.coverage(540, 960)
+    hybrid, exact = htconv_mac_model(540, 960, 9, 25, coverage)
+    print(f"  exact TCONV : {exact:,} MACs per frame")
+    print(f"  HTCONV      : {hybrid:,} MACs per frame "
+          f"({100 * (1 - hybrid / exact):.1f}% saved)")
+
+    print("\n=== 4. Analog IMC (Sec. IV): crossbar MVM ===")
+    xbar = AnalogCrossbar(CrossbarConfig(rows=32, cols=32), seed=0)
+    rng = np.random.default_rng(0)
+    weights = rng.normal(0, 0.3, (32, 32))
+    xbar.program_weights(weights)
+    x = rng.uniform(-1, 1, 32)
+    y = xbar.mvm(x)
+    err = np.linalg.norm(y - weights.T @ x) / np.linalg.norm(weights.T @ x)
+    print(f"  32x32 RRAM crossbar MVM relative error: {100 * err:.1f}% "
+          f"({xbar.ledger.adc_conversions} ADC conversions)")
+
+    print("\n=== 5. DNA storage (Sec. VI): round trip ===")
+    system = DNAStorageSystem(
+        layout=OligoLayout(payload_bytes=10, index_bytes=1),
+        rs_n=40, rs_k=30, seed=0,
+    )
+    payload = b"ICSC Flagship 2: architectures for AI workloads!"
+    report = system.roundtrip(payload)
+    print(f"  stored {len(payload)} B -> {report.num_reads} noisy reads -> "
+          f"recovered: {report.payload == payload} "
+          f"({si_format(report.cell_updates, 'cell updates')})")
+
+    print("\n=== 6. Compute Unit (Sec. VII / Fig. 9) ===")
+    cu = ComputeUnit()
+    for _, m, n, k, count in transformer_block_gemms(TransformerConfig()):
+        for _ in range(count):
+            cu.run_gemm(m, n, k)
+    print(
+        f"  transformer block on one CU: "
+        f"{cu.achieved_flops() / GIGA:.0f} GFLOPS, "
+        f"{cu.achieved_efficiency_flops_per_w() / TERA:.2f} TFLOPS/W "
+        "(published: 150 GFLOPS, 1.5 TFLOPS/W)"
+    )
+
+
+if __name__ == "__main__":
+    main()

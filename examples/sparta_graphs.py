@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""SPARTA accelerators on irregular graph kernels (paper Sec. III).
+
+Builds BFS / SpMV / PageRank task graphs over a synthetic graph and runs
+them on the cycle-level SPARTA system, sweeping the hardware-context
+count to show memory-latency hiding, then ablating the memory-side cache
+and the multi-channel NoC.
+
+Run:  python examples/sparta_graphs.py
+"""
+
+from repro.sparta import (
+    bfs_tasks,
+    pagerank_tasks,
+    random_graph,
+    simulate,
+    spmv_tasks,
+)
+
+
+def main() -> None:
+    graph = random_graph(num_nodes=256, avg_degree=8, seed=0)
+    regions = {
+        "bfs": bfs_tasks(graph),
+        "spmv": spmv_tasks(num_rows=256, avg_nnz=8, seed=1),
+        "pagerank": pagerank_tasks(graph),
+    }
+
+    print("context-count sweep (4 lanes, 4 memory channels):")
+    print(f"{'kernel':10s}" + "".join(f"  ctx={c:<8d}" for c in (1, 2, 4, 8))
+          + "speedup")
+    for name, region in regions.items():
+        cycles = [
+            simulate(region, num_lanes=4, contexts_per_lane=c).cycles
+            for c in (1, 2, 4, 8)
+        ]
+        row = "".join(f"  {c:<12,d}"[:12] for c in cycles)
+        print(f"{name:10s}" + "".join(f"  {c:<10,d}" for c in cycles)
+              + f"x{cycles[0] / cycles[-1]:.1f}")
+
+    bfs = regions["bfs"]
+    with_cache = simulate(bfs, num_lanes=4, contexts_per_lane=8)
+    without = simulate(bfs, num_lanes=4, contexts_per_lane=8,
+                       enable_cache=False)
+    print(f"\nmemory-side cache (bfs, 8 contexts): "
+          f"{without.cycles:,} -> {with_cache.cycles:,} cycles "
+          f"(hit rate {100 * with_cache.cache_hit_rate:.0f}%)")
+
+    one = simulate(bfs, num_lanes=8, contexts_per_lane=16,
+                   num_channels=1, enable_cache=False)
+    four = simulate(bfs, num_lanes=8, contexts_per_lane=16,
+                    num_channels=4, enable_cache=False)
+    print(f"memory channels under contention (8 lanes, 16 contexts): "
+          f"1ch {one.cycles:,} -> 4ch {four.cycles:,} cycles")
+    print(f"\nutilization at 8 contexts: "
+          f"{100 * with_cache.utilization:.0f}% "
+          f"({with_cache.context_switches:,} context switches)")
+
+
+if __name__ == "__main__":
+    main()

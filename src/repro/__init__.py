@@ -1,0 +1,32 @@
+"""Reproduction of the ICSC Flagship 2 project overview (DATE 2025).
+
+The paper surveys five research thrusts of the ICSC Flagship 2 project on
+architectures and design methodologies to accelerate AI workloads.  This
+package mirrors that structure, one subpackage per thrust:
+
+- :mod:`repro.survey`  -- state-of-the-art AI-accelerator survey (Fig. 1, Fig. 7)
+- :mod:`repro.hls`     -- Bambu-like High-Level Synthesis toolchain (Sec. III)
+- :mod:`repro.dse`     -- Design Space Exploration engine (Sec. III)
+- :mod:`repro.sparta`  -- SPARTA parallel multi-threaded accelerators (Sec. III)
+- :mod:`repro.imc`     -- in-memory computing device/circuit/architecture stack (Sec. IV)
+- :mod:`repro.axc`     -- approximate-computing FPGA accelerators, HTCONV (Sec. V)
+- :mod:`repro.hetero`  -- heterogeneous CPU/GPU/FPGA DL pipeline (Sec. VI)
+- :mod:`repro.dna`     -- DNA-based data-storage pipeline and edit distance (Sec. VI)
+- :mod:`repro.scf`     -- RISC-V Scalable Compute Fabric (Sec. VII)
+- :mod:`repro.core`    -- shared numerics, metrics and reporting utilities
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "survey",
+    "hls",
+    "dse",
+    "sparta",
+    "imc",
+    "axc",
+    "hetero",
+    "dna",
+    "scf",
+]

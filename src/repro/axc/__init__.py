@@ -1,0 +1,52 @@
+"""Approximate-computing FPGA accelerators (paper Sec. V).
+
+The ICSC Flagship 2 project develops approximate accelerators for the
+critical layers of deep-learning models: convolutions, transposed
+convolutions, pooling, fully-connected layers and the SoftMax function.
+The flagship result is **HTCONV** (Fig. 3 / Fig. 4 / Table I): a hybrid
+transposed-convolution layer that exploits foveated rendering -- full
+accuracy inside the foveal region, cheap interpolation outside -- saving
+more than 80% of MACs with a PSNR reduction below 10% on FSRCNN
+super-resolution.
+
+Modules:
+
+- :mod:`repro.axc.macs`        -- MAC accounting shared by all layers;
+- :mod:`repro.axc.layers`      -- exact CONV / TCONV / pooling / FC kernels;
+- :mod:`repro.axc.softmax`     -- aggressive approximate SoftMax [18];
+- :mod:`repro.axc.htconv`      -- the Fig. 3 hybrid TCONV, implemented verbatim;
+- :mod:`repro.axc.fsrcnn`      -- FSRCNN super-resolution models [19];
+- :mod:`repro.axc.training`    -- numpy training loop to obtain usable weights;
+- :mod:`repro.axc.data`        -- synthetic image generators for SR tests;
+- :mod:`repro.axc.fpga_cost`   -- FPGA resource/power model generating Table I.
+"""
+
+from repro.axc.macs import MacCounter
+from repro.axc.layers import (
+    conv2d,
+    transposed_conv2d_x2,
+    max_pool2d,
+    fully_connected,
+)
+from repro.axc.htconv import FovealRegion, htconv_x2
+from repro.axc.htconv_hw import HTConvStreamingEngine
+from repro.axc.softmax import softmax_exact, softmax_approximate
+from repro.axc.attention import scaled_dot_product_attention
+from repro.axc.fsrcnn import FSRCNN, FSRCNN_25_5_1, FSRCNN_56_12_4
+
+__all__ = [
+    "MacCounter",
+    "conv2d",
+    "transposed_conv2d_x2",
+    "max_pool2d",
+    "fully_connected",
+    "FovealRegion",
+    "htconv_x2",
+    "HTConvStreamingEngine",
+    "softmax_exact",
+    "softmax_approximate",
+    "scaled_dot_product_attention",
+    "FSRCNN",
+    "FSRCNN_25_5_1",
+    "FSRCNN_56_12_4",
+]

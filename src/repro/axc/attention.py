@@ -1,0 +1,137 @@
+"""Approximate attention: the Sec. V SoftMax inside transformer blocks.
+
+The paper's approximate accelerators target "the SoftMax function [18]"
+among the critical DL layers, and its Sec. VII Compute Units accelerate
+"all major Transformer blocks" -- the natural meeting point is
+scaled-dot-product attention with the hardware-approximate SoftMax.
+This module provides exact and approximate attention plus quality
+metrics, quantifying how the SoftMax approximation propagates through a
+full attention layer (the paper's power-delay-accuracy trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.axc.softmax import softmax_approximate, softmax_exact
+from repro.core.rng import SeedLike, make_rng
+
+
+def scaled_dot_product_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    approximate: bool = False,
+    fractional_correction: bool = True,
+) -> np.ndarray:
+    """Single-head attention ``softmax(Q K^T / sqrt(d)) V``.
+
+    Shapes: Q ``(s_q, d)``, K ``(s_k, d)``, V ``(s_k, d_v)``.  With
+    ``approximate`` the hardware SoftMax of
+    :mod:`repro.axc.softmax` replaces the exact one.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if queries.ndim != 2 or keys.ndim != 2 or values.ndim != 2:
+        raise ValueError("Q, K, V must be 2-D matrices")
+    if queries.shape[1] != keys.shape[1]:
+        raise ValueError("Q and K feature dimensions differ")
+    if keys.shape[0] != values.shape[0]:
+        raise ValueError("K and V sequence lengths differ")
+    scale = 1.0 / np.sqrt(queries.shape[1])
+    scores = queries @ keys.T * scale
+    if approximate:
+        weights = softmax_approximate(
+            scores, axis=-1, fractional_correction=fractional_correction
+        )
+        # The shift normalization leaves row sums in (0.5, 1]; hardware
+        # compensates with a cheap renormalization of the output (one
+        # multiply per row), included here.
+        row_sums = weights.sum(axis=-1, keepdims=True)
+        weights = weights / np.maximum(row_sums, 1e-12)
+    else:
+        weights = softmax_exact(scores, axis=-1)
+    return weights @ values
+
+
+def multi_head_attention(
+    x: np.ndarray,
+    w_qkv: np.ndarray,
+    num_heads: int,
+    approximate: bool = False,
+) -> np.ndarray:
+    """Multi-head self-attention over ``x (s, d)`` with fused QKV weights
+    ``w_qkv (d, 3d)`` (output projection omitted -- quality studies only
+    need the head outputs)."""
+    x = np.asarray(x, dtype=np.float64)
+    w_qkv = np.asarray(w_qkv, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("x must be (seq, d_model)")
+    d = x.shape[1]
+    if w_qkv.shape != (d, 3 * d):
+        raise ValueError(f"w_qkv must be ({d}, {3 * d})")
+    if d % num_heads:
+        raise ValueError("d_model must divide into heads")
+    qkv = x @ w_qkv
+    q, k, v = np.split(qkv, 3, axis=1)
+    d_head = d // num_heads
+    outputs = []
+    for h in range(num_heads):
+        sl = slice(h * d_head, (h + 1) * d_head)
+        outputs.append(
+            scaled_dot_product_attention(
+                q[:, sl], k[:, sl], v[:, sl], approximate=approximate
+            )
+        )
+    return np.concatenate(outputs, axis=1)
+
+
+def attention_quality(
+    seq_len: int = 64,
+    d_model: int = 64,
+    num_heads: int = 4,
+    seed: SeedLike = 0,
+) -> Dict[str, float]:
+    """Quality of approximate vs exact attention on random inputs.
+
+    Returns the output relative error, the top-1 attended-position
+    agreement (whether each query still attends hardest to the same key)
+    and the adder-equivalent cost saving of the approximate SoftMax.
+    """
+    from repro.axc.softmax import softmax_cost_model
+
+    rng = make_rng(seed)
+    x = rng.normal(0, 1, (seq_len, d_model))
+    w_qkv = rng.normal(0, 1.0 / np.sqrt(d_model), (d_model, 3 * d_model))
+    exact = multi_head_attention(x, w_qkv, num_heads, approximate=False)
+    approx = multi_head_attention(x, w_qkv, num_heads, approximate=True)
+    rel_err = float(
+        np.linalg.norm(exact - approx) / np.linalg.norm(exact)
+    )
+
+    # Top-1 attended key agreement per head.
+    qkv = x @ w_qkv
+    q, k, _ = np.split(qkv, 3, axis=1)
+    d_head = d_model // num_heads
+    agreements = []
+    for h in range(num_heads):
+        sl = slice(h * d_head, (h + 1) * d_head)
+        scores = q[:, sl] @ k[:, sl].T / np.sqrt(d_head)
+        exact_w = softmax_exact(scores)
+        approx_w = softmax_approximate(scores)
+        agreements.append(
+            float(
+                np.mean(
+                    exact_w.argmax(axis=1) == approx_w.argmax(axis=1)
+                )
+            )
+        )
+    cost = softmax_cost_model(seq_len)
+    return {
+        "output_relative_error": rel_err,
+        "top1_agreement": float(np.mean(agreements)),
+        "softmax_cost_saving": cost["moderate_saving"],
+    }

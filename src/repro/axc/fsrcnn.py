@@ -1,0 +1,183 @@
+"""FSRCNN super-resolution models (paper Sec. V, reference [19]).
+
+FSRCNN(d, s, m) is the compact super-resolution CNN of Dong et al.: a 5x5
+feature-extraction convolution with *d* filters, a 1x1 shrinking layer to
+*s* channels, *m* 3x3 mapping layers, a 1x1 expanding layer back to *d*
+channels (all PReLU-activated) and a final 9x9 x2 transposed convolution
+producing the high-resolution image.
+
+The paper's experiment customizes the pre-trained FSRCNN(25,5,1),
+quantized to 16-bit fixed point, by swapping the conventional TCONV output
+layer for HTCONV, and compares it against the bigger FSRCNN(56,12,4)
+baseline.  This module reproduces those models; usable weights come from
+:mod:`repro.axc.training` (there is no pre-trained checkpoint to ship, so
+we train on synthetic scenes -- a substitution documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.axc.htconv import FovealRegion, htconv_x2
+from repro.axc.layers import conv2d, prelu, transposed_conv2d_x2
+from repro.axc.macs import MacCounter
+from repro.core.fixedpoint import FixedPointFormat, quantize
+from repro.core.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class FSRCNNConfig:
+    """FSRCNN(d, s, m) hyper-parameters."""
+
+    d: int
+    s: int
+    m: int
+    feature_kernel: int = 5
+    mapping_kernel: int = 3
+    deconv_kernel: int = 9
+
+    def __post_init__(self) -> None:
+        if min(self.d, self.s) < 1 or self.m < 0:
+            raise ValueError("d, s must be >= 1 and m >= 0")
+        for k in (self.feature_kernel, self.mapping_kernel, self.deconv_kernel):
+            if k < 1 or k % 2 == 0:
+                raise ValueError("kernel sizes must be positive and odd")
+
+    @property
+    def name(self) -> str:
+        return f"FSRCNN({self.d},{self.s},{self.m})"
+
+
+#: The two configurations evaluated in the paper.
+FSRCNN_25_5_1 = FSRCNNConfig(d=25, s=5, m=1)
+FSRCNN_56_12_4 = FSRCNNConfig(d=56, s=12, m=4)
+
+
+class FSRCNN:
+    """An FSRCNN model with explicit numpy weights.
+
+    ``forward`` runs x2 super-resolution on a single-channel image in
+    [0, 1]; the output layer is selectable between the exact TCONV and
+    HTCONV with a given foveal region, and an optional fixed-point format
+    fake-quantizes weights and activations (the paper's 16-bit models).
+    """
+
+    def __init__(self, config: FSRCNNConfig, seed: SeedLike = 0) -> None:
+        self.config = config
+        rng = make_rng(seed)
+        self.conv_weights: List[np.ndarray] = []
+        self.conv_biases: List[np.ndarray] = []
+        self.prelu_slopes: List[np.ndarray] = []
+        self.conv_names: List[str] = []
+        c = config
+        shapes = [("feature", c.d, 1, c.feature_kernel)]
+        shapes.append(("shrink", c.s, c.d, 1))
+        shapes.extend(
+            (f"map{i}", c.s, c.s, c.mapping_kernel) for i in range(c.m)
+        )
+        shapes.append(("expand", c.d, c.s, 1))
+        for name, n_out, n_in, k in shapes:
+            fan_in = n_in * k * k
+            self.conv_names.append(name)
+            self.conv_weights.append(
+                rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(n_out, n_in, k, k))
+            )
+            self.conv_biases.append(np.zeros(n_out))
+            self.prelu_slopes.append(np.full(n_out, 0.25))
+        # Deconv initialised as a bilinear x2 interpolator spread across the
+        # expand channels: a sensible identity-like starting point that makes
+        # short training effective.
+        self.deconv_kernel = self._bilinear_deconv_init(c, rng)
+        self.deconv_bias = 0.0
+
+    @staticmethod
+    def _bilinear_deconv_init(
+        config: FSRCNNConfig, rng: np.random.Generator
+    ) -> np.ndarray:
+        t = config.deconv_kernel
+        center = (t - 1) / 2.0
+        axis = 1.0 - np.abs(np.arange(t) - center) / 2.0
+        axis = np.clip(axis, 0.0, None)
+        bilinear = np.outer(axis, axis)
+        bilinear /= bilinear.sum() / 4.0  # preserve mean under x2 upsampling
+        kernel = rng.normal(0.0, 0.01, size=(config.d, t, t))
+        kernel += bilinear / config.d
+        return kernel
+
+    @property
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Flat name -> array view of every trainable tensor."""
+        params = {}
+        for i, name in enumerate(self.conv_names):
+            params[f"{name}.weight"] = self.conv_weights[i]
+            params[f"{name}.bias"] = self.conv_biases[i]
+            params[f"{name}.prelu"] = self.prelu_slopes[i]
+        params["deconv.kernel"] = self.deconv_kernel
+        return params
+
+    def feature_stack(
+        self,
+        image: np.ndarray,
+        counter: Optional[MacCounter] = None,
+        quant_fmt: Optional[FixedPointFormat] = None,
+    ) -> np.ndarray:
+        """Run all convolutional layers up to (not including) the deconv."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 2:
+            raise ValueError("FSRCNN takes a single-channel 2-D image")
+        x = image[None, :, :]
+        for i, name in enumerate(self.conv_names):
+            w, b, a = (
+                self.conv_weights[i],
+                self.conv_biases[i],
+                self.prelu_slopes[i],
+            )
+            if quant_fmt is not None:
+                w, b, a = (
+                    quantize(w, quant_fmt),
+                    quantize(b, quant_fmt),
+                    quantize(a, quant_fmt),
+                )
+            x = prelu(
+                conv2d(x, w, b, counter=counter, layer_name=name), a
+            )
+            if quant_fmt is not None:
+                x = quantize(x, quant_fmt)
+        return x
+
+    def forward(
+        self,
+        image: np.ndarray,
+        tconv_mode: str = "exact",
+        fovea: Optional[FovealRegion] = None,
+        counter: Optional[MacCounter] = None,
+        quant_fmt: Optional[FixedPointFormat] = None,
+    ) -> np.ndarray:
+        """x2 super-resolve *image*.
+
+        *tconv_mode* is ``"exact"`` (conventional TCONV) or ``"htconv"``
+        (requires *fovea*).  Output values are clipped to [0, 1].
+        """
+        features = self.feature_stack(image, counter=counter, quant_fmt=quant_fmt)
+        kernel = self.deconv_kernel
+        if quant_fmt is not None:
+            kernel = quantize(kernel, quant_fmt)
+        if tconv_mode == "exact":
+            out = transposed_conv2d_x2(features, kernel, counter=counter)
+        elif tconv_mode == "htconv":
+            if fovea is None:
+                raise ValueError("htconv mode requires a FovealRegion")
+            out = htconv_x2(features, kernel, fovea, counter=counter)
+        else:
+            raise ValueError(f"unknown tconv_mode {tconv_mode!r}")
+        out = out + self.deconv_bias
+        if quant_fmt is not None:
+            out = quantize(out, quant_fmt)
+        return np.clip(out, 0.0, 1.0)
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count (model-size comparisons)."""
+        return sum(p.size for p in self.parameters.values())

@@ -1,0 +1,210 @@
+"""Behavioral model of the Fig. 4 HTCONV hardware architecture.
+
+Fig. 4 organizes the HTCONV engine around (i) input line buffers, (ii) a
+kernel buffer feeding a MAC array that produces the exact outputs, and
+(iii) an interpolation unit producing the peripheral odd outputs from
+buffered even-even results.  This module implements that dataflow as a
+*streaming* engine: input rows arrive one at a time, the engine only ever
+reads rows resident in its line buffer (enforced -- reading an evicted
+or not-yet-arrived row raises), and output row pairs are emitted as soon
+as their dependencies are buffered.
+
+The engine must produce output identical to the functional
+:func:`repro.axc.htconv.htconv_x2` (tested), which validates both the
+Fig. 4 organization and the line-buffer sizing used by the Table I BRAM
+estimate: ``(t - 1) // 2 + 1`` input rows for the MAC array plus one
+even-even output row for the interpolator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.axc.htconv import FovealRegion
+
+
+class _LineBuffer:
+    """A bounded buffer of rows; reads outside residency raise."""
+
+    def __init__(self, capacity_rows: int, name: str) -> None:
+        if capacity_rows < 1:
+            raise ValueError("line buffer needs at least one row")
+        self.capacity = capacity_rows
+        self.name = name
+        self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.peak_occupancy = 0
+
+    def push(self, index: int, row: np.ndarray) -> None:
+        self._rows[index] = row
+        while len(self._rows) > self.capacity:
+            self._rows.popitem(last=False)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._rows))
+
+    def read(self, index: int) -> np.ndarray:
+        if index not in self._rows:
+            raise RuntimeError(
+                f"{self.name}: row {index} not resident "
+                f"(buffered: {list(self._rows)})"
+            )
+        return self._rows[index]
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._rows
+
+
+@dataclass
+class StreamingStats:
+    """Hardware-facing statistics of one frame."""
+
+    input_rows: int
+    output_rows: int
+    mac_ops: int
+    interp_ops: int
+    input_buffer_rows: int
+    output_buffer_rows: int
+
+
+class HTConvStreamingEngine:
+    """The Fig. 4 engine processing one frame row by row.
+
+    *kernel* is ``(C, t, t)``; the engine accepts input rows through
+    :meth:`push_row` and accumulates emitted output rows; :meth:`process`
+    drives a whole frame.
+    """
+
+    def __init__(self, kernel: np.ndarray, fovea: FovealRegion) -> None:
+        kernel = np.asarray(kernel, dtype=np.float64)
+        if kernel.ndim != 3 or kernel.shape[1] != kernel.shape[2]:
+            raise ValueError(f"kernel must be (C, t, t), got {kernel.shape}")
+        self.kernel = kernel
+        self.fovea = fovea
+        self.t = kernel.shape[-1]
+        # MAC array needs input rows i .. i + (t-1)//2 (+1 more for the
+        # odd output rows which read up row 2i+t, i.e. input i+t//2).
+        self._lookahead = self.t // 2
+        self.input_buffer = _LineBuffer(
+            capacity_rows=self._lookahead + 1, name="input lines"
+        )
+        # Interpolator consumes even-even rows i and i+1.
+        self.ee_buffer = _LineBuffer(capacity_rows=2, name="even-even rows")
+        self.stats_mac_ops = 0
+        self.stats_interp_ops = 0
+
+    # -- MAC array ----------------------------------------------------
+    def _up_row(self, up_index: int, width: int) -> np.ndarray:
+        """Row *up_index* of the zero-stuffed image, built from the
+        buffered input rows (zeros for odd rows / beyond the frame)."""
+        c = self.kernel.shape[0]
+        row = np.zeros((c, 2 * width + self.t - 1))
+        if up_index % 2 == 0:
+            source = up_index // 2
+            if source in self.input_buffer:
+                row[:, 0 : 2 * width : 2] = self.input_buffer.read(source)
+        return row
+
+    def _exact_outputs_for_row(
+        self, i: int, height: int, width: int
+    ) -> Dict[str, np.ndarray]:
+        """Exact outputs of input row *i*: the even-even row everywhere
+        plus the three odd variants (consumed only inside the fovea)."""
+        t = self.t
+        stack = np.stack(
+            [self._up_row(2 * i + r, width) for r in range(t + 1)]
+        )  # (t+1, C, 2W + t - 1)
+        from numpy.lib.stride_tricks import sliding_window_view
+
+        windows = sliding_window_view(stack, (t, t), axis=(0, 2))
+        # windows: (2, C, 2W, t, t) -- vertical offset 0 or 1.
+        even = windows[0]
+        odd = windows[1]
+        ee = np.einsum(
+            "cxuv,cuv->x", even[:, 0 : 2 * width : 2], self.kernel
+        )
+        eo = np.einsum(
+            "cxuv,cuv->x", even[:, 1 : 2 * width : 2], self.kernel
+        )
+        oe = np.einsum(
+            "cxuv,cuv->x", odd[:, 0 : 2 * width : 2], self.kernel
+        )
+        oo = np.einsum(
+            "cxuv,cuv->x", odd[:, 1 : 2 * width : 2], self.kernel
+        )
+        self.stats_mac_ops += 4 * width * t * t * self.kernel.shape[0]
+        return {"ee": ee, "eo": eo, "oe": oe, "oo": oo}
+
+    # -- frame processing ----------------------------------------------
+    def process(self, image: np.ndarray) -> np.ndarray:
+        """Stream *image* ``(C, H, W)`` through the engine."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 3 or image.shape[0] != self.kernel.shape[0]:
+            raise ValueError("image must be (C, H, W) matching the kernel")
+        _, height, width = image.shape
+        mask = self.fovea.mask(height, width)
+        out = np.zeros((2 * height, 2 * width))
+        exact_rows: Dict[int, Dict[str, np.ndarray]] = {}
+
+        pending_interp: List[int] = []
+        for arriving in range(height + self._lookahead):
+            if arriving < height:
+                self.input_buffer.push(arriving, image[:, arriving, :])
+            ready = arriving - self._lookahead
+            if ready < 0:
+                continue
+            rows = self._exact_outputs_for_row(ready, height, width)
+            exact_rows[ready] = rows
+            self.ee_buffer.push(ready, rows["ee"])
+            out[2 * ready, 0::2] = rows["ee"]
+            foveal = mask[ready]
+            out[2 * ready + 1, 0::2][foveal] = rows["oe"][foveal]
+            out[2 * ready, 1::2][foveal] = rows["eo"][foveal]
+            out[2 * ready + 1, 1::2][foveal] = rows["oo"][foveal]
+            pending_interp.append(ready)
+            # The interpolator for row r needs even-even rows r and r+1;
+            # run it as soon as the successor row is buffered (or at the
+            # last row, which clamps).
+            while pending_interp and (
+                pending_interp[0] + 1 in self.ee_buffer
+                or pending_interp[0] == height - 1
+            ):
+                self._interpolate_row(
+                    pending_interp.pop(0), height, width, mask, out
+                )
+        return out
+
+    def _interpolate_row(
+        self,
+        i: int,
+        height: int,
+        width: int,
+        mask: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        ee = self.ee_buffer.read(i)
+        south = (
+            self.ee_buffer.read(i + 1) if i + 1 < height else ee
+        )
+        east = np.concatenate([ee[1:], ee[-1:]])
+        south_east = np.concatenate([south[1:], south[-1:]])
+        periph = ~mask[i]
+        out[2 * i + 1, 0::2][periph] = (ee[periph] + south[periph]) / 2.0
+        out[2 * i, 1::2][periph] = (ee[periph] + east[periph]) / 2.0
+        out[2 * i + 1, 1::2][periph] = (
+            ee[periph] + east[periph] + south[periph] + south_east[periph]
+        ) / 4.0
+        self.stats_interp_ops += int(periph.sum()) * 5
+
+    def stats(self, height: int, width: int) -> StreamingStats:
+        """Hardware statistics after processing a ``height x width``
+        frame."""
+        return StreamingStats(
+            input_rows=height,
+            output_rows=2 * height,
+            mac_ops=self.stats_mac_ops,
+            interp_ops=self.stats_interp_ops,
+            input_buffer_rows=self.input_buffer.peak_occupancy,
+            output_buffer_rows=self.ee_buffer.peak_occupancy,
+        )

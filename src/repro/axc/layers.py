@@ -1,0 +1,189 @@
+"""Exact deep-learning layer kernels (the accurate baselines of Sec. V).
+
+All kernels operate on channel-first numpy arrays: feature maps are
+``(C, H, W)``, convolution weights are ``(F, C, kH, kW)``.  Every kernel
+optionally charges its multiplies to a :class:`~repro.axc.macs.MacCounter`
+so the approximate variants can be compared against them.
+
+The transposed convolution follows the indexing convention of the paper's
+Fig. 3 pseudo-code: the input is zero-upsampled by 2 (``up(2i,2j) = I(i,j)``)
+and each output pixel is ``O(y,x) = sum_{u,v} K(u,v) * up(y+u, x+v)``,
+producing a ``2H x 2W`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.axc.macs import MacCounter
+
+
+def _check_feature_map(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError(f"feature map must be (C, H, W), got shape {x.shape}")
+    return x
+
+
+def conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    padding: Optional[int] = None,
+    counter: Optional[MacCounter] = None,
+    layer_name: str = "conv",
+) -> np.ndarray:
+    """Dense 2-D convolution (cross-correlation, stride 1).
+
+    *padding* defaults to "same" (``(k-1)//2``) for odd kernels, matching
+    the FSRCNN layer geometry.  Returns ``(F, H', W')``.
+    """
+    x = _check_feature_map(x)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 4:
+        raise ValueError(f"weights must be (F, C, kH, kW), got {weights.shape}")
+    n_filters, c_in, k_h, k_w = weights.shape
+    if c_in != x.shape[0]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[0]}, weights expect {c_in}"
+        )
+    if padding is None:
+        padding = (k_h - 1) // 2
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    _, h, w = x.shape
+    out_h, out_w = h - k_h + 1, w - k_w + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel larger than padded input")
+    # im2col: windows has shape (C, out_h, out_w, kH, kW).
+    windows = sliding_window_view(x, (k_h, k_w), axis=(1, 2))
+    cols = windows.transpose(1, 2, 0, 3, 4).reshape(out_h * out_w, -1)
+    flat_w = weights.reshape(n_filters, -1)
+    out = (cols @ flat_w.T).T.reshape(n_filters, out_h, out_w)
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float64)
+        if bias.shape != (n_filters,):
+            raise ValueError(f"bias must be ({n_filters},), got {bias.shape}")
+        out += bias[:, None, None]
+    if counter is not None:
+        counter.charge_macs(
+            layer_name, out_h * out_w * k_h * k_w * c_in * n_filters
+        )
+    return out
+
+
+def zero_upsample_x2(x: np.ndarray, pad_tail: int = 0) -> np.ndarray:
+    """Fig. 3 lines 3-4: insert zeros so ``up(2i, 2j) = I(i, j)``.
+
+    *pad_tail* appends extra zero rows/columns (the ``t-1`` halo the
+    output correlation reads past the last input sample).
+    """
+    x = _check_feature_map(x)
+    c, h, w = x.shape
+    up = np.zeros((c, 2 * h + pad_tail, 2 * w + pad_tail), dtype=np.float64)
+    up[:, : 2 * h : 2, : 2 * w : 2] = x
+    return up
+
+
+def transposed_conv2d_x2(
+    x: np.ndarray,
+    kernel: np.ndarray,
+    counter: Optional[MacCounter] = None,
+    layer_name: str = "tconv",
+) -> np.ndarray:
+    """Exact x2 transposed convolution, the accurate TCONV baseline.
+
+    *x* is ``(C, H, W)``; *kernel* is ``(C, t, t)`` and the single output
+    channel is ``(2H, 2W)``: ``O(y, x) = sum_{c,u,v} K(c,u,v) *
+    up(c, y+u, x+v)`` exactly as in the Fig. 3 pseudo-code (summed over
+    input channels).
+    """
+    x = _check_feature_map(x)
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if kernel.ndim != 3:
+        raise ValueError(f"kernel must be (C, t, t), got {kernel.shape}")
+    c, t_h, t_w = kernel.shape
+    if t_h != t_w:
+        raise ValueError("Fig. 3 assumes a square t x t kernel")
+    if c != x.shape[0]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[0]}, kernel expects {c}"
+        )
+    t = t_h
+    _, h, w = x.shape
+    up = zero_upsample_x2(x, pad_tail=t - 1)
+    windows = sliding_window_view(up, (t, t), axis=(1, 2))
+    # windows: (C, 2H, 2W, t, t); contract channel and kernel axes.
+    out = np.einsum("cyxuv,cuv->yx", windows[:, : 2 * h, : 2 * w], kernel)
+    if counter is not None:
+        # Each of the 4H*W output pixels needs t*t*C multiplies.  (The
+        # zeros in `up` make many products trivially zero; the dense
+        # hardware baseline still spends the MACs, which is exactly why
+        # TCONV is expensive and HTCONV is worth building.)
+        counter.charge_macs(layer_name, 4 * h * w * t * t * c)
+    return out
+
+
+def max_pool2d(
+    x: np.ndarray,
+    pool: int = 2,
+    stride: Optional[int] = None,
+) -> np.ndarray:
+    """Max pooling over non-overlapping (or strided) windows."""
+    x = _check_feature_map(x)
+    if pool < 1:
+        raise ValueError("pool size must be >= 1")
+    stride = pool if stride is None else stride
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    windows = sliding_window_view(x, (pool, pool), axis=(1, 2))
+    return windows[:, ::stride, ::stride].max(axis=(-2, -1))
+
+
+def avg_pool2d(x: np.ndarray, pool: int = 2) -> np.ndarray:
+    """Average pooling over non-overlapping windows."""
+    x = _check_feature_map(x)
+    if pool < 1:
+        raise ValueError("pool size must be >= 1")
+    windows = sliding_window_view(x, (pool, pool), axis=(1, 2))
+    return windows[:, ::pool, ::pool].mean(axis=(-2, -1))
+
+
+def fully_connected(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    counter: Optional[MacCounter] = None,
+    layer_name: str = "fc",
+) -> np.ndarray:
+    """Fully-connected layer ``y = W x + b`` on a flat input vector."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[1] != x.size:
+        raise ValueError(
+            f"weights must be (out, {x.size}), got {weights.shape}"
+        )
+    out = weights @ x
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float64)
+        if bias.shape != (weights.shape[0],):
+            raise ValueError("bias shape mismatch")
+        out = out + bias
+    if counter is not None:
+        counter.charge_macs(layer_name, weights.size)
+    return out
+
+
+def prelu(x: np.ndarray, slopes: np.ndarray) -> np.ndarray:
+    """Parametric ReLU with one learned slope per channel (FSRCNN's
+    activation)."""
+    x = _check_feature_map(x)
+    slopes = np.asarray(slopes, dtype=np.float64)
+    if slopes.shape != (x.shape[0],):
+        raise ValueError(
+            f"slopes must be ({x.shape[0]},), got {slopes.shape}"
+        )
+    return np.where(x >= 0, x, slopes[:, None, None] * x)

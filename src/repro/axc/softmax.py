@@ -1,0 +1,121 @@
+"""Aggressive approximate SoftMax (paper Sec. V, reference [18]).
+
+Spagnolo, Perri and Corsonello's power-efficient SoftMax replaces the two
+expensive primitives of the exact function -- exponentiation and division --
+with hardware-trivial operations:
+
+1. exponentials become powers of two: ``e^z = 2^(z * log2 e)``, and ``2^s``
+   for ``s = q + f`` (integer ``q``, fractional ``f``) is approximated by
+   the piecewise-linear ``2^q * (1 + f)``, a shift and an add;
+2. the normalizing division is replaced by a shift by
+   ``ceil(log2 D)`` where ``D`` is the accumulated denominator (a
+   leading-one detector in hardware).
+
+The *aggressive* configuration drops the fractional correction entirely
+(pure powers of two).  Outputs no longer sum exactly to one -- the paper's
+point is that downstream argmax/attention behaviour is preserved at a
+fraction of the power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+LOG2_E = float(np.log2(np.e))
+
+
+def softmax_exact(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable exact SoftMax (the accurate baseline)."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def _pow2_piecewise_linear(s: np.ndarray) -> np.ndarray:
+    """``2^s`` approximated as ``2^floor(s) * (1 + frac(s))``.
+
+    Exact at integer ``s``; the worst relative error of the linear
+    segment is ~6.1% at ``frac = 0.5``.
+    """
+    q = np.floor(s)
+    f = s - q
+    return np.exp2(q) * (1.0 + f)
+
+
+def _pow2_truncated(s: np.ndarray) -> np.ndarray:
+    """``2^s`` truncated to ``2^floor(s)`` (the aggressive variant)."""
+    return np.exp2(np.floor(s))
+
+
+def softmax_approximate(
+    logits: np.ndarray,
+    axis: int = -1,
+    fractional_correction: bool = True,
+    shift_normalization: bool = True,
+) -> np.ndarray:
+    """Hardware-approximate SoftMax.
+
+    *fractional_correction* selects the piecewise-linear ``2^s`` (the
+    moderate design) versus pure power-of-two truncation (the aggressive
+    design).  *shift_normalization* replaces the division by the exact
+    denominator with a shift by ``ceil(log2 D)``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = (logits - logits.max(axis=axis, keepdims=True)) * LOG2_E
+    pow2 = (
+        _pow2_piecewise_linear(shifted)
+        if fractional_correction
+        else _pow2_truncated(shifted)
+    )
+    denom = pow2.sum(axis=axis, keepdims=True)
+    if shift_normalization:
+        denom = np.exp2(np.ceil(np.log2(denom)))
+    return pow2 / denom
+
+
+def argmax_agreement(
+    logits: np.ndarray, axis: int = -1, **approx_kwargs
+) -> float:
+    """Fraction of rows whose argmax survives the approximation.
+
+    The paper's quality argument: classification and attention care about
+    the *ranking* of SoftMax outputs, which the approximation preserves.
+    """
+    exact = softmax_exact(logits, axis=axis)
+    approx = softmax_approximate(logits, axis=axis, **approx_kwargs)
+    agree = np.argmax(exact, axis=axis) == np.argmax(approx, axis=axis)
+    return float(np.mean(agree))
+
+
+def max_absolute_error(
+    logits: np.ndarray, axis: int = -1, **approx_kwargs
+) -> float:
+    """Worst-case elementwise deviation from the exact SoftMax."""
+    exact = softmax_exact(logits, axis=axis)
+    approx = softmax_approximate(logits, axis=axis, **approx_kwargs)
+    return float(np.max(np.abs(exact - approx)))
+
+
+def softmax_cost_model(vector_length: int) -> dict:
+    """Relative hardware-operation counts per SoftMax evaluation.
+
+    The exact design spends one exponential and one division per element;
+    the approximate design spends one shift-add (piecewise-linear ``2^s``)
+    or one shift (aggressive) and a final shift for the normalization.
+    Exponential/divider costs are expressed in adder-equivalents, the
+    convention used by the approximate-arithmetic literature the paper
+    builds on (a 16-bit divider ~ 16 adders, an exp LUT+interp ~ 8).
+    """
+    if vector_length <= 0:
+        raise ValueError("vector_length must be positive")
+    exact_adders = vector_length * (8 + 16)
+    moderate_adders = vector_length * (1 + 1)
+    aggressive_adders = vector_length * 1
+    return {
+        "exact_adder_equivalents": exact_adders,
+        "moderate_adder_equivalents": moderate_adders,
+        "aggressive_adder_equivalents": aggressive_adders,
+        "moderate_saving": 1.0 - moderate_adders / exact_adders,
+        "aggressive_saving": 1.0 - aggressive_adders / exact_adders,
+    }

@@ -1,0 +1,241 @@
+"""Numpy training loop for the FSRCNN models.
+
+The paper uses the *pre-trained* FSRCNN checkpoints of [19]; those are not
+redistributable, so the reproduction trains the models from scratch on the
+synthetic scenes of :mod:`repro.axc.data` (substitution documented in
+DESIGN.md).  The experiments only need weights good enough that PSNR
+comparisons between layer variants are meaningful, which a few hundred Adam
+steps on small patches provide.
+
+The gradients are written out explicitly (no autodiff dependency): im2col
+convolution backward, PReLU backward and the x2 transposed-convolution
+backward derived from the Fig. 3 indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+from scipy.signal import convolve2d
+
+from repro.axc.data import sr_pair
+from repro.axc.fsrcnn import FSRCNN
+from repro.core.metrics import psnr
+from repro.core.rng import SeedLike, make_rng
+
+
+def _conv_forward(
+    x: np.ndarray, weights: np.ndarray, bias: np.ndarray, padding: int
+) -> Tuple[np.ndarray, dict]:
+    """Forward convolution keeping the im2col cache for backward."""
+    n_filters, c_in, k_h, k_w = weights.shape
+    x_pad = (
+        np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+        if padding
+        else x
+    )
+    _, h, w = x_pad.shape
+    out_h, out_w = h - k_h + 1, w - k_w + 1
+    windows = sliding_window_view(x_pad, (k_h, k_w), axis=(1, 2))
+    cols = windows.transpose(1, 2, 0, 3, 4).reshape(out_h * out_w, -1)
+    flat_w = weights.reshape(n_filters, -1)
+    out = (cols @ flat_w.T).T.reshape(n_filters, out_h, out_w)
+    out += bias[:, None, None]
+    cache = {
+        "cols": cols,
+        "x_shape": x.shape,
+        "padding": padding,
+        "weights": weights,
+        "out_hw": (out_h, out_w),
+    }
+    return out, cache
+
+
+def _conv_backward(
+    dout: np.ndarray, cache: dict
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients (dx, dW, db) of :func:`_conv_forward`."""
+    weights = cache["weights"]
+    n_filters, c_in, k_h, k_w = weights.shape
+    out_h, out_w = cache["out_hw"]
+    dout_flat = dout.reshape(n_filters, -1)
+    d_weights = (dout_flat @ cache["cols"]).reshape(weights.shape)
+    d_bias = dout.sum(axis=(1, 2))
+    dcols = (dout_flat.T @ weights.reshape(n_filters, -1)).reshape(
+        out_h, out_w, c_in, k_h, k_w
+    )
+    c, h, w = cache["x_shape"]
+    padding = cache["padding"]
+    dx_pad = np.zeros((c, h + 2 * padding, w + 2 * padding))
+    for u in range(k_h):
+        for v in range(k_w):
+            dx_pad[:, u : u + out_h, v : v + out_w] += dcols[
+                :, :, :, u, v
+            ].transpose(2, 0, 1)
+    if padding:
+        dx = dx_pad[:, padding:-padding, padding:-padding]
+    else:
+        dx = dx_pad
+    return dx, d_weights, d_bias
+
+
+def _prelu_forward(x: np.ndarray, slopes: np.ndarray) -> Tuple[np.ndarray, dict]:
+    out = np.where(x >= 0, x, slopes[:, None, None] * x)
+    return out, {"x": x, "slopes": slopes}
+
+
+def _prelu_backward(
+    dout: np.ndarray, cache: dict
+) -> Tuple[np.ndarray, np.ndarray]:
+    x, slopes = cache["x"], cache["slopes"]
+    negative = x < 0
+    dx = np.where(negative, slopes[:, None, None] * dout, dout)
+    d_slopes = np.where(negative, dout * x, 0.0).sum(axis=(1, 2))
+    return dx, d_slopes
+
+
+def _tconv_forward(x: np.ndarray, kernel: np.ndarray) -> Tuple[np.ndarray, dict]:
+    """Forward x2 transposed convolution (same math as
+    :func:`repro.axc.layers.transposed_conv2d_x2`), caching the upsampled
+    windows for the kernel gradient."""
+    c, h, w = x.shape
+    t = kernel.shape[-1]
+    up = np.zeros((c, 2 * h + t - 1, 2 * w + t - 1))
+    up[:, : 2 * h : 2, : 2 * w : 2] = x
+    windows = sliding_window_view(up, (t, t), axis=(1, 2))[:, : 2 * h, : 2 * w]
+    out = np.einsum("cyxuv,cuv->yx", windows, kernel)
+    return out, {"windows": windows, "kernel": kernel, "x_shape": x.shape}
+
+
+def _tconv_backward(
+    dout: np.ndarray, cache: dict
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradients (dx, dK) of the x2 transposed convolution.
+
+    ``dK(c,u,v) = sum_{y,x} dO(y,x) up(c, y+u, x+v)`` reuses the cached
+    windows; ``dx(c,i,j) = dup(c, 2i, 2j)`` where ``dup`` is the full
+    convolution of ``dO`` with the kernel.
+    """
+    kernel = cache["kernel"]
+    c, h, w = cache["x_shape"]
+    d_kernel = np.einsum("cyxuv,yx->cuv", cache["windows"], dout)
+    dx = np.empty((c, h, w))
+    for ch in range(c):
+        dup = convolve2d(dout, kernel[ch], mode="full")
+        dx[ch] = dup[: 2 * h : 2, : 2 * w : 2]
+    return dx, d_kernel
+
+
+def model_forward_with_cache(
+    model: FSRCNN, image: np.ndarray
+) -> Tuple[np.ndarray, List[dict]]:
+    """Full float forward pass keeping every layer cache."""
+    x = np.asarray(image, dtype=np.float64)[None, :, :]
+    caches: List[dict] = []
+    for i in range(len(model.conv_names)):
+        w = model.conv_weights[i]
+        pad = (w.shape[-1] - 1) // 2
+        x, conv_cache = _conv_forward(x, w, model.conv_biases[i], pad)
+        x, act_cache = _prelu_forward(x, model.prelu_slopes[i])
+        caches.append({"conv": conv_cache, "act": act_cache})
+    out, tconv_cache = _tconv_forward(x, model.deconv_kernel)
+    caches.append({"tconv": tconv_cache})
+    return out + model.deconv_bias, caches
+
+
+def model_backward(
+    model: FSRCNN, dout: np.ndarray, caches: List[dict]
+) -> Dict[str, np.ndarray]:
+    """Backpropagate *dout* through the cached forward pass; returns
+    gradients keyed like :attr:`FSRCNN.parameters` plus ``deconv.bias``."""
+    grads: Dict[str, np.ndarray] = {}
+    grads["deconv.bias"] = np.array(dout.sum())
+    dx, d_kernel = _tconv_backward(dout, caches[-1]["tconv"])
+    grads["deconv.kernel"] = d_kernel
+    for i in reversed(range(len(model.conv_names))):
+        name = model.conv_names[i]
+        dx, d_slopes = _prelu_backward(dx, caches[i]["act"])
+        dx, d_weights, d_bias = _conv_backward(dx, caches[i]["conv"])
+        grads[f"{name}.prelu"] = d_slopes
+        grads[f"{name}.weight"] = d_weights
+        grads[f"{name}.bias"] = d_bias
+    return grads
+
+
+@dataclass
+class TrainResult:
+    """Training summary returned by :func:`train_fsrcnn`."""
+
+    losses: List[float]
+    final_psnr_db: float
+    steps: int
+
+
+class _Adam:
+    """Minimal Adam optimizer over a dict of parameter arrays."""
+
+    def __init__(self, lr: float = 1e-3) -> None:
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = 0.9, 0.999, 1e-8
+        self.m: Dict[str, np.ndarray] = {}
+        self.v: Dict[str, np.ndarray] = {}
+        self.t = 0
+
+    def step(
+        self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]
+    ) -> None:
+        self.t += 1
+        for key, grad in grads.items():
+            if key not in params:
+                continue
+            m = self.m.setdefault(key, np.zeros_like(params[key]))
+            v = self.v.setdefault(key, np.zeros_like(params[key]))
+            m += (1 - self.beta1) * (grad - m)
+            v += (1 - self.beta2) * (grad**2 - v)
+            m_hat = m / (1 - self.beta1**self.t)
+            v_hat = v / (1 - self.beta2**self.t)
+            params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def train_fsrcnn(
+    model: FSRCNN,
+    steps: int = 200,
+    patch: int = 24,
+    lr: float = 2e-3,
+    seed: SeedLike = 0,
+) -> TrainResult:
+    """Train *model* in place on synthetic SR patch pairs with Adam.
+
+    Each step draws a fresh ``patch x patch`` low-resolution scene and its
+    2x ground truth, minimizing the MSE of the reconstruction.  Returns the
+    loss trace and final PSNR on a held-out scene.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if patch % 2:
+        raise ValueError("patch size must be even")
+    rng = make_rng(seed)
+    optimizer = _Adam(lr=lr)
+    params = model.parameters
+    losses: List[float] = []
+    kinds = ["smooth", "edges", "mixed"]
+    for step in range(steps):
+        lr_img, hr_img = sr_pair(
+            2 * patch, 2 * patch, kind=kinds[step % 3], seed=rng
+        )
+        out, caches = model_forward_with_cache(model, lr_img)
+        err = out - hr_img
+        losses.append(float(np.mean(err**2)))
+        grads = model_backward(model, 2.0 * err / err.size, caches)
+        optimizer.step(params, grads)
+        model.deconv_bias -= optimizer.lr * float(grads["deconv.bias"])
+    lr_img, hr_img = sr_pair(2 * patch, 2 * patch, kind="mixed", seed=999)
+    recon = model.forward(lr_img)
+    return TrainResult(
+        losses=losses,
+        final_psnr_db=psnr(hr_img, recon, peak=1.0),
+        steps=steps,
+    )

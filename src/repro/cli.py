@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+``python -m repro <artifact>`` prints the regenerated table/series for
+one paper artifact without going through pytest -- the quick way to eyeball
+a result or pipe it into another tool.
+
+Artifacts: ``fig1``, ``fig2``, ``fig7``, ``table1``, ``taxonomy`` (alias
+of fig2), ``scf``, ``survey-csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.tables import Table
+
+
+def _cmd_fig1() -> str:
+    from repro.survey import class_statistics, efficiency_trend, load_dataset
+
+    records = load_dataset()
+    table = Table(
+        ["platform class", "designs", "min TOPS/W", "median TOPS/W",
+         "max TOPS/W"],
+        title="Fig. 1 -- SotA AI accelerators by platform class",
+    )
+    for s in class_statistics(records):
+        table.add_row(
+            [s.platform.value, s.count, s.min_tops_per_watt,
+             s.median_tops_per_watt, s.max_tops_per_watt]
+        )
+    trend = efficiency_trend(records)
+    return (
+        table.render()
+        + f"\ntrend: x{trend.growth_per_year:.2f}/year "
+        f"(doubling every {trend.doubling_years:.1f} years)"
+    )
+
+
+def _cmd_fig2() -> str:
+    from repro.imc.taxonomy import taxonomy_table
+
+    table = Table(
+        ["architecture", "weights (pJ)", "activations (pJ)",
+         "compute (pJ)", "total (pJ)"],
+        title="Fig. 2 -- 512x512 MVM energy per organization",
+    )
+    for row in taxonomy_table():
+        table.add_row(
+            [row["architecture"], row["weight_movement_pj"],
+             row["activation_movement_pj"], row["compute_pj"],
+             row["total_pj"]]
+        )
+    return table.render()
+
+
+def _cmd_fig7() -> str:
+    from repro.survey import power_band_histogram, riscv_subset
+
+    table = Table(
+        ["power band (W)", "designs"],
+        title="Fig. 7 -- RISC-V DL accelerators per power band",
+    )
+    for (lo, hi), count in sorted(power_band_histogram(
+            riscv_subset()).items()):
+        table.add_row([f"[{lo:g}, {hi:g})", count])
+    return table.render()
+
+
+def _cmd_table1() -> str:
+    from repro.axc.fpga_cost import table_i_rows
+
+    table = Table(
+        ["method", "bits", "Fmax (MHz)", "thr (Mpx/s)", "LUTs", "DSPs",
+         "power (W)", "eff (Mpx/s/W)"],
+        title="Table I -- HTCONV vs FPGA SotA",
+    )
+    for row in table_i_rows():
+        table.add_row(
+            [row.method, row.bitwidth, row.fmax_mhz,
+             row.throughput_mpixels, row.resources.luts,
+             row.resources.dsps,
+             "NA" if row.power_w is None else row.power_w,
+             "NA" if row.energy_efficiency is None
+             else round(row.energy_efficiency, 1)]
+        )
+    return table.render()
+
+
+def _cmd_scf() -> str:
+    from repro.core.units import GIGA
+    from repro.scf.fabric import ScalableComputeFabric
+    from repro.scf.interconnect import AXIHierarchy, NocMesh
+    from repro.scf.workloads import TransformerConfig
+
+    workload = TransformerConfig(seq_len=2048)
+    table = Table(
+        ["CUs", "NoC GFLOPS", "NoC eff", "AXI GFLOPS", "AXI eff"],
+        title="Fig. 8 -- SCF scale-up (transformer block)",
+    )
+    noc = ScalableComputeFabric(interconnect=NocMesh())
+    axi = ScalableComputeFabric(interconnect=AXIHierarchy())
+    for n in (1, 4, 16, 64):
+        a = noc.run_block(workload, n)
+        b = axi.run_block(workload, n)
+        table.add_row(
+            [n, a.sustained_flops / GIGA, a.parallel_efficiency,
+             b.sustained_flops / GIGA, b.parallel_efficiency]
+        )
+    return table.render()
+
+
+def _cmd_survey_csv() -> str:
+    from repro.survey import load_dataset
+    from repro.survey.io import to_csv
+
+    return to_csv(load_dataset()).rstrip()
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "taxonomy": _cmd_fig2,
+    "fig7": _cmd_fig7,
+    "table1": _cmd_table1,
+    "scf": _cmd_scf,
+    "survey-csv": _cmd_survey_csv,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate ICSC Flagship 2 paper artifacts.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_COMMANDS),
+        help="which paper artifact to regenerate",
+    )
+    args = parser.parse_args(argv)
+    print(_COMMANDS[args.artifact]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Two's-complement fixed-point arithmetic.
+
+The approximate-computing accelerators of Sec. V operate on 16-bit fixed
+point data and weights (Table I reports "(16, 16)" bitwidths), and the IMC
+stack quantizes DNN coefficients before mapping them onto memory arrays.
+This module provides the shared quantization machinery: a format descriptor
+(total bits, fractional bits, signedness) plus vectorized quantize /
+dequantize helpers operating on numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A two's-complement fixed-point format ``Q(total_bits, frac_bits)``.
+
+    ``total_bits`` counts the sign bit when ``signed`` is true.  The
+    representable range is ``[min_value, max_value]`` with resolution
+    ``lsb = 2**-frac_bits``.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1:
+            raise ValueError("total_bits must be >= 1")
+        if self.frac_bits < 0:
+            raise ValueError("frac_bits must be >= 0")
+        int_bits = self.total_bits - self.frac_bits - (1 if self.signed else 0)
+        if int_bits < 0:
+            raise ValueError(
+                f"Q({self.total_bits},{self.frac_bits}) leaves no room for "
+                "the sign bit"
+            )
+
+    @property
+    def lsb(self) -> float:
+        """Weight of the least-significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def min_int(self) -> int:
+        """Smallest representable integer code."""
+        if self.signed:
+            return -(2 ** (self.total_bits - 1))
+        return 0
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable integer code."""
+        if self.signed:
+            return 2 ** (self.total_bits - 1) - 1
+        return 2**self.total_bits - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_int * self.lsb
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int * self.lsb
+
+    def describe(self) -> str:
+        """Human-readable description used by reports."""
+        kind = "signed" if self.signed else "unsigned"
+        return (
+            f"Q{self.total_bits}.{self.frac_bits} ({kind}, "
+            f"range [{self.min_value:g}, {self.max_value:g}], lsb {self.lsb:g})"
+        )
+
+
+#: 16-bit format used throughout Sec. V experiments (data and weights).
+Q16 = FixedPointFormat(total_bits=16, frac_bits=12)
+
+#: 8-bit format used for IMC activation quantization experiments.
+Q8 = FixedPointFormat(total_bits=8, frac_bits=6)
+
+
+def quantize_int(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Quantize real *values* to integer codes in *fmt* (round-to-nearest,
+    saturating)."""
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.rint(values / fmt.lsb)
+    return np.clip(codes, fmt.min_int, fmt.max_int).astype(np.int64)
+
+
+def dequantize_int(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Map integer *codes* back to real values."""
+    return np.asarray(codes, dtype=np.float64) * fmt.lsb
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Round-trip real *values* through *fmt* (quantize then dequantize).
+
+    This is the "fake quantization" used to evaluate accuracy of the 16-bit
+    models of Sec. V without carrying integer tensors through the code.
+    """
+    return dequantize_int(quantize_int(values, fmt), fmt)
+
+
+def quantization_error(values: np.ndarray, fmt: FixedPointFormat) -> float:
+    """Root-mean-square error introduced by quantizing *values* to *fmt*."""
+    values = np.asarray(values, dtype=np.float64)
+    err = values - quantize(values, fmt)
+    return float(np.sqrt(np.mean(err**2)))
+
+
+def required_frac_bits(max_abs_error: float) -> int:
+    """Fractional bits needed so the rounding error is below
+    *max_abs_error* (half an LSB bound)."""
+    if max_abs_error <= 0:
+        raise ValueError("max_abs_error must be positive")
+    bits = 0
+    while 2.0 ** (-bits) / 2.0 > max_abs_error:
+        bits += 1
+    return bits

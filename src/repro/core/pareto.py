@@ -1,0 +1,101 @@
+"""Pareto-dominance utilities.
+
+The DSE toolchain of Sec. III ranks candidate accelerator configurations by
+multiple objectives (latency, LUTs, DSPs, energy).  All objectives are
+*minimized*; callers negate maximization objectives before filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if point *a* Pareto-dominates *b* (all objectives <=, at least
+    one strictly <).  Both are minimized."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("points must have the same number of objectives")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_indices(points: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated rows of *points* (shape ``(n, m)``).
+
+    Duplicated non-dominated points are all kept.  O(n^2) pairwise filter,
+    adequate for the DSE population sizes used here (<= a few thousand).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        dominated_by_i = np.all(points <= points[i], axis=1) & np.any(
+            points < points[i], axis=1
+        )
+        if dominated_by_i.any():
+            keep[i] = False
+    return np.flatnonzero(keep)
+
+
+def pareto_front(points: np.ndarray) -> np.ndarray:
+    """Non-dominated rows of *points*, sorted by the first objective."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    front = points[pareto_indices(points)]
+    order = np.lexsort(front.T[::-1])
+    return front[order]
+
+
+def hypervolume_2d(front: np.ndarray, reference: Sequence[float]) -> float:
+    """Hypervolume (area) dominated by a 2-objective *front* w.r.t.
+    *reference* (both objectives minimized; reference must be dominated by
+    every front point).
+
+    Used to compare DSE explorers: a larger hypervolume means a better
+    approximation of the true Pareto front.
+    """
+    front = np.atleast_2d(np.asarray(front, dtype=np.float64))
+    if front.shape[1] != 2:
+        raise ValueError("hypervolume_2d requires exactly two objectives")
+    ref = np.asarray(reference, dtype=np.float64)
+    if np.any(front > ref):
+        raise ValueError("reference point must be dominated by the whole front")
+    # Keep only non-dominated points, sweep in increasing first objective.
+    front = front[pareto_indices(front)]
+    order = np.argsort(front[:, 0])
+    front = front[order]
+    area = 0.0
+    prev_y = ref[1]
+    for x, y in front:
+        if y < prev_y:
+            area += (ref[0] - x) * (prev_y - y)
+            prev_y = y
+    return float(area)
+
+
+def crowding_distance(points: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance of each row of *points*.
+
+    Boundary points of each objective get ``inf``; interior points get the
+    normalized side length of the surrounding cuboid.  Used by the NSGA-II
+    explorer to preserve front diversity.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n, m = points.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for j in range(m):
+        order = np.argsort(points[:, j])
+        col = points[order, j]
+        span = col[-1] - col[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span == 0:
+            continue
+        distance[order[1:-1]] += (col[2:] - col[:-2]) / span
+    return distance

@@ -1,0 +1,38 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the suite (device variability, DNA channel
+noise, DSE samplers, synthetic workload generators) takes an explicit seed or
+:class:`numpy.random.Generator`; this module is the single place that turns
+either into a generator so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts an integer seed, an existing generator (returned unchanged so
+    that callers can thread one generator through a simulation), or ``None``
+    for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Split *rng* into *count* independent child generators.
+
+    Used when a simulation fans out into parallel stochastic components
+    (e.g. one generator per crossbar tile) that must not share a stream.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,69 @@
+"""Minimal ASCII table rendering for benchmark reports.
+
+Every benchmark regenerates a paper table or figure as rows of text; this
+tiny renderer keeps the output aligned and uniform without pulling in a
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """An append-only table with a fixed header, rendered as aligned text.
+
+    >>> t = Table(["method", "PSNR (dB)"])
+    >>> t.add_row(["HTCONV", 31.2])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, header: Sequence[str], title: str = "") -> None:
+        if not header:
+            raise ValueError("header must have at least one column")
+        self.title = title
+        self._header = [str(h) for h in header]
+        self._rows: List[List[str]] = []
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def header(self) -> List[str]:
+        return list(self._header)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; cells are stringified, floats with 4 significant
+        digits."""
+        cells = [self._format_cell(cell) for cell in row]
+        if len(cells) != len(self._header):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self._header)}"
+            )
+        self._rows.append(cells)
+
+    @staticmethod
+    def _format_cell(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table as aligned, pipe-separated text."""
+        widths = [len(h) for h in self._header]
+        for row in self._rows:
+            widths = [max(w, len(c)) for w, c in zip(widths, row)]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self._header, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,80 @@
+"""SI unit constants and human-readable formatting.
+
+The benchmark harness reports quantities spanning fifteen orders of magnitude
+(picojoules per MAC up to tera cell-updates per second); keeping the scale
+factors in one place avoids a whole class of silent unit bugs.
+"""
+
+from __future__ import annotations
+
+#: Multiplicative SI prefixes.
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+#: Binary prefixes for memory capacities.
+KIBI = 1024
+MEBI = 1024**2
+GIBI = 1024**3
+
+_SI_STEPS = [
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+]
+
+
+def _significant(value: float, digits: int) -> str:
+    """Format *value* to *digits* significant digits without exponent
+    notation (the scaled values are always in [1, 1000))."""
+    text = f"{value:.{digits}g}"
+    if "e" in text or "E" in text:
+        text = f"{float(text):.0f}"
+    return text
+
+
+def si_format(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format *value* with an SI prefix, e.g. ``si_format(16.8e12, "CUPS")``
+    -> ``"16.8 TCUPS"``.
+
+    Zero and sub-pico values are printed without a prefix.
+    """
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for step, prefix in _SI_STEPS:
+        if magnitude >= step:
+            scaled = value / step
+            return f"{_significant(scaled, precision)} {prefix}{unit}".rstrip()
+    return f"{value:.{precision}g} {unit}".rstrip()
+
+
+def joules_per_op_to_tops_per_watt(joules_per_op: float) -> float:
+    """Convert an energy-per-operation figure to TOPS/W.
+
+    TOPS/W is numerically ops-per-second-per-watt / 1e12 which equals
+    1 / (J/op) / 1e12 -- the identity used throughout the survey package.
+    """
+    if joules_per_op <= 0:
+        raise ValueError("energy per operation must be positive")
+    return 1.0 / joules_per_op / TERA
+
+
+def tops_per_watt_to_joules_per_op(tops_per_watt: float) -> float:
+    """Inverse of :func:`joules_per_op_to_tops_per_watt`."""
+    if tops_per_watt <= 0:
+        raise ValueError("TOPS/W must be positive")
+    return 1.0 / (tops_per_watt * TERA)

@@ -1,0 +1,67 @@
+"""DNA-based data storage pipeline (paper Sec. VI, Fig. 6).
+
+DNA storage encodes digital information into synthetic nucleotide strands
+(Fig. 6a); retrieving it requires sequencing many noisy copies, clustering
+reads by similarity -- "the similarity index is determined using the edit
+distance, also known as the Levenshtein distance" -- reconstructing a
+consensus per cluster and decoding through the outer error-correcting
+code (Fig. 6b).  The edit-distance computation dominates the decode time,
+which is why the project built a custom FPGA accelerator on an Alveo U50
+delivering "a maximum throughput of 16.8 TCUPS and an energy efficiency
+of 46 Mpair/Joule" at ~90% resource usage and ~90% computing efficiency.
+
+Modules:
+
+- :mod:`repro.dna.encoding`     -- bits <-> bases codec with addressing;
+- :mod:`repro.dna.ecc`          -- Reed-Solomon outer code over GF(256);
+- :mod:`repro.dna.channel`      -- synthesis/PCR/sequencing noise channel;
+- :mod:`repro.dna.editdistance` -- Levenshtein kernels: full DP, banded,
+  Myers bit-parallel (the FPGA algorithm);
+- :mod:`repro.dna.clustering`   -- read clustering by edit distance;
+- :mod:`repro.dna.consensus`    -- per-cluster consensus reconstruction;
+- :mod:`repro.dna.decoder`      -- the end-to-end retrieval pipeline;
+- :mod:`repro.dna.fpga_accel`   -- Alveo U50 accelerator performance model.
+"""
+
+from repro.dna.encoding import (
+    BASES,
+    bases_to_bits,
+    bits_to_bases,
+    decode_strands,
+    encode_payload,
+)
+from repro.dna.ecc import ReedSolomonCodec
+from repro.dna.channel import ChannelParams, DNAChannel
+from repro.dna.editdistance import (
+    levenshtein,
+    levenshtein_banded,
+    levenshtein_myers,
+)
+from repro.dna.clustering import cluster_reads
+from repro.dna.consensus import consensus_sequence
+from repro.dna.filters import qgram_filter, filtered_all_pairs_within
+from repro.dna.stats import estimate_channel
+from repro.dna.decoder import DNAStorageSystem, RetrievalReport
+from repro.dna.fpga_accel import EditDistanceAcceleratorModel
+
+__all__ = [
+    "BASES",
+    "bits_to_bases",
+    "bases_to_bits",
+    "encode_payload",
+    "decode_strands",
+    "ReedSolomonCodec",
+    "ChannelParams",
+    "DNAChannel",
+    "levenshtein",
+    "levenshtein_banded",
+    "levenshtein_myers",
+    "cluster_reads",
+    "consensus_sequence",
+    "qgram_filter",
+    "filtered_all_pairs_within",
+    "estimate_channel",
+    "DNAStorageSystem",
+    "RetrievalReport",
+    "EditDistanceAcceleratorModel",
+]

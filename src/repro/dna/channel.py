@@ -1,0 +1,113 @@
+"""DNA storage channel simulator (paper Fig. 6b, ref [26]).
+
+"A distinctive feature of the DNA channel is that the input consists of
+numerous strings of similar lengths that share a certain degree of
+similarity."  The channel applies, per stored oligo:
+
+1. **PCR amplification skew** -- the number of sequenced copies per oligo
+   follows a (rounded, clipped) log-normal distribution;
+2. **strand dropout** -- some oligos receive zero reads;
+3. **per-base noise** -- each copy independently suffers substitutions,
+   insertions and deletions at configurable rates (the error profile of
+   synthesis + sequencing, the parametrization used by the DNAssim
+   framework the project accelerates [26]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.rng import SeedLike, make_rng
+from repro.dna.encoding import BASES
+
+
+@dataclass(frozen=True)
+class ChannelParams:
+    """Error and coverage parameters of the storage channel."""
+
+    substitution_rate: float = 0.01
+    insertion_rate: float = 0.005
+    deletion_rate: float = 0.005
+    mean_coverage: float = 10.0
+    coverage_sigma: float = 0.5
+    dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.substitution_rate,
+            self.insertion_rate,
+            self.deletion_rate,
+            self.dropout_rate,
+        )
+        if any(not 0.0 <= r <= 1.0 for r in rates):
+            raise ValueError("rates must be in [0, 1]")
+        if self.substitution_rate + self.insertion_rate + self.deletion_rate > 1.0:
+            raise ValueError("combined per-base error rates exceed 1")
+        if self.mean_coverage <= 0:
+            raise ValueError("mean coverage must be positive")
+        if self.coverage_sigma < 0:
+            raise ValueError("coverage sigma must be non-negative")
+
+    @property
+    def total_error_rate(self) -> float:
+        return (
+            self.substitution_rate + self.insertion_rate + self.deletion_rate
+        )
+
+
+class DNAChannel:
+    """Stochastic synthesis/PCR/sequencing channel."""
+
+    def __init__(
+        self, params: ChannelParams = ChannelParams(), seed: SeedLike = None
+    ) -> None:
+        self.params = params
+        self._rng = make_rng(seed)
+
+    def corrupt_strand(self, strand: str) -> str:
+        """One noisy read of *strand*."""
+        if not strand:
+            raise ValueError("empty strand")
+        p = self.params
+        out: List[str] = []
+        for base in strand:
+            # Insertion before this base (geometric with one draw --
+            # multiple insertions arise across positions).
+            if self._rng.random() < p.insertion_rate:
+                out.append(BASES[self._rng.integers(4)])
+            roll = self._rng.random()
+            if roll < p.deletion_rate:
+                continue
+            if roll < p.deletion_rate + p.substitution_rate:
+                choices = [b for b in BASES if b != base]
+                out.append(choices[self._rng.integers(3)])
+            else:
+                out.append(base)
+        if self._rng.random() < p.insertion_rate:
+            out.append(BASES[self._rng.integers(4)])
+        return "".join(out)
+
+    def copy_count(self) -> int:
+        """Sequencing copies of one oligo (log-normal PCR skew)."""
+        p = self.params
+        if self._rng.random() < p.dropout_rate:
+            return 0
+        # Log-normal with median = mean_coverage.
+        count = self._rng.lognormal(
+            mean=math.log(p.mean_coverage), sigma=p.coverage_sigma
+        )
+        return max(0, int(round(count)))
+
+    def transmit(self, strands: List[str]) -> List[str]:
+        """All reads for a pool of stored *strands*, shuffled (the pool is
+        unordered -- recovering order is the decoder's job)."""
+        if not strands:
+            raise ValueError("strand pool must be non-empty")
+        reads: List[str] = []
+        for strand in strands:
+            for _ in range(self.copy_count()):
+                reads.append(self.corrupt_strand(strand))
+        self._rng.shuffle(reads)
+        return reads

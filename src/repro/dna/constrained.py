@@ -1,0 +1,104 @@
+"""Homopolymer-free constrained encoding (Goldman-style rotation code).
+
+Real synthesis and sequencing error rates explode on homopolymer runs
+(AAAA...), so production DNA codecs avoid them by construction.  The
+classic scheme (Goldman et al., the lineage behind the robust encodings
+of [25]) writes the payload in base 3 and maps each trit to one of the
+*three bases different from the previous base* -- no two consecutive
+bases can ever be equal, capping homopolymer runs at 1 by construction.
+
+The cost is density: log2(3) ~ 1.585 bits/base instead of the 2
+bits/base of the unconstrained Fig. 6a mapping.  Both codecs coexist in
+the package; the tests quantify the trade.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dna.encoding import BASES
+
+#: Rotation table: _NEXT[previous_base][trit] -> next base.
+_NEXT = {
+    prev: [b for b in BASES if b != prev] for prev in BASES
+}
+_TRIT_OF = {
+    prev: {b: i for i, b in enumerate(choices)}
+    for prev, choices in _NEXT.items()
+}
+#: Virtual predecessor for the first base.
+_START = "A"
+
+
+def _bytes_to_trits(data: bytes) -> List[int]:
+    """Big-endian base-3 digits of (1 || data) -- the leading 1 guards
+    leading zero bytes."""
+    number = int.from_bytes(b"\x01" + data, "big")
+    trits: List[int] = []
+    while number:
+        number, trit = divmod(number, 3)
+        trits.append(trit)
+    trits.reverse()
+    return trits
+
+
+def _trits_to_bytes(trits: List[int]) -> bytes:
+    number = 0
+    for trit in trits:
+        if trit not in (0, 1, 2):
+            raise ValueError(f"invalid trit {trit!r}")
+        number = number * 3 + trit
+    raw = number.to_bytes((number.bit_length() + 7) // 8, "big")
+    if not raw or raw[0] != 1:
+        raise ValueError("corrupted trit stream (missing sentinel)")
+    return raw[1:]
+
+
+def encode_constrained(data: bytes) -> str:
+    """Encode *data* into a homopolymer-free strand."""
+    if not data:
+        raise ValueError("payload must be non-empty")
+    strand: List[str] = []
+    previous = _START
+    for trit in _bytes_to_trits(data):
+        base = _NEXT[previous][trit]
+        strand.append(base)
+        previous = base
+    return "".join(strand)
+
+
+def decode_constrained(strand: str) -> bytes:
+    """Decode a strand produced by :func:`encode_constrained`."""
+    if not strand:
+        raise ValueError("strand must be non-empty")
+    trits: List[int] = []
+    previous = _START
+    for base in strand:
+        if base not in BASES:
+            raise ValueError(f"invalid base {base!r}")
+        if base == previous:
+            raise ValueError(
+                "homopolymer run found; not a constrained-code strand"
+            )
+        trits.append(_TRIT_OF[previous][base])
+        previous = base
+    return _trits_to_bytes(trits)
+
+
+def density_bits_per_base() -> float:
+    """Information density of the constrained code (log2 3)."""
+    import math
+
+    return math.log2(3.0)
+
+
+def expansion_vs_unconstrained(payload_bytes: int) -> float:
+    """Strand-length ratio of constrained vs plain 2-bit/base encoding
+    for a *payload_bytes* payload (the density cost of the constraint)."""
+    if payload_bytes < 1:
+        raise ValueError("payload_bytes must be >= 1")
+    plain = 4 * payload_bytes
+    import math
+
+    constrained = math.ceil(8 * payload_bytes / math.log2(3.0))
+    return constrained / plain

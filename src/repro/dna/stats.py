@@ -1,0 +1,95 @@
+"""Channel characterization: estimating error rates from reads.
+
+The DNAssim-class frameworks the project accelerates [26] are "designed
+to capture the unique aspects of encoding and decoding information", and
+the "most crucial element of the model involves the DNA channel noise
+characteristics".  This module closes that loop: given noisy reads and
+the reference strand (or a consensus standing in for it), it estimates
+the per-base substitution / insertion / deletion rates by alignment
+traceback -- the calibration step a real deployment runs before choosing
+its ECC strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dna.consensus import align_to_template
+
+
+@dataclass(frozen=True)
+class ChannelEstimate:
+    """Estimated per-base error rates."""
+
+    substitution_rate: float
+    insertion_rate: float
+    deletion_rate: float
+    bases_observed: int
+
+    @property
+    def total_error_rate(self) -> float:
+        return (
+            self.substitution_rate
+            + self.insertion_rate
+            + self.deletion_rate
+        )
+
+
+def estimate_channel(
+    reads: Sequence[str], reference: str
+) -> ChannelEstimate:
+    """Estimate channel error rates from *reads* of *reference*.
+
+    Each read is aligned to the reference; matches, substitutions,
+    deletions and insertions are tallied per reference base.
+    """
+    if not reads:
+        raise ValueError("need at least one read")
+    if not reference:
+        raise ValueError("reference must be non-empty")
+    substitutions = deletions = insertions = 0
+    total_reference_bases = 0
+    for read in reads:
+        total_reference_bases += len(reference)
+        for position, symbol in align_to_template(read, reference):
+            if symbol == "":
+                deletions += 1
+            elif symbol.startswith("+"):
+                insertions += 1
+            elif symbol != reference[position]:
+                substitutions += 1
+    return ChannelEstimate(
+        substitution_rate=substitutions / total_reference_bases,
+        insertion_rate=insertions / total_reference_bases,
+        deletion_rate=deletions / total_reference_bases,
+        bases_observed=total_reference_bases,
+    )
+
+
+def recommend_rs_parity(
+    estimate: ChannelEstimate,
+    chunk_bytes: int,
+    chunks_per_block: int,
+    safety_factor: float = 3.0,
+) -> int:
+    """Parity bytes per RS block recommended for the estimated channel.
+
+    A chunk (one oligo payload) survives consensus unless its strand
+    dropped out or consensus failed; treating the post-consensus chunk
+    error probability as ``total_error_rate`` (a conservative bound --
+    consensus corrects most per-base errors, dropout dominates), the
+    expected bad bytes per block times *safety_factor*, doubled (RS
+    corrects ``parity // 2`` errors), gives the parity budget.
+    """
+    if chunk_bytes < 1 or chunks_per_block < 1:
+        raise ValueError("block geometry must be positive")
+    if safety_factor <= 0:
+        raise ValueError("safety factor must be positive")
+    import math
+
+    expected_bad_bytes = (
+        estimate.total_error_rate * chunk_bytes * chunks_per_block
+    )
+    correctable = math.ceil(max(1.0, safety_factor * expected_bad_bytes))
+    return min(2 * correctable, 2 * chunks_per_block * chunk_bytes)

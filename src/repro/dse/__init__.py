@@ -1,0 +1,40 @@
+"""Design Space Exploration engine (paper Sec. III).
+
+The toolchain goal: "allow designers to explore automatically the wide
+space of the architectural parameters, adopt optimization strategies at a
+high level of abstraction through performance and resource estimations."
+
+- :mod:`repro.dse.space`      -- discrete parameter spaces over HLS
+  directives;
+- :mod:`repro.dse.objectives` -- design-point evaluation (latency / area /
+  DSPs) through the HLS estimator;
+- :mod:`repro.dse.explorer`   -- exhaustive, random, simulated-annealing
+  and NSGA-II explorers with a common interface;
+- :mod:`repro.dse.runner`     -- exploration orchestration and Pareto
+  extraction, with hypervolume-based explorer comparison.
+"""
+
+from repro.dse.space import DesignSpace, Parameter
+from repro.dse.objectives import DesignPoint, HLSEvaluator
+from repro.dse.explorer import (
+    ExhaustiveExplorer,
+    NSGA2Explorer,
+    RandomExplorer,
+    SimulatedAnnealingExplorer,
+)
+from repro.dse.runner import DSERunner, ExplorationResult
+from repro.dse.sensitivity import parameter_sensitivity
+
+__all__ = [
+    "DesignSpace",
+    "Parameter",
+    "DesignPoint",
+    "HLSEvaluator",
+    "ExhaustiveExplorer",
+    "RandomExplorer",
+    "SimulatedAnnealingExplorer",
+    "NSGA2Explorer",
+    "DSERunner",
+    "ExplorationResult",
+    "parameter_sensitivity",
+]

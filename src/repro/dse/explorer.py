@@ -1,0 +1,233 @@
+"""DSE exploration strategies.
+
+Four explorers with a common ``explore(evaluator, budget)`` interface:
+
+- :class:`ExhaustiveExplorer` -- ground truth for small spaces;
+- :class:`RandomExplorer` -- the sampling baseline;
+- :class:`SimulatedAnnealingExplorer` -- scalarized annealing with
+  restarts (good anytime behaviour on a single trade-off direction);
+- :class:`NSGA2Explorer` -- multi-objective genetic search with
+  non-dominated sorting and crowding-distance selection, the
+  front-approximation workhorse.
+
+All objectives are minimized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.core.pareto import crowding_distance, dominates, pareto_indices
+from repro.core.rng import SeedLike, make_rng
+from repro.dse.objectives import DesignPoint, HLSEvaluator
+
+
+class ExhaustiveExplorer:
+    """Evaluate every configuration (budget permitting)."""
+
+    name = "exhaustive"
+
+    def explore(
+        self, evaluator: HLSEvaluator, budget: int, seed: SeedLike = None
+    ) -> List[DesignPoint]:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        points = []
+        for config in evaluator.space.enumerate():
+            if len(points) >= budget:
+                break
+            points.append(evaluator.evaluate(config))
+        return points
+
+
+class RandomExplorer:
+    """Uniform random sampling without replacement (up to budget)."""
+
+    name = "random"
+
+    def explore(
+        self, evaluator: HLSEvaluator, budget: int, seed: SeedLike = None
+    ) -> List[DesignPoint]:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = make_rng(seed)
+        seen = set()
+        points = []
+        attempts = 0
+        while len(points) < budget and attempts < budget * 20:
+            config = evaluator.space.sample(rng)
+            key = evaluator.space.key(config)
+            attempts += 1
+            if key in seen:
+                continue
+            seen.add(key)
+            points.append(evaluator.evaluate(config))
+        return points
+
+
+class SimulatedAnnealingExplorer:
+    """Scalarized simulated annealing with geometric cooling.
+
+    The scalarization is a weighted log-sum of the normalized objectives
+    (log because latency and area span decades); several restarts with
+    rotated weights cover different front regions.
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        restarts: int = 4,
+        initial_temperature: float = 1.0,
+        cooling: float = 0.92,
+    ) -> None:
+        if restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        if initial_temperature <= 0:
+            raise ValueError("initial temperature must be positive")
+        self.restarts = restarts
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    @staticmethod
+    def _scalarize(point: DesignPoint, weights: np.ndarray) -> float:
+        logs = np.log10(np.maximum(point.objectives, 1e-30))
+        return float(np.dot(weights, logs))
+
+    def explore(
+        self, evaluator: HLSEvaluator, budget: int, seed: SeedLike = None
+    ) -> List[DesignPoint]:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = make_rng(seed)
+        per_restart = max(1, budget // self.restarts)
+        all_points: List[DesignPoint] = []
+        for restart in range(self.restarts):
+            alpha = (restart + 0.5) / self.restarts
+            weights = np.array([alpha, 1.0 - alpha])
+            current = evaluator.evaluate(evaluator.space.sample(rng))
+            all_points.append(current)
+            current_cost = self._scalarize(current, weights)
+            temperature = self.initial_temperature
+            for _ in range(per_restart - 1):
+                neighbor_cfg = evaluator.space.mutate(current.config, rng)
+                neighbor = evaluator.evaluate(neighbor_cfg)
+                all_points.append(neighbor)
+                cost = self._scalarize(neighbor, weights)
+                accept = cost < current_cost or rng.random() < math.exp(
+                    -(cost - current_cost) / max(temperature, 1e-9)
+                )
+                if accept:
+                    current, current_cost = neighbor, cost
+                temperature *= self.cooling
+        return all_points
+
+
+class NSGA2Explorer:
+    """NSGA-II: non-dominated sorting + crowding-distance selection."""
+
+    name = "nsga2"
+
+    def __init__(self, population: int = 24, mutation_rate: float = 0.3) -> None:
+        if population < 4:
+            raise ValueError("population must be >= 4")
+        if not 0 <= mutation_rate <= 1:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        self.population = population
+        self.mutation_rate = mutation_rate
+
+    def _rank(self, points: List[DesignPoint]) -> List[int]:
+        """Non-dominated front index per point (0 = best front)."""
+        objs = np.array([p.objectives for p in points])
+        remaining = list(range(len(points)))
+        ranks = [0] * len(points)
+        front = 0
+        while remaining:
+            sub = objs[remaining]
+            idx = pareto_indices(sub)
+            chosen = [remaining[i] for i in idx]
+            for i in chosen:
+                ranks[i] = front
+            remaining = [i for i in remaining if i not in set(chosen)]
+            front += 1
+        return ranks
+
+    def _select(self, points: List[DesignPoint]) -> List[DesignPoint]:
+        ranks = self._rank(points)
+        objs = np.array([p.objectives for p in points])
+        order = sorted(range(len(points)), key=lambda i: ranks[i])
+        selected: List[int] = []
+        current_front: List[int] = []
+        current_rank = 0
+        for i in order + [None]:
+            end = i is None or ranks[i] != current_rank
+            if end:
+                if len(selected) + len(current_front) <= self.population:
+                    selected.extend(current_front)
+                else:
+                    crowd = crowding_distance(objs[current_front])
+                    by_crowd = sorted(
+                        range(len(current_front)),
+                        key=lambda j: -crowd[j],
+                    )
+                    need = self.population - len(selected)
+                    selected.extend(
+                        current_front[j] for j in by_crowd[:need]
+                    )
+                if i is None or len(selected) >= self.population:
+                    break
+                current_front = [i]
+                current_rank = ranks[i]
+            else:
+                current_front.append(i)
+        return [points[i] for i in selected[: self.population]]
+
+    def explore(
+        self, evaluator: HLSEvaluator, budget: int, seed: SeedLike = None
+    ) -> List[DesignPoint]:
+        if budget < self.population:
+            raise ValueError("budget must cover at least one population")
+        rng = make_rng(seed)
+        population = [
+            evaluator.evaluate(evaluator.space.sample(rng))
+            for _ in range(self.population)
+        ]
+        all_points = list(population)
+        evaluations = len(population)
+        while evaluations < budget:
+            offspring: List[DesignPoint] = []
+            while (
+                len(offspring) < self.population and evaluations < budget
+            ):
+                a, b = rng.choice(len(population), size=2, replace=False)
+                child_cfg = evaluator.space.crossover(
+                    population[a].config, population[b].config, rng
+                )
+                if rng.random() < self.mutation_rate:
+                    child_cfg = evaluator.space.mutate(child_cfg, rng)
+                child = evaluator.evaluate(child_cfg)
+                offspring.append(child)
+                evaluations += 1
+            all_points.extend(offspring)
+            population = self._select(population + offspring)
+        return all_points
+
+
+def best_tradeoff(points: List[DesignPoint]) -> DesignPoint:
+    """Knee-point heuristic: the non-dominated point minimizing the
+    normalized log-objective sum."""
+    if not points:
+        raise ValueError("no points to choose from")
+    objs = np.array([p.objectives for p in points])
+    nd = pareto_indices(objs)
+    candidates = [points[i] for i in nd]
+    logs = np.log10(np.maximum(objs[nd], 1e-30))
+    norm = (logs - logs.min(axis=0)) / np.maximum(
+        logs.max(axis=0) - logs.min(axis=0), 1e-12
+    )
+    return candidates[int(np.argmin(norm.sum(axis=1)))]

@@ -1,0 +1,83 @@
+"""Design-point evaluation through the HLS estimator.
+
+The DSE objectives are the classic latency/area pair (both minimized);
+:class:`HLSEvaluator` runs the full HLS flow of
+:func:`repro.hls.directives.synthesize` per configuration, with
+memoization -- re-evaluating a design point an explorer revisits is free,
+matching how real DSE frameworks cache synthesis results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dse.space import Configuration, DesignSpace
+from repro.hls.directives import Directives, SynthesisResult, synthesize
+from repro.hls.estimation import ResourceLibrary
+from repro.hls.kernels import LoopNest
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """An evaluated configuration."""
+
+    config: Configuration
+    objectives: Tuple[float, ...]
+    synthesis: SynthesisResult
+
+    @property
+    def latency_s(self) -> float:
+        return self.objectives[0]
+
+    @property
+    def area(self) -> float:
+        return self.objectives[1]
+
+
+class HLSEvaluator:
+    """Maps configurations to (latency, area) objectives for one kernel."""
+
+    def __init__(
+        self,
+        nest: LoopNest,
+        space: DesignSpace,
+        library: Optional[ResourceLibrary] = None,
+    ) -> None:
+        self.nest = nest
+        self.space = space
+        self.library = library or ResourceLibrary()
+        self._cache: Dict[Tuple, DesignPoint] = {}
+        self.evaluations = 0
+
+    def evaluate(self, config: Configuration) -> DesignPoint:
+        """Synthesize *config* (memoized)."""
+        key = self.space.key(config)
+        if key in self._cache:
+            return self._cache[key]
+        directives = Directives(
+            unroll=int(config["unroll"]),
+            pipeline=bool(config["pipeline"]),
+            array_partition=int(config["array_partition"]),
+            mul_units=int(config["mul_units"]),
+            add_units=int(config["add_units"]),
+        )
+        result = synthesize(self.nest, directives, self.library)
+        point = DesignPoint(
+            config=dict(config),
+            objectives=(result.latency_s, result.estimate.area_score),
+            synthesis=result,
+        )
+        self._cache[key] = point
+        self.evaluations += 1
+        return point
+
+    @property
+    def unique_evaluations(self) -> int:
+        return len(self._cache)
+
+    def objectives_array(self, points) -> np.ndarray:
+        """Stack the objective vectors of *points* into an (n, m) array."""
+        return np.array([p.objectives for p in points], dtype=np.float64)

@@ -1,0 +1,78 @@
+"""One-at-a-time parameter sensitivity analysis.
+
+After (or instead of) a full exploration, designers ask *which knob
+matters*: the sensitivity of each objective to each directive around a
+base configuration.  :func:`parameter_sensitivity` sweeps one parameter
+at a time through its full range, holding the others at the base point,
+and reports the objective spans -- the "where to spend silicon" summary
+the Sec. III toolchain aims to automate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dse.objectives import HLSEvaluator
+from repro.dse.space import Configuration
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Objective spans when sweeping one parameter."""
+
+    parameter: str
+    latency_min_s: float
+    latency_max_s: float
+    area_min: float
+    area_max: float
+
+    @property
+    def latency_span(self) -> float:
+        """Max/min latency ratio over the sweep (1.0 = insensitive)."""
+        if self.latency_min_s == 0:
+            return float("inf")
+        return self.latency_max_s / self.latency_min_s
+
+    @property
+    def area_span(self) -> float:
+        if self.area_min == 0:
+            return float("inf")
+        return self.area_max / self.area_min
+
+
+def parameter_sensitivity(
+    evaluator: HLSEvaluator,
+    base: Configuration,
+) -> List[SensitivityRow]:
+    """One-at-a-time sensitivity around *base*, most latency-sensitive
+    parameter first."""
+    evaluator.space.validate(base)
+    rows = []
+    for parameter in evaluator.space.parameters:
+        latencies = []
+        areas = []
+        for value in parameter.values:
+            config = dict(base)
+            config[parameter.name] = value
+            point = evaluator.evaluate(config)
+            latencies.append(point.latency_s)
+            areas.append(point.area)
+        rows.append(
+            SensitivityRow(
+                parameter=parameter.name,
+                latency_min_s=min(latencies),
+                latency_max_s=max(latencies),
+                area_min=min(areas),
+                area_max=max(areas),
+            )
+        )
+    rows.sort(key=lambda r: -r.latency_span)
+    return rows
+
+
+def most_sensitive_parameter(
+    evaluator: HLSEvaluator, base: Configuration
+) -> str:
+    """Name of the parameter with the largest latency leverage."""
+    return parameter_sensitivity(evaluator, base)[0].parameter

@@ -1,0 +1,148 @@
+"""Discrete design spaces.
+
+A :class:`DesignSpace` is an ordered set of named :class:`Parameter`
+value lists; configurations are dicts.  The space knows how to
+enumerate, sample, and mutate configurations -- the primitives all four
+explorers build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.rng import SeedLike, make_rng
+
+Configuration = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One discrete design parameter."""
+
+    name: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if not self.values:
+            raise ValueError(f"parameter {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"parameter {self.name!r} has duplicate values")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+
+class DesignSpace:
+    """An ordered collection of parameters."""
+
+    def __init__(self, parameters: Sequence[Parameter]) -> None:
+        if not parameters:
+            raise ValueError("design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names")
+        self.parameters: List[Parameter] = list(parameters)
+
+    @property
+    def size(self) -> int:
+        """Total number of configurations."""
+        size = 1
+        for p in self.parameters:
+            size *= p.cardinality
+        return size
+
+    def enumerate(self) -> Iterator[Configuration]:
+        """All configurations, lexicographic in parameter order."""
+        names = [p.name for p in self.parameters]
+        for combo in itertools.product(*(p.values for p in self.parameters)):
+            yield dict(zip(names, combo))
+
+    def sample(self, rng_seed: SeedLike = None) -> Configuration:
+        """One uniformly random configuration."""
+        rng = make_rng(rng_seed)
+        return {
+            p.name: p.values[rng.integers(p.cardinality)]
+            for p in self.parameters
+        }
+
+    def mutate(
+        self, config: Configuration, rng_seed: SeedLike = None
+    ) -> Configuration:
+        """Neighbor of *config*: one parameter moved to an adjacent value
+        (the move operator of simulated annealing)."""
+        self.validate(config)
+        rng = make_rng(rng_seed)
+        mutated = dict(config)
+        param = self.parameters[rng.integers(len(self.parameters))]
+        idx = param.values.index(config[param.name])
+        if param.cardinality == 1:
+            return mutated
+        if idx == 0:
+            idx = 1
+        elif idx == param.cardinality - 1:
+            idx -= 1
+        else:
+            idx += 1 if rng.random() < 0.5 else -1
+        mutated[param.name] = param.values[idx]
+        return mutated
+
+    def crossover(
+        self,
+        parent_a: Configuration,
+        parent_b: Configuration,
+        rng_seed: SeedLike = None,
+    ) -> Configuration:
+        """Uniform crossover (the NSGA-II recombination operator)."""
+        self.validate(parent_a)
+        self.validate(parent_b)
+        rng = make_rng(rng_seed)
+        return {
+            p.name: (parent_a if rng.random() < 0.5 else parent_b)[p.name]
+            for p in self.parameters
+        }
+
+    def validate(self, config: Configuration) -> None:
+        """Raise if *config* is not a point of this space."""
+        for p in self.parameters:
+            if p.name not in config:
+                raise ValueError(f"missing parameter {p.name!r}")
+            if config[p.name] not in p.values:
+                raise ValueError(
+                    f"value {config[p.name]!r} invalid for {p.name!r}"
+                )
+
+    def key(self, config: Configuration) -> Tuple:
+        """Hashable identity of a configuration."""
+        self.validate(config)
+        return tuple(config[p.name] for p in self.parameters)
+
+
+def hls_directive_space(
+    max_unroll: int = 16,
+    max_partition: int = 8,
+    max_units: int = 16,
+) -> DesignSpace:
+    """The standard HLS directive space the Sec. III benches explore."""
+
+    def powers(limit: int) -> Tuple[int, ...]:
+        vals = []
+        v = 1
+        while v <= limit:
+            vals.append(v)
+            v *= 2
+        return tuple(vals)
+
+    return DesignSpace(
+        [
+            Parameter("unroll", powers(max_unroll)),
+            Parameter("pipeline", (False, True)),
+            Parameter("array_partition", powers(max_partition)),
+            Parameter("mul_units", powers(max_units)),
+            Parameter("add_units", powers(max_units)),
+        ]
+    )

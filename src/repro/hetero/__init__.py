@@ -1,0 +1,53 @@
+"""Heterogeneous CPU/GPU/FPGA platforms for AI and HPC (paper Sec. VI).
+
+The project "conducted a benchmarking campaign on a relevant DL model for
+medical image segmentation ... in different stages of the DL pipeline"
+(Fig. 5), identified the I/O path as a bottleneck, and "obtained a
+training time reduction of up to 10% and inference throughput improvement
+of up to 10%" through Computational Storage, Persistent Memory and
+low-latency SSDs.
+
+- :mod:`repro.hetero.devices`  -- CPU/GPU/FPGA compute device models;
+- :mod:`repro.hetero.storage`  -- I/O-path models (SATA/NVMe SSD,
+  persistent memory, computational storage);
+- :mod:`repro.hetero.workload` -- the synthetic medical-segmentation
+  workload (substitution #4 in DESIGN.md);
+- :mod:`repro.hetero.pipeline` -- the Fig. 5 end-to-end pipeline
+  simulator (training and inference);
+- :mod:`repro.hetero.profiler` -- per-stage breakdowns and bottleneck
+  identification.
+"""
+
+from repro.hetero.devices import ComputeDevice, CPU_XEON, GPU_A100, FPGA_ALVEO
+from repro.hetero.storage import (
+    StorageDevice,
+    SATA_SSD,
+    NVME_SSD,
+    PERSISTENT_MEMORY,
+    computational_storage,
+)
+from repro.hetero.workload import SegmentationWorkload
+from repro.hetero.pipeline import PipelineResult, simulate_inference, simulate_training
+from repro.hetero.profiler import StageProfile, bottleneck_stage, profile_table
+from repro.hetero.campaign import run_campaign, best_configuration
+
+__all__ = [
+    "ComputeDevice",
+    "CPU_XEON",
+    "GPU_A100",
+    "FPGA_ALVEO",
+    "StorageDevice",
+    "SATA_SSD",
+    "NVME_SSD",
+    "PERSISTENT_MEMORY",
+    "computational_storage",
+    "SegmentationWorkload",
+    "PipelineResult",
+    "simulate_training",
+    "simulate_inference",
+    "StageProfile",
+    "bottleneck_stage",
+    "profile_table",
+    "run_campaign",
+    "best_configuration",
+]

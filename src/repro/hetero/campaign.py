@@ -1,0 +1,122 @@
+"""The full benchmarking-campaign matrix (paper Sec. VI).
+
+The project "conducted a benchmarking campaign ... by using the most
+appropriate profiling tools for CPU, GPU, and FPGA architectures in
+different stages of the DL pipeline (i.e., mainly during training and
+inference)".  :func:`run_campaign` reproduces the campaign's artifact: a
+device x storage matrix of end-to-end results with per-stage bottleneck
+attribution, the input to the trade-off analysis the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hetero.devices import (
+    CPU_XEON,
+    ComputeDevice,
+    FPGA_ALVEO,
+    GPU_A100,
+)
+from repro.hetero.pipeline import (
+    PipelineResult,
+    simulate_inference,
+    simulate_training,
+)
+from repro.hetero.profiler import bottleneck_stage
+from repro.hetero.storage import (
+    NVME_SSD,
+    SATA_SSD,
+    StorageDevice,
+    computational_storage,
+)
+from repro.hetero.workload import SegmentationWorkload
+
+DEFAULT_DEVICES: Tuple[ComputeDevice, ...] = (CPU_XEON, GPU_A100, FPGA_ALVEO)
+DEFAULT_STORAGE: Tuple[StorageDevice, ...] = (
+    SATA_SSD,
+    NVME_SSD,
+    computational_storage(),
+)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (device, storage, phase) measurement."""
+
+    device: str
+    storage: str
+    phase: str
+    total_seconds: float
+    throughput_volumes_s: float
+    energy_j: float
+    bottleneck: str
+
+
+def run_campaign(
+    workload: SegmentationWorkload = SegmentationWorkload(),
+    devices: Tuple[ComputeDevice, ...] = DEFAULT_DEVICES,
+    storage_tiers: Tuple[StorageDevice, ...] = DEFAULT_STORAGE,
+) -> List[CampaignCell]:
+    """Sweep the device x storage matrix for training and inference.
+
+    FPGA cells skip the training phase (the campaign deploys FPGAs for
+    inference only), mirroring the device capability flags.
+    """
+    cells: List[CampaignCell] = []
+    for device in devices:
+        for storage in storage_tiers:
+            runs: List[Tuple[str, Optional[PipelineResult]]] = [
+                (
+                    "training",
+                    simulate_training(workload, device=device,
+                                      storage=storage)
+                    if device.supports_training
+                    else None,
+                ),
+                (
+                    "inference",
+                    simulate_inference(workload, device=device,
+                                       storage=storage),
+                ),
+            ]
+            for phase, result in runs:
+                if result is None:
+                    continue
+                cells.append(
+                    CampaignCell(
+                        device=device.name,
+                        storage=storage.name,
+                        phase=phase,
+                        total_seconds=result.total_seconds,
+                        throughput_volumes_s=result.throughput_volumes_s,
+                        energy_j=result.energy_j,
+                        bottleneck=bottleneck_stage(result).stage,
+                    )
+                )
+    return cells
+
+
+def best_configuration(
+    cells: List[CampaignCell], phase: str, objective: str = "time"
+) -> CampaignCell:
+    """The winning campaign cell for *phase* under *objective*
+    (``"time"`` or ``"energy"``)."""
+    candidates = [c for c in cells if c.phase == phase]
+    if not candidates:
+        raise ValueError(f"no campaign cells for phase {phase!r}")
+    if objective == "time":
+        return min(candidates, key=lambda c: c.total_seconds)
+    if objective == "energy":
+        return min(candidates, key=lambda c: c.energy_j)
+    raise ValueError(f"unknown objective {objective!r}")
+
+
+def bottleneck_summary(cells: List[CampaignCell]) -> Dict[str, int]:
+    """How often each stage is the bottleneck across the matrix -- the
+    evidence behind the campaign's 'address the I/O path' conclusion."""
+    summary: Dict[str, int] = {}
+    for cell in cells:
+        summary[cell.bottleneck] = summary.get(cell.bottleneck, 0) + 1
+    return summary

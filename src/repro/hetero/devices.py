@@ -1,0 +1,90 @@
+"""Compute device models for the heterogeneous benchmarking campaign.
+
+Each :class:`ComputeDevice` carries the sustained (not peak) throughput
+the profiling literature reports for DL training and inference, the
+host-accelerator transfer bandwidth, and power draw.  The presets follow
+the platform classes of the paper's campaign [21], [22]: a server CPU, a
+datacenter GPU and a datacenter FPGA card.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.units import GIGA, TERA
+
+
+class DeviceKind(enum.Enum):
+    CPU = "CPU"
+    GPU = "GPU"
+    FPGA = "FPGA"
+
+
+@dataclass(frozen=True)
+class ComputeDevice:
+    """Sustained performance envelope of one compute platform."""
+
+    name: str
+    kind: DeviceKind
+    train_flops: float
+    infer_flops: float
+    transfer_bw_bytes_s: float
+    power_w: float
+    supports_training: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.train_flops, self.infer_flops) <= 0:
+            raise ValueError("throughput must be positive")
+        if self.transfer_bw_bytes_s <= 0 or self.power_w <= 0:
+            raise ValueError("bandwidth and power must be positive")
+
+    def compute_time_s(self, flops: float, training: bool) -> float:
+        """Time to execute *flops* floating-point operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if training and not self.supports_training:
+            raise ValueError(f"{self.name} does not support training")
+        rate = self.train_flops if training else self.infer_flops
+        return flops / rate
+
+    def transfer_time_s(self, num_bytes: float) -> float:
+        """Host <-> accelerator transfer time."""
+        if num_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        return num_bytes / self.transfer_bw_bytes_s
+
+
+#: Dual-socket server CPU (AVX-512 class, the campaign's host baseline).
+CPU_XEON = ComputeDevice(
+    name="Xeon server CPU",
+    kind=DeviceKind.CPU,
+    train_flops=1.5 * TERA,
+    infer_flops=2.5 * TERA,
+    transfer_bw_bytes_s=80 * GIGA,  # resident in host memory
+    power_w=270.0,
+)
+
+#: Datacenter GPU.  Sustained -- not peak -- throughput of a 3-D
+#: segmentation model (memory-bound convolutions reach a fraction of the
+#: tensor-core peak).
+GPU_A100 = ComputeDevice(
+    name="A100 GPU",
+    kind=DeviceKind.GPU,
+    train_flops=30 * TERA,
+    infer_flops=60 * TERA,
+    transfer_bw_bytes_s=25 * GIGA,  # PCIe gen4 x16 effective
+    power_w=400.0,
+)
+
+#: Datacenter FPGA card (Alveo-class INT8 inference overlay; training is
+#: not deployed on the FPGA in the campaign).
+FPGA_ALVEO = ComputeDevice(
+    name="Alveo FPGA",
+    kind=DeviceKind.FPGA,
+    train_flops=1.0 * TERA,  # placeholder rate, guarded by the flag
+    infer_flops=20 * TERA,
+    transfer_bw_bytes_s=12 * GIGA,
+    power_w=75.0,
+    supports_training=False,
+)

@@ -1,0 +1,66 @@
+"""Per-stage profiling and bottleneck identification.
+
+The campaign used "the most appropriate profiling tools for CPU, GPU, and
+FPGA architectures in different stages of the DL pipeline ... to extract
+the performance characteristics"; here the profile comes from the
+pipeline simulator, and the same artifacts are produced: a per-stage
+breakdown table and the identified bottleneck that motivated the I/O-path
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.tables import Table
+from repro.hetero.pipeline import PipelineResult
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """One row of the profiling breakdown."""
+
+    stage: str
+    seconds: float
+    share: float
+
+
+def profile(result: PipelineResult) -> List[StageProfile]:
+    """Stage profiles sorted by descending time."""
+    budget = sum(result.stage_seconds.values())
+    profiles = [
+        StageProfile(
+            stage=stage,
+            seconds=seconds,
+            share=seconds / budget if budget else 0.0,
+        )
+        for stage, seconds in result.stage_seconds.items()
+    ]
+    profiles.sort(key=lambda p: -p.seconds)
+    return profiles
+
+
+def bottleneck_stage(result: PipelineResult) -> StageProfile:
+    """The stage with the largest serial share."""
+    profiles = profile(result)
+    if not profiles:
+        raise ValueError("empty profile")
+    return profiles[0]
+
+
+def io_share(result: PipelineResult) -> float:
+    """Combined share of the I/O-path stages (read + transfers)."""
+    io_stages = ("storage_read", "transfer_in", "transfer_out")
+    budget = sum(result.stage_seconds.values())
+    if budget == 0:
+        return 0.0
+    return sum(result.stage_seconds.get(s, 0.0) for s in io_stages) / budget
+
+
+def profile_table(result: PipelineResult, title: str = "") -> Table:
+    """Render the breakdown as the campaign-style profiling table."""
+    table = Table(["stage", "seconds", "share (%)"], title=title)
+    for entry in profile(result):
+        table.add_row([entry.stage, entry.seconds, 100.0 * entry.share])
+    return table

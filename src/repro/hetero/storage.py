@@ -1,0 +1,100 @@
+"""I/O-path models: SSDs, persistent memory, computational storage.
+
+After bottleneck identification the project "started improving the
+end-to-end performance in DL by addressing the I/O path with the adoption
+of custom solutions such as the one in [23] based on the Computational
+Storage paradigm and even prospecting the use of advanced memory devices
+such as Persistent Memory modules or low-latency SSDs."
+
+A :class:`StorageDevice` serves dataset reads at a bandwidth/latency
+point; :func:`computational_storage` wraps any device with near-storage
+preprocessing (the FPGA-in-SSD of [23]): part of the per-volume
+preprocessing work runs inside the device and only the reduced
+(preprocessed) data crosses the host I/O path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import GIGA, MICRO, MILLI
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """One dataset storage tier."""
+
+    name: str
+    bandwidth_bytes_s: float
+    access_latency_s: float
+    offload_fraction: float = 0.0
+    data_reduction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.access_latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 <= self.offload_fraction <= 1.0:
+            raise ValueError("offload fraction must be in [0, 1]")
+        if self.data_reduction < 1.0:
+            raise ValueError("data reduction factor must be >= 1")
+
+    def read_time_s(self, num_bytes: float, accesses: int = 1) -> float:
+        """Time to read *num_bytes* in *accesses* requests.
+
+        Computational storage transfers ``bytes / data_reduction`` (the
+        device ships preprocessed, reduced data to the host).
+        """
+        if num_bytes < 0 or accesses < 1:
+            raise ValueError("invalid read parameters")
+        effective = num_bytes / self.data_reduction
+        return accesses * self.access_latency_s + (
+            effective / self.bandwidth_bytes_s
+        )
+
+    @property
+    def is_computational(self) -> bool:
+        return self.offload_fraction > 0 or self.data_reduction > 1.0
+
+
+#: Enterprise SATA SSD (the campaign's baseline tier).
+SATA_SSD = StorageDevice(
+    name="SATA SSD",
+    bandwidth_bytes_s=0.5 * GIGA,
+    access_latency_s=120 * MICRO,
+)
+
+#: Low-latency NVMe SSD.
+NVME_SSD = StorageDevice(
+    name="NVMe SSD (low latency)",
+    bandwidth_bytes_s=3.0 * GIGA,
+    access_latency_s=15 * MICRO,
+)
+
+#: Persistent-memory modules on the memory bus.
+PERSISTENT_MEMORY = StorageDevice(
+    name="Persistent Memory",
+    bandwidth_bytes_s=8.0 * GIGA,
+    access_latency_s=0.5 * MICRO,
+)
+
+
+def computational_storage(
+    base: StorageDevice = NVME_SSD,
+    offload_fraction: float = 0.5,
+    data_reduction: float = 1.6,
+) -> StorageDevice:
+    """Wrap *base* with near-storage preprocessing [23].
+
+    *offload_fraction* of the host preprocessing work moves into the
+    device; the shipped data shrinks by *data_reduction* (decoded,
+    cropped, normalized volumes are smaller than raw archives).
+    """
+    return StorageDevice(
+        name=f"Computational {base.name}",
+        bandwidth_bytes_s=base.bandwidth_bytes_s,
+        access_latency_s=base.access_latency_s,
+        offload_fraction=offload_fraction,
+        data_reduction=data_reduction,
+    )

@@ -1,0 +1,106 @@
+"""The synthetic medical-segmentation workload (DESIGN.md substitution #4).
+
+The campaign's clinical dataset (contrast-enhanced cardiac CT volumes for
+aortic-calcium quantification [21]) is not redistributable; the pipeline
+experiment only needs the *shape* of the workload: dataset volume, bytes
+per sample, model FLOPs per sample for training and inference, and host
+preprocessing cost.  Defaults approximate a 3-D U-Net-class segmentation
+model over CT volumes.
+
+The module also provides a voxel-level phantom generator so the accuracy
+-side of the pipeline (Dice of a threshold segmenter on calcified-lesion
+blobs) is exercised by real array code, not just cost formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.rng import SeedLike, make_rng
+from repro.core.units import GIGA, MEBI
+
+
+@dataclass(frozen=True)
+class SegmentationWorkload:
+    """Cost shape of the Fig. 5 DL application."""
+
+    num_volumes: int = 200
+    bytes_per_volume: float = 96 * MEBI
+    train_flops_per_volume: float = 15_000 * GIGA
+    infer_flops_per_volume: float = 11_000 * GIGA
+    preprocess_cpu_s_per_volume: float = 0.35
+    postprocess_cpu_s_per_volume: float = 0.05
+    epochs: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_volumes < 1 or self.epochs < 1:
+            raise ValueError("num_volumes and epochs must be >= 1")
+        if min(
+            self.bytes_per_volume,
+            self.train_flops_per_volume,
+            self.infer_flops_per_volume,
+        ) <= 0:
+            raise ValueError("per-volume costs must be positive")
+        if (
+            self.preprocess_cpu_s_per_volume < 0
+            or self.postprocess_cpu_s_per_volume < 0
+        ):
+            raise ValueError("CPU stage times must be non-negative")
+
+    @property
+    def dataset_bytes(self) -> float:
+        return self.num_volumes * self.bytes_per_volume
+
+
+def ct_phantom(
+    shape: Tuple[int, int, int] = (32, 64, 64),
+    num_lesions: int = 5,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthetic CT volume with calcified-lesion-like bright blobs.
+
+    Returns ``(volume, lesion_mask)``: background soft tissue around
+    ~40 HU-normalized intensity with noise, vessels as a bright tube, and
+    high-intensity ellipsoidal lesions (the calcium the campaign's model
+    segments).  Intensities are normalized to [0, 1].
+    """
+    if num_lesions < 0:
+        raise ValueError("num_lesions must be non-negative")
+    rng = make_rng(seed)
+    depth, height, width = shape
+    volume = 0.3 + 0.05 * rng.standard_normal(shape)
+    zs, ys, xs = np.mgrid[0:depth, 0:height, 0:width]
+    # A vessel running through the volume.
+    vessel = ((ys - height / 2) ** 2 + (xs - width / 2) ** 2) < (
+        min(height, width) / 8
+    ) ** 2
+    volume[vessel] = 0.55 + 0.03 * rng.standard_normal(int(vessel.sum()))
+    mask = np.zeros(shape, dtype=bool)
+    for _ in range(num_lesions):
+        cz = rng.uniform(0.2, 0.8) * depth
+        cy = rng.uniform(0.35, 0.65) * height
+        cx = rng.uniform(0.35, 0.65) * width
+        rz, ry, rx = rng.uniform(1.5, 3.5, size=3)
+        lesion = (
+            ((zs - cz) / rz) ** 2
+            + ((ys - cy) / ry) ** 2
+            + ((xs - cx) / rx) ** 2
+        ) < 1.0
+        mask |= lesion
+    volume[mask] = 0.9 + 0.05 * rng.standard_normal(int(mask.sum()))
+    return np.clip(volume, 0.0, 1.0), mask
+
+
+def threshold_segmenter(volume: np.ndarray, threshold: float = 0.75) -> np.ndarray:
+    """The stand-in inference kernel: intensity thresholding.
+
+    Calcium is radiodense, so thresholding is the classical baseline the
+    campaign's DL model improves on; here it exercises the accuracy path
+    of the pipeline tests.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    return np.asarray(volume) >= threshold

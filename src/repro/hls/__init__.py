@@ -1,0 +1,58 @@
+"""High-Level Synthesis toolchain (paper Sec. III).
+
+A Bambu-like HLS flow [3]: kernels enter as dataflow/control IR, get
+scheduled (ASAP / ALAP / resource-constrained list scheduling), bound to
+functional units, and estimated for FPGA resources, clock and latency.
+Optimization directives (loop unrolling, pipelining, array partitioning,
+inlining) reshape the IR before scheduling, exactly the knobs the DSE
+layer of :mod:`repro.dse` explores.
+
+Two estimation backends model the tool comparison of Sec. III:
+:class:`~repro.hls.backends.BambuBackend` (accepts compiler IR from AI
+frameworks, multi-vendor FPGA + ASIC targets, open optimization hooks)
+and :class:`~repro.hls.backends.CommercialBackend` (C/C++ input only,
+single vendor).
+
+Modules: :mod:`repro.hls.ir`, :mod:`repro.hls.scheduling`,
+:mod:`repro.hls.allocation`, :mod:`repro.hls.estimation`,
+:mod:`repro.hls.directives`, :mod:`repro.hls.kernels`,
+:mod:`repro.hls.backends`.
+"""
+
+from repro.hls.ir import DataflowGraph, OpKind, Operation
+from repro.hls.scheduling import (
+    Schedule,
+    schedule_alap,
+    schedule_asap,
+    schedule_list,
+)
+from repro.hls.allocation import Binding, bind_operations
+from repro.hls.estimation import (
+    FPGAEstimate,
+    ResourceLibrary,
+    estimate_design,
+)
+from repro.hls.directives import Directives
+from repro.hls.kernels import LoopNest, make_kernel
+from repro.hls.backends import BambuBackend, CommercialBackend, InputFormat
+
+__all__ = [
+    "DataflowGraph",
+    "OpKind",
+    "Operation",
+    "Schedule",
+    "schedule_asap",
+    "schedule_alap",
+    "schedule_list",
+    "Binding",
+    "bind_operations",
+    "FPGAEstimate",
+    "ResourceLibrary",
+    "estimate_design",
+    "Directives",
+    "LoopNest",
+    "make_kernel",
+    "BambuBackend",
+    "CommercialBackend",
+    "InputFormat",
+]

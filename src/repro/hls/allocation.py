@@ -1,0 +1,94 @@
+"""Functional-unit binding and register allocation.
+
+After scheduling, operations that never overlap in time can share one
+functional unit.  :func:`bind_operations` performs the classic left-edge
+interval binding per operation kind; the resulting :class:`Binding` gives
+the FU counts the resource estimator prices, plus a register estimate
+from the peak number of simultaneously live values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hls.ir import OpKind
+from repro.hls.scheduling import Schedule
+
+
+@dataclass
+class Binding:
+    """Operation -> functional-unit assignment."""
+
+    unit_of: Dict[str, Tuple[OpKind, int]]
+    units: Dict[OpKind, int]
+    registers: int
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.units.values())
+
+
+def bind_operations(schedule: Schedule) -> Binding:
+    """Left-edge binding of scheduled operations onto shared units.
+
+    Operations of one kind are sorted by start cycle and greedily packed
+    onto the first unit free at their start time; occupancy lasts
+    ``max(latency, 1)`` cycles (non-pipelined sharing, the conservative
+    baseline).
+    """
+    graph = schedule.graph
+    by_kind: Dict[OpKind, List[str]] = {}
+    for op in graph.operations:
+        by_kind.setdefault(op.kind, []).append(op.name)
+
+    unit_of: Dict[str, Tuple[OpKind, int]] = {}
+    units: Dict[OpKind, int] = {}
+    for kind, names in by_kind.items():
+        names.sort(key=lambda n: schedule.start_cycle[n])
+        free_at: List[int] = []  # per unit, cycle it becomes free
+        for name in names:
+            start = schedule.start_cycle[name]
+            duration = max(graph.op(name).latency, 1)
+            for unit_idx, free in enumerate(free_at):
+                if free <= start:
+                    unit_of[name] = (kind, unit_idx)
+                    free_at[unit_idx] = start + duration
+                    break
+            else:
+                unit_of[name] = (kind, len(free_at))
+                free_at.append(start + duration)
+        units[kind] = len(free_at)
+
+    return Binding(
+        unit_of=unit_of,
+        units=units,
+        registers=estimate_registers(schedule),
+    )
+
+
+def estimate_registers(schedule: Schedule) -> int:
+    """Peak number of simultaneously live values.
+
+    A value is live from the cycle its producer finishes until the last
+    consumer starts.  Source-less values (kernel inputs) are not counted;
+    sink outputs live one cycle.
+    """
+    graph = schedule.graph
+    events: Dict[int, int] = {}
+    for op in graph.operations:
+        birth = schedule.start_cycle[op.name] + op.latency
+        consumer_starts = [
+            schedule.start_cycle[c] for c in graph.consumers(op.name)
+        ]
+        death = max(consumer_starts, default=birth + 1)
+        if death <= birth:
+            death = birth + 1
+        events[birth] = events.get(birth, 0) + 1
+        events[death] = events.get(death, 0) - 1
+    live = 0
+    peak = 0
+    for t in sorted(events):
+        live += events[t]
+        peak = max(peak, live)
+    return peak

@@ -1,0 +1,136 @@
+"""HLS tool backends: the Bambu-vs-commercial comparison of Sec. III.
+
+"Two HLS tools have been evaluated: the commercial tool Vitis HLS from
+AMD/Xilinx and the open-source tool Bambu.  Both tools support a set of
+optimization directives and standard accelerator interfaces; however,
+Bambu has some additional features": compiler-IR input from AI
+frameworks, multi-vendor FPGA and ASIC (OpenROAD) targets, and full
+visibility/control of the optimization pipeline.
+
+The two backend classes expose the same ``synthesize`` entry point with
+different *capability envelopes*; the commercial profile rejects IR
+inputs and non-vendor targets, and exposes no custom optimization hooks.
+This turns the paper's qualitative comparison into testable behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hls.directives import Directives, SynthesisResult, synthesize
+from repro.hls.estimation import ResourceLibrary
+from repro.hls.kernels import LoopNest
+
+
+class InputFormat(enum.Enum):
+    """Accepted front-end input languages."""
+
+    C_CPP = "C/C++"
+    COMPILER_IR = "compiler IR"
+
+
+class Target(enum.Enum):
+    """Synthesis targets."""
+
+    XILINX_FPGA = "AMD/Xilinx FPGA"
+    INTEL_FPGA = "Intel FPGA"
+    LATTICE_FPGA = "Lattice FPGA"
+    ASIC_OPENROAD = "ASIC (OpenROAD)"
+
+
+@dataclass
+class HLSBackend:
+    """Common backend machinery; subclasses define the envelope."""
+
+    name: str = "generic"
+    supported_inputs: tuple = (InputFormat.C_CPP,)
+    supported_targets: tuple = (Target.XILINX_FPGA,)
+    allows_custom_passes: bool = False
+    library: ResourceLibrary = field(default_factory=ResourceLibrary)
+    _custom_passes: List[Callable[[Directives], Directives]] = field(
+        default_factory=list, repr=False
+    )
+
+    def supports(self, input_format: InputFormat, target: Target) -> bool:
+        return (
+            input_format in self.supported_inputs
+            and target in self.supported_targets
+        )
+
+    def register_pass(
+        self, transform: Callable[[Directives], Directives]
+    ) -> None:
+        """Install a custom optimization pass (directive rewriter).
+
+        Only open tools expose this hook -- "having complete visibility of
+        the HLS flow by using an open-source tool allows finer control of
+        the optimization techniques."
+        """
+        if not self.allows_custom_passes:
+            raise PermissionError(
+                f"{self.name} does not expose optimization internals"
+            )
+        self._custom_passes.append(transform)
+
+    def synthesize(
+        self,
+        nest: LoopNest,
+        directives: Directives = Directives(),
+        input_format: InputFormat = InputFormat.C_CPP,
+        target: Target = Target.XILINX_FPGA,
+    ) -> SynthesisResult:
+        """Run the flow, enforcing the capability envelope."""
+        if input_format not in self.supported_inputs:
+            raise ValueError(
+                f"{self.name} does not accept {input_format.value} input"
+            )
+        if target not in self.supported_targets:
+            raise ValueError(
+                f"{self.name} cannot target {target.value}"
+            )
+        for transform in self._custom_passes:
+            directives = transform(directives)
+        return synthesize(nest, directives, self.library)
+
+    def feature_row(self) -> Dict[str, object]:
+        """One row of the Sec. III tool-comparison matrix."""
+        return {
+            "tool": self.name,
+            "c_cpp_input": InputFormat.C_CPP in self.supported_inputs,
+            "ir_input": InputFormat.COMPILER_IR in self.supported_inputs,
+            "multi_vendor": len(
+                {t for t in self.supported_targets if "FPGA" in t.value}
+            ) > 1,
+            "asic_target": Target.ASIC_OPENROAD in self.supported_targets,
+            "custom_passes": self.allows_custom_passes,
+        }
+
+
+def BambuBackend(library: Optional[ResourceLibrary] = None) -> HLSBackend:
+    """The open-source Bambu profile [3]: IR input (SODA toolchain [4]),
+    multi-vendor FPGAs, ASIC via OpenROAD, open optimization hooks."""
+    return HLSBackend(
+        name="Bambu",
+        supported_inputs=(InputFormat.C_CPP, InputFormat.COMPILER_IR),
+        supported_targets=(
+            Target.XILINX_FPGA,
+            Target.INTEL_FPGA,
+            Target.LATTICE_FPGA,
+            Target.ASIC_OPENROAD,
+        ),
+        allows_custom_passes=True,
+        library=library or ResourceLibrary(),
+    )
+
+
+def CommercialBackend(library: Optional[ResourceLibrary] = None) -> HLSBackend:
+    """The commercial profile: C/C++ only, single vendor, closed flow."""
+    return HLSBackend(
+        name="Commercial (Vitis-class)",
+        supported_inputs=(InputFormat.C_CPP,),
+        supported_targets=(Target.XILINX_FPGA,),
+        allows_custom_passes=False,
+        library=library or ResourceLibrary(),
+    )

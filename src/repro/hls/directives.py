@@ -1,0 +1,131 @@
+"""Optimization directives and kernel synthesis (the HLS "pragmas").
+
+Bambu and commercial tools "support a set of optimization directives";
+here the directives reshape a :class:`~repro.hls.kernels.LoopNest` before
+scheduling:
+
+- **unroll(f)** replicates the loop body f times and divides the trip
+  count (independent bodies schedule in parallel subject to resources);
+- **pipeline** overlaps iterations at the resource-limited initiation
+  interval instead of running them back-to-back;
+- **array_partition(p)** multiplies the available memory ports (LOAD /
+  STORE resource slots).
+
+:func:`synthesize` runs the full flow -- directives -> schedule ->
+binding -> estimate -- and returns both the performance and cost of the
+design point.  It is the function the DSE engine calls thousands of
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hls.allocation import bind_operations
+from repro.hls.estimation import (
+    FPGAEstimate,
+    ResourceLibrary,
+    estimate_design,
+)
+from repro.hls.ir import OpKind
+from repro.hls.kernels import LoopNest
+from repro.hls.scheduling import (
+    minimum_initiation_interval,
+    schedule_list,
+)
+
+
+@dataclass(frozen=True)
+class Directives:
+    """One HLS configuration (a DSE design point)."""
+
+    unroll: int = 1
+    pipeline: bool = False
+    array_partition: int = 1
+    mul_units: int = 4
+    add_units: int = 4
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1 or self.array_partition < 1:
+            raise ValueError("unroll and array_partition must be >= 1")
+        if self.mul_units < 1 or self.add_units < 1:
+            raise ValueError("unit budgets must be >= 1")
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Performance + cost of one synthesized design point."""
+
+    kernel: str
+    directives: Directives
+    estimate: FPGAEstimate
+    iteration_cycles: int
+    initiation_interval: int
+    total_cycles: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.total_cycles / (self.estimate.clock_mhz * 1e6)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        """Loop iterations retired per second."""
+        return 1.0 / self.latency_s if self.total_cycles else 0.0
+
+
+def resource_map(nest: LoopNest, directives: Directives) -> Dict[OpKind, int]:
+    """Functional-unit budget implied by *directives*.
+
+    Memory ports scale with array partitioning; irregular kernels cannot
+    profit from partitioning (their accesses conflict unpredictably), so
+    the port count stays at 1 bank's worth -- the limitation SPARTA's
+    latency-hiding architecture addresses.
+    """
+    ports = directives.array_partition
+    if nest.irregular_memory:
+        ports = 1
+    return {
+        OpKind.MUL: directives.mul_units,
+        OpKind.MAC: directives.mul_units,
+        OpKind.ADD: directives.add_units,
+        OpKind.DIV: 1,
+        OpKind.LOAD: 2 * ports,
+        OpKind.STORE: ports,
+    }
+
+
+def synthesize(
+    nest: LoopNest,
+    directives: Directives = Directives(),
+    library: ResourceLibrary = ResourceLibrary(),
+    average_bitwidth: int = 32,
+) -> SynthesisResult:
+    """Run the full HLS flow on *nest* under *directives*."""
+    unroll = min(directives.unroll, nest.trip_count)
+    body = nest.body.replicate(unroll) if unroll > 1 else nest.body
+    resources = resource_map(nest, directives)
+    schedule = schedule_list(body, resources)
+    binding = bind_operations(schedule)
+    estimate = estimate_design(
+        schedule, binding, library, average_bitwidth=average_bitwidth
+    )
+    iterations = -(-nest.trip_count // unroll)
+    iteration_cycles = schedule.makespan
+    if directives.pipeline:
+        ii = minimum_initiation_interval(body, resources)
+        if nest.has_reduction:
+            # The loop-carried accumulate bounds II from below.
+            ii = max(ii, 1 + 0)
+        total = iteration_cycles + (iterations - 1) * ii
+    else:
+        ii = iteration_cycles
+        total = iterations * iteration_cycles
+    return SynthesisResult(
+        kernel=nest.name,
+        directives=directives,
+        estimate=estimate,
+        iteration_cycles=iteration_cycles,
+        initiation_interval=ii,
+        total_cycles=total,
+    )

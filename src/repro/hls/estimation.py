@@ -1,0 +1,127 @@
+"""FPGA resource, timing and performance estimation.
+
+Prices a bound design against a per-kind functional-unit cost library
+(LUT/FF/DSP per unit, scaled by operand width) plus registers and
+control overhead, and converts schedule cycles into wall-clock time at a
+routing-pressure-derated clock.  These estimates are the objective
+functions the DSE engine of :mod:`repro.dse` explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hls.allocation import Binding
+from repro.hls.ir import OpKind
+from repro.hls.scheduling import Schedule
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """FPGA cost of one functional unit at 32-bit operands."""
+
+    luts: int
+    ffs: int
+    dsps: int = 0
+
+
+#: Default cost library (Kintex/Virtex-7-class figures).
+DEFAULT_LIBRARY: Dict[OpKind, UnitCost] = {
+    OpKind.ADD: UnitCost(luts=32, ffs=32),
+    OpKind.MUL: UnitCost(luts=80, ffs=96, dsps=3),
+    OpKind.MAC: UnitCost(luts=96, ffs=128, dsps=3),
+    OpKind.DIV: UnitCost(luts=1100, ffs=1400),
+    OpKind.CMP: UnitCost(luts=16, ffs=8),
+    OpKind.SHIFT: UnitCost(luts=48, ffs=32),
+    OpKind.LOGIC: UnitCost(luts=16, ffs=8),
+    OpKind.LOAD: UnitCost(luts=40, ffs=48),
+    OpKind.STORE: UnitCost(luts=32, ffs=40),
+    OpKind.PHI: UnitCost(luts=8, ffs=16),
+}
+
+
+@dataclass(frozen=True)
+class ResourceLibrary:
+    """Cost library plus device timing parameters."""
+
+    unit_costs: Dict[OpKind, UnitCost] = field(
+        default_factory=lambda: dict(DEFAULT_LIBRARY)
+    )
+    base_clock_mhz: float = 300.0
+    register_luts: int = 0
+    register_ffs: int = 1
+    control_luts_per_op: int = 4
+
+    def cost_of(self, kind: OpKind, bitwidth: int) -> UnitCost:
+        """Unit cost scaled to *bitwidth* (linear in width for
+        LUTs/FFs, DSP count stepped at 18-bit granularity)."""
+        if bitwidth < 1:
+            raise ValueError("bitwidth must be >= 1")
+        base = self.unit_costs[kind]
+        scale = bitwidth / 32.0
+        dsp = base.dsps
+        if dsp and bitwidth > 18:
+            dsp = base.dsps  # full precision already budgeted at 3
+        elif dsp:
+            dsp = max(1, base.dsps - 2)  # narrow operands fit one DSP
+        return UnitCost(
+            luts=max(1, int(round(base.luts * scale))),
+            ffs=max(1, int(round(base.ffs * scale))),
+            dsps=dsp,
+        )
+
+
+@dataclass(frozen=True)
+class FPGAEstimate:
+    """Synthesis-level estimate of one design point."""
+
+    luts: int
+    ffs: int
+    dsps: int
+    clock_mhz: float
+    cycles: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def area_score(self) -> float:
+        """Scalar area proxy: LUTs + 64 * DSPs (a DSP's fabric
+        equivalent), used when the DSE needs a single area objective."""
+        return self.luts + 64.0 * self.dsps
+
+
+def estimate_design(
+    schedule: Schedule,
+    binding: Binding,
+    library: ResourceLibrary = ResourceLibrary(),
+    average_bitwidth: int = 32,
+) -> FPGAEstimate:
+    """Price a scheduled, bound design.
+
+    The clock is derated logarithmically with total unit count (routing
+    pressure): ``f = base / (1 + 0.04 * log2(1 + units))``.
+    """
+    import math
+
+    luts = ffs = dsps = 0
+    for kind, count in binding.units.items():
+        cost = library.cost_of(kind, average_bitwidth)
+        luts += count * cost.luts
+        ffs += count * cost.ffs
+        dsps += count * cost.dsps
+    luts += len(schedule.graph) * library.control_luts_per_op
+    ffs += binding.registers * average_bitwidth * library.register_ffs
+    luts += binding.registers * average_bitwidth * library.register_luts
+    clock = library.base_clock_mhz / (
+        1.0 + 0.04 * math.log2(1 + binding.total_units)
+    )
+    return FPGAEstimate(
+        luts=luts,
+        ffs=ffs,
+        dsps=dsps,
+        clock_mhz=clock,
+        cycles=schedule.makespan,
+    )

@@ -1,0 +1,164 @@
+"""Dataflow intermediate representation for the HLS flow.
+
+A kernel body is a DAG of :class:`Operation` nodes; edges are data
+dependences.  The IR deliberately mirrors what an HLS tool sees after
+front-end lowering: typed arithmetic/memory operations with per-kind
+latencies, no control flow (loops are represented structurally by
+:class:`repro.hls.kernels.LoopNest` and lowered by the directive engine).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class OpKind(enum.Enum):
+    """Operation classes with distinct hardware mappings."""
+
+    ADD = "add"
+    MUL = "mul"
+    MAC = "mac"
+    DIV = "div"
+    CMP = "cmp"
+    SHIFT = "shift"
+    LOGIC = "logic"
+    LOAD = "load"
+    STORE = "store"
+    PHI = "phi"
+
+
+#: Default pipeline latencies in cycles per operation kind.
+DEFAULT_LATENCY: Dict[OpKind, int] = {
+    OpKind.ADD: 1,
+    OpKind.MUL: 3,
+    OpKind.MAC: 4,
+    OpKind.DIV: 16,
+    OpKind.CMP: 1,
+    OpKind.SHIFT: 1,
+    OpKind.LOGIC: 1,
+    OpKind.LOAD: 2,
+    OpKind.STORE: 1,
+    OpKind.PHI: 0,
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One IR node."""
+
+    name: str
+    kind: OpKind
+    inputs: Tuple[str, ...] = ()
+    bitwidth: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operation name must be non-empty")
+        if self.bitwidth < 1:
+            raise ValueError("bitwidth must be >= 1")
+
+    @property
+    def latency(self) -> int:
+        return DEFAULT_LATENCY[self.kind]
+
+
+class DataflowGraph:
+    """A DAG of operations keyed by name.
+
+    Insertion order is preserved and must be topological (an operation's
+    inputs must already exist), which makes construction errors loud and
+    early.
+    """
+
+    def __init__(self, name: str = "kernel") -> None:
+        self.name = name
+        self._ops: Dict[str, Operation] = {}
+        self._consumers: Dict[str, List[str]] = {}
+
+    def add(self, op: Operation) -> Operation:
+        """Insert *op*; inputs must reference existing operations."""
+        if op.name in self._ops:
+            raise ValueError(f"duplicate operation {op.name!r}")
+        for dep in op.inputs:
+            if dep not in self._ops:
+                raise ValueError(
+                    f"{op.name!r} depends on unknown operation {dep!r}"
+                )
+        self._ops[op.name] = op
+        self._consumers[op.name] = []
+        for dep in op.inputs:
+            self._consumers[dep].append(op.name)
+        return op
+
+    def op(self, name: str) -> Operation:
+        return self._ops[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def operations(self) -> List[Operation]:
+        """Operations in (topological) insertion order."""
+        return list(self._ops.values())
+
+    def consumers(self, name: str) -> List[str]:
+        """Operations reading the output of *name*."""
+        return list(self._consumers[name])
+
+    def sources(self) -> List[Operation]:
+        """Operations with no inputs."""
+        return [op for op in self._ops.values() if not op.inputs]
+
+    def sinks(self) -> List[Operation]:
+        """Operations nothing consumes."""
+        return [
+            op for op in self._ops.values() if not self._consumers[op.name]
+        ]
+
+    def count_by_kind(self) -> Dict[OpKind, int]:
+        counts: Dict[OpKind, int] = {}
+        for op in self._ops.values():
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    def critical_path_latency(self) -> int:
+        """Longest dependence chain in cycles (the ASAP makespan)."""
+        finish: Dict[str, int] = {}
+        for op in self._ops.values():  # insertion order is topological
+            start = max(
+                (finish[dep] for dep in op.inputs), default=0
+            )
+            finish[op.name] = start + op.latency
+        return max(finish.values(), default=0)
+
+    def replicate(self, copies: int, prefix: str = "u") -> "DataflowGraph":
+        """Structural replication (the unrolling primitive): *copies*
+        independent instances of this graph in one DAG."""
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        out = DataflowGraph(name=f"{self.name}_x{copies}")
+        for c in range(copies):
+            rename = {
+                op.name: f"{prefix}{c}_{op.name}" for op in self._ops.values()
+            }
+            for op in self._ops.values():
+                out.add(
+                    Operation(
+                        name=rename[op.name],
+                        kind=op.kind,
+                        inputs=tuple(rename[d] for d in op.inputs),
+                        bitwidth=op.bitwidth,
+                    )
+                )
+        return out
+
+
+def chain(graph: DataflowGraph, ops: Sequence[Operation]) -> None:
+    """Convenience: add *ops* to *graph* in order."""
+    for op in ops:
+        graph.add(op)

@@ -1,0 +1,163 @@
+"""Kernel library: loop nests lowered to dataflow IR.
+
+HLS inputs are loops over an arithmetic body; :class:`LoopNest` captures
+the structural information the directive engine needs (trip count, body
+graph, memory footprint) and :func:`make_kernel` builds the nests for the
+workloads Sec. III targets: dense linear algebra (GEMM, dot product,
+FIR) for the AI path and an irregular gather kernel standing in for the
+graph-processing workloads SPARTA accelerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.ir import DataflowGraph, Operation, OpKind
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """One innermost loop: ``for i in range(trip_count): body``.
+
+    *body* is the dataflow graph of a single iteration (iterations are
+    independent unless ``has_reduction``, which serializes the final
+    accumulate and bounds unrolled II from below).
+    """
+
+    name: str
+    trip_count: int
+    body: DataflowGraph
+    has_reduction: bool = False
+    irregular_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+
+    @property
+    def body_size(self) -> int:
+        return len(self.body)
+
+    @property
+    def total_operations(self) -> int:
+        return self.trip_count * self.body_size
+
+
+def _dot_body(width: int = 32) -> DataflowGraph:
+    graph = DataflowGraph("dot_body")
+    graph.add(Operation("ld_a", OpKind.LOAD, bitwidth=width))
+    graph.add(Operation("ld_b", OpKind.LOAD, bitwidth=width))
+    graph.add(
+        Operation("mac", OpKind.MAC, inputs=("ld_a", "ld_b"), bitwidth=width)
+    )
+    return graph
+
+
+def _fir_body(taps: int, width: int = 32) -> DataflowGraph:
+    graph = DataflowGraph("fir_body")
+    partials = []
+    for t in range(taps):
+        graph.add(Operation(f"ld_x{t}", OpKind.LOAD, bitwidth=width))
+        graph.add(
+            Operation(
+                f"mul{t}", OpKind.MUL, inputs=(f"ld_x{t}",), bitwidth=width
+            )
+        )
+        partials.append(f"mul{t}")
+    # Adder tree reduction.
+    level = 0
+    while len(partials) > 1:
+        next_level = []
+        for i in range(0, len(partials) - 1, 2):
+            name = f"add{level}_{i // 2}"
+            graph.add(
+                Operation(
+                    name,
+                    OpKind.ADD,
+                    inputs=(partials[i], partials[i + 1]),
+                    bitwidth=width,
+                )
+            )
+            next_level.append(name)
+        if len(partials) % 2:
+            next_level.append(partials[-1])
+        partials = next_level
+        level += 1
+    graph.add(
+        Operation("st_y", OpKind.STORE, inputs=(partials[0],), bitwidth=width)
+    )
+    return graph
+
+
+def _gemm_body(unroll_k: int = 4, width: int = 32) -> DataflowGraph:
+    graph = DataflowGraph("gemm_body")
+    macs = []
+    for k in range(unroll_k):
+        graph.add(Operation(f"ld_a{k}", OpKind.LOAD, bitwidth=width))
+        graph.add(Operation(f"ld_b{k}", OpKind.LOAD, bitwidth=width))
+        graph.add(
+            Operation(
+                f"mac{k}",
+                OpKind.MAC,
+                inputs=(f"ld_a{k}", f"ld_b{k}"),
+                bitwidth=width,
+            )
+        )
+        macs.append(f"mac{k}")
+    acc = macs[0]
+    for i, mac in enumerate(macs[1:], start=1):
+        name = f"acc{i}"
+        graph.add(
+            Operation(name, OpKind.ADD, inputs=(acc, mac), bitwidth=width)
+        )
+        acc = name
+    graph.add(Operation("st_c", OpKind.STORE, inputs=(acc,), bitwidth=width))
+    return graph
+
+
+def _gather_body(width: int = 32) -> DataflowGraph:
+    """Irregular gather-accumulate (graph-kernel inner loop): load an
+    index, load through it, compare and conditionally accumulate."""
+    graph = DataflowGraph("gather_body")
+    graph.add(Operation("ld_idx", OpKind.LOAD, bitwidth=width))
+    graph.add(
+        Operation("ld_val", OpKind.LOAD, inputs=("ld_idx",), bitwidth=width)
+    )
+    graph.add(
+        Operation("cmp", OpKind.CMP, inputs=("ld_val",), bitwidth=width)
+    )
+    graph.add(
+        Operation(
+            "add", OpKind.ADD, inputs=("ld_val", "cmp"), bitwidth=width
+        )
+    )
+    graph.add(Operation("st", OpKind.STORE, inputs=("add",), bitwidth=width))
+    return graph
+
+
+def make_kernel(name: str, size: int = 256, width: int = 32) -> LoopNest:
+    """Build a named kernel loop nest.
+
+    Supported names: ``"dot"``, ``"fir8"``, ``"gemm"``, ``"gather"``.
+    *size* is the innermost trip count.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    if name == "dot":
+        return LoopNest(
+            name="dot", trip_count=size, body=_dot_body(width),
+            has_reduction=True,
+        )
+    if name == "fir8":
+        return LoopNest(name="fir8", trip_count=size, body=_fir_body(8, width))
+    if name == "gemm":
+        return LoopNest(
+            name="gemm", trip_count=size, body=_gemm_body(4, width),
+            has_reduction=True,
+        )
+    if name == "gather":
+        return LoopNest(
+            name="gather", trip_count=size, body=_gather_body(width),
+            irregular_memory=True,
+        )
+    raise ValueError(f"unknown kernel {name!r}")

@@ -1,0 +1,57 @@
+"""In-memory computing architectures (paper Sec. IV).
+
+The ICSC Flagship 2 project develops RRAM- and PCM-based IMC accelerators
+addressing challenges at three levels, all modeled here:
+
+- **device** (:mod:`repro.imc.devices`, :mod:`repro.imc.program_verify`):
+  conductance programming variability, read noise and drift of RRAM/PCM
+  cells, countered by high-precision program-and-verify algorithms [10];
+- **circuit** (:mod:`repro.imc.crossbar`, :mod:`repro.imc.adc`,
+  :mod:`repro.imc.dimc`): analog matrix-vector multiplication exploiting
+  Ohm's law and Kirchhoff's current law in crossbar arrays, DAC/ADC
+  interfaces, analog accumulation to minimize A/D conversions [11], and
+  the SRAM-based digital IMC alternative [2];
+- **architecture** (:mod:`repro.imc.tiles`, :mod:`repro.imc.mapper`,
+  :mod:`repro.imc.nn`): multi-tile systems with a DNN-to-tile compiler and
+  end-to-end accuracy/energy evaluation.
+
+:mod:`repro.imc.taxonomy` models the four processor-memory organizations
+of Fig. 2 (von Neumann, near-memory, SRAM-IMC, eNVM-IMC) in terms of data
+movement energy and latency.
+"""
+
+from repro.imc.devices import DeviceParams, NVMDevice, RRAM_PARAMS, PCM_PARAMS
+from repro.imc.program_verify import ProgramVerifyResult, program_and_verify
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.imc.adc import ADCConfig, DACConfig
+from repro.imc.dimc import DigitalIMCMacro
+from repro.imc.tiles import IMCTile, TileConfig
+from repro.imc.mapper import LayerMapping, map_linear_layer
+from repro.imc.conv_mapper import ConvMapping, map_conv_layer
+from repro.imc.architecture import IMCAccelerator, SystemConfig
+from repro.imc.taxonomy import ArchitectureKind, mvm_cost, taxonomy_table
+
+__all__ = [
+    "DeviceParams",
+    "NVMDevice",
+    "RRAM_PARAMS",
+    "PCM_PARAMS",
+    "ProgramVerifyResult",
+    "program_and_verify",
+    "AnalogCrossbar",
+    "CrossbarConfig",
+    "ADCConfig",
+    "DACConfig",
+    "DigitalIMCMacro",
+    "IMCTile",
+    "TileConfig",
+    "LayerMapping",
+    "map_linear_layer",
+    "ConvMapping",
+    "map_conv_layer",
+    "IMCAccelerator",
+    "SystemConfig",
+    "ArchitectureKind",
+    "mvm_cost",
+    "taxonomy_table",
+]

@@ -1,0 +1,117 @@
+"""Data converter models for analog IMC (paper Sec. IV, circuit level).
+
+"One of the key bottlenecks of NVM IMC-based accelerators is the hybrid
+analog/digital computation": every analog MVM result must cross an ADC,
+and the converters dominate circuit energy.  These models capture the two
+knobs the paper's circuit work turns: converter resolution (accuracy vs.
+energy, ADC energy grows exponentially with bits) and *analog
+accumulation* [11], which amortizes one conversion over several MVMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DACConfig:
+    """Input (wordline voltage) digital-to-analog converter."""
+
+    bits: int = 8
+    v_max: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("DAC bits must be >= 1")
+        if self.v_max <= 0:
+            raise ValueError("v_max must be positive")
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    def quantize(self, normalized: np.ndarray) -> np.ndarray:
+        """Map inputs in [-1, 1] to quantized voltages in
+        [-v_max, v_max]."""
+        normalized = np.clip(np.asarray(normalized, dtype=np.float64), -1, 1)
+        step = 2.0 / (self.levels - 1)
+        codes = np.rint((normalized + 1.0) / step)
+        return (codes * step - 1.0) * self.v_max
+
+    @property
+    def energy_per_conversion_j(self) -> float:
+        """~50 fJ per level-setting at 8 bits, linear in resolution."""
+        return 50e-15 * self.bits / 8.0
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    """Column (bitline current) analog-to-digital converter."""
+
+    bits: int = 8
+    i_max: float = 2.5e-4
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("ADC bits must be >= 1")
+        if self.i_max <= 0:
+            raise ValueError("i_max must be positive")
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    def quantize(self, currents: np.ndarray) -> np.ndarray:
+        """Quantize bipolar currents in [-i_max, i_max], saturating."""
+        currents = np.clip(
+            np.asarray(currents, dtype=np.float64), -self.i_max, self.i_max
+        )
+        step = 2.0 * self.i_max / (self.levels - 1)
+        return np.rint((currents + self.i_max) / step) * step - self.i_max
+
+    @property
+    def energy_per_conversion_j(self) -> float:
+        """SAR-ADC energy: ~2 fJ per conversion-step, doubling per bit.
+
+        The exponential term is what makes minimizing conversions (analog
+        accumulation, [11]) worth architecture-level effort.
+        """
+        return 2e-15 * 2.0**self.bits
+
+    def lsb_current(self) -> float:
+        """Current per ADC code step."""
+        return 2.0 * self.i_max / (self.levels - 1)
+
+
+@dataclass
+class ConversionLedger:
+    """Counts conversions and their energy across a workload run."""
+
+    adc_conversions: int = 0
+    dac_conversions: int = 0
+    adc_energy_j: float = 0.0
+    dac_energy_j: float = 0.0
+
+    def charge_adc(self, config: ADCConfig, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.adc_conversions += count
+        self.adc_energy_j += count * config.energy_per_conversion_j
+
+    def charge_dac(self, config: DACConfig, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.dac_conversions += count
+        self.dac_energy_j += count * config.energy_per_conversion_j
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.adc_energy_j + self.dac_energy_j
+
+    def merge(self, other: "ConversionLedger") -> None:
+        self.adc_conversions += other.adc_conversions
+        self.dac_conversions += other.dac_conversions
+        self.adc_energy_j += other.adc_energy_j
+        self.dac_energy_j += other.dac_energy_j

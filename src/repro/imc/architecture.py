@@ -1,0 +1,174 @@
+"""System-level multi-tile IMC accelerator (paper Sec. IV).
+
+"It is essential to develop a multi-core system that can harmonize and
+synchronize the analog MVM operations in each memory array, the digital
+activation and error compensation, and the data movement between the
+Processing Elements."
+
+:class:`IMCAccelerator` is that system model: an ordered stack of mapped
+layers (linear via :mod:`repro.imc.mapper`, convolutional via
+:mod:`repro.imc.conv_mapper`) executed with a synchronization-aware
+timing model -- within one layer all tiles fire their analog MVMs in
+parallel and the layer takes one tile-MVM latency per *wavefront*
+(sequential input blocks sharing bitlines must serialize); between
+layers, activations move through an on-chip interconnect with a
+bandwidth cost.  The report separates analog, digital and movement
+contributions, the KPI decomposition the paper's architecture discussion
+is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.units import GIGA
+from repro.imc.conv_mapper import ConvMapping
+from repro.imc.mapper import LayerMapping
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """System-level timing/energy parameters."""
+
+    tile_mvm_latency_s: float = 100e-9
+    digital_latency_s: float = 20e-9
+    interconnect_bw_bytes_s: float = 8 * GIGA
+    interconnect_energy_per_byte_j: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if min(
+            self.tile_mvm_latency_s,
+            self.digital_latency_s,
+            self.interconnect_bw_bytes_s,
+        ) <= 0:
+            raise ValueError("timing parameters must be positive")
+        if self.interconnect_energy_per_byte_j < 0:
+            raise ValueError("interconnect energy must be non-negative")
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Per-inference system accounting."""
+
+    latency_s: float
+    analog_latency_s: float
+    digital_latency_s: float
+    movement_latency_s: float
+    movement_energy_j: float
+    converter_energy_j: float
+    total_tiles: int
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.movement_energy_j + self.converter_energy_j
+
+
+MappedLayer = Union[LayerMapping, ConvMapping]
+
+
+class IMCAccelerator:
+    """A stack of mapped IMC layers with system-level accounting."""
+
+    def __init__(
+        self,
+        layers: List[MappedLayer],
+        config: SystemConfig = SystemConfig(),
+        activation: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("accelerator needs at least one layer")
+        self.layers = layers
+        self.config = config
+        self.activation = activation or (lambda y: np.maximum(y, 0.0))
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(layer.num_tiles for layer in self.layers)
+
+    def _layer_wavefronts(self, layer: MappedLayer) -> int:
+        """Sequential tile-MVM waves one layer needs per input.
+
+        Linear layers: tile *rows* share bitlines, so row blocks
+        serialize (columns fire in parallel).  Conv layers: one wave per
+        output pixel (weight-stationary, one MVM per pixel), times the
+        linear layer's own wavefronts.
+        """
+        if isinstance(layer, ConvMapping):
+            return max(1, layer.linear.grid_shape[0])
+        return max(1, layer.grid_shape[0])
+
+    def _layer_output_bytes(
+        self, layer: MappedLayer, bytes_per_el: int = 1
+    ) -> int:
+        if isinstance(layer, ConvMapping):
+            return layer.out_channels * bytes_per_el
+        return layer.out_features * bytes_per_el
+
+    def run(
+        self, x: np.ndarray, t_seconds: float = 1.0
+    ) -> (np.ndarray, ExecutionReport):
+        """Execute one input through the full stack.
+
+        Linear layers take flat vectors; conv layers take ``(C, H, W)``.
+        The caller is responsible for matching shapes layer to layer
+        (flatten between a conv and a linear stage happens automatically).
+        """
+        analog = digital = movement = 0.0
+        movement_energy = 0.0
+        value = np.asarray(x, dtype=np.float64)
+        energy_before = sum(
+            layer.total_energy_j for layer in self.layers
+        )
+        for index, layer in enumerate(self.layers):
+            if isinstance(layer, ConvMapping):
+                out = layer.compute(value, t_seconds=t_seconds)
+                n_pixels = out.shape[1] * out.shape[2]
+                analog += (
+                    n_pixels
+                    * self._layer_wavefronts(layer)
+                    * self.config.tile_mvm_latency_s
+                )
+                out_bytes = self._layer_output_bytes(layer) * n_pixels
+            else:
+                if value.ndim != 1:
+                    value = value.ravel()
+                if value.shape[0] != layer.in_features:
+                    raise ValueError(
+                        f"layer {index}: expected {layer.in_features} "
+                        f"inputs, got {value.shape[0]}"
+                    )
+                scale = float(np.abs(value).max())
+                normalized = value / scale if scale > 0 else value
+                out = layer.compute(normalized, t_seconds=t_seconds)
+                if scale > 0:
+                    out = out * scale
+                analog += (
+                    self._layer_wavefronts(layer)
+                    * self.config.tile_mvm_latency_s
+                )
+                out_bytes = self._layer_output_bytes(layer)
+            digital += self.config.digital_latency_s
+            movement += out_bytes / self.config.interconnect_bw_bytes_s
+            movement_energy += (
+                out_bytes * self.config.interconnect_energy_per_byte_j
+            )
+            if index < len(self.layers) - 1:
+                out = self.activation(out)
+            value = out
+        converter_energy = (
+            sum(layer.total_energy_j for layer in self.layers)
+            - energy_before
+        )
+        report = ExecutionReport(
+            latency_s=analog + digital + movement,
+            analog_latency_s=analog,
+            digital_latency_s=digital,
+            movement_latency_s=movement,
+            movement_energy_j=movement_energy,
+            converter_energy_j=converter_energy,
+            total_tiles=self.total_tiles,
+        )
+        return value, report

@@ -1,0 +1,103 @@
+"""Convolution mapping onto IMC crossbars (paper Sec. IV).
+
+The paper's architecture-level problem includes "a proper mapping of the
+DNN coefficients and operations into the various tiles".  Fully-connected
+layers map directly (:mod:`repro.imc.mapper`); convolutions use the
+standard im2col unrolling: each kernel position's receptive field becomes
+one crossbar input row, each output channel one column, and one output
+pixel is produced per analog MVM.  This is the classic ISAAC-style
+weight-stationary scheme the cited IMC literature assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.rng import SeedLike
+from repro.imc.mapper import LayerMapping, map_linear_layer
+from repro.imc.tiles import TileConfig
+
+
+@dataclass
+class ConvMapping:
+    """A 2-D convolution layer resident on IMC tiles."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    padding: int
+    linear: LayerMapping
+
+    @property
+    def num_tiles(self) -> int:
+        return self.linear.num_tiles
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.linear.total_energy_j
+
+    def compute(
+        self, x: np.ndarray, t_seconds: float = 1.0
+    ) -> np.ndarray:
+        """Run the convolution over feature map ``x (C, H, W)``.
+
+        Each output pixel costs one (tiled) analog MVM; activations are
+        normalized into the DAC range per-patch and rescaled after.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[0] != self.in_channels:
+            raise ValueError(
+                f"input must be ({self.in_channels}, H, W), got {x.shape}"
+            )
+        k, p = self.kernel_size, self.padding
+        if p:
+            x = np.pad(x, ((0, 0), (p, p), (p, p)))
+        _, h, w = x.shape
+        out_h, out_w = h - k + 1, w - k + 1
+        if out_h < 1 or out_w < 1:
+            raise ValueError("kernel larger than padded input")
+        windows = sliding_window_view(x, (k, k), axis=(1, 2))
+        out = np.zeros((self.out_channels, out_h, out_w))
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = windows[:, i, j].ravel()
+                scale = float(np.abs(patch).max())
+                if scale == 0:
+                    continue
+                y = self.linear.compute(patch / scale, t_seconds=t_seconds)
+                out[:, i, j] = y * scale
+        return out
+
+
+def map_conv_layer(
+    weights: np.ndarray,
+    tile_config: TileConfig,
+    padding: int = None,
+    seed: SeedLike = None,
+) -> ConvMapping:
+    """Map convolution *weights* ``(F, C, k, k)`` onto IMC tiles.
+
+    The im2col weight matrix is ``(C*k*k, F)``: receptive-field elements
+    on the wordlines, output channels on the bitlines.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 4 or weights.shape[2] != weights.shape[3]:
+        raise ValueError(f"weights must be (F, C, k, k), got {weights.shape}")
+    n_filters, c_in, k, _ = weights.shape
+    if padding is None:
+        padding = (k - 1) // 2
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    matrix = weights.reshape(n_filters, c_in * k * k).T
+    linear = map_linear_layer(matrix, tile_config, seed=seed)
+    return ConvMapping(
+        in_channels=c_in,
+        out_channels=n_filters,
+        kernel_size=k,
+        padding=padding,
+        linear=linear,
+    )

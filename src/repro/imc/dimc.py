@@ -1,0 +1,129 @@
+"""SRAM-based digital in-memory computing macro (paper Sec. IV, refs [2], [8]).
+
+"DIMC relieves all the burdens described so far but introduces new
+challenges such as the design of fast adder trees and multipliers and the
+design of energy-efficient peripheral circuitry."
+
+The :class:`DigitalIMCMacro` computes bit-serial integer MVMs exactly: the
+weight matrix is stored as bit-planes inside the macro, input activations
+are streamed one bit per cycle, each bit-plane AND-combination is reduced
+by a column adder tree, and the shifted partial sums reconstruct the full
+product.  Being digital, the result is *exact* -- the trade against the
+analog crossbar is energy and density, which the cost model quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DIMCCostModel:
+    """Energy/latency constants of the digital macro (18 nm-class FD-SOI,
+    anchored to the 40-310 TOPS/W range reported in [8])."""
+
+    energy_per_bit_mac_j: float = 2.5e-15
+    adder_tree_energy_per_level_j: float = 0.4e-15
+    cycle_time_s: float = 1.0e-9
+
+    def mvm_energy_j(self, rows: int, cols: int, w_bits: int, x_bits: int) -> float:
+        """Energy of one ``rows x cols`` MVM at the given precisions."""
+        if min(rows, cols, w_bits, x_bits) < 1:
+            raise ValueError("all dimensions must be >= 1")
+        bit_macs = rows * cols * w_bits * x_bits
+        tree_levels = int(np.ceil(np.log2(max(rows, 2))))
+        tree_ops = cols * w_bits * x_bits * tree_levels
+        return (
+            bit_macs * self.energy_per_bit_mac_j
+            + tree_ops * self.adder_tree_energy_per_level_j
+        )
+
+    def mvm_latency_s(self, w_bits: int, x_bits: int) -> float:
+        """Bit-serial latency: one cycle per (input-bit, weight-bit-plane)
+        combination, adder tree fully pipelined."""
+        if w_bits < 1 or x_bits < 1:
+            raise ValueError("precisions must be >= 1")
+        return w_bits * x_bits * self.cycle_time_s
+
+
+class DigitalIMCMacro:
+    """An exact bit-serial signed-integer MVM macro.
+
+    Weights are signed integers of ``w_bits`` (two's complement); inputs
+    are signed integers of ``x_bits``.  ``mvm`` reproduces ``W^T x``
+    exactly; the value of the class is that it *computes through the
+    bit-serial dataflow* (bit-planes + adder tree + shift-accumulate), so
+    the tests can verify the hardware algorithm, not just numpy matmul.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        w_bits: int = 8,
+        x_bits: int = 8,
+        cost_model: DIMCCostModel = DIMCCostModel(),
+    ) -> None:
+        weights = np.asarray(weights)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a 2-D integer matrix")
+        if not np.issubdtype(weights.dtype, np.integer):
+            raise ValueError("DIMC stores integer weights; quantize first")
+        limit = 2 ** (w_bits - 1)
+        if np.any(weights < -limit) or np.any(weights >= limit):
+            raise ValueError(f"weights exceed {w_bits}-bit signed range")
+        self.w_bits = w_bits
+        self.x_bits = x_bits
+        self.cost_model = cost_model
+        self._weights = weights.astype(np.int64)
+        # Two's-complement bit-planes: plane b holds bit b of the offset
+        # representation; the sign plane carries weight -2^(w_bits-1).
+        offset = self._weights + limit
+        self._planes = [
+            ((offset >> b) & 1).astype(np.int64) for b in range(w_bits)
+        ]
+        self._offset = limit
+
+    @property
+    def shape(self) -> tuple:
+        return self._weights.shape
+
+    def mvm(self, x: np.ndarray) -> np.ndarray:
+        """Exact ``W^T x`` through the bit-serial dataflow."""
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.integer):
+            raise ValueError("DIMC takes integer activations")
+        if x.shape != (self._weights.shape[0],):
+            raise ValueError(
+                f"input must be ({self._weights.shape[0]},), got {x.shape}"
+            )
+        limit = 2 ** (self.x_bits - 1)
+        if np.any(x < -limit) or np.any(x >= limit):
+            raise ValueError(f"activations exceed {self.x_bits}-bit range")
+        x = x.astype(np.int64)
+        x_offset = x + limit
+
+        acc = np.zeros(self._weights.shape[1], dtype=np.int64)
+        for xb in range(self.x_bits):
+            x_bit = (x_offset >> xb) & 1
+            for wb, plane in enumerate(self._planes):
+                # Column adder tree: popcount of AND(x_bit, plane) per col.
+                partial = x_bit @ plane
+                acc += partial << (xb + wb)
+        # Remove the two offsets: (W + oW)^T (x + ox) expansion.
+        sum_w = self._weights.sum(axis=0)
+        sum_x = int(x.sum())
+        n = self._weights.shape[0]
+        ox, ow = limit, self._offset
+        acc -= ow * (sum_x + n * ox)
+        acc -= ox * sum_w
+        acc -= 0  # (kept for symmetry with the derivation)
+        return acc
+
+    def mvm_energy_j(self) -> float:
+        rows, cols = self.shape
+        return self.cost_model.mvm_energy_j(rows, cols, self.w_bits, self.x_bits)
+
+    def mvm_latency_s(self) -> float:
+        return self.cost_model.mvm_latency_s(self.w_bits, self.x_bits)

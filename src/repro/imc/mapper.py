@@ -1,0 +1,120 @@
+"""DNN-to-tile compiler (paper Sec. IV, architecture level).
+
+"A software compiler is essential to map the DNN layers and weights to
+the multiple cores to maximize the KPIs."  This module implements that
+mapping for linear (fully-connected) layers: a weight matrix larger than
+one crossbar is partitioned into a grid of tile-sized slices; input
+slices are broadcast along tile rows, and partial outputs from tile
+columns are summed digitally.
+
+The resulting :class:`LayerMapping` is a drop-in MVM: it hides the
+physical tiling and exposes the layer-level ``compute``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.rng import SeedLike, make_rng, spawn
+from repro.imc.tiles import IMCTile, TileConfig
+
+
+@dataclass
+class LayerMapping:
+    """A linear layer mapped onto a grid of IMC tiles.
+
+    ``tiles[i][j]`` holds the weight slice of input block *i*, output
+    block *j*.  Slices at the edge are zero-padded to the tile geometry;
+    the padding rows/cols carry zero weights and do not disturb the sums.
+    """
+
+    in_features: int
+    out_features: int
+    tile_rows: int
+    tile_cols: int
+    tiles: List[List[IMCTile]]
+
+    @property
+    def grid_shape(self) -> tuple:
+        return len(self.tiles), len(self.tiles[0])
+
+    @property
+    def num_tiles(self) -> int:
+        rows, cols = self.grid_shape
+        return rows * cols
+
+    def compute(self, x: np.ndarray, t_seconds: float = 1.0) -> np.ndarray:
+        """Layer MVM ``y = W^T x`` across the tile grid."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.in_features,):
+            raise ValueError(f"input must be ({self.in_features},)")
+        y = np.zeros(self.out_features)
+        n_row_blocks, n_col_blocks = self.grid_shape
+        for i in range(n_row_blocks):
+            x_slice = x[i * self.tile_rows : (i + 1) * self.tile_rows]
+            padded = np.zeros(self.tile_rows)
+            padded[: x_slice.size] = x_slice
+            for j in range(n_col_blocks):
+                partial = self.tiles[i][j].compute(
+                    padded, t_seconds=t_seconds, apply_activation=False
+                )
+                lo = j * self.tile_cols
+                hi = min(lo + self.tile_cols, self.out_features)
+                y[lo:hi] += partial[: hi - lo]
+        return y
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(t.total_energy_j for row in self.tiles for t in row)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of programmed crossbar cells holding real weights."""
+        capacity = self.num_tiles * self.tile_rows * self.tile_cols
+        return self.in_features * self.out_features / capacity
+
+
+def map_linear_layer(
+    weights: np.ndarray,
+    tile_config: TileConfig,
+    seed: SeedLike = None,
+) -> LayerMapping:
+    """Partition *weights* ``(in_features, out_features)`` onto tiles.
+
+    Raises if the matrix is empty; any size otherwise maps, with edge
+    slices zero-padded.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 2-D matrix")
+    in_features, out_features = weights.shape
+    rows = tile_config.crossbar.rows
+    cols = tile_config.crossbar.cols
+    n_row_blocks = int(np.ceil(in_features / rows))
+    n_col_blocks = int(np.ceil(out_features / cols))
+    rng = make_rng(seed)
+    child_rngs = iter(spawn(rng, n_row_blocks * n_col_blocks))
+
+    tiles: List[List[IMCTile]] = []
+    for i in range(n_row_blocks):
+        tile_row: List[IMCTile] = []
+        for j in range(n_col_blocks):
+            block = np.zeros((rows, cols))
+            r0, c0 = i * rows, j * cols
+            r1 = min(r0 + rows, in_features)
+            c1 = min(c0 + cols, out_features)
+            block[: r1 - r0, : c1 - c0] = weights[r0:r1, c0:c1]
+            tile = IMCTile(tile_config, seed=next(child_rngs))
+            tile.program(block)
+            tile_row.append(tile)
+        tiles.append(tile_row)
+    return LayerMapping(
+        in_features=in_features,
+        out_features=out_features,
+        tile_rows=rows,
+        tile_cols=cols,
+        tiles=tiles,
+    )

@@ -1,0 +1,170 @@
+"""End-to-end DNN inference on the IMC stack (paper Sec. IV).
+
+The architecture-level KPI the paper cares about is DNN accuracy under
+analog non-idealities.  This module provides the minimal complete loop:
+a numpy MLP classifier, a synthetic Gaussian-blob dataset, float training,
+and an :class:`IMCInferenceEngine` that runs the trained network through
+mapped crossbar tiles -- so the benches can sweep drift time, variability
+and program-verify on a real accuracy metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.metrics import classification_accuracy
+from repro.core.rng import SeedLike, make_rng
+from repro.imc.mapper import LayerMapping, map_linear_layer
+from repro.imc.tiles import TileConfig
+
+
+def make_blobs(
+    n_samples: int = 300,
+    n_features: int = 16,
+    n_classes: int = 4,
+    spread: float = 0.6,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian-blob classification dataset, features scaled to [-1, 1].
+
+    Synthetic stand-in for the DNN workloads of Sec. IV (the accuracy
+    *degradation* under device non-idealities is what the experiments
+    measure, and it transfers across datasets).
+    """
+    if n_samples < n_classes:
+        raise ValueError("need at least one sample per class")
+    rng = make_rng(seed)
+    centers = rng.uniform(-1, 1, size=(n_classes, n_features))
+    labels = rng.integers(0, n_classes, size=n_samples)
+    x = centers[labels] + rng.normal(0, spread / np.sqrt(n_features),
+                                     size=(n_samples, n_features))
+    x = np.clip(x, -1, 1)
+    return x, labels
+
+
+@dataclass
+class MLP:
+    """Two-layer perceptron with ReLU hidden activation."""
+
+    w1: np.ndarray  # (in, hidden)
+    b1: np.ndarray
+    w2: np.ndarray  # (hidden, classes)
+    b2: np.ndarray
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a batch ``(n, in)`` or single sample ``(in,)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        hidden = np.maximum(x @ self.w1 + self.b1, 0.0)
+        return hidden @ self.w2 + self.b2
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x).argmax(axis=1)
+
+
+def train_mlp(
+    x: np.ndarray,
+    labels: np.ndarray,
+    hidden: int = 32,
+    epochs: int = 200,
+    lr: float = 0.1,
+    seed: SeedLike = 0,
+) -> MLP:
+    """Full-batch softmax-cross-entropy training of an MLP."""
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if x.ndim != 2 or x.shape[0] != labels.shape[0]:
+        raise ValueError("x must be (n, features) aligned with labels")
+    n, features = x.shape
+    classes = int(labels.max()) + 1
+    rng = make_rng(seed)
+    model = MLP(
+        w1=rng.normal(0, np.sqrt(2.0 / features), (features, hidden)),
+        b1=np.zeros(hidden),
+        w2=rng.normal(0, np.sqrt(2.0 / hidden), (hidden, classes)),
+        b2=np.zeros(classes),
+    )
+    onehot = np.eye(classes)[labels]
+    for _ in range(epochs):
+        pre_hidden = x @ model.w1 + model.b1
+        hidden_act = np.maximum(pre_hidden, 0.0)
+        logits = hidden_act @ model.w2 + model.b2
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        d_logits = (probs - onehot) / n
+        d_w2 = hidden_act.T @ d_logits
+        d_b2 = d_logits.sum(axis=0)
+        d_hidden = (d_logits @ model.w2.T) * (pre_hidden > 0)
+        d_w1 = x.T @ d_hidden
+        d_b1 = d_hidden.sum(axis=0)
+        model.w1 -= lr * d_w1
+        model.b1 -= lr * d_b1
+        model.w2 -= lr * d_w2
+        model.b2 -= lr * d_b2
+    return model
+
+
+class IMCInferenceEngine:
+    """The trained MLP executed on mapped analog IMC tiles.
+
+    Biases and activation functions run in the digital periphery (exact);
+    both matrix products run through the analog crossbar chain.
+    """
+
+    def __init__(
+        self,
+        model: MLP,
+        tile_config: TileConfig,
+        seed: SeedLike = 0,
+    ) -> None:
+        rng = make_rng(seed)
+        self.model = model
+        self.layer1: LayerMapping = map_linear_layer(
+            model.w1, tile_config, seed=rng
+        )
+        self.layer2: LayerMapping = map_linear_layer(
+            model.w2, tile_config, seed=rng
+        )
+
+    def predict(
+        self, x: np.ndarray, t_seconds: float = 1.0
+    ) -> np.ndarray:
+        """Class predictions for a batch through the analog stack."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        outputs = []
+        for sample in x:
+            hidden = np.maximum(
+                self.layer1.compute(sample, t_seconds=t_seconds)
+                + self.model.b1,
+                0.0,
+            )
+            # Hidden activations are re-normalized into the DAC range.
+            scale = np.abs(hidden).max()
+            if scale > 0:
+                hidden_in = hidden / scale
+            else:
+                hidden_in = hidden
+            logits = (
+                self.layer2.compute(hidden_in, t_seconds=t_seconds) * scale
+                + self.model.b2
+            )
+            outputs.append(int(np.argmax(logits)))
+        return np.array(outputs)
+
+    def accuracy(
+        self, x: np.ndarray, labels: np.ndarray, t_seconds: float = 1.0
+    ) -> float:
+        return classification_accuracy(
+            np.asarray(labels), self.predict(x, t_seconds=t_seconds)
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.layer1.total_energy_j + self.layer2.total_energy_j
+
+    @property
+    def num_tiles(self) -> int:
+        return self.layer1.num_tiles + self.layer2.num_tiles

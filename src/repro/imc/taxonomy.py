@@ -1,0 +1,175 @@
+"""Processor-memory architecture taxonomy of Fig. 2 (paper Sec. IV).
+
+Fig. 2 contrasts four organizations: (a) the von Neumann architecture
+with off-chip weight traffic, (b) near-memory computing, (c) SRAM-based
+in-memory computing and (d) eNVM-based in-memory computing.  The figure's
+message is the progressive elimination of data movement: IMC "minimizes
+the data movement and the associated latency and energy consumption."
+
+:func:`mvm_cost` prices one ``m x n`` matrix-vector product under each
+organization with a transparent energy/latency breakdown (weight
+movement, activation movement, compute), using per-byte movement energies
+from the standard technology references (45 nm-class numbers; the
+*ratios* between hierarchy levels are what matters and they are stable
+across nodes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.units import GIGA, PICO
+
+
+class ArchitectureKind(enum.Enum):
+    """The four organizations of Fig. 2."""
+
+    VON_NEUMANN = "von Neumann"
+    NEAR_MEMORY = "near-memory"
+    IMC_SRAM = "SRAM-based IMC"
+    IMC_ENVM = "eNVM-based IMC"
+
+
+@dataclass(frozen=True)
+class MovementCosts:
+    """Per-byte movement and per-MAC compute energies (joules)."""
+
+    dram_per_byte: float = 100e-12
+    onchip_sram_per_byte: float = 10e-12
+    local_buffer_per_byte: float = 1e-12
+    digital_mac: float = 0.25e-12
+    analog_mac: float = 0.02e-12
+    adc_per_output: float = 2e-12
+    dram_bandwidth_bytes_s: float = 25 * GIGA
+    onchip_bandwidth_bytes_s: float = 400 * GIGA
+
+
+@dataclass(frozen=True)
+class MVMCost:
+    """Cost breakdown of one MVM under one architecture."""
+
+    kind: ArchitectureKind
+    weight_movement_j: float
+    activation_movement_j: float
+    compute_j: float
+    latency_s: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return (
+            self.weight_movement_j + self.activation_movement_j + self.compute_j
+        )
+
+    @property
+    def movement_fraction(self) -> float:
+        """Share of energy spent moving data -- the Fig. 2 story line."""
+        total = self.total_energy_j
+        if total == 0:
+            return 0.0
+        return (self.weight_movement_j + self.activation_movement_j) / total
+
+
+def mvm_cost(
+    kind: ArchitectureKind,
+    rows: int,
+    cols: int,
+    bytes_per_element: int = 1,
+    costs: MovementCosts = MovementCosts(),
+) -> MVMCost:
+    """Energy/latency of one ``rows x cols`` MVM under *kind*.
+
+    - von Neumann: weights stream from DRAM, activations from on-chip
+      SRAM, digital MACs;
+    - near-memory: weights held in on-chip SRAM next to the compute units
+      (one SRAM read per weight), digital MACs;
+    - SRAM-IMC: weights resident *inside* the computing SRAM macro (no
+      per-MVM weight movement -- only the volatile array must have been
+      loaded once, amortized away), activations via local buffers, analog
+      or adder-tree MACs plus column readout;
+    - eNVM-IMC: weights stored in the nonvolatile array (no loading at
+      all), otherwise like SRAM-IMC.
+    """
+    if rows < 1 or cols < 1 or bytes_per_element < 1:
+        raise ValueError("dimensions must be >= 1")
+    n_weights = rows * cols
+    weight_bytes = n_weights * bytes_per_element
+    act_bytes = (rows + cols) * bytes_per_element
+    macs = n_weights
+
+    if kind is ArchitectureKind.VON_NEUMANN:
+        weight_j = weight_bytes * costs.dram_per_byte
+        act_j = act_bytes * costs.onchip_sram_per_byte
+        compute_j = macs * costs.digital_mac
+        latency = (
+            weight_bytes / costs.dram_bandwidth_bytes_s
+            + act_bytes / costs.onchip_bandwidth_bytes_s
+        )
+    elif kind is ArchitectureKind.NEAR_MEMORY:
+        weight_j = weight_bytes * costs.onchip_sram_per_byte
+        act_j = act_bytes * costs.local_buffer_per_byte
+        compute_j = macs * costs.digital_mac
+        latency = weight_bytes / costs.onchip_bandwidth_bytes_s
+    elif kind is ArchitectureKind.IMC_SRAM:
+        weight_j = 0.0
+        act_j = act_bytes * costs.local_buffer_per_byte
+        compute_j = macs * costs.analog_mac + cols * costs.adc_per_output
+        latency = act_bytes / costs.onchip_bandwidth_bytes_s + 100e-9
+    elif kind is ArchitectureKind.IMC_ENVM:
+        weight_j = 0.0
+        act_j = act_bytes * costs.local_buffer_per_byte
+        compute_j = macs * costs.analog_mac + cols * costs.adc_per_output
+        latency = act_bytes / costs.onchip_bandwidth_bytes_s + 100e-9
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown architecture {kind}")
+    return MVMCost(
+        kind=kind,
+        weight_movement_j=weight_j,
+        activation_movement_j=act_j,
+        compute_j=compute_j,
+        latency_s=latency,
+    )
+
+
+def standby_weight_energy_j(
+    kind: ArchitectureKind,
+    rows: int,
+    cols: int,
+    standby_seconds: float,
+    sram_leakage_per_bit_w: float = 10e-15,
+    bytes_per_element: int = 1,
+) -> float:
+    """Weight-retention energy over *standby_seconds*.
+
+    The eNVM advantage Fig. 2(d) adds on top of (c): nonvolatile weights
+    leak nothing, while SRAM-resident weights pay leakage continuously.
+    """
+    if standby_seconds < 0:
+        raise ValueError("standby time must be non-negative")
+    if kind in (ArchitectureKind.IMC_ENVM,):
+        return 0.0
+    bits = rows * cols * bytes_per_element * 8
+    return bits * sram_leakage_per_bit_w * standby_seconds
+
+
+def taxonomy_table(
+    rows: int = 512, cols: int = 512, bytes_per_element: int = 1
+) -> List[Dict[str, float]]:
+    """Fig. 2 as data: one dict per architecture with the cost breakdown,
+    ordered (a) to (d)."""
+    table = []
+    for kind in ArchitectureKind:
+        cost = mvm_cost(kind, rows, cols, bytes_per_element)
+        table.append(
+            {
+                "architecture": kind.value,
+                "weight_movement_pj": cost.weight_movement_j / PICO,
+                "activation_movement_pj": cost.activation_movement_j / PICO,
+                "compute_pj": cost.compute_j / PICO,
+                "total_pj": cost.total_energy_j / PICO,
+                "movement_fraction": cost.movement_fraction,
+                "latency_us": cost.latency_s * 1e6,
+            }
+        )
+    return table

@@ -1,0 +1,100 @@
+"""Multi-tile IMC system building block (paper Sec. IV, architecture level).
+
+"It is essential to develop a multi-core system that can harmonize and
+synchronize the analog MVM operations in each memory array, the digital
+activation and error compensation, and the data movement between the
+Processing Elements."
+
+An :class:`IMCTile` wraps one analog crossbar with its digital periphery:
+activation function, drift compensation, and per-operation energy/latency
+accounting.  Tiles are the unit the mapper of :mod:`repro.imc.mapper`
+assigns DNN layer slices to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.rng import SeedLike
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One tile: a crossbar plus digital-peripheral timing/energy."""
+
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    digital_energy_per_op_j: float = 50e-15
+    mvm_latency_s: float = 100e-9
+    drift_compensation: bool = True
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+class IMCTile:
+    """A programmed crossbar tile with digital periphery.
+
+    ``compute`` runs one MVM with all analog non-idealities, applies the
+    optional digital drift compensation (a single multiplicative
+    correction ``t^nu`` -- the calibration the paper's "accurate digital
+    compensation of inaccuracies, such as drift" refers to) and the
+    activation function, while tallying energy.
+    """
+
+    def __init__(
+        self,
+        config: TileConfig,
+        seed: SeedLike = None,
+        activation: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        self.config = config
+        self.crossbar = AnalogCrossbar(config.crossbar, seed=seed)
+        self.activation = activation or _identity
+        self.digital_energy_j = 0.0
+        self.mvm_count = 0
+
+    @property
+    def rows(self) -> int:
+        return self.config.crossbar.rows
+
+    @property
+    def cols(self) -> int:
+        return self.config.crossbar.cols
+
+    def program(self, weights: np.ndarray) -> None:
+        """Program a weight slice into the tile's crossbar."""
+        self.crossbar.program_weights(weights)
+
+    def compute(
+        self,
+        x: np.ndarray,
+        t_seconds: float = 1.0,
+        apply_activation: bool = True,
+    ) -> np.ndarray:
+        """One tile MVM with digital post-processing."""
+        y = self.crossbar.mvm(x, t_seconds=t_seconds)
+        if self.config.drift_compensation and t_seconds > 1.0:
+            # Digital periphery rescales by the expected drift decay.
+            y = y * t_seconds**self.config.crossbar.device.drift_nu
+        self.digital_energy_j += (
+            self.cols * self.config.digital_energy_per_op_j
+        )
+        self.mvm_count += 1
+        if apply_activation:
+            y = self.activation(y)
+        return y
+
+    @property
+    def total_energy_j(self) -> float:
+        """Analog conversion energy plus digital periphery energy."""
+        return self.crossbar.ledger.total_energy_j + self.digital_energy_j
+
+    @property
+    def latency_s(self) -> float:
+        """Total busy time so far."""
+        return self.mvm_count * self.config.mvm_latency_s

@@ -1,0 +1,55 @@
+"""RISC-V Scalable Compute Fabric (paper Sec. VII, Fig. 8 / Fig. 9).
+
+The ICSC Flagship 2 target: "the architecture design, simulation
+framework, and overall validation of the system architecture of a
+Scalable Compute Fabric (SCF) exploiting the RISC-V open processor."
+
+- :mod:`repro.scf.rv32`        -- an RV32IM assembler + functional ISA
+  simulator, the substrate standing in for the Snitch/CV32E40P cores;
+- :mod:`repro.scf.engines`     -- BF16 tensor / vector / NPU engine
+  models (RedMule-, Spatz-class);
+- :mod:`repro.scf.cluster`     -- the Compute Unit: cores + L1 SRAM +
+  engines, anchored to the GF12 prototype (1.21 mm^2, 150 GFLOPS,
+  1.5 TFLOPS/W at 460 MHz / 0.55 V);
+- :mod:`repro.scf.interconnect`-- hierarchical AXI and NoC models;
+- :mod:`repro.scf.workloads`   -- transformer-block workloads (BF16);
+- :mod:`repro.scf.fabric`      -- the multi-CU SCF and its scale-up study;
+- :mod:`repro.scf.power`       -- DVFS energy model around the published
+  operating point;
+- :mod:`repro.scf.roofline`    -- roofline analysis of CU workloads.
+"""
+
+from repro.scf.rv32 import Assembler, RV32Simulator, assemble_and_run
+from repro.scf.rv32_encoding import encode_program, decode_program
+from repro.scf.host import HostConfig, run_dispatch
+from repro.scf.engines import EngineConfig, TensorEngine, VectorEngine
+from repro.scf.cluster import ComputeUnit, ComputeUnitConfig
+from repro.scf.interconnect import AXIHierarchy, NocMesh
+from repro.scf.workloads import TransformerConfig, transformer_block_gemms
+from repro.scf.fabric import ScalableComputeFabric, ScalingPoint
+from repro.scf.power import OperatingPoint, dvfs_scale
+from repro.scf.roofline import roofline_performance
+
+__all__ = [
+    "Assembler",
+    "RV32Simulator",
+    "assemble_and_run",
+    "encode_program",
+    "decode_program",
+    "HostConfig",
+    "run_dispatch",
+    "EngineConfig",
+    "TensorEngine",
+    "VectorEngine",
+    "ComputeUnit",
+    "ComputeUnitConfig",
+    "AXIHierarchy",
+    "NocMesh",
+    "TransformerConfig",
+    "transformer_block_gemms",
+    "ScalableComputeFabric",
+    "ScalingPoint",
+    "OperatingPoint",
+    "dvfs_scale",
+    "roofline_performance",
+]

@@ -1,0 +1,127 @@
+"""The SCF Compute Unit (paper Fig. 9).
+
+A CU is a cluster of computation-oriented RISC-V cores sharing an L1
+SRAM, augmented with a BF16 tensor engine and a vector unit.  The model
+is anchored to the GF12 prototype: ~1.21 mm^2, up to 150 GFLOPS and
+1.5 TFLOPS/W at 460 MHz / 0.55 V, "thanks to accelerators using the
+BFloat16 precision for all major Transformer blocks".
+
+Anchor arithmetic: 150 GFLOPS / 460 MHz = ~326 FLOPs/cycle; a 12x16 FMA
+array peaks at 384 FLOPs/cycle, so the published figure corresponds to
+~85% utilization -- exactly the tensor engine's efficiency cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.units import GIGA, KIBI
+from repro.scf.engines import EngineConfig, TensorEngine, VectorEngine
+from repro.scf.power import CU_PUBLISHED, OperatingPoint
+
+
+@dataclass(frozen=True)
+class ComputeUnitConfig:
+    """CU composition and physical parameters."""
+
+    num_cores: int = 8
+    l1_kib: int = 128
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    vector_lanes: int = 4
+    operating_point: OperatingPoint = CU_PUBLISHED
+    area_mm2: float = 1.21
+    l1_bandwidth_bytes_cycle: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.l1_kib < 1 or self.area_mm2 <= 0:
+            raise ValueError("L1 size and area must be positive")
+        if self.l1_bandwidth_bytes_cycle < 1:
+            raise ValueError("L1 bandwidth must be >= 1 byte/cycle")
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1_kib * KIBI
+
+
+@dataclass(frozen=True)
+class GemmExecution:
+    """Timing of one GEMM on a CU."""
+
+    m: int
+    n: int
+    k: int
+    cycles: int
+    compute_bound: bool
+
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+
+class ComputeUnit:
+    """One SCF Compute Unit with cycle accounting."""
+
+    def __init__(self, config: ComputeUnitConfig = ComputeUnitConfig()) -> None:
+        self.config = config
+        self.tensor = TensorEngine(config.engine)
+        self.vector = VectorEngine(lanes=config.vector_lanes)
+        self.busy_cycles = 0
+        self.flops_executed = 0.0
+
+    @property
+    def clock_hz(self) -> float:
+        return self.config.operating_point.clock_hz
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of the tensor datapath at the operating clock."""
+        return (
+            self.config.engine.peak_flops_per_cycle * self.clock_hz
+        )
+
+    def fits_in_l1(self, m: int, n: int, k: int, bytes_per_el: int = 2) -> bool:
+        """Do the A, B and C tiles fit the shared L1 simultaneously?"""
+        footprint = bytes_per_el * (m * k + k * n + m * n)
+        return footprint <= self.config.l1_bytes
+
+    def run_gemm(self, m: int, n: int, k: int) -> GemmExecution:
+        """Execute one BF16 GEMM, tiling through L1 as needed.
+
+        Compute cycles come from the tensor engine; data movement cycles
+        from streaming A/B/C through the L1 port.  The slower of the two
+        wins (double-buffered operation).
+        """
+        if min(m, n, k) < 1:
+            raise ValueError("GEMM dimensions must be >= 1")
+        compute = self.tensor.gemm_cycles(m, n, k)
+        traffic_bytes = 2 * (m * k + k * n + 2 * m * n)
+        movement = -(-traffic_bytes // self.config.l1_bandwidth_bytes_cycle)
+        cycles = max(compute, movement)
+        self.busy_cycles += cycles
+        self.flops_executed += 2.0 * m * n * k
+        return GemmExecution(
+            m=m, n=n, k=k, cycles=cycles,
+            compute_bound=compute >= movement,
+        )
+
+    def run_elementwise(self, elements: int, flops_per_element: float = 4.0) -> int:
+        """Execute a vector-unit pass; returns cycles."""
+        cycles = self.vector.elementwise_cycles(elements, flops_per_element)
+        self.busy_cycles += cycles
+        self.flops_executed += elements * flops_per_element
+        return cycles
+
+    def achieved_flops(self) -> float:
+        """Average FLOP/s over everything executed so far."""
+        if self.busy_cycles == 0:
+            return 0.0
+        return self.flops_executed / self.busy_cycles * self.clock_hz
+
+    def achieved_efficiency_flops_per_w(self) -> float:
+        """Achieved FLOP/s per watt at the CU operating power."""
+        return self.achieved_flops() / self.config.operating_point.power_w
+
+    def elapsed_seconds(self) -> float:
+        return self.busy_cycles / self.clock_hz

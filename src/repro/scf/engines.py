@@ -1,0 +1,95 @@
+"""Special-purpose compute engines attached to SCF Compute Units.
+
+Each CU "can further be augmented with special purpose units, such as
+vector processing units tightly-coupled to the cores; local neural
+processing units; tensor cores; digital in-memory-computing augmented
+SRAM."  The engines here are throughput models: a peak FLOPs/cycle
+capability plus a shape-dependent utilization derived from array tiling,
+the level of detail the SCF scale-up study needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Geometry of a 2-D FMA array engine (RedMule-class)."""
+
+    name: str = "tensor"
+    array_rows: int = 12
+    array_cols: int = 16
+    precision: str = "BF16"
+    efficiency_cap: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.array_rows < 1 or self.array_cols < 1:
+            raise ValueError("array dimensions must be >= 1")
+        if not 0 < self.efficiency_cap <= 1:
+            raise ValueError("efficiency cap must be in (0, 1]")
+
+    @property
+    def peak_flops_per_cycle(self) -> int:
+        """Two FLOPs (mul + add) per PE per cycle."""
+        return 2 * self.array_rows * self.array_cols
+
+
+class TensorEngine:
+    """RedMule-class mixed-precision matrix engine [50]."""
+
+    def __init__(self, config: EngineConfig = EngineConfig()) -> None:
+        self.config = config
+
+    def tiling_efficiency(self, m: int, n: int, k: int) -> float:
+        """Fraction of the array kept busy by an ``m x k @ k x n`` GEMM.
+
+        Edge tiles waste PEs when m/n are not multiples of the array
+        dimensions; long k amortizes the pipeline fill.  Capped by the
+        engine's structural efficiency.
+        """
+        if min(m, n, k) < 1:
+            raise ValueError("GEMM dimensions must be >= 1")
+        rows, cols = self.config.array_rows, self.config.array_cols
+        row_eff = m / (rows * -(-m // rows))
+        col_eff = n / (cols * -(-n // cols))
+        fill = k / (k + rows)  # pipeline fill/drain amortization
+        return self.config.efficiency_cap * row_eff * col_eff * fill
+
+    def gemm_cycles(self, m: int, n: int, k: int) -> int:
+        """Cycles for one GEMM at the tiled utilization."""
+        flops = 2.0 * m * n * k
+        eff = self.tiling_efficiency(m, n, k)
+        return int(
+            -(-flops // (self.config.peak_flops_per_cycle * eff))
+        )
+
+    def sustained_flops(self, m: int, n: int, k: int, clock_hz: float) -> float:
+        """Sustained FLOP/s on this GEMM shape at *clock_hz*."""
+        if clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        return 2.0 * m * n * k / self.gemm_cycles(m, n, k) * clock_hz
+
+
+class VectorEngine:
+    """Spatz-class compact vector unit [48] for the non-GEMM operators
+    (softmax, layernorm, activations)."""
+
+    def __init__(self, lanes: int = 4, efficiency: float = 0.7) -> None:
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        self.lanes = lanes
+        self.efficiency = efficiency
+
+    @property
+    def flops_per_cycle(self) -> float:
+        return 2.0 * self.lanes * self.efficiency
+
+    def elementwise_cycles(self, elements: int, flops_per_element: float) -> int:
+        """Cycles for an elementwise pass over *elements*."""
+        if elements < 1 or flops_per_element <= 0:
+            raise ValueError("invalid elementwise workload")
+        total = elements * flops_per_element
+        return int(-(-total // self.flops_per_cycle))

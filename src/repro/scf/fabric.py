@@ -1,0 +1,116 @@
+"""The Scalable Compute Fabric: host + N Compute Units (paper Fig. 8).
+
+"The template includes, on a single silicon chip/chiplet, a heterogeneous
+acceleration system with a host/controller Linux capable processor (e.g.,
+based on the CVA6 design) and an acceleration fabric composed of a
+collection of Compute Units."
+
+:class:`ScalableComputeFabric` executes transformer blocks across CUs
+with sequence-parallel partitioning: each CU processes a slice of the
+sequence, weights are broadcast through the interconnect, and the slower
+of compute and weight delivery bounds throughput -- producing the
+scaling curve (and its interconnect-dependent knee) that the SCF design
+study is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.scf.cluster import ComputeUnit, ComputeUnitConfig
+from repro.scf.interconnect import AXIHierarchy, NocMesh
+from repro.scf.workloads import (
+    TransformerConfig,
+    block_elementwise_elements,
+    block_gemm_flops,
+    block_weight_bytes,
+    sequence_parallel_gemms,
+    transformer_block_gemms,
+)
+
+Interconnect = Union[AXIHierarchy, NocMesh]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of the SCF scale-up curve."""
+
+    num_cus: int
+    seconds_per_block: float
+    sustained_flops: float
+    parallel_efficiency: float
+    power_w: float
+    compute_bound: bool
+
+    @property
+    def flops_per_w(self) -> float:
+        return self.sustained_flops / self.power_w
+
+
+@dataclass
+class ScalableComputeFabric:
+    """An SCF instance: CU configuration + interconnect + host."""
+
+    cu_config: ComputeUnitConfig = field(default_factory=ComputeUnitConfig)
+    interconnect: Interconnect = field(default_factory=NocMesh)
+    host_power_w: float = 2.0
+
+    def _cu_slice_seconds(
+        self, workload: TransformerConfig, slice_len: int
+    ) -> float:
+        """Busy time of one CU processing *slice_len* query rows."""
+        cu = ComputeUnit(self.cu_config)
+        for _, m, n, k, count in sequence_parallel_gemms(
+            workload, slice_len
+        ):
+            for _ in range(count):
+                cu.run_gemm(m, n, k)
+        elementwise = block_elementwise_elements(workload)
+        share = max(1, elementwise * slice_len // workload.seq_len)
+        cu.run_elementwise(share)
+        return cu.elapsed_seconds()
+
+    def run_block(
+        self, workload: TransformerConfig, num_cus: int
+    ) -> ScalingPoint:
+        """Execute one transformer block sequence-parallel over
+        *num_cus* CUs."""
+        if num_cus < 1:
+            raise ValueError("num_cus must be >= 1")
+        slice_len = min(
+            workload.seq_len, max(1, -(-workload.seq_len // num_cus))
+        )
+        compute_s = self._cu_slice_seconds(workload, slice_len)
+        # Every CU needs the full weight set per block; the interconnect
+        # must deliver it (double buffering overlaps it with compute).
+        weight_bytes = block_weight_bytes(workload)
+        bandwidth = self.interconnect.per_cu_bandwidth(num_cus)
+        delivery_s = (
+            weight_bytes / bandwidth
+            + self.interconnect.access_latency_s(num_cus)
+        )
+        seconds = max(compute_s, delivery_s)
+        flops = block_gemm_flops(workload)
+        single = self._cu_slice_seconds(workload, workload.seq_len)
+        efficiency = single / (seconds * num_cus)
+        power = (
+            num_cus * self.cu_config.operating_point.power_w
+            + self.host_power_w
+        )
+        return ScalingPoint(
+            num_cus=num_cus,
+            seconds_per_block=seconds,
+            sustained_flops=flops / seconds,
+            parallel_efficiency=efficiency,
+            power_w=power,
+            compute_bound=compute_s >= delivery_s,
+        )
+
+    def scaling_study(
+        self, workload: TransformerConfig, cu_counts: List[int]
+    ) -> List[ScalingPoint]:
+        """The Fig. 8 scale-up curve over *cu_counts*."""
+        if not cu_counts:
+            raise ValueError("cu_counts must be non-empty")
+        return [self.run_block(workload, n) for n in cu_counts]

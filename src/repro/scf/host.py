@@ -1,0 +1,115 @@
+"""Host controller model: the CVA6-class processor of Fig. 8.
+
+The SCF template pairs the acceleration fabric with "a host/controller
+Linux capable processor (e.g., based on the CVA6 design)".  The host's
+role in inference is dispatch: computing the tile schedule and issuing
+work descriptors to the CUs.  This module *executes the dispatch loop as
+a real RV32IM program* on the functional simulator, converts its cycle
+count to wall-clock at the host frequency, and exposes the overhead so
+fabric-level studies can check dispatch never becomes the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scf.rv32 import Assembler, RV32Simulator
+from repro.scf.workloads import TransformerConfig
+
+#: Dispatch program: for each of a0 = n_tiles work items, compute the
+#: descriptor (base address + size) and store it to the mailbox at 0x800.
+_DISPATCH_TEMPLATE = """
+    li t0, {n_tiles}      # tiles to dispatch
+    li t1, 0x800          # mailbox base
+    li t2, 0              # tile index
+    li t3, {tile_rows}    # rows per tile
+loop:
+    beq t2, t0, done
+    mul t4, t2, t3        # descriptor: first row of this tile
+    sw t4, 0(t1)          # post base row
+    sw t3, 4(t1)          # post row count
+    addi t1, t1, 8
+    addi t2, t2, 1
+    j loop
+done:
+    mv a0, t2
+    li a7, 93
+    ecall
+"""
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """CVA6-class host operating point."""
+
+    clock_hz: float = 1.0e9
+    power_w: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.power_w <= 0:
+            raise ValueError("host parameters must be positive")
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Outcome of one dispatch-loop execution."""
+
+    tiles: int
+    instructions: int
+    cycles: int
+    seconds: float
+    descriptors: list
+
+    @property
+    def cycles_per_tile(self) -> float:
+        return self.cycles / self.tiles if self.tiles else 0.0
+
+
+def run_dispatch(
+    workload: TransformerConfig,
+    num_cus: int,
+    host: HostConfig = HostConfig(),
+) -> DispatchResult:
+    """Execute the host's tile-dispatch loop for *workload* on *num_cus*
+    Compute Units and return its measured cost."""
+    if num_cus < 1:
+        raise ValueError("num_cus must be >= 1")
+    tile_rows = max(1, -(-workload.seq_len // num_cus))
+    n_tiles = -(-workload.seq_len // tile_rows)
+    source = _DISPATCH_TEMPLATE.format(
+        n_tiles=n_tiles, tile_rows=tile_rows
+    )
+    program = Assembler().assemble(source)
+    sim = RV32Simulator()
+    dispatched = sim.run(program)
+    if dispatched != n_tiles:
+        raise RuntimeError(
+            f"dispatch program posted {dispatched} tiles, expected {n_tiles}"
+        )
+    descriptors = [
+        tuple(sim.read_words(0x800 + 8 * i, 2)) for i in range(n_tiles)
+    ]
+    return DispatchResult(
+        tiles=n_tiles,
+        instructions=sim.instructions_retired,
+        cycles=sim.cycles,
+        seconds=sim.cycles / host.clock_hz,
+        descriptors=descriptors,
+    )
+
+
+def dispatch_overhead_fraction(
+    workload: TransformerConfig,
+    num_cus: int,
+    block_seconds: float,
+    host: HostConfig = HostConfig(),
+) -> float:
+    """Host dispatch time as a fraction of one block's fabric time.
+
+    The Fig. 8 design is only balanced if this stays tiny; the fabric
+    bench asserts it.
+    """
+    if block_seconds <= 0:
+        raise ValueError("block_seconds must be positive")
+    result = run_dispatch(workload, num_cus, host)
+    return result.seconds / block_seconds

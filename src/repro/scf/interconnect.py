@@ -1,0 +1,93 @@
+"""SCF interconnect models: hierarchical AXI and NoC (paper Sec. VII).
+
+Fig. 8 connects CUs "using a scalable interconnect, such as a
+hierarchical AXI [45], [46] or a Network-on-Chip [47]".  Both models
+answer the same question -- effective bandwidth per CU as the fabric
+grows -- with different scaling behaviour:
+
+- :class:`AXIHierarchy`: a tree of crossbars; every level multiplexes its
+  children onto one upstream port, so per-CU bandwidth to main memory
+  shrinks with the CU count (the scaling wall);
+- :class:`NocMesh`: a 2-D mesh with per-hop latency and bisection-limited
+  aggregate bandwidth, scaling per-CU bandwidth much more gently --
+  FlooNoC's multi-Tb/s argument [47].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.units import GIGA
+
+
+@dataclass(frozen=True)
+class AXIHierarchy:
+    """Tree-of-crossbars interconnect."""
+
+    fanout: int = 4
+    port_bandwidth_bytes_s: float = 32 * GIGA
+    hop_latency_ns: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if self.port_bandwidth_bytes_s <= 0 or self.hop_latency_ns <= 0:
+            raise ValueError("bandwidth and latency must be positive")
+
+    def levels(self, num_cus: int) -> int:
+        """Crossbar levels needed to reach *num_cus* leaves."""
+        if num_cus < 1:
+            raise ValueError("num_cus must be >= 1")
+        return max(1, math.ceil(math.log(num_cus, self.fanout)))
+
+    def per_cu_bandwidth(self, num_cus: int) -> float:
+        """Main-memory bandwidth share of one CU: the root port is shared
+        by every CU."""
+        if num_cus < 1:
+            raise ValueError("num_cus must be >= 1")
+        return self.port_bandwidth_bytes_s / num_cus
+
+    def access_latency_s(self, num_cus: int) -> float:
+        """Round-trip latency through the tree."""
+        return 2 * self.levels(num_cus) * self.hop_latency_ns * 1e-9
+
+
+@dataclass(frozen=True)
+class NocMesh:
+    """2-D mesh NoC (FlooNoC-class wide links)."""
+
+    link_bandwidth_bytes_s: float = 64 * GIGA
+    hop_latency_ns: float = 2.0
+    memory_ports_per_edge: int = 2
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_bytes_s <= 0 or self.hop_latency_ns <= 0:
+            raise ValueError("bandwidth and latency must be positive")
+        if self.memory_ports_per_edge < 1:
+            raise ValueError("need at least one memory port per edge")
+
+    @staticmethod
+    def mesh_side(num_cus: int) -> int:
+        if num_cus < 1:
+            raise ValueError("num_cus must be >= 1")
+        return max(1, math.ceil(math.sqrt(num_cus)))
+
+    def per_cu_bandwidth(self, num_cus: int) -> float:
+        """Per-CU share of the edge memory ports.
+
+        Memory ports sit on the mesh edge, so aggregate bandwidth grows
+        with sqrt(N) instead of staying flat -- gentler than the AXI
+        root bottleneck but not free.
+        """
+        side = self.mesh_side(num_cus)
+        aggregate = (
+            side * self.memory_ports_per_edge * self.link_bandwidth_bytes_s
+        )
+        return aggregate / num_cus
+
+    def access_latency_s(self, num_cus: int) -> float:
+        """Average round-trip: half the mesh diameter each way."""
+        side = self.mesh_side(num_cus)
+        hops = max(1, side)  # average Manhattan distance ~ side
+        return 2 * hops * self.hop_latency_ns * 1e-9

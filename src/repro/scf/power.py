@@ -1,0 +1,73 @@
+"""Energy / DVFS model around the published CU operating point.
+
+Fig. 9's prototype CU "achieves up to 150 GFLOPS and 1.5 TFLOPS/W at
+460 MHz, 0.55 V".  :class:`OperatingPoint` anchors the model there;
+:func:`dvfs_scale` applies the standard alpha-power scaling (dynamic
+power ~ C V^2 f, frequency roughly linear in voltage overdrive) to
+derive nearby voltage/frequency points for the scale-up study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import GIGA, TERA
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (V, f) point with its performance/power figures."""
+
+    voltage_v: float
+    clock_hz: float
+    peak_flops: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if min(self.voltage_v, self.clock_hz, self.peak_flops,
+               self.power_w) <= 0:
+            raise ValueError("operating-point values must be positive")
+
+    @property
+    def efficiency_flops_per_w(self) -> float:
+        return self.peak_flops / self.power_w
+
+    @property
+    def efficiency_tflops_per_w(self) -> float:
+        return self.efficiency_flops_per_w / TERA
+
+
+#: The published GF12 Compute Unit operating point (Fig. 9).
+CU_PUBLISHED = OperatingPoint(
+    voltage_v=0.55,
+    clock_hz=460e6,
+    peak_flops=150 * GIGA,
+    power_w=0.1,  # 150 GFLOPS / 1.5 TFLOPS/W
+)
+
+#: Threshold-ish voltage of the GF12 device models used for DVFS scaling.
+_V_THRESHOLD = 0.30
+
+
+def dvfs_scale(
+    base: OperatingPoint, voltage_v: float
+) -> OperatingPoint:
+    """Scale *base* to a new supply *voltage_v*.
+
+    Frequency scales with the overdrive ``(V - Vth)`` (alpha ~ 1 linear
+    approximation around the anchor); performance scales with frequency;
+    dynamic power scales as ``V^2 f``.
+    """
+    if voltage_v <= _V_THRESHOLD:
+        raise ValueError(
+            f"voltage must exceed the {_V_THRESHOLD} V threshold"
+        )
+    freq_ratio = (voltage_v - _V_THRESHOLD) / (base.voltage_v - _V_THRESHOLD)
+    clock = base.clock_hz * freq_ratio
+    power = base.power_w * (voltage_v / base.voltage_v) ** 2 * freq_ratio
+    return OperatingPoint(
+        voltage_v=voltage_v,
+        clock_hz=clock,
+        peak_flops=base.peak_flops * freq_ratio,
+        power_w=power,
+    )

@@ -1,0 +1,127 @@
+"""Library of RV32IM assembly programs.
+
+Canonical kernels for the functional simulator: they double as ISA
+coverage tests and as realistic host-side control code for the SCF
+studies.  Every program follows the same contract: inputs preloaded in
+memory or registers as documented, result returned as the exit code
+(register ``a0`` at the exit ``ecall``).
+"""
+
+from __future__ import annotations
+
+#: Sum of the N words at address 0x1000 (N in t1 patched by format).
+SUM_ARRAY = """
+    li t0, 0x1000
+    li t1, {count}
+    li a0, 0
+loop:
+    beq t1, x0, done
+    lw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    j loop
+done:
+    li a7, 93
+    ecall
+"""
+
+#: Fibonacci(n) iteratively, n in {n}.
+FIBONACCI = """
+    li t0, {n}
+    li a0, 0
+    li t1, 1
+    beq t0, x0, done
+loop:
+    add t2, a0, t1
+    mv a0, t1
+    mv t1, t2
+    addi t0, t0, -1
+    bne t0, x0, loop
+    mv a0, a0
+done:
+    li a7, 93
+    ecall
+"""
+
+#: Greatest common divisor of {a} and {b} (Euclid with remu).
+GCD = """
+    li a0, {a}
+    li a1, {b}
+loop:
+    beq a1, x0, done
+    remu t0, a0, a1
+    mv a0, a1
+    mv a1, t0
+    j loop
+done:
+    li a7, 93
+    ecall
+"""
+
+#: Count set bits of the word preloaded at 0x1000.
+POPCOUNT = """
+    li t0, 0x1000
+    lw t1, 0(t0)
+    li a0, 0
+loop:
+    beq t1, x0, done
+    andi t2, t1, 1
+    add a0, a0, t2
+    srli t1, t1, 1
+    j loop
+done:
+    li a7, 93
+    ecall
+"""
+
+#: In-place bubble sort of {count} words at 0x1000; returns the number
+#: of swap passes executed (the array itself is checked via memory).
+BUBBLE_SORT = """
+    li s0, {count}        # n
+    li a0, 0              # pass counter
+outer:
+    li s1, 0              # swapped flag
+    li t0, 0x1000         # cursor
+    addi s2, s0, -1       # inner iterations
+inner:
+    beq s2, x0, inner_done
+    lw t1, 0(t0)
+    lw t2, 4(t0)
+    bge t2, t1, no_swap
+    sw t2, 0(t0)
+    sw t1, 4(t0)
+    li s1, 1
+no_swap:
+    addi t0, t0, 4
+    addi s2, s2, -1
+    j inner
+inner_done:
+    addi a0, a0, 1
+    bne s1, x0, outer
+    li a7, 93
+    ecall
+"""
+
+#: Length of the NUL-terminated string at 0x1000.
+STRLEN = """
+    li t0, 0x1000
+    li a0, 0
+loop:
+    lbu t1, 0(t0)
+    beq t1, x0, done
+    addi a0, a0, 1
+    addi t0, t0, 1
+    j loop
+done:
+    li a7, 93
+    ecall
+"""
+
+
+def fill_template(template: str, **values: int) -> str:
+    """Substitute integer parameters into a program template."""
+    for key, value in values.items():
+        if not isinstance(value, int):
+            raise ValueError(f"parameter {key!r} must be an integer")
+    return template.format(**values)

@@ -1,0 +1,60 @@
+"""Roofline analysis for SCF Compute Units.
+
+The classic attainable-performance model: ``min(peak_flops, intensity *
+bandwidth)``.  Used by the Fig. 8/9 bench to show where the transformer
+GEMMs sit relative to the CU's compute roof and the interconnect's
+memory roof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on the roofline."""
+
+    name: str
+    intensity_flops_per_byte: float
+    attainable_flops: float
+    compute_bound: bool
+
+
+def roofline_performance(
+    peak_flops: float,
+    memory_bandwidth_bytes_s: float,
+    intensity_flops_per_byte: float,
+    name: str = "workload",
+) -> RooflinePoint:
+    """Attainable performance at a given arithmetic intensity."""
+    if peak_flops <= 0 or memory_bandwidth_bytes_s <= 0:
+        raise ValueError("peaks must be positive")
+    if intensity_flops_per_byte <= 0:
+        raise ValueError("intensity must be positive")
+    memory_roof = intensity_flops_per_byte * memory_bandwidth_bytes_s
+    attainable = min(peak_flops, memory_roof)
+    return RooflinePoint(
+        name=name,
+        intensity_flops_per_byte=intensity_flops_per_byte,
+        attainable_flops=attainable,
+        compute_bound=memory_roof >= peak_flops,
+    )
+
+
+def ridge_intensity(
+    peak_flops: float, memory_bandwidth_bytes_s: float
+) -> float:
+    """Arithmetic intensity at the roofline ridge point."""
+    if peak_flops <= 0 or memory_bandwidth_bytes_s <= 0:
+        raise ValueError("peaks must be positive")
+    return peak_flops / memory_bandwidth_bytes_s
+
+
+def gemm_intensity(m: int, n: int, k: int, bytes_per_el: int = 2) -> float:
+    """Arithmetic intensity of an (m, n, k) GEMM with cold operands."""
+    if min(m, n, k, bytes_per_el) < 1:
+        raise ValueError("dimensions must be >= 1")
+    flops = 2.0 * m * n * k
+    traffic = bytes_per_el * (m * k + k * n + 2 * m * n)
+    return flops / traffic

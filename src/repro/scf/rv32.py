@@ -1,0 +1,452 @@
+"""RV32IM assembler and functional ISA simulator.
+
+The SCF's Compute Units are "clusters of one or more RISC-V cores
+oriented on computation, such as Snitch or CV32E40P".  This module is the
+executable substrate for that claim: a two-pass assembler for the RV32I
+base integer ISA plus the M extension, and a functional simulator with a
+simple per-instruction timing model (loads, multiplies and divides take
+extra cycles), so cluster-level studies can run real RISC-V programs.
+
+Supported instructions: ``lui auipc jal jalr`` / branches ``beq bne blt
+bge bltu bgeu`` / loads ``lb lh lw lbu lhu`` / stores ``sb sh sw`` /
+immediate ALU ``addi slti sltiu xori ori andi slli srli srai`` / register
+ALU ``add sub sll slt sltu xor srl sra or and`` / M-extension ``mul mulh
+mulhsu mulhu div divu rem remu`` / ``ecall`` (exit syscall).  Pseudo
+instructions: ``li mv nop j ret``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_MASK32 = 0xFFFFFFFF
+
+#: ABI register names accepted alongside x0..x31.
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+_LOADS = ("lb", "lh", "lw", "lbu", "lhu")
+_STORES = ("sb", "sh", "sw")
+_IMM_ALU = (
+    "addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai"
+)
+_REG_ALU = (
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+)
+
+#: Extra cycles beyond the base 1 cycle/instruction (Snitch-like).
+EXTRA_CYCLES = {
+    "lb": 1, "lh": 1, "lw": 1, "lbu": 1, "lhu": 1,
+    "mul": 2, "mulh": 2, "mulhsu": 2, "mulhu": 2,
+    "div": 15, "divu": 15, "rem": 15, "remu": 15,
+}
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    line: int = 0
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if token in ABI_NAMES:
+        return ABI_NAMES[token]
+    if token.startswith("x"):
+        try:
+            idx = int(token[1:])
+        except ValueError:
+            raise AssemblyError(f"line {line}: bad register {token!r}")
+        if 0 <= idx <= 31:
+            return idx
+    raise AssemblyError(f"line {line}: bad register {token!r}")
+
+
+def _parse_immediate(token: str, labels: Dict[str, int], line: int) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"line {line}: bad immediate {token!r}")
+
+
+def _parse_mem_operand(token: str, line: int) -> Tuple[int, int]:
+    """Parse ``imm(reg)``."""
+    token = token.strip()
+    if "(" not in token or not token.endswith(")"):
+        raise AssemblyError(f"line {line}: expected imm(reg), got {token!r}")
+    imm_text, reg_text = token[:-1].split("(", 1)
+    imm = int(imm_text, 0) if imm_text.strip() else 0
+    return imm, _parse_register(reg_text, line)
+
+
+class Assembler:
+    """Two-pass RV32IM assembler producing :class:`Instruction` lists."""
+
+    def assemble(self, source: str) -> List[Instruction]:
+        lines = source.splitlines()
+        labels = self._collect_labels(lines)
+        program: List[Instruction] = []
+        for lineno, raw in enumerate(lines, start=1):
+            text = raw.split("#", 1)[0].strip()
+            while ":" in text:
+                _, text = text.split(":", 1)
+                text = text.strip()
+            if not text:
+                continue
+            program.extend(self._assemble_line(text, lineno, labels,
+                                               len(program)))
+        return program
+
+    def _collect_labels(self, lines: List[str]) -> Dict[str, int]:
+        labels: Dict[str, int] = {}
+        pc = 0
+        for lineno, raw in enumerate(lines, start=1):
+            text = raw.split("#", 1)[0].strip()
+            while ":" in text:
+                label, text = text.split(":", 1)
+                label = label.strip()
+                if not label.isidentifier():
+                    raise AssemblyError(
+                        f"line {lineno}: bad label {label!r}"
+                    )
+                if label in labels:
+                    raise AssemblyError(
+                        f"line {lineno}: duplicate label {label!r}"
+                    )
+                labels[label] = pc
+                text = text.strip()
+            if text:
+                pc += len(self._expand_size(text, lineno))
+        return labels
+
+    def _expand_size(self, text: str, lineno: int) -> List[str]:
+        """Instruction slots a source line occupies (li may need two)."""
+        mnemonic = text.split()[0].lower()
+        if mnemonic == "li":
+            parts = self._operands(text)
+            try:
+                value = int(parts[1], 0)
+            except (ValueError, IndexError):
+                raise AssemblyError(f"line {lineno}: bad li operands")
+            if -2048 <= value <= 2047:
+                return [text]
+            return [text, text]  # lui + addi
+        return [text]
+
+    @staticmethod
+    def _operands(text: str) -> List[str]:
+        body = text.split(None, 1)
+        return [p.strip() for p in body[1].split(",")] if len(body) > 1 else []
+
+    def _assemble_line(
+        self,
+        text: str,
+        lineno: int,
+        labels: Dict[str, int],
+        pc: int,
+    ) -> List[Instruction]:
+        mnemonic = text.split()[0].lower()
+        ops = self._operands(text)
+
+        def reg(i):
+            return _parse_register(ops[i], lineno)
+
+        def imm(i):
+            return _parse_immediate(ops[i], labels, lineno)
+
+        def need(count):
+            if len(ops) != count:
+                raise AssemblyError(
+                    f"line {lineno}: {mnemonic} expects {count} operands"
+                )
+
+        if mnemonic == "nop":
+            return [Instruction("addi", rd=0, rs1=0, imm=0, line=lineno)]
+        if mnemonic == "mv":
+            need(2)
+            return [Instruction("addi", rd=reg(0), rs1=reg(1), imm=0,
+                                line=lineno)]
+        if mnemonic == "li":
+            need(2)
+            value = imm(1)
+            if -2048 <= value <= 2047:
+                return [Instruction("addi", rd=reg(0), rs1=0, imm=value,
+                                    line=lineno)]
+            upper = (value + 0x800) >> 12
+            lower = value - (upper << 12)
+            return [
+                Instruction("lui", rd=reg(0), imm=upper & 0xFFFFF,
+                            line=lineno),
+                Instruction("addi", rd=reg(0), rs1=reg(0), imm=lower,
+                            line=lineno),
+            ]
+        if mnemonic == "j":
+            need(1)
+            return [Instruction("jal", rd=0, imm=imm(0), line=lineno)]
+        if mnemonic == "ret":
+            need(0)
+            return [Instruction("jalr", rd=0, rs1=1, imm=0, line=lineno)]
+        if mnemonic in ("lui", "auipc"):
+            need(2)
+            return [Instruction(mnemonic, rd=reg(0), imm=imm(1),
+                                line=lineno)]
+        if mnemonic == "jal":
+            if len(ops) == 1:
+                return [Instruction("jal", rd=1, imm=imm(0), line=lineno)]
+            need(2)
+            return [Instruction("jal", rd=reg(0), imm=imm(1), line=lineno)]
+        if mnemonic == "jalr":
+            need(3)
+            return [Instruction("jalr", rd=reg(0), rs1=reg(1), imm=imm(2),
+                                line=lineno)]
+        if mnemonic in _BRANCHES:
+            need(3)
+            return [Instruction(mnemonic, rs1=reg(0), rs2=reg(1),
+                                imm=imm(2), line=lineno)]
+        if mnemonic in _LOADS:
+            need(2)
+            offset, base = _parse_mem_operand(ops[1], lineno)
+            return [Instruction(mnemonic, rd=reg(0), rs1=base, imm=offset,
+                                line=lineno)]
+        if mnemonic in _STORES:
+            need(2)
+            offset, base = _parse_mem_operand(ops[1], lineno)
+            return [Instruction(mnemonic, rs2=reg(0), rs1=base, imm=offset,
+                                line=lineno)]
+        if mnemonic in _IMM_ALU:
+            need(3)
+            return [Instruction(mnemonic, rd=reg(0), rs1=reg(1), imm=imm(2),
+                                line=lineno)]
+        if mnemonic in _REG_ALU:
+            need(3)
+            return [Instruction(mnemonic, rd=reg(0), rs1=reg(1), rs2=reg(2),
+                                line=lineno)]
+        if mnemonic == "ecall":
+            return [Instruction("ecall", line=lineno)]
+        raise AssemblyError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+class RV32Simulator:
+    """Functional RV32IM simulator with a flat byte memory."""
+
+    def __init__(self, memory_bytes: int = 1 << 16) -> None:
+        if memory_bytes < 4:
+            raise ValueError("memory must hold at least one word")
+        self.memory = bytearray(memory_bytes)
+        self.regs = [0] * 32
+        self.pc = 0
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.exited = False
+        self.exit_code = 0
+
+    # -- memory helpers ----------------------------------------------
+    def _check_range(self, address: int, size: int) -> None:
+        if address < 0 or address + size > len(self.memory):
+            raise IndexError(f"memory access at {address:#x} out of range")
+
+    def load_word(self, address: int) -> int:
+        self._check_range(address, 4)
+        return int.from_bytes(self.memory[address : address + 4], "little")
+
+    def store_word(self, address: int, value: int) -> None:
+        self._check_range(address, 4)
+        self.memory[address : address + 4] = (value & _MASK32).to_bytes(
+            4, "little"
+        )
+
+    def write_words(self, address: int, values) -> None:
+        for i, value in enumerate(values):
+            self.store_word(address + 4 * i, int(value) & _MASK32)
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        return [self.load_word(address + 4 * i) for i in range(count)]
+
+    # -- execution ----------------------------------------------------
+    def run(
+        self, program: List[Instruction], max_instructions: int = 1_000_000
+    ) -> int:
+        """Execute *program* from pc=0 until ``ecall`` exit; returns the
+        exit code (register a0 at the exit ecall)."""
+        if not program:
+            raise ValueError("empty program")
+        self.pc = 0
+        self.exited = False
+        while not self.exited:
+            index = self.pc // 4
+            if index < 0 or index >= len(program):
+                raise IndexError(f"pc {self.pc:#x} outside program")
+            self._execute(program[index])
+            self.instructions_retired += 1
+            if self.instructions_retired > max_instructions:
+                raise RuntimeError("instruction budget exceeded")
+        return self.exit_code
+
+    def _execute(self, ins: Instruction) -> None:
+        regs = self.regs
+        m = ins.mnemonic
+        next_pc = self.pc + 4
+        self.cycles += 1 + EXTRA_CYCLES.get(m, 0)
+
+        if m == "lui":
+            regs[ins.rd] = (ins.imm << 12) & _MASK32
+        elif m == "auipc":
+            regs[ins.rd] = (self.pc + (ins.imm << 12)) & _MASK32
+        elif m == "jal":
+            regs[ins.rd] = next_pc
+            next_pc = ins.imm * 4  # label immediates are instruction slots
+        elif m == "jalr":
+            target = (regs[ins.rs1] + ins.imm) & ~1
+            regs[ins.rd] = next_pc
+            next_pc = target
+        elif m in _BRANCHES:
+            a, b = regs[ins.rs1], regs[ins.rs2]
+            sa, sb = _signed(a), _signed(b)
+            taken = {
+                "beq": a == b,
+                "bne": a != b,
+                "blt": sa < sb,
+                "bge": sa >= sb,
+                "bltu": a < b,
+                "bgeu": a >= b,
+            }[m]
+            if taken:
+                next_pc = ins.imm * 4
+        elif m in _LOADS:
+            address = (regs[ins.rs1] + ins.imm) & _MASK32
+            if m == "lw":
+                value = self.load_word(address)
+            elif m in ("lh", "lhu"):
+                self._check_range(address, 2)
+                value = int.from_bytes(
+                    self.memory[address : address + 2], "little"
+                )
+                if m == "lh" and value & 0x8000:
+                    value |= 0xFFFF0000
+            else:  # lb / lbu
+                self._check_range(address, 1)
+                value = self.memory[address]
+                if m == "lb" and value & 0x80:
+                    value |= 0xFFFFFF00
+            regs[ins.rd] = value & _MASK32
+        elif m in _STORES:
+            address = (regs[ins.rs1] + ins.imm) & _MASK32
+            value = regs[ins.rs2] & _MASK32
+            size = {"sb": 1, "sh": 2, "sw": 4}[m]
+            self._check_range(address, size)
+            self.memory[address : address + size] = value.to_bytes(
+                4, "little"
+            )[:size]
+        elif m in _IMM_ALU:
+            regs[ins.rd] = self._alu(m.rstrip("i") if m != "sltiu" else
+                                     "sltu",
+                                     regs[ins.rs1], ins.imm & _MASK32
+                                     if m in ("slli", "srli", "srai")
+                                     else ins.imm)
+        elif m in _REG_ALU:
+            regs[ins.rd] = self._alu(m, regs[ins.rs1], regs[ins.rs2])
+        elif m == "ecall":
+            if regs[17] == 93:  # exit syscall
+                self.exited = True
+                self.exit_code = _signed(regs[10])
+            # Other syscalls are no-ops in this harness.
+        else:  # pragma: no cover - assembler emits known mnemonics only
+            raise ValueError(f"unknown mnemonic {m!r}")
+
+        regs[0] = 0
+        self.pc = next_pc
+
+    @staticmethod
+    def _alu(op: str, a: int, b: int) -> int:
+        sa, sb = _signed(a), _signed(b & _MASK32)
+        shamt = b & 31
+        if op in ("add", "addi".rstrip("i")):
+            return (a + b) & _MASK32
+        if op == "sub":
+            return (a - b) & _MASK32
+        if op in ("sll", "sll"):
+            return (a << shamt) & _MASK32
+        if op in ("slt",):
+            return 1 if sa < sb else 0
+        if op == "sltu":
+            return 1 if (a & _MASK32) < (b & _MASK32) else 0
+        if op in ("xor", "xo"):
+            return (a ^ b) & _MASK32
+        if op in ("srl", "srl"):
+            return (a & _MASK32) >> shamt
+        if op in ("sra",):
+            return _signed(a) >> shamt & _MASK32
+        if op in ("or", "o"):
+            return (a | b) & _MASK32
+        if op in ("and", "an"):
+            return (a & b) & _MASK32
+        if op == "mul":
+            return (sa * sb) & _MASK32
+        if op == "mulh":
+            return ((sa * sb) >> 32) & _MASK32
+        if op == "mulhsu":
+            return ((sa * (b & _MASK32)) >> 32) & _MASK32
+        if op == "mulhu":
+            return (((a & _MASK32) * (b & _MASK32)) >> 32) & _MASK32
+        if op == "div":
+            if sb == 0:
+                return _MASK32
+            q = abs(sa) // abs(sb)
+            return (-q if (sa < 0) != (sb < 0) else q) & _MASK32
+        if op == "divu":
+            return (_MASK32 if b == 0 else (a & _MASK32) // (b & _MASK32))
+        if op == "rem":
+            if sb == 0:
+                return sa & _MASK32
+            r = abs(sa) % abs(sb)
+            return (-r if sa < 0 else r) & _MASK32
+        if op == "remu":
+            return (a & _MASK32 if b == 0
+                    else (a & _MASK32) % (b & _MASK32))
+        raise ValueError(f"unknown ALU op {op!r}")
+
+
+def assemble_and_run(
+    source: str,
+    data: Optional[Dict[int, List[int]]] = None,
+    memory_bytes: int = 1 << 16,
+    max_instructions: int = 1_000_000,
+) -> RV32Simulator:
+    """Assemble *source*, preload *data* (address -> word list), run to
+    the exit ecall and return the simulator for inspection."""
+    program = Assembler().assemble(source)
+    sim = RV32Simulator(memory_bytes=memory_bytes)
+    if data:
+        for address, words in data.items():
+            sim.write_words(address, words)
+    sim.run(program, max_instructions=max_instructions)
+    return sim

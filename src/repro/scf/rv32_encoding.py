@@ -1,0 +1,253 @@
+"""RV32IM binary instruction encoding and decoding.
+
+The functional simulator of :mod:`repro.scf.rv32` executes decoded
+:class:`~repro.scf.rv32.Instruction` objects; this module provides the
+actual RISC-V instruction-word layer: :func:`encode` produces the 32-bit
+little-endian word per the RV32IM base encoding (R/I/S/B/U/J formats),
+and :func:`decode` recovers the instruction.  ``encode`` then ``decode``
+is the identity (property-tested), so programs can be stored, shipped
+and disassembled as real RISC-V machine code.
+
+Branch/JAL immediates: the assembler resolves labels to *instruction
+slots*; the encoder converts them to the byte offsets the ISA encodes
+(relative to the instruction's own pc), and the decoder converts back,
+given the instruction's slot index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.scf.rv32 import Instruction
+
+_OPCODE_LUI = 0b0110111
+_OPCODE_AUIPC = 0b0010111
+_OPCODE_JAL = 0b1101111
+_OPCODE_JALR = 0b1100111
+_OPCODE_BRANCH = 0b1100011
+_OPCODE_LOAD = 0b0000011
+_OPCODE_STORE = 0b0100011
+_OPCODE_OP_IMM = 0b0010011
+_OPCODE_OP = 0b0110011
+_OPCODE_SYSTEM = 0b1110011
+
+#: funct3 for branches / loads / stores / ALU-immediate ops.
+_BRANCH_F3 = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+_LOAD_F3 = {"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+_STORE_F3 = {"sb": 0, "sh": 1, "sw": 2}
+_IMM_F3 = {
+    "addi": 0, "slli": 1, "slti": 2, "sltiu": 3,
+    "xori": 4, "srli": 5, "srai": 5, "ori": 6, "andi": 7,
+}
+#: (funct3, funct7) for register-register ops.
+_OP_F37 = {
+    "add": (0, 0), "sub": (0, 0x20), "sll": (1, 0), "slt": (2, 0),
+    "sltu": (3, 0), "xor": (4, 0), "srl": (5, 0), "sra": (5, 0x20),
+    "or": (6, 0), "and": (7, 0),
+    "mul": (0, 1), "mulh": (1, 1), "mulhsu": (2, 1), "mulhu": (3, 1),
+    "div": (4, 1), "divu": (5, 1), "rem": (6, 1), "remu": (7, 1),
+}
+
+_F3_TO_BRANCH = {v: k for k, v in _BRANCH_F3.items()}
+_F3_TO_LOAD = {v: k for k, v in _LOAD_F3.items()}
+_F3_TO_STORE = {v: k for k, v in _STORE_F3.items()}
+_F37_TO_OP = {v: k for k, v in _OP_F37.items()}
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _check_imm(value: int, bits: int, name: str) -> None:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(
+            f"{name} immediate {value} out of {bits}-bit signed range"
+        )
+
+
+def _sext(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def encode(ins: Instruction, slot: int = 0) -> int:
+    """Encode *ins* (occupying instruction *slot*) as a 32-bit word."""
+    m = ins.mnemonic
+    rd, rs1, rs2 = ins.rd, ins.rs1, ins.rs2
+    if m == "lui" or m == "auipc":
+        if not 0 <= ins.imm < (1 << 20):
+            raise EncodingError(f"{m} immediate out of 20-bit range")
+        opcode = _OPCODE_LUI if m == "lui" else _OPCODE_AUIPC
+        return (ins.imm << 12) | (rd << 7) | opcode
+    if m == "jal":
+        offset = (ins.imm - slot) * 4
+        _check_imm(offset, 21, "jal")
+        u = offset & 0x1FFFFF
+        word = (
+            ((u >> 20) & 1) << 31
+            | ((u >> 1) & 0x3FF) << 21
+            | ((u >> 11) & 1) << 20
+            | ((u >> 12) & 0xFF) << 12
+            | rd << 7
+            | _OPCODE_JAL
+        )
+        return word
+    if m == "jalr":
+        _check_imm(ins.imm, 12, "jalr")
+        return (
+            (ins.imm & 0xFFF) << 20 | rs1 << 15 | 0 << 12 | rd << 7
+            | _OPCODE_JALR
+        )
+    if m in _BRANCH_F3:
+        offset = (ins.imm - slot) * 4
+        _check_imm(offset, 13, m)
+        u = offset & 0x1FFF
+        return (
+            ((u >> 12) & 1) << 31
+            | ((u >> 5) & 0x3F) << 25
+            | rs2 << 20
+            | rs1 << 15
+            | _BRANCH_F3[m] << 12
+            | ((u >> 1) & 0xF) << 8
+            | ((u >> 11) & 1) << 7
+            | _OPCODE_BRANCH
+        )
+    if m in _LOAD_F3:
+        _check_imm(ins.imm, 12, m)
+        return (
+            (ins.imm & 0xFFF) << 20 | rs1 << 15 | _LOAD_F3[m] << 12
+            | rd << 7 | _OPCODE_LOAD
+        )
+    if m in _STORE_F3:
+        _check_imm(ins.imm, 12, m)
+        u = ins.imm & 0xFFF
+        return (
+            ((u >> 5) & 0x7F) << 25 | rs2 << 20 | rs1 << 15
+            | _STORE_F3[m] << 12 | (u & 0x1F) << 7 | _OPCODE_STORE
+        )
+    if m in _IMM_F3:
+        if m in ("slli", "srli", "srai"):
+            if not 0 <= ins.imm < 32:
+                raise EncodingError(f"{m} shift amount out of range")
+            funct7 = 0x20 if m == "srai" else 0
+            imm12 = (funct7 << 5) | ins.imm
+        else:
+            _check_imm(ins.imm, 12, m)
+            imm12 = ins.imm & 0xFFF
+        return (
+            imm12 << 20 | rs1 << 15 | _IMM_F3[m] << 12 | rd << 7
+            | _OPCODE_OP_IMM
+        )
+    if m in _OP_F37:
+        funct3, funct7 = _OP_F37[m]
+        return (
+            funct7 << 25 | rs2 << 20 | rs1 << 15 | funct3 << 12
+            | rd << 7 | _OPCODE_OP
+        )
+    if m == "ecall":
+        return _OPCODE_SYSTEM
+    raise EncodingError(f"cannot encode mnemonic {m!r}")
+
+
+def decode(word: int, slot: int = 0) -> Instruction:
+    """Decode a 32-bit instruction *word* at instruction *slot*."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError("word out of 32-bit range")
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode in (_OPCODE_LUI, _OPCODE_AUIPC):
+        m = "lui" if opcode == _OPCODE_LUI else "auipc"
+        return Instruction(m, rd=rd, imm=word >> 12)
+    if opcode == _OPCODE_JAL:
+        offset = _sext(
+            (((word >> 31) & 1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 12) & 0xFF) << 12),
+            21,
+        )
+        return Instruction("jal", rd=rd, imm=slot + offset // 4)
+    if opcode == _OPCODE_JALR:
+        return Instruction(
+            "jalr", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12)
+        )
+    if opcode == _OPCODE_BRANCH:
+        if funct3 not in _F3_TO_BRANCH:
+            raise EncodingError(f"bad branch funct3 {funct3}")
+        offset = _sext(
+            (((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1),
+            13,
+        )
+        return Instruction(
+            _F3_TO_BRANCH[funct3], rs1=rs1, rs2=rs2,
+            imm=slot + offset // 4,
+        )
+    if opcode == _OPCODE_LOAD:
+        if funct3 not in _F3_TO_LOAD:
+            raise EncodingError(f"bad load funct3 {funct3}")
+        return Instruction(
+            _F3_TO_LOAD[funct3], rd=rd, rs1=rs1,
+            imm=_sext(word >> 20, 12),
+        )
+    if opcode == _OPCODE_STORE:
+        if funct3 not in _F3_TO_STORE:
+            raise EncodingError(f"bad store funct3 {funct3}")
+        imm = _sext((funct7 << 5) | rd, 12)
+        return Instruction(_F3_TO_STORE[funct3], rs1=rs1, rs2=rs2, imm=imm)
+    if opcode == _OPCODE_OP_IMM:
+        if funct3 == 1:
+            return Instruction("slli", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 5:
+            m = "srai" if funct7 == 0x20 else "srli"
+            return Instruction(m, rd=rd, rs1=rs1, imm=rs2)
+        names = {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori",
+                 7: "andi"}
+        return Instruction(
+            names[funct3], rd=rd, rs1=rs1, imm=_sext(word >> 20, 12)
+        )
+    if opcode == _OPCODE_OP:
+        key = (funct3, funct7)
+        if key not in _F37_TO_OP:
+            raise EncodingError(f"bad OP funct3/funct7 {key}")
+        return Instruction(_F37_TO_OP[key], rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == _OPCODE_SYSTEM and word == _OPCODE_SYSTEM:
+        return Instruction("ecall")
+    raise EncodingError(f"unknown opcode {opcode:#09b}")
+
+
+def encode_program(program: List[Instruction]) -> bytes:
+    """Encode a program to little-endian machine code."""
+    out = bytearray()
+    for slot, ins in enumerate(program):
+        out.extend(encode(ins, slot).to_bytes(4, "little"))
+    return bytes(out)
+
+
+def decode_program(code: bytes) -> List[Instruction]:
+    """Decode little-endian machine code back to instructions."""
+    if len(code) % 4:
+        raise EncodingError("machine code length must be a multiple of 4")
+    return [
+        decode(int.from_bytes(code[i : i + 4], "little"), slot=i // 4)
+        for i in range(0, len(code), 4)
+    ]
+
+
+def disassemble(code: bytes) -> List[str]:
+    """Human-readable disassembly of *code*."""
+    lines = []
+    for slot, ins in enumerate(decode_program(code)):
+        fields = f"rd=x{ins.rd} rs1=x{ins.rs1} rs2=x{ins.rs2} imm={ins.imm}"
+        lines.append(f"{slot * 4:#06x}: {ins.mnemonic:8s} {fields}")
+    return lines

@@ -1,0 +1,120 @@
+"""Transformer workload descriptions (paper Sec. VII).
+
+The prototype CU accelerates "all major Transformer blocks" in BFloat16;
+this module decomposes an encoder block into its GEMMs plus the
+elementwise/softmax passes, so CU and fabric models can execute it:
+
+- QKV projections: 3 x (seq, d_model) @ (d_model, d_model)
+- attention scores: heads x (seq, d_head) @ (d_head, seq)
+- attention context: heads x (seq, seq) @ (seq, d_head)
+- output projection: (seq, d_model) @ (d_model, d_model)
+- FFN up / down: (seq, d_model) @ (d_model, d_ff) and back
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: One GEMM: (name, m, n, k, count).
+GemmSpec = Tuple[str, int, int, int, int]
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Encoder block dimensions."""
+
+    seq_len: int = 256
+    d_model: int = 512
+    num_heads: int = 8
+    d_ff: int = 2048
+
+    def __post_init__(self) -> None:
+        if min(self.seq_len, self.d_model, self.num_heads, self.d_ff) < 1:
+            raise ValueError("all dimensions must be >= 1")
+        if self.d_model % self.num_heads:
+            raise ValueError("d_model must divide evenly into heads")
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.num_heads
+
+
+def transformer_block_gemms(config: TransformerConfig) -> List[GemmSpec]:
+    """The GEMM list of one encoder block."""
+    s, d, h, f = (
+        config.seq_len,
+        config.d_model,
+        config.num_heads,
+        config.d_ff,
+    )
+    dh = config.d_head
+    return [
+        ("qkv_proj", s, d, d, 3),
+        ("attn_scores", s, s, dh, h),
+        ("attn_context", s, dh, s, h),
+        ("out_proj", s, d, d, 1),
+        ("ffn_up", s, f, d, 1),
+        ("ffn_down", s, d, f, 1),
+    ]
+
+
+def sequence_parallel_gemms(
+    config: TransformerConfig, slice_len: int
+) -> List[GemmSpec]:
+    """Per-CU GEMM list under sequence parallelism.
+
+    Each CU owns *slice_len* query rows but attends over the **full**
+    sequence (keys/values are exchanged), so the attention GEMMs keep the
+    global ``seq_len`` in their inner/outer dimensions -- slicing reduces
+    attention work linearly, not quadratically.
+    """
+    if slice_len < 1 or slice_len > config.seq_len:
+        raise ValueError("slice_len must be in [1, seq_len]")
+    s, d, h, f = (
+        config.seq_len,
+        config.d_model,
+        config.num_heads,
+        config.d_ff,
+    )
+    dh = config.d_head
+    p = slice_len
+    return [
+        ("qkv_proj", p, d, d, 3),
+        ("attn_scores", p, s, dh, h),
+        ("attn_context", p, dh, s, h),
+        ("out_proj", p, d, d, 1),
+        ("ffn_up", p, f, d, 1),
+        ("ffn_down", p, d, f, 1),
+    ]
+
+
+def block_gemm_flops(config: TransformerConfig) -> float:
+    """Total GEMM FLOPs of one block."""
+    return sum(
+        2.0 * m * n * k * count
+        for _, m, n, k, count in transformer_block_gemms(config)
+    )
+
+
+def block_elementwise_elements(config: TransformerConfig) -> int:
+    """Elements touched by softmax + layernorm + activation passes."""
+    s, d, h, f = (
+        config.seq_len,
+        config.d_model,
+        config.num_heads,
+        config.d_ff,
+    )
+    softmax = h * s * s
+    layernorms = 2 * s * d
+    activation = s * f
+    residuals = 2 * s * d
+    return softmax + layernorms + activation + residuals
+
+
+def block_weight_bytes(config: TransformerConfig, bytes_per_el: int = 2) -> int:
+    """Parameter footprint of one block (the per-CU working set the
+    fabric interconnect must deliver)."""
+    d, f = config.d_model, config.d_ff
+    weights = 4 * d * d + 2 * d * f
+    return weights * bytes_per_el

@@ -1,0 +1,60 @@
+"""SPARTA: Synthesis of PARallel multi-Threaded Accelerators (Sec. III, [5]).
+
+SPARTA-generated accelerators "can exploit spatial parallelism and hide
+the latency of external memory accesses through context switching", and
+include "a custom Network-on-Chip connecting multiple external memory
+channels to each accelerator, memory-side caching, and on-chip private
+memories for each accelerator."  This package simulates exactly that
+architecture at cycle granularity:
+
+- :mod:`repro.sparta.openmp`      -- the OpenMP-like parallel-region
+  front-end producing task queues;
+- :mod:`repro.sparta.memory`      -- pipelined external memory channels;
+- :mod:`repro.sparta.cache`       -- memory-side set-associative caches;
+- :mod:`repro.sparta.noc`         -- the lane <-> channel crossbar NoC;
+- :mod:`repro.sparta.accelerator` -- multi-context accelerator lanes with
+  context switching;
+- :mod:`repro.sparta.simulator`   -- the cycle-level simulation loop;
+- :mod:`repro.sparta.kernels`     -- graph-processing workloads (BFS,
+  SpMV, PageRank) and a regular streaming baseline.
+"""
+
+from repro.sparta.openmp import ParallelForRegion, Task, compute, load, store
+from repro.sparta.memory import MemoryChannel
+from repro.sparta.cache import MemorySideCache
+from repro.sparta.noc import NocConfig, CrossbarNoc
+from repro.sparta.accelerator import AcceleratorLane, LaneConfig
+from repro.sparta.simulator import SimulationStats, SpartaSystem, simulate
+from repro.sparta.kernels import (
+    bfs_tasks,
+    pagerank_tasks,
+    spmv_tasks,
+    streaming_tasks,
+    random_graph,
+)
+from repro.sparta.frontend import lower_loop_nest
+from repro.sparta.scratchpad import stage_hot_addresses
+
+__all__ = [
+    "ParallelForRegion",
+    "Task",
+    "compute",
+    "load",
+    "store",
+    "MemoryChannel",
+    "MemorySideCache",
+    "NocConfig",
+    "CrossbarNoc",
+    "AcceleratorLane",
+    "LaneConfig",
+    "SimulationStats",
+    "SpartaSystem",
+    "simulate",
+    "bfs_tasks",
+    "spmv_tasks",
+    "pagerank_tasks",
+    "streaming_tasks",
+    "random_graph",
+    "lower_loop_nest",
+    "stage_hot_addresses",
+]

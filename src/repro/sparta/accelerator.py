@@ -1,0 +1,210 @@
+"""Multi-context accelerator lanes.
+
+The SPARTA accelerator "can exploit spatial parallelism and hide the
+latency of external memory accesses through context switching": each lane
+holds several hardware task contexts; when the running context issues a
+load it parks until the data returns, and the lane switches (with a small
+penalty) to another ready context instead of stalling.
+
+On-chip private memories are modeled as a per-lane scratchpad address
+window served at fixed low latency without touching the NoC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sparta.openmp import Task
+
+
+class ContextState(enum.Enum):
+    IDLE = "idle"
+    READY = "ready"
+    RUNNING = "running"
+    WAITING = "waiting"
+
+
+@dataclass
+class HardwareContext:
+    """One task context (registers + program point) inside a lane."""
+
+    slot: int
+    task: Optional[Task] = None
+    step_index: int = 0
+    compute_remaining: int = 0
+    ready_at: int = 0
+    state: ContextState = ContextState.IDLE
+
+    def assign(self, task: Task, now: int) -> None:
+        self.task = task
+        self.step_index = 0
+        self.compute_remaining = 0
+        self.ready_at = now
+        self.state = ContextState.READY
+
+    @property
+    def finished(self) -> bool:
+        return self.task is not None and self.step_index >= len(
+            self.task.steps
+        ) and self.compute_remaining == 0
+
+
+@dataclass(frozen=True)
+class LaneConfig:
+    """Accelerator lane parameters."""
+
+    num_contexts: int = 4
+    switch_penalty: int = 1
+    scratchpad_words: int = 1024
+    scratchpad_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_contexts < 1:
+            raise ValueError("need at least one context")
+        if self.switch_penalty < 0 or self.scratchpad_latency < 1:
+            raise ValueError("invalid lane timing parameters")
+        if self.scratchpad_words < 0:
+            raise ValueError("scratchpad size must be non-negative")
+
+
+class AcceleratorLane:
+    """One SPARTA accelerator lane executing tasks over its contexts."""
+
+    def __init__(
+        self,
+        lane_id: int,
+        config: LaneConfig,
+        request_fn: Callable[[int, int], int],
+    ) -> None:
+        self.lane_id = lane_id
+        self.config = config
+        self._request = request_fn
+        self.contexts: List[HardwareContext] = [
+            HardwareContext(slot=i) for i in range(config.num_contexts)
+        ]
+        self._current: Optional[HardwareContext] = None
+        self._last_running: Optional[HardwareContext] = None
+        self._switch_stall = 0
+        self.busy_cycles = 0
+        self.stall_cycles = 0
+        self.switches = 0
+        self.tasks_completed = 0
+
+    # -- task feeding ------------------------------------------------
+    def idle_context(self) -> Optional[HardwareContext]:
+        for ctx in self.contexts:
+            if ctx.state is ContextState.IDLE:
+                return ctx
+        return None
+
+    @property
+    def fully_idle(self) -> bool:
+        return all(ctx.state is ContextState.IDLE for ctx in self.contexts)
+
+    # -- execution ---------------------------------------------------
+    def _is_scratchpad(self, address: int) -> bool:
+        return address < self.config.scratchpad_words
+
+    def _pick_ready(self, now: int) -> Optional[HardwareContext]:
+        # Wake waiting contexts whose data has returned.
+        for ctx in self.contexts:
+            if ctx.state is ContextState.WAITING and ctx.ready_at <= now:
+                ctx.state = ContextState.READY
+        ready = [
+            ctx
+            for ctx in self.contexts
+            if ctx.state is ContextState.READY and ctx.ready_at <= now
+        ]
+        if not ready:
+            return None
+        # Round-robin-ish: lowest slot first.
+        return min(ready, key=lambda c: c.slot)
+
+    def step(self, now: int) -> None:
+        """Advance the lane by one cycle."""
+        if self._switch_stall > 0:
+            self._switch_stall -= 1
+            self.stall_cycles += 1
+            return
+        ctx = self._current
+        if ctx is None or ctx.state is not ContextState.RUNNING:
+            candidate = self._pick_ready(now)
+            if candidate is None:
+                self.stall_cycles += 1
+                return
+            if (
+                self._last_running is not None
+                and candidate is not self._last_running
+            ):
+                self.switches += 1
+                if self.config.switch_penalty:
+                    self._switch_stall = self.config.switch_penalty - 1
+                    self._current = candidate
+                    self._last_running = candidate
+                    candidate.state = ContextState.RUNNING
+                    self.stall_cycles += 1
+                    return
+            self._current = candidate
+            self._last_running = candidate
+            candidate.state = ContextState.RUNNING
+            ctx = candidate
+        self._execute_cycle(ctx, now)
+
+    def _execute_cycle(self, ctx: HardwareContext, now: int) -> None:
+        self.busy_cycles += 1
+        if ctx.compute_remaining > 0:
+            ctx.compute_remaining -= 1
+            if ctx.compute_remaining == 0 and ctx.step_index >= len(
+                ctx.task.steps
+            ):
+                self._retire(ctx)
+            return
+        if ctx.step_index >= len(ctx.task.steps):
+            self._retire(ctx)
+            return
+        kind, arg = ctx.task.steps[ctx.step_index]
+        ctx.step_index += 1
+        if kind == "compute":
+            ctx.compute_remaining = arg - 1
+            if ctx.compute_remaining == 0 and ctx.step_index >= len(
+                ctx.task.steps
+            ):
+                self._retire(ctx)
+        elif kind == "load":
+            if self._is_scratchpad(arg):
+                ctx.ready_at = now + self.config.scratchpad_latency
+            else:
+                ctx.ready_at = self._request(arg, now)
+            ctx.state = ContextState.WAITING
+            self._current = None
+            if ctx.step_index >= len(ctx.task.steps):
+                # Load result unused by further steps; retire on return.
+                pass
+        elif kind == "store":
+            if not self._is_scratchpad(arg):
+                self._request(arg, now)  # posted write, no blocking
+            if ctx.step_index >= len(ctx.task.steps):
+                self._retire(ctx)
+        else:  # pragma: no cover - Task validates kinds
+            raise ValueError(f"unknown step kind {kind!r}")
+
+    def _retire(self, ctx: HardwareContext) -> None:
+        ctx.task = None
+        ctx.state = ContextState.IDLE
+        self.tasks_completed += 1
+        if self._current is ctx:
+            self._current = None
+
+    def drain_waiting_finished(self, now: int) -> None:
+        """Retire contexts whose final step was a load that has returned."""
+        for ctx in self.contexts:
+            if (
+                ctx.state is ContextState.WAITING
+                and ctx.ready_at <= now
+                and ctx.task is not None
+                and ctx.step_index >= len(ctx.task.steps)
+                and ctx.compute_remaining == 0
+            ):
+                self._retire(ctx)

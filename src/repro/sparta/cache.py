@@ -1,0 +1,65 @@
+"""Memory-side cache.
+
+SPARTA places caching at the memory side of the NoC (one cache per
+external channel), so all accelerator lanes share each cache and no
+coherence protocol is needed -- the design choice the paper's
+architecture sketch implies.  Set-associative with LRU replacement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class MemorySideCache:
+    """Set-associative LRU cache in front of one memory channel."""
+
+    num_sets: int = 64
+    associativity: int = 4
+    line_words: int = 8
+    hit_latency: int = 4
+    hits: int = 0
+    misses: int = 0
+    _sets: Dict[int, OrderedDict] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 1 or self.associativity < 1:
+            raise ValueError("cache geometry must be positive")
+        if self.line_words < 1 or (self.line_words & (self.line_words - 1)):
+            raise ValueError("line_words must be a positive power of two")
+        if self.hit_latency < 1:
+            raise ValueError("hit latency must be >= 1")
+
+    @property
+    def capacity_words(self) -> int:
+        return self.num_sets * self.associativity * self.line_words
+
+    def access(self, address: int) -> bool:
+        """Access word *address*; returns True on hit.  Misses allocate
+        (fetch-on-miss, write-allocate for stores)."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        line = address // self.line_words
+        set_idx = line % self.num_sets
+        ways = self._sets.setdefault(set_idx, OrderedDict())
+        if line in ways:
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[line] = True
+        if len(ways) > self.associativity:
+            ways.popitem(last=False)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

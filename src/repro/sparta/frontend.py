@@ -1,0 +1,82 @@
+"""HLS-to-SPARTA bridge: lowering loop nests to SPARTA task graphs.
+
+In the real toolchain SPARTA "is integrated within Bambu, and it is
+triggered when the input design contains OpenMP directives."  This module
+closes the same loop in the reproduction: a
+:class:`~repro.hls.kernels.LoopNest` (the HLS front-end object) is
+lowered into a :class:`~repro.sparta.openmp.ParallelForRegion` (the
+SPARTA back-end object), mapping the body's LOAD/STORE/arithmetic
+operations onto task steps.  Regular kernels produce streaming addresses;
+irregular kernels (``irregular_memory``) produce randomized gather
+addresses -- the access pattern that makes SPARTA's context switching
+worthwhile where static HLS pipelining fails.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.rng import SeedLike, make_rng
+from repro.hls.ir import OpKind
+from repro.hls.kernels import LoopNest
+from repro.sparta.openmp import ParallelForRegion, Task, compute, load, store
+
+#: Word-address base for lowered kernels (beyond the lane scratchpad).
+_DATA_BASE = 1 << 18
+_GATHER_SPACE = 1 << 14
+
+
+def lower_loop_nest(
+    nest: LoopNest,
+    iterations_per_task: int = 1,
+    seed: SeedLike = 0,
+) -> ParallelForRegion:
+    """Lower *nest* to a SPARTA parallel region.
+
+    Each task covers *iterations_per_task* loop iterations.  Body LOADs
+    become task loads (sequential addresses for regular kernels,
+    randomized for ``irregular_memory`` kernels); STOREs become posted
+    stores; arithmetic operations between memory operations are folded
+    into compute bursts of their total latency.
+    """
+    if iterations_per_task < 1:
+        raise ValueError("iterations_per_task must be >= 1")
+    rng = make_rng(seed)
+    num_tasks = -(-nest.trip_count // iterations_per_task)
+    body_ops = nest.body.operations
+    tasks: List[Task] = []
+    for task_id in range(num_tasks):
+        steps = []
+        pending_compute = 0
+        for iteration in range(iterations_per_task):
+            global_iter = task_id * iterations_per_task + iteration
+            if global_iter >= nest.trip_count:
+                break
+            for op_index, op in enumerate(body_ops):
+                if op.kind is OpKind.LOAD:
+                    if pending_compute:
+                        steps.append(compute(pending_compute))
+                        pending_compute = 0
+                    if nest.irregular_memory:
+                        address = _DATA_BASE + int(
+                            rng.integers(_GATHER_SPACE)
+                        )
+                    else:
+                        address = (
+                            _DATA_BASE
+                            + global_iter * len(body_ops)
+                            + op_index
+                        )
+                    steps.append(load(address))
+                elif op.kind is OpKind.STORE:
+                    if pending_compute:
+                        steps.append(compute(pending_compute))
+                        pending_compute = 0
+                    steps.append(store(_DATA_BASE + global_iter))
+                else:
+                    pending_compute += max(op.latency, 1)
+        if pending_compute:
+            steps.append(compute(pending_compute))
+        if steps:
+            tasks.append(Task(task_id=task_id, steps=steps))
+    return ParallelForRegion(name=f"{nest.name}_omp", tasks=tasks)

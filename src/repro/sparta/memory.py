@@ -1,0 +1,46 @@
+"""External memory channel model.
+
+Each channel is a fully pipelined DRAM-class port: it accepts at most one
+request per cycle (bandwidth limit) and returns data a fixed latency
+after issue.  Multiple channels are the parallelism SPARTA's NoC exposes
+to the accelerator lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryChannel:
+    """One pipelined external memory port."""
+
+    latency: int = 100
+    channel_id: int = 0
+    next_issue_cycle: int = 0
+    requests_served: int = 0
+    busy_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("latency must be >= 1")
+
+    def issue(self, now: int) -> int:
+        """Issue a request at cycle *now*; returns the completion cycle.
+
+        Back-to-back requests serialize on the 1-per-cycle issue port,
+        then overlap in the pipeline.
+        """
+        if now < 0:
+            raise ValueError("cycle must be non-negative")
+        issue_cycle = max(now, self.next_issue_cycle)
+        self.next_issue_cycle = issue_cycle + 1
+        self.requests_served += 1
+        self.busy_cycles += 1
+        return issue_cycle + self.latency
+
+    @property
+    def queue_delay(self) -> int:
+        """Current backlog in cycles (how far ahead of 'now' the issue
+        port is booked); used by tests and contention diagnostics."""
+        return self.next_issue_cycle

@@ -1,0 +1,93 @@
+"""The custom Network-on-Chip of the SPARTA architecture.
+
+"SPARTA includes a custom Network-on-Chip connecting multiple external
+memory channels to each accelerator [and] memory-side caching."  The NoC
+is a crossbar: any lane reaches any channel in ``hop_latency`` cycles
+each way; addresses are line-interleaved across channels; each channel
+fronted by a :class:`~repro.sparta.cache.MemorySideCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sparta.cache import MemorySideCache
+from repro.sparta.memory import MemoryChannel
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Crossbar NoC geometry and timing."""
+
+    num_channels: int = 4
+    hop_latency: int = 4
+    memory_latency: int = 100
+    cache_sets: int = 64
+    cache_associativity: int = 4
+    cache_line_words: int = 8
+    enable_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ValueError("need at least one channel")
+        if self.hop_latency < 0:
+            raise ValueError("hop latency must be non-negative")
+        if self.memory_latency < 1:
+            raise ValueError("memory latency must be >= 1")
+
+
+class CrossbarNoc:
+    """Crossbar NoC + channels + memory-side caches."""
+
+    def __init__(self, config: NocConfig = NocConfig()) -> None:
+        self.config = config
+        self.channels: List[MemoryChannel] = [
+            MemoryChannel(latency=config.memory_latency, channel_id=i)
+            for i in range(config.num_channels)
+        ]
+        self.caches: List[MemorySideCache] = [
+            MemorySideCache(
+                num_sets=config.cache_sets,
+                associativity=config.cache_associativity,
+                line_words=config.cache_line_words,
+            )
+            for _ in range(config.num_channels)
+        ]
+        self.requests_routed = 0
+
+    def channel_of(self, address: int) -> int:
+        """Line-interleaved address mapping."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        line = address // self.config.cache_line_words
+        return line % self.config.num_channels
+
+    def request(self, address: int, now: int) -> int:
+        """Route a read of *address* issued at cycle *now*; returns the
+        data-return cycle (request hop + cache/memory + response hop)."""
+        self.requests_routed += 1
+        idx = self.channel_of(address)
+        arrival = now + self.config.hop_latency
+        if self.config.enable_cache:
+            cache = self.caches[idx]
+            if cache.access(address):
+                done = arrival + cache.hit_latency
+            else:
+                done = self.channels[idx].issue(arrival)
+        else:
+            done = self.channels[idx].issue(arrival)
+        return done + self.config.hop_latency
+
+    @property
+    def total_hits(self) -> int:
+        return sum(c.hits for c in self.caches)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(c.misses for c in self.caches)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.total_hits + self.total_misses
+        return self.total_hits / total if total else 0.0

@@ -1,0 +1,93 @@
+"""OpenMP-like parallel-region front-end.
+
+In the real SPARTA flow "parallel regions are first translated into calls
+to OpenMP runtime primitives by the front-end Clang compiler"; our
+substitution (DESIGN.md #5) is an explicit task representation: a
+:class:`ParallelForRegion` holds independent :class:`Task` objects, each
+a sequence of compute / load / store steps, which is precisely the
+information the back-end architecture consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: Step encoding: ("compute", cycles) | ("load", address) | ("store", address).
+Step = Tuple[str, int]
+
+_VALID_STEP_KINDS = ("compute", "load", "store")
+
+
+def compute(cycles: int) -> Step:
+    """A compute burst of *cycles* cycles."""
+    if cycles < 1:
+        raise ValueError("compute cycles must be >= 1")
+    return ("compute", cycles)
+
+
+def load(address: int) -> Step:
+    """A blocking read of word *address* through the NoC."""
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    return ("load", address)
+
+
+def store(address: int) -> Step:
+    """A posted (non-blocking) write of word *address*."""
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    return ("store", address)
+
+
+@dataclass
+class Task:
+    """One independent loop iteration (or iteration chunk)."""
+
+    task_id: int
+    steps: List[Step] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for step in self.steps:
+            if step[0] not in _VALID_STEP_KINDS:
+                raise ValueError(f"invalid step kind {step[0]!r}")
+
+    @property
+    def num_loads(self) -> int:
+        return sum(1 for kind, _ in self.steps if kind == "load")
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(arg for kind, arg in self.steps if kind == "compute")
+
+
+@dataclass
+class ParallelForRegion:
+    """An ``#pragma omp parallel for`` region: independent tasks."""
+
+    name: str
+    tasks: List[Task]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("parallel region must contain tasks")
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate task ids")
+
+    @property
+    def total_loads(self) -> int:
+        return sum(t.num_loads for t in self.tasks)
+
+    @property
+    def total_compute_cycles(self) -> int:
+        return sum(t.compute_cycles for t in self.tasks)
+
+    @property
+    def memory_intensity(self) -> float:
+        """Loads per compute cycle -- irregular graph kernels sit far
+        above regular streaming kernels on this axis."""
+        cycles = self.total_compute_cycles
+        if cycles == 0:
+            return float("inf")
+        return self.total_loads / cycles

@@ -1,0 +1,45 @@
+"""State-of-the-art AI-accelerator survey (paper Sec. II, Fig. 1 and Fig. 7).
+
+The first outcome of the ICSC Flagship 2 project is a survey of hardware
+accelerators for AI workloads [1]; Fig. 1 plots the surveyed platforms as
+power vs. throughput with iso-TOPS/W lines, and Fig. 7 plots the RISC-V
+subset, showing a cluster in the 100 mW - 1 W power range and a gap above
+1 W that the project targets.
+
+This package provides:
+
+- :mod:`repro.survey.records` -- the :class:`AcceleratorRecord` schema;
+- :mod:`repro.survey.dataset` -- a curated dataset of published accelerators
+  (values taken from the public literature, the substitution for the
+  paper's own survey spreadsheet);
+- :mod:`repro.survey.analysis` -- trend fits, per-class statistics, power-band
+  clustering and scatter-series export used by the Fig. 1 / Fig. 7 benches.
+"""
+
+from repro.survey.records import AcceleratorRecord, PlatformClass, Precision
+from repro.survey.dataset import load_dataset, riscv_subset
+from repro.survey.io import from_csv, to_csv
+from repro.survey.analysis import (
+    EfficiencyTrend,
+    class_statistics,
+    efficiency_trend,
+    iso_efficiency_line,
+    power_band_histogram,
+    scatter_series,
+)
+
+__all__ = [
+    "AcceleratorRecord",
+    "PlatformClass",
+    "Precision",
+    "load_dataset",
+    "riscv_subset",
+    "from_csv",
+    "to_csv",
+    "EfficiencyTrend",
+    "class_statistics",
+    "efficiency_trend",
+    "iso_efficiency_line",
+    "power_band_histogram",
+    "scatter_series",
+]

@@ -1,0 +1,154 @@
+"""Survey analytics backing the Fig. 1 and Fig. 7 benches.
+
+Fig. 1 is a log-log scatter of power vs. throughput with iso-TOPS/W
+diagonals; its narrative content is (i) the efficiency *ranking* of platform
+classes and (ii) the year-over-year efficiency trend.  Fig. 7 plots the
+RISC-V subset and argues that designs cluster in the 100 mW - 1 W band with
+a gap above 1 W.  The functions here compute exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.survey.records import AcceleratorRecord, PlatformClass
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Aggregate efficiency statistics for one platform class."""
+
+    platform: PlatformClass
+    count: int
+    min_tops_per_watt: float
+    median_tops_per_watt: float
+    max_tops_per_watt: float
+
+
+@dataclass(frozen=True)
+class EfficiencyTrend:
+    """Exponential efficiency trend ``TOPS/W = a * growth**(year - year0)``.
+
+    Fitted by linear regression of log10(TOPS/W) on year.  ``doubling_years``
+    is the time for efficiency to double under the fitted trend.
+    """
+
+    year0: int
+    coefficient: float
+    growth_per_year: float
+
+    @property
+    def doubling_years(self) -> float:
+        if self.growth_per_year <= 1.0:
+            return float("inf")
+        return float(np.log(2) / np.log(self.growth_per_year))
+
+    def predict(self, year: int) -> float:
+        """Predicted TOPS/W for *year*."""
+        return self.coefficient * self.growth_per_year ** (year - self.year0)
+
+
+def class_statistics(records: Sequence[AcceleratorRecord]) -> List[ClassStats]:
+    """Per-platform-class efficiency statistics, sorted by median TOPS/W.
+
+    The sort order *is* the Fig. 1 ranking claim: CPUs at the bottom, IMC
+    NPUs at the top.
+    """
+    groups: Dict[PlatformClass, List[float]] = {}
+    for rec in records:
+        groups.setdefault(rec.platform, []).append(rec.tops_per_watt)
+    stats = [
+        ClassStats(
+            platform=platform,
+            count=len(vals),
+            min_tops_per_watt=float(np.min(vals)),
+            median_tops_per_watt=float(np.median(vals)),
+            max_tops_per_watt=float(np.max(vals)),
+        )
+        for platform, vals in groups.items()
+    ]
+    stats.sort(key=lambda s: s.median_tops_per_watt)
+    return stats
+
+
+def efficiency_trend(records: Sequence[AcceleratorRecord]) -> EfficiencyTrend:
+    """Fit the exponential efficiency-vs-year trend across *records*."""
+    if len(records) < 2:
+        raise ValueError("need at least two records to fit a trend")
+    years = np.array([r.year for r in records], dtype=np.float64)
+    log_eff = np.log10([r.tops_per_watt for r in records])
+    if np.ptp(years) == 0:
+        raise ValueError("records span a single year; trend undefined")
+    slope, intercept = np.polyfit(years, log_eff, 1)
+    year0 = int(years.min())
+    return EfficiencyTrend(
+        year0=year0,
+        coefficient=float(10 ** (intercept + slope * year0)),
+        growth_per_year=float(10**slope),
+    )
+
+
+def scatter_series(
+    records: Sequence[AcceleratorRecord],
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Fig. 1 scatter data: platform-class name -> (power_w, tops) arrays."""
+    series: Dict[str, Tuple[List[float], List[float]]] = {}
+    for rec in records:
+        xs, ys = series.setdefault(rec.platform.value, ([], []))
+        xs.append(rec.power_w)
+        ys.append(rec.peak_tops)
+    return {
+        name: (np.array(xs), np.array(ys)) for name, (xs, ys) in series.items()
+    }
+
+
+def iso_efficiency_line(
+    tops_per_watt: float, power_range: Tuple[float, float], points: int = 16
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One iso-TOPS/W diagonal of Fig. 1 over *power_range* (log-spaced)."""
+    lo, hi = power_range
+    if lo <= 0 or hi <= lo:
+        raise ValueError("power_range must be positive and increasing")
+    power = np.logspace(np.log10(lo), np.log10(hi), points)
+    return power, power * tops_per_watt
+
+
+#: Decade power bands used for the Fig. 7 clustering argument.
+POWER_BANDS_W: Tuple[Tuple[float, float], ...] = (
+    (0.001, 0.01),
+    (0.01, 0.1),
+    (0.1, 1.0),
+    (1.0, 10.0),
+    (10.0, 100.0),
+)
+
+
+def power_band_histogram(
+    records: Sequence[AcceleratorRecord],
+    bands: Sequence[Tuple[float, float]] = POWER_BANDS_W,
+) -> Dict[Tuple[float, float], int]:
+    """Count records per power band (left-closed, right-open intervals).
+
+    Applied to the RISC-V subset this reproduces the Fig. 7 claim: the
+    0.1-1 W band is the densest and the >1 W HPC region is sparse.
+    """
+    histogram = {tuple(band): 0 for band in bands}
+    for rec in records:
+        for band in bands:
+            lo, hi = band
+            if lo <= rec.power_w < hi:
+                histogram[tuple(band)] += 1
+                break
+    return histogram
+
+
+def densest_band(
+    records: Sequence[AcceleratorRecord],
+    bands: Sequence[Tuple[float, float]] = POWER_BANDS_W,
+) -> Tuple[float, float]:
+    """The power band holding the most records (Fig. 7's cluster)."""
+    histogram = power_band_histogram(records, bands)
+    return max(histogram, key=histogram.get)

@@ -1,0 +1,182 @@
+"""Curated accelerator dataset (substitution for the project survey data).
+
+The paper's Fig. 1 is "reprinted with permission from [2]" and aggregates the
+survey of Silvano et al. [1]; the underlying spreadsheet is not public, so we
+re-curate a dataset of the same population from vendor datasheets and the
+papers the survey cites.  Values are the publicly quoted peak throughput and
+the power at which it is reached; they carry datasheet-level uncertainty,
+which is irrelevant for the figure's message (orders-of-magnitude spread and
+the efficiency ranking CPU < GPU ~ FPGA < ASIC/CGRA < IMC-NPU).
+
+The RISC-V subset feeds Fig. 7, whose message is the clustering of existing
+RISC-V DL accelerators in the 100 mW - 1 W range with a gap above 1 W.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.survey.records import AcceleratorRecord, PlatformClass, Precision
+
+_C = PlatformClass
+_P = Precision
+
+#: The curated dataset.  One entry per published operating point.
+_DATASET: List[AcceleratorRecord] = [
+    # --- CPUs (low parallel efficiency; the paper calls them "quite
+    # inefficient compared to their GPU counterparts") ------------------
+    AcceleratorRecord("Xeon Platinum 8380", 2021, _C.CPU, 1.4, 270, _P.FP32, 10),
+    AcceleratorRecord("Xeon Phi 7290 (KNL)", 2016, _C.CPU, 0.4, 245, _P.FP32, 14),
+    AcceleratorRecord("EPYC 7763", 2021, _C.CPU, 1.2, 280, _P.FP32, 7),
+    AcceleratorRecord("Xeon Max 9480 (AMX)", 2023, _C.CPU, 17.0, 350, _P.INT8, 10),
+    AcceleratorRecord("Grace CPU Superchip", 2023, _C.CPU, 7.0, 500, _P.FP16, 5),
+    # --- GPUs ----------------------------------------------------------
+    AcceleratorRecord("Tesla K80", 2014, _C.GPU, 2.9, 300, _P.FP32, 28),
+    AcceleratorRecord("Tesla P100", 2016, _C.GPU, 21.2, 300, _P.FP16, 16),
+    AcceleratorRecord("Tesla V100", 2017, _C.GPU, 125, 300, _P.FP16, 12),
+    AcceleratorRecord("A100 SXM", 2020, _C.GPU, 624, 400, _P.INT8, 7),
+    AcceleratorRecord("H100 SXM", 2022, _C.GPU, 1979, 700, _P.FP8, 4),
+    AcceleratorRecord("Jetson AGX Xavier", 2018, _C.GPU, 32, 30, _P.INT8, 12),
+    AcceleratorRecord("Jetson Orin NX", 2022, _C.GPU, 100, 25, _P.INT8, 8),
+    AcceleratorRecord("MI250X", 2021, _C.GPU, 383, 560, _P.FP16, 6),
+    # --- TPUs / datacenter ASICs ----------------------------------------
+    AcceleratorRecord("TPU v1", 2017, _C.TPU, 92, 75, _P.INT8, 28),
+    AcceleratorRecord("TPU v2", 2017, _C.TPU, 45, 280, _P.BF16, 16),
+    AcceleratorRecord("TPU v3", 2018, _C.TPU, 123, 450, _P.BF16, 16),
+    AcceleratorRecord("TPU v4", 2021, _C.TPU, 275, 192, _P.BF16, 7),
+    AcceleratorRecord("Graphcore IPU Mk2", 2021, _C.TPU, 250, 300, _P.FP16, 7),
+    AcceleratorRecord(
+        "Tenstorrent Grayskull", 2021, _C.TPU, 92, 65, _P.INT8, 12
+    ),
+    # --- Edge / inference ASICs -----------------------------------------
+    AcceleratorRecord("Eyeriss", 2016, _C.ASIC, 0.084, 0.278, _P.INT8, 65),
+    AcceleratorRecord("Eyeriss v2", 2019, _C.ASIC, 0.153, 0.606, _P.INT8, 65),
+    AcceleratorRecord("Google Edge TPU", 2019, _C.ASIC, 4, 2, _P.INT8, 14),
+    AcceleratorRecord("Movidius Myriad X", 2017, _C.ASIC, 4, 1.5, _P.INT8, 16),
+    AcceleratorRecord("Hailo-8", 2020, _C.ASIC, 26, 2.5, _P.INT8, 16),
+    AcceleratorRecord(
+        "UNPU (variable bit)", 2018, _C.ASIC, 7.37, 0.297, _P.INT4, 65
+    ),
+    AcceleratorRecord("Envision", 2017, _C.ASIC, 0.076, 0.0044, _P.INT4, 28),
+    # --- FPGAs (edge inference; efficiency over raw speed) --------------
+    AcceleratorRecord("ZCU102 CNN overlay", 2018, _C.FPGA, 1.2, 20, _P.INT8, 16),
+    AcceleratorRecord("Alveo U250 DPU", 2019, _C.FPGA, 33.3, 225, _P.INT8, 16),
+    AcceleratorRecord("Alveo U50 (edit dist.)", 2023, _C.FPGA, 16.8, 75, _P.MIXED, 16),
+    AcceleratorRecord("Stratix 10 NX", 2020, _C.FPGA, 143, 225, _P.INT8, 14),
+    AcceleratorRecord("Versal AI Core VC1902", 2021, _C.FPGA, 133, 75, _P.INT8, 7),
+    AcceleratorRecord("ZU3EG FINN BNN", 2017, _C.FPGA, 11.6, 10.2, _P.INT4, 16),
+    # --- CGRAs (near-ASIC efficiency, near-FPGA flexibility) ------------
+    AcceleratorRecord("Plasticine", 2017, _C.CGRA, 12.3, 49, _P.FP32, 28),
+    AcceleratorRecord("AI Engine tile array", 2021, _C.CGRA, 102, 50, _P.INT8, 7),
+    AcceleratorRecord("SambaNova RDU SN10", 2021, _C.CGRA, 300, 400, _P.BF16, 7),
+    AcceleratorRecord("Renesas DRP-AI", 2022, _C.CGRA, 6, 3, _P.INT8, 12),
+    # --- NPUs with SRAM digital IMC -------------------------------------
+    AcceleratorRecord(
+        "ST DIMC multi-tile (ISSCC'23)", 2023, _C.NPU_SRAM_IMC, 77.5, 0.25,
+        _P.INT4, 18, europe_based=True, tags=("imc", "digital"),
+    ),
+    AcceleratorRecord(
+        "TSMC 7nm DIMC macro", 2021, _C.NPU_SRAM_IMC, 6.6, 0.0075, _P.INT4, 7,
+        tags=("imc", "digital", "macro"),
+    ),
+    AcceleratorRecord(
+        "Samsung 28nm SRAM-CIM", 2022, _C.NPU_SRAM_IMC, 5.3, 0.012, _P.INT8, 28,
+        tags=("imc", "digital"),
+    ),
+    # --- NPUs with analog NVM IMC ---------------------------------------
+    AcceleratorRecord(
+        "ISAAC (RRAM, modeled)", 2016, _C.NPU_RRAM_IMC, 41.4, 65.8, _P.INT8, 32,
+        tags=("imc", "analog"),
+    ),
+    AcceleratorRecord(
+        "NeuRRAM", 2022, _C.NPU_RRAM_IMC, 0.54, 0.027, _P.INT4, 130,
+        tags=("imc", "analog"),
+    ),
+    AcceleratorRecord(
+        "IBM HERMES PCM core", 2023, _C.NPU_PCM_IMC, 10.5, 1.0, _P.INT8, 14,
+        tags=("imc", "analog"),
+    ),
+    AcceleratorRecord(
+        "Fused analog IMC fabric (IBM)", 2021, _C.NPU_PCM_IMC, 63.1, 6.0,
+        _P.INT4, 14, tags=("imc", "analog"),
+    ),
+    # --- RISC-V accelerators (Fig. 7 population) ------------------------
+    # The 100 mW - 1 W cluster the paper highlights:
+    AcceleratorRecord(
+        "GAP8", 2018, _C.RISCV, 0.012, 0.075, _P.INT8, 55,
+        europe_based=True, tags=("pulp", "edge"),
+    ),
+    AcceleratorRecord(
+        "GAP9", 2022, _C.RISCV, 0.05, 0.05, _P.INT8, 22,
+        europe_based=True, tags=("pulp", "edge"),
+    ),
+    AcceleratorRecord(
+        "Vega", 2021, _C.RISCV, 0.032, 0.049, _P.INT8, 22,
+        europe_based=True, tags=("pulp", "edge"),
+    ),
+    AcceleratorRecord(
+        "Kraken", 2022, _C.RISCV, 0.25, 0.30, _P.INT4, 22,
+        europe_based=True, tags=("pulp", "snn"),
+    ),
+    AcceleratorRecord(
+        "Marsellus", 2023, _C.RISCV, 0.18, 0.123, _P.INT4, 22,
+        europe_based=True, tags=("pulp",),
+    ),
+    AcceleratorRecord(
+        "Darkside", 2022, _C.RISCV, 0.065, 0.122, _P.INT8, 65,
+        europe_based=True, tags=("pulp",),
+    ),
+    AcceleratorRecord(
+        "DIANA (hybrid AIMC)", 2022, _C.RISCV, 0.144, 0.132, _P.INT8, 22,
+        europe_based=True, tags=("imc", "hybrid"),
+    ),
+    AcceleratorRecord(
+        "Archimedes", 2023, _C.RISCV, 1.2, 0.9, _P.INT8, 22,
+        europe_based=True, tags=("pulp", "ar-vr"),
+    ),
+    AcceleratorRecord(
+        "RedMulE cluster", 2023, _C.RISCV, 0.095, 0.065, _P.FP16, 22,
+        europe_based=True, tags=("pulp", "tensor"),
+    ),
+    # The sparse >1 W region (HPC inference) the project targets:
+    AcceleratorRecord(
+        "Esperanto ET-SoC-1", 2022, _C.RISCV, 139, 20, _P.INT8, 7,
+        tags=("manycore",),
+    ),
+    AcceleratorRecord(
+        "Celerity", 2018, _C.RISCV, 0.5, 5.0, _P.INT8, 16, tags=("manycore",),
+    ),
+    AcceleratorRecord(
+        "Occamy (dual chiplet)", 2024, _C.RISCV, 0.75, 27, _P.FP64, 12,
+        europe_based=True, tags=("chiplet", "hpc"),
+    ),
+    AcceleratorRecord(
+        "Axelera Metis AIPU", 2024, _C.RISCV, 209.6, 14, _P.INT8, 12,
+        europe_based=True, tags=("imc", "edge-server"),
+    ),
+    AcceleratorRecord(
+        "ICSC CU prototype (GF12)", 2024, _C.RISCV, 0.15, 0.1, _P.BF16, 12,
+        europe_based=True, tags=("icsc", "flagship2", "compute-unit"),
+    ),
+]
+
+
+def load_dataset(platform: Optional[PlatformClass] = None) -> List[AcceleratorRecord]:
+    """Return the curated dataset, optionally filtered by *platform*.
+
+    The returned list is a copy; callers may mutate it freely.
+    """
+    if platform is None:
+        return list(_DATASET)
+    return [r for r in _DATASET if r.platform is platform]
+
+
+def riscv_subset() -> List[AcceleratorRecord]:
+    """The RISC-V accelerator population plotted in Fig. 7."""
+    return load_dataset(PlatformClass.RISCV)
+
+
+def europe_subset() -> List[AcceleratorRecord]:
+    """EU-based designs; Fig. 7's point is that many RISC-V entries are
+    European, supporting the project's sovereignty argument."""
+    return [r for r in _DATASET if r.europe_based]

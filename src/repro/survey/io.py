@@ -1,0 +1,79 @@
+"""CSV import/export for the survey dataset.
+
+The survey is living data -- new accelerators appear every conference
+cycle -- so the dataset round-trips through plain CSV for maintenance
+and for users who want to extend the Fig. 1 / Fig. 7 population with
+their own entries.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+from repro.survey.records import AcceleratorRecord, PlatformClass, Precision
+
+_FIELDS = [
+    "name",
+    "year",
+    "platform",
+    "peak_tops",
+    "power_w",
+    "precision",
+    "technology_nm",
+    "europe_based",
+    "tags",
+]
+
+
+def to_csv(records: Sequence[AcceleratorRecord]) -> str:
+    """Serialize *records* to CSV text (header + one row per record)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    writer.writeheader()
+    for rec in records:
+        writer.writerow(
+            {
+                "name": rec.name,
+                "year": rec.year,
+                "platform": rec.platform.value,
+                "peak_tops": rec.peak_tops,
+                "power_w": rec.power_w,
+                "precision": rec.precision.value,
+                "technology_nm": rec.technology_nm,
+                "europe_based": int(rec.europe_based),
+                "tags": ";".join(rec.tags),
+            }
+        )
+    return buffer.getvalue()
+
+
+def from_csv(text: str) -> List[AcceleratorRecord]:
+    """Parse CSV *text* back into records; raises on malformed rows."""
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or set(_FIELDS) - set(reader.fieldnames):
+        raise ValueError(
+            f"CSV must provide the columns {_FIELDS}"
+        )
+    platforms = {p.value: p for p in PlatformClass}
+    precisions = {p.value: p for p in Precision}
+    records = []
+    for line_num, row in enumerate(reader, start=2):
+        try:
+            records.append(
+                AcceleratorRecord(
+                    name=row["name"],
+                    year=int(row["year"]),
+                    platform=platforms[row["platform"]],
+                    peak_tops=float(row["peak_tops"]),
+                    power_w=float(row["power_w"]),
+                    precision=precisions[row["precision"]],
+                    technology_nm=int(row["technology_nm"]),
+                    europe_based=bool(int(row["europe_based"])),
+                    tags=tuple(t for t in row["tags"].split(";") if t),
+                )
+            )
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"CSV line {line_num}: {exc}") from exc
+    return records

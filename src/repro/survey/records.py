@@ -1,0 +1,77 @@
+"""Schema for survey entries.
+
+Each record captures the operating point a vendor or paper reports for an
+accelerator: peak throughput at a given precision and the power at which
+that throughput is achieved.  Energy efficiency in TOPS/W is derived, never
+stored, so the two axes of Fig. 1 can never disagree with the iso-lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class PlatformClass(enum.Enum):
+    """Platform taxonomy used by the survey (paper Sec. II)."""
+
+    CPU = "CPU"
+    GPU = "GPU"
+    TPU = "TPU"
+    FPGA = "FPGA"
+    CGRA = "CGRA"
+    ASIC = "ASIC"
+    NPU_SRAM_IMC = "NPU+SRAM-IMC"
+    NPU_RRAM_IMC = "NPU+RRAM-IMC"
+    NPU_PCM_IMC = "NPU+PCM-IMC"
+    RISCV = "RISC-V"
+
+
+class Precision(enum.Enum):
+    """Arithmetic precision at which the peak throughput is quoted."""
+
+    FP64 = "FP64"
+    FP32 = "FP32"
+    FP16 = "FP16"
+    BF16 = "BF16"
+    FP8 = "FP8"
+    INT8 = "INT8"
+    INT4 = "INT4"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class AcceleratorRecord:
+    """One surveyed accelerator operating point."""
+
+    name: str
+    year: int
+    platform: PlatformClass
+    peak_tops: float
+    power_w: float
+    precision: Precision = Precision.INT8
+    technology_nm: int = 0
+    europe_based: bool = False
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.peak_tops <= 0:
+            raise ValueError(f"{self.name}: peak_tops must be positive")
+        if self.power_w <= 0:
+            raise ValueError(f"{self.name}: power_w must be positive")
+        if not 1990 <= self.year <= 2100:
+            raise ValueError(f"{self.name}: implausible year {self.year}")
+
+    @property
+    def tops_per_watt(self) -> float:
+        """Energy efficiency, the y/x ratio plotted in Fig. 1."""
+        return self.peak_tops / self.power_w
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"{self.name} ({self.year}, {self.platform.value}): "
+            f"{self.peak_tops:g} TOPS @ {self.power_w:g} W = "
+            f"{self.tops_per_watt:.2f} TOPS/W [{self.precision.value}]"
+        )

@@ -1,0 +1,112 @@
+"""Tests for approximate attention (repro.axc.attention)."""
+
+import numpy as np
+import pytest
+
+from repro.axc.attention import (
+    attention_quality,
+    multi_head_attention,
+    scaled_dot_product_attention,
+)
+
+
+class TestExactAttention:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        out = scaled_dot_product_attention(
+            rng.normal(size=(6, 8)), rng.normal(size=(10, 8)),
+            rng.normal(size=(10, 4)),
+        )
+        assert out.shape == (6, 4)
+
+    def test_uniform_scores_average_values(self):
+        q = np.zeros((3, 4))
+        k = np.zeros((5, 4))
+        v = np.arange(10.0).reshape(5, 2)
+        out = scaled_dot_product_attention(q, k, v)
+        assert np.allclose(out, v.mean(axis=0))
+
+    def test_peaked_scores_select_value(self):
+        q = np.array([[10.0, 0.0]])
+        k = np.array([[10.0, 0.0], [-10.0, 0.0]])
+        v = np.array([[1.0], [2.0]])
+        out = scaled_dot_product_attention(q, k, v)
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(
+                np.zeros((2, 3)), np.zeros((4, 5)), np.zeros((4, 2))
+            )
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(
+                np.zeros((2, 3)), np.zeros((4, 3)), np.zeros((5, 2))
+            )
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(
+                np.zeros(3), np.zeros((4, 3)), np.zeros((4, 2))
+            )
+
+
+class TestApproximateAttention:
+    def test_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        q = rng.normal(size=(16, 8))
+        k = rng.normal(size=(16, 8))
+        v = rng.normal(size=(16, 8))
+        exact = scaled_dot_product_attention(q, k, v)
+        approx = scaled_dot_product_attention(q, k, v, approximate=True)
+        rel = np.linalg.norm(exact - approx) / np.linalg.norm(exact)
+        assert rel < 0.10
+
+    def test_aggressive_worse_but_bounded(self):
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(16, 8))
+        k = rng.normal(size=(16, 8))
+        v = rng.normal(size=(16, 8))
+        exact = scaled_dot_product_attention(q, k, v)
+        moderate = scaled_dot_product_attention(
+            q, k, v, approximate=True, fractional_correction=True
+        )
+        aggressive = scaled_dot_product_attention(
+            q, k, v, approximate=True, fractional_correction=False
+        )
+        err_mod = np.linalg.norm(exact - moderate)
+        err_agg = np.linalg.norm(exact - aggressive)
+        assert err_mod <= err_agg
+        assert err_agg / np.linalg.norm(exact) < 0.5
+
+
+class TestMultiHead:
+    def test_output_shape(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(12, 16))
+        w = rng.normal(size=(16, 48))
+        out = multi_head_attention(x, w, num_heads=4)
+        assert out.shape == (12, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_head_attention(np.zeros((4, 8)), np.zeros((8, 16)), 2)
+        with pytest.raises(ValueError):
+            multi_head_attention(np.zeros((4, 8)), np.zeros((8, 24)), 3)
+        with pytest.raises(ValueError):
+            multi_head_attention(np.zeros(8), np.zeros((8, 24)), 2)
+
+    def test_approximate_close_to_exact(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(20, 16))
+        w = rng.normal(0, 0.25, size=(16, 48))
+        exact = multi_head_attention(x, w, 4, approximate=False)
+        approx = multi_head_attention(x, w, 4, approximate=True)
+        rel = np.linalg.norm(exact - approx) / np.linalg.norm(exact)
+        assert rel < 0.15
+
+
+class TestQualityReport:
+    def test_metrics_in_range(self):
+        report = attention_quality(seq_len=48, d_model=32, num_heads=4,
+                                   seed=0)
+        assert 0 <= report["output_relative_error"] < 0.2
+        assert report["top1_agreement"] > 0.9
+        assert report["softmax_cost_saving"] > 0.8

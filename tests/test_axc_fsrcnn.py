@@ -1,0 +1,175 @@
+"""Tests for FSRCNN models, synthetic data and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.axc.data import (
+    downsample_x2,
+    edge_scene,
+    evaluation_set,
+    mixed_scene,
+    smooth_texture,
+    sr_pair,
+)
+from repro.axc.fsrcnn import FSRCNN, FSRCNN_25_5_1, FSRCNN_56_12_4, FSRCNNConfig
+from repro.axc.htconv import FovealRegion
+from repro.axc.macs import MacCounter
+from repro.axc.training import (
+    TrainResult,
+    model_backward,
+    model_forward_with_cache,
+    train_fsrcnn,
+)
+from repro.core.fixedpoint import Q16
+
+
+class TestData:
+    def test_images_in_unit_range(self):
+        for gen in (smooth_texture, edge_scene, mixed_scene):
+            img = gen(32, 48, seed=0)
+            assert img.shape == (32, 48)
+            assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(
+            smooth_texture(16, 16, seed=7), smooth_texture(16, 16, seed=7)
+        )
+
+    def test_downsample_shape_and_mean(self):
+        img = np.arange(16.0).reshape(4, 4)
+        ds = downsample_x2(img)
+        assert ds.shape == (2, 2)
+        assert ds[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_downsample_rejects_odd(self):
+        with pytest.raises(ValueError):
+            downsample_x2(np.zeros((3, 4)))
+
+    def test_sr_pair_shapes(self):
+        lr, hr = sr_pair(32, 48, seed=0)
+        assert hr.shape == (32, 48)
+        assert lr.shape == (16, 24)
+
+    def test_sr_pair_unknown_kind(self):
+        with pytest.raises(ValueError):
+            sr_pair(16, 16, kind="nope")
+
+    def test_evaluation_set(self):
+        pairs = evaluation_set(hr_size=32, count=5)
+        assert len(pairs) == 5
+        assert all(hr.shape == (32, 32) for _, hr in pairs)
+
+
+class TestFSRCNNModel:
+    def test_config_name(self):
+        assert FSRCNN_25_5_1.name == "FSRCNN(25,5,1)"
+        assert FSRCNN_56_12_4.name == "FSRCNN(56,12,4)"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FSRCNNConfig(d=0, s=1, m=1)
+        with pytest.raises(ValueError):
+            FSRCNNConfig(d=4, s=2, m=1, deconv_kernel=4)
+
+    def test_forward_shape(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=0)
+        out = model.forward(np.zeros((12, 14)))
+        assert out.shape == (24, 28)
+
+    def test_output_clipped(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=0)
+        out = model.forward(np.random.default_rng(0).uniform(size=(10, 10)))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_bigger_model_has_more_parameters(self):
+        small = FSRCNN(FSRCNN_25_5_1, seed=0)
+        big = FSRCNN(FSRCNN_56_12_4, seed=0)
+        assert big.num_parameters() > 3 * small.num_parameters()
+
+    def test_htconv_mode_requires_fovea(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=0)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((8, 8)), tconv_mode="htconv")
+
+    def test_unknown_mode(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=0)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((8, 8)), tconv_mode="magic")
+
+    def test_rejects_non_2d_input(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=0)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((1, 8, 8)))
+
+    def test_htconv_full_fovea_matches_exact(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=1)
+        lr = smooth_texture(10, 10, seed=2)
+        exact = model.forward(lr)
+        hybrid = model.forward(
+            lr, tconv_mode="htconv", fovea=FovealRegion.everything()
+        )
+        assert np.allclose(exact, hybrid)
+
+    def test_mac_accounting_splits_layers(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=0)
+        counter = MacCounter()
+        model.forward(np.zeros((8, 8)), counter=counter)
+        assert {"feature", "shrink", "map0", "expand", "tconv"} <= set(
+            counter.macs
+        )
+
+    def test_quantized_forward_close_to_float(self):
+        model = FSRCNN(FSRCNN_25_5_1, seed=0)
+        lr = smooth_texture(12, 12, seed=3)
+        float_out = model.forward(lr)
+        quant_out = model.forward(lr, quant_fmt=Q16)
+        assert np.abs(float_out - quant_out).max() < 0.05
+
+
+class TestTraining:
+    def test_gradients_match_finite_differences(self):
+        model = FSRCNN(FSRCNNConfig(d=3, s=2, m=1), seed=0)
+        lr_img = smooth_texture(6, 6, seed=1)
+        target = smooth_texture(12, 12, seed=2)
+
+        out, caches = model_forward_with_cache(model, lr_img)
+        err = out - target
+        grads = model_backward(model, 2.0 * err / err.size, caches)
+
+        def loss():
+            out2, _ = model_forward_with_cache(model, lr_img)
+            return float(np.mean((out2 - target) ** 2))
+
+        eps = 1e-6
+        for key, array in [
+            ("feature.weight", model.conv_weights[0]),
+            ("deconv.kernel", model.deconv_kernel),
+            ("shrink.prelu", model.prelu_slopes[1]),
+            ("map0.bias", model.conv_biases[2]),
+        ]:
+            flat = array.ravel()
+            idx = flat.size // 2
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            up = loss()
+            flat[idx] = orig - eps
+            down = loss()
+            flat[idx] = orig
+            numeric = (up - down) / (2 * eps)
+            analytic = grads[key].ravel()[idx]
+            assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-7), key
+
+    def test_training_reduces_loss(self):
+        model = FSRCNN(FSRCNNConfig(d=6, s=3, m=1), seed=0)
+        result = train_fsrcnn(model, steps=60, patch=12, seed=0)
+        assert isinstance(result, TrainResult)
+        early = np.mean(result.losses[:10])
+        late = np.mean(result.losses[-10:])
+        assert late < early
+
+    def test_training_validation(self):
+        model = FSRCNN(FSRCNNConfig(d=2, s=2, m=0), seed=0)
+        with pytest.raises(ValueError):
+            train_fsrcnn(model, steps=0)
+        with pytest.raises(ValueError):
+            train_fsrcnn(model, steps=1, patch=9)

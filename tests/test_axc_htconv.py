@@ -1,0 +1,175 @@
+"""Tests for repro.axc.htconv -- the Fig. 3 hybrid transposed convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axc.htconv import FovealRegion, htconv_mac_model, htconv_x2
+from repro.axc.layers import transposed_conv2d_x2
+from repro.axc.macs import MacCounter
+
+
+class TestFovealRegion:
+    def test_mask_shape_and_center(self):
+        fovea = FovealRegion(center=(2, 2), radius=1.0)
+        mask = fovea.mask(5, 5)
+        assert mask.shape == (5, 5)
+        assert mask[2, 2]
+        assert not mask[0, 0]
+
+    def test_everything_covers_all(self):
+        assert FovealRegion.everything().mask(4, 6).all()
+
+    def test_nothing_covers_none(self):
+        assert not FovealRegion.nothing().mask(4, 6).any()
+
+    def test_centered_fraction(self):
+        fovea = FovealRegion.centered(64, 64, 0.25)
+        assert fovea.coverage(64, 64) == pytest.approx(0.25, abs=0.03)
+
+    def test_centered_extremes(self):
+        assert FovealRegion.centered(32, 32, 0.0).coverage(32, 32) == 0.0
+        assert FovealRegion.centered(32, 32, 1.0).coverage(32, 32) >= 0.99
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            FovealRegion.centered(8, 8, 1.5)
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            FovealRegion(center=(0, 0), radius=-1.0)
+
+    def test_mask_bad_dims(self):
+        with pytest.raises(ValueError):
+            FovealRegion.everything().mask(0, 5)
+
+
+class TestHtconvCorrectness:
+    def test_full_fovea_equals_exact_tconv(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 6, 9))
+        k = rng.normal(size=(3, 5, 5))
+        exact = transposed_conv2d_x2(x, k)
+        hybrid = htconv_x2(x, k, FovealRegion.everything())
+        assert np.allclose(exact, hybrid)
+
+    def test_even_even_always_exact(self):
+        # Fig. 3 line 18: the even-even output is exact even outside the
+        # fovea.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 8, 8))
+        k = rng.normal(size=(2, 3, 3))
+        exact = transposed_conv2d_x2(x, k)
+        hybrid = htconv_x2(x, k, FovealRegion.nothing())
+        assert np.allclose(exact[::2, ::2], hybrid[::2, ::2])
+
+    def test_peripheral_outputs_are_averages(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 6, 6))
+        k = rng.normal(size=(1, 3, 3))
+        out = htconv_x2(x, k, FovealRegion.nothing())
+        ee = out[::2, ::2]
+        # Interior block (i=1, j=1): Fig. 3 lines 19-21.
+        assert out[3, 2] == pytest.approx((ee[1, 1] + ee[2, 1]) / 2)
+        assert out[2, 3] == pytest.approx((ee[1, 1] + ee[1, 2]) / 2)
+        assert out[3, 3] == pytest.approx(
+            (ee[1, 1] + ee[1, 2] + ee[2, 1] + ee[2, 2]) / 4
+        )
+
+    def test_border_clamping(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 4, 4))
+        k = rng.normal(size=(1, 3, 3))
+        out = htconv_x2(x, k, FovealRegion.nothing())
+        ee = out[::2, ::2]
+        # Last row/col blocks clamp the missing neighbour.
+        assert out[7, 6] == pytest.approx(ee[3, 3])
+        assert out[6, 7] == pytest.approx(ee[3, 3])
+
+    def test_mixed_fovea_partitions_output(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 8, 8))
+        k = rng.normal(size=(1, 3, 3))
+        fovea = FovealRegion(center=(3.5, 3.5), radius=2.0)
+        exact = transposed_conv2d_x2(x, k)
+        hybrid = htconv_x2(x, k, fovea)
+        mask = fovea.mask(8, 8)
+        # Foveal blocks exact in all four positions.
+        for i, j in zip(*np.where(mask)):
+            block_exact = exact[2 * i : 2 * i + 2, 2 * j : 2 * j + 2]
+            block_hybrid = hybrid[2 * i : 2 * i + 2, 2 * j : 2 * j + 2]
+            assert np.allclose(block_exact, block_hybrid)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            htconv_x2(
+                np.zeros((1, 4, 4)), np.zeros((1, 3, 5)),
+                FovealRegion.everything(),
+            )
+        with pytest.raises(ValueError):
+            htconv_x2(
+                np.zeros((2, 4, 4)), np.zeros((1, 3, 3)),
+                FovealRegion.everything(),
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=4, max_value=9))
+    def test_constant_image_with_bilinear_kernel(self, size):
+        # A constant image under the separable bilinear x2 kernel is
+        # reproduced exactly by both the exact TCONV and the peripheral
+        # interpolation (away from the zero-padded borders): averaging
+        # exact constants yields the same constant.
+        x = np.full((1, size, size), 2.5)
+        axis = np.array([0.5, 1.0, 0.5])
+        k = np.outer(axis, axis)[None, :, :]
+        out_exact = htconv_x2(x, k, FovealRegion.everything())
+        out_approx = htconv_x2(x, k, FovealRegion.nothing())
+        interior = (slice(1, 2 * (size - 2)), slice(1, 2 * (size - 2)))
+        assert np.allclose(out_exact[interior], 2.5)
+        assert np.allclose(out_approx[interior], 2.5)
+
+
+class TestHtconvMacs:
+    def test_empty_fovea_saves_75_percent(self):
+        x = np.zeros((2, 8, 8))
+        k = np.zeros((2, 5, 5))
+        counter, base = MacCounter(), MacCounter()
+        htconv_x2(x, k, FovealRegion.nothing(), counter=counter)
+        transposed_conv2d_x2(x, k, counter=base)
+        assert counter.saving_vs(base) == pytest.approx(0.75)
+
+    def test_full_fovea_saves_nothing(self):
+        x = np.zeros((1, 6, 6))
+        k = np.zeros((1, 3, 3))
+        counter, base = MacCounter(), MacCounter()
+        htconv_x2(x, k, FovealRegion.everything(), counter=counter)
+        transposed_conv2d_x2(x, k, counter=base)
+        assert counter.saving_vs(base) == pytest.approx(0.0)
+
+    def test_interp_adds_charged_per_peripheral_pixel(self):
+        x = np.zeros((1, 4, 4))
+        k = np.zeros((1, 3, 3))
+        counter = MacCounter()
+        htconv_x2(x, k, FovealRegion.nothing(), counter=counter)
+        assert counter.total_interp_adds == 16 * 5
+
+    def test_mac_model_matches_counter(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(3, 10, 10))
+        k = rng.normal(size=(3, 5, 5))
+        fovea = FovealRegion.centered(10, 10, 0.3)
+        counter = MacCounter()
+        htconv_x2(x, k, fovea, counter=counter)
+        coverage = fovea.coverage(10, 10)
+        hybrid, exact = htconv_mac_model(10, 10, 5, 3, coverage)
+        assert counter.total_macs == hybrid
+        assert exact == 4 * 100 * 25 * 3
+
+    def test_mac_model_saving_formula(self):
+        # saving = 0.75 * (1 - coverage)
+        hybrid, exact = htconv_mac_model(100, 100, 9, 25, 0.2)
+        assert 1 - hybrid / exact == pytest.approx(0.75 * 0.8, abs=1e-3)
+
+    def test_mac_model_bad_coverage(self):
+        with pytest.raises(ValueError):
+            htconv_mac_model(4, 4, 3, 1, 1.5)

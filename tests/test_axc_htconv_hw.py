@@ -1,0 +1,104 @@
+"""Tests for the Fig. 4 streaming hardware model of HTCONV."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axc.htconv import FovealRegion, htconv_x2
+from repro.axc.htconv_hw import HTConvStreamingEngine, _LineBuffer
+
+
+class TestLineBuffer:
+    def test_push_and_read(self):
+        buffer = _LineBuffer(capacity_rows=2, name="test")
+        buffer.push(0, np.array([1.0]))
+        buffer.push(1, np.array([2.0]))
+        assert buffer.read(1)[0] == 2.0
+
+    def test_eviction(self):
+        buffer = _LineBuffer(capacity_rows=2, name="test")
+        for i in range(3):
+            buffer.push(i, np.array([float(i)]))
+        assert 0 not in buffer
+        with pytest.raises(RuntimeError):
+            buffer.read(0)
+
+    def test_peak_occupancy(self):
+        buffer = _LineBuffer(capacity_rows=3, name="test")
+        for i in range(5):
+            buffer.push(i, np.zeros(1))
+        assert buffer.peak_occupancy == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            _LineBuffer(capacity_rows=0, name="x")
+
+
+class TestStreamingEquivalence:
+    """The hardware dataflow must reproduce the functional HTCONV."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=10),
+        st.integers(min_value=4, max_value=10),
+        st.sampled_from([3, 5, 9]),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_matches_functional_htconv(self, h, w, t, channels, seed):
+        rng = np.random.default_rng(seed)
+        image = rng.uniform(0, 1, (channels, h, w))
+        kernel = rng.normal(0, 1, (channels, t, t))
+        fovea = FovealRegion(
+            center=(rng.uniform(0, h), rng.uniform(0, w)),
+            radius=rng.uniform(0, max(h, w)),
+        )
+        functional = htconv_x2(image, kernel, fovea)
+        engine = HTConvStreamingEngine(kernel, fovea)
+        streamed = engine.process(image)
+        assert np.allclose(streamed, functional)
+
+    def test_full_and_empty_fovea(self):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(0, 1, (2, 8, 8))
+        kernel = rng.normal(0, 1, (2, 5, 5))
+        for fovea in (FovealRegion.everything(), FovealRegion.nothing()):
+            assert np.allclose(
+                HTConvStreamingEngine(kernel, fovea).process(image),
+                htconv_x2(image, kernel, fovea),
+            )
+
+
+class TestHardwareBudget:
+    def test_line_buffer_sizing(self):
+        # The Fig. 4 / Table I premise: (t//2 + 1) input rows suffice.
+        rng = np.random.default_rng(1)
+        image = rng.uniform(0, 1, (1, 12, 16))
+        kernel = rng.normal(0, 1, (1, 9, 9))
+        engine = HTConvStreamingEngine(kernel, FovealRegion.nothing())
+        engine.process(image)
+        stats = engine.stats(12, 16)
+        assert stats.input_buffer_rows <= 9 // 2 + 1
+        assert stats.output_buffer_rows <= 2
+
+    def test_op_accounting(self):
+        rng = np.random.default_rng(2)
+        image = rng.uniform(0, 1, (1, 6, 6))
+        kernel = rng.normal(0, 1, (1, 3, 3))
+        engine = HTConvStreamingEngine(kernel, FovealRegion.nothing())
+        engine.process(image)
+        stats = engine.stats(6, 6)
+        # The MAC array computes all four variants for every pixel (the
+        # foveal mux selects); interpolation charges 5 adds per
+        # peripheral pixel.
+        assert stats.mac_ops == 6 * (4 * 6 * 9 * 1)
+        assert stats.interp_ops == 36 * 5
+
+    def test_input_validation(self):
+        kernel = np.zeros((1, 3, 3))
+        engine = HTConvStreamingEngine(kernel, FovealRegion.nothing())
+        with pytest.raises(ValueError):
+            engine.process(np.zeros((2, 4, 4)))
+        with pytest.raises(ValueError):
+            HTConvStreamingEngine(np.zeros((1, 3, 5)),
+                                  FovealRegion.nothing())

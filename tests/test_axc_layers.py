@@ -1,0 +1,213 @@
+"""Tests for repro.axc.layers and repro.axc.macs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axc.layers import (
+    avg_pool2d,
+    conv2d,
+    fully_connected,
+    max_pool2d,
+    prelu,
+    transposed_conv2d_x2,
+    zero_upsample_x2,
+)
+from repro.axc.macs import MacCounter, conv2d_macs
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        x = np.random.default_rng(0).normal(size=(1, 6, 6))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out = conv2d(x, w)
+        assert out.shape == (1, 6, 6)
+        assert np.allclose(out, x)
+
+    def test_known_sum_kernel(self):
+        x = np.ones((1, 4, 4))
+        w = np.ones((1, 1, 3, 3))
+        out = conv2d(x, w, padding=0)
+        assert out.shape == (1, 2, 2)
+        assert np.allclose(out, 9.0)
+
+    def test_multi_channel_sums(self):
+        x = np.ones((3, 4, 4))
+        w = np.ones((2, 3, 1, 1))
+        out = conv2d(x, w)
+        assert out.shape == (2, 4, 4)
+        assert np.allclose(out, 3.0)
+
+    def test_bias(self):
+        x = np.zeros((1, 3, 3))
+        w = np.zeros((2, 1, 1, 1))
+        out = conv2d(x, w, bias=np.array([1.0, -2.0]))
+        assert np.allclose(out[0], 1.0)
+        assert np.allclose(out[1], -2.0)
+
+    def test_mac_counting(self):
+        counter = MacCounter()
+        x = np.zeros((3, 8, 8))
+        w = np.zeros((4, 3, 3, 3))
+        conv2d(x, w, counter=counter, layer_name="L")
+        assert counter.macs["L"] == conv2d_macs(8, 8, 3, 3, 3, 4)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((2, 4, 4)), np.zeros((1, 3, 3, 3)))
+
+    def test_bad_input_rank(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((4, 4)), np.zeros((1, 1, 3, 3)))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(3)
+        x1 = rng.normal(size=(2, 5, 5))
+        x2 = rng.normal(size=(2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        assert np.allclose(
+            conv2d(x1 + x2, w), conv2d(x1, w) + conv2d(x2, w)
+        )
+
+
+class TestZeroUpsample:
+    def test_placement(self):
+        x = np.arange(6.0).reshape(1, 2, 3)
+        up = zero_upsample_x2(x)
+        assert up.shape == (1, 4, 6)
+        assert np.allclose(up[0, ::2, ::2], x[0])
+        assert up[0, 1::2, :].sum() == 0
+        assert up[0, :, 1::2].sum() == 0
+
+    def test_pad_tail(self):
+        up = zero_upsample_x2(np.ones((1, 2, 2)), pad_tail=3)
+        assert up.shape == (1, 7, 7)
+
+
+class TestTransposedConv:
+    def test_output_shape(self):
+        out = transposed_conv2d_x2(np.zeros((2, 5, 7)), np.zeros((2, 3, 3)))
+        assert out.shape == (10, 14)
+
+    def test_delta_kernel_reproduces_upsample(self):
+        x = np.random.default_rng(1).normal(size=(1, 4, 4))
+        k = np.zeros((1, 3, 3))
+        k[0, 0, 0] = 1.0
+        out = transposed_conv2d_x2(x, k)
+        assert np.allclose(out[::2, ::2], x[0])
+        assert np.allclose(out[1::2, :], 0.0)
+
+    def test_mac_count_is_dense(self):
+        counter = MacCounter()
+        transposed_conv2d_x2(
+            np.zeros((3, 4, 4)), np.zeros((3, 5, 5)), counter=counter
+        )
+        assert counter.total_macs == 4 * 4 * 4 * 25 * 3
+
+    def test_rejects_rectangular_kernel(self):
+        with pytest.raises(ValueError):
+            transposed_conv2d_x2(np.zeros((1, 4, 4)), np.zeros((1, 3, 5)))
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            transposed_conv2d_x2(np.zeros((2, 4, 4)), np.zeros((1, 3, 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=3), st.integers(2, 5))
+    def test_linearity_property(self, channels, size):
+        rng = np.random.default_rng(channels * 10 + size)
+        x = rng.normal(size=(channels, size, size))
+        k = rng.normal(size=(channels, 3, 3))
+        assert np.allclose(
+            transposed_conv2d_x2(2.0 * x, k),
+            2.0 * transposed_conv2d_x2(x, k),
+        )
+
+
+class TestPooling:
+    def test_max_pool(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        out = max_pool2d(x, 2)
+        assert out.shape == (1, 2, 2)
+        assert np.allclose(out[0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        out = avg_pool2d(x, 2)
+        assert np.allclose(out[0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_bad_pool_size(self):
+        with pytest.raises(ValueError):
+            max_pool2d(np.zeros((1, 4, 4)), 0)
+
+
+class TestFullyConnected:
+    def test_matvec(self):
+        w = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = fully_connected(np.array([1.0, 1.0]), w)
+        assert np.allclose(out, [3.0, 7.0])
+
+    def test_bias_and_macs(self):
+        counter = MacCounter()
+        out = fully_connected(
+            np.ones(3), np.ones((2, 3)), bias=np.array([1.0, 2.0]),
+            counter=counter,
+        )
+        assert np.allclose(out, [4.0, 5.0])
+        assert counter.total_macs == 6
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fully_connected(np.ones(3), np.ones((2, 4)))
+
+
+class TestPrelu:
+    def test_positive_passthrough(self):
+        x = np.ones((2, 2, 2))
+        assert np.allclose(prelu(x, np.array([0.1, 0.2])), x)
+
+    def test_negative_scaling(self):
+        x = -np.ones((2, 1, 1))
+        out = prelu(x, np.array([0.5, 0.25]))
+        assert np.allclose(out[:, 0, 0], [-0.5, -0.25])
+
+    def test_slope_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            prelu(np.zeros((2, 2, 2)), np.zeros(3))
+
+
+class TestMacCounter:
+    def test_merge(self):
+        a, b = MacCounter(), MacCounter()
+        a.charge_macs("x", 10)
+        b.charge_macs("x", 5)
+        b.charge_interp("x", 3)
+        a.merge(b)
+        assert a.macs["x"] == 15
+        assert a.interp_adds["x"] == 3
+
+    def test_saving(self):
+        a, b = MacCounter(), MacCounter()
+        a.charge_macs("x", 20)
+        b.charge_macs("x", 100)
+        assert a.saving_vs(b) == pytest.approx(0.8)
+
+    def test_saving_zero_baseline(self):
+        with pytest.raises(ValueError):
+            MacCounter().saving_vs(MacCounter())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MacCounter().charge_macs("x", -1)
+
+    def test_report_mentions_layers(self):
+        c = MacCounter()
+        c.charge_macs("deconv", 7)
+        c.charge_interp("deconv", 2)
+        text = c.report()
+        assert "deconv" in text and "total MACs: 7" in text
+
+    def test_conv2d_macs_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            conv2d_macs(0, 1, 1, 1, 1, 1)

@@ -1,0 +1,114 @@
+"""Tests for the approximate SoftMax of repro.axc.softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axc import softmax as sm
+
+
+class TestExactSoftmax:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        out = sm.softmax_exact(rng.normal(size=(8, 16)))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_invariant_to_shift(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(sm.softmax_exact(x), sm.softmax_exact(x + 100))
+
+    def test_large_logits_stable(self):
+        out = sm.softmax_exact(np.array([1000.0, 999.0]))
+        assert np.isfinite(out).all()
+
+    def test_known_values(self):
+        out = sm.softmax_exact(np.array([0.0, 0.0]))
+        assert np.allclose(out, 0.5)
+
+
+class TestPow2Approximations:
+    def test_piecewise_linear_exact_at_integers(self):
+        s = np.array([-3.0, -1.0, 0.0, 2.0])
+        assert np.allclose(sm._pow2_piecewise_linear(s), np.exp2(s))
+
+    def test_piecewise_linear_max_error(self):
+        s = np.linspace(-4, 4, 1001)
+        rel = np.abs(sm._pow2_piecewise_linear(s) - np.exp2(s)) / np.exp2(s)
+        assert rel.max() < 0.0625
+
+    def test_truncated_is_lower_bound_scale(self):
+        s = np.linspace(-4, 4, 101)
+        assert np.all(sm._pow2_truncated(s) <= np.exp2(s) + 1e-12)
+
+
+class TestApproximateSoftmax:
+    def test_moderate_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(32, 10))
+        err = sm.max_absolute_error(
+            logits, fractional_correction=True, shift_normalization=False
+        )
+        assert err < 0.05
+
+    def test_aggressive_worse_than_moderate(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(64, 10))
+        moderate = sm.max_absolute_error(logits, fractional_correction=True)
+        aggressive = sm.max_absolute_error(logits, fractional_correction=False)
+        assert aggressive >= moderate
+
+    def test_outputs_nonnegative_and_bounded(self):
+        rng = np.random.default_rng(3)
+        out = sm.softmax_approximate(rng.normal(size=(16, 8)))
+        assert (out >= 0).all()
+        assert (out <= 1.0 + 1e-9).all()
+
+    def test_shift_normalization_sum_within_factor_two(self):
+        # Shifting by ceil(log2 D) divides by at most 2x the true
+        # denominator, so row sums land in (0.5, 1].
+        rng = np.random.default_rng(4)
+        out = sm.softmax_approximate(
+            rng.normal(size=(64, 12)), shift_normalization=True
+        )
+        sums = out.sum(axis=-1)
+        assert (sums > 0.5 - 1e-9).all()
+        assert (sums <= 1.0 + 1e-9).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-8, max_value=8, allow_nan=False),
+            min_size=2,
+            max_size=16,
+        )
+    )
+    def test_argmax_preserved_with_margin(self, logits):
+        # When the top logit leads by a clear margin the approximation
+        # cannot flip the argmax (worst-case relative error ~6% each side).
+        arr = np.array(logits)
+        arr[0] = arr.max() + 1.0
+        assert sm.argmax_agreement(arr[None, :]) == 1.0
+
+    def test_argmax_agreement_high_on_random(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(0, 3, size=(500, 10))
+        assert sm.argmax_agreement(logits) > 0.95
+        assert sm.argmax_agreement(logits, fractional_correction=False) > 0.85
+
+
+class TestCostModel:
+    def test_savings_ordering(self):
+        cost = sm.softmax_cost_model(64)
+        assert cost["aggressive_saving"] > cost["moderate_saving"] > 0.8
+
+    def test_scales_with_length(self):
+        small = sm.softmax_cost_model(8)
+        large = sm.softmax_cost_model(80)
+        assert (
+            large["exact_adder_equivalents"]
+            == 10 * small["exact_adder_equivalents"]
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sm.softmax_cost_model(0)

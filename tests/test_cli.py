@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "artifact,expect",
+        [
+            ("fig1", "platform class"),
+            ("fig2", "von Neumann"),
+            ("taxonomy", "von Neumann"),
+            ("fig7", "power band"),
+            ("table1", "HTCONV"),
+            ("survey-csv", "peak_tops"),
+        ],
+    )
+    def test_artifacts_print_tables(self, artifact, expect, capsys):
+        assert main([artifact]) == 0
+        out = capsys.readouterr().out
+        assert expect in out
+        assert len(out.splitlines()) > 3
+
+    def test_scf_artifact(self, capsys):
+        assert main(["scf"]) == 0
+        out = capsys.readouterr().out
+        assert "SCF scale-up" in out
+        assert "64" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code != 0
+
+    def test_no_arguments_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_survey_csv_round_trips(self, capsys):
+        from repro.survey import load_dataset
+        from repro.survey.io import from_csv
+
+        main(["survey-csv"])
+        out = capsys.readouterr().out
+        assert from_csv(out) == load_dataset()

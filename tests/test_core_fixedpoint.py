@@ -1,0 +1,110 @@
+"""Tests for repro.core.fixedpoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import fixedpoint as fp
+
+
+class TestFormatProperties:
+    def test_q16_range(self):
+        fmt = fp.FixedPointFormat(16, 12)
+        assert fmt.min_int == -32768
+        assert fmt.max_int == 32767
+        assert fmt.lsb == pytest.approx(2**-12)
+        assert fmt.max_value == pytest.approx(32767 / 4096)
+
+    def test_unsigned_range(self):
+        fmt = fp.FixedPointFormat(8, 8, signed=False)
+        assert fmt.min_int == 0
+        assert fmt.max_int == 255
+        assert fmt.max_value == pytest.approx(255 / 256)
+
+    def test_rejects_negative_int_bits(self):
+        with pytest.raises(ValueError):
+            fp.FixedPointFormat(8, 8, signed=True)
+
+    def test_rejects_zero_total_bits(self):
+        with pytest.raises(ValueError):
+            fp.FixedPointFormat(0, 0)
+
+    def test_describe_mentions_format(self):
+        assert "Q16.12" in fp.Q16.describe()
+
+
+class TestQuantize:
+    def test_exact_values_pass_through(self):
+        fmt = fp.FixedPointFormat(8, 4)
+        values = np.array([0.0, 0.25, -1.5, 2.0])
+        assert np.array_equal(fp.quantize(values, fmt), values)
+
+    def test_saturation_high(self):
+        fmt = fp.FixedPointFormat(8, 4)
+        assert fp.quantize(np.array([100.0]), fmt)[0] == pytest.approx(
+            fmt.max_value
+        )
+
+    def test_saturation_low(self):
+        fmt = fp.FixedPointFormat(8, 4)
+        assert fp.quantize(np.array([-100.0]), fmt)[0] == pytest.approx(
+            fmt.min_value
+        )
+
+    def test_rounding_to_nearest(self):
+        fmt = fp.FixedPointFormat(8, 2)  # lsb = 0.25
+        assert fp.quantize(np.array([0.30]), fmt)[0] == pytest.approx(0.25)
+        assert fp.quantize(np.array([0.40]), fmt)[0] == pytest.approx(0.5)
+
+    def test_int_codes_dtype(self):
+        codes = fp.quantize_int(np.array([0.5]), fp.Q16)
+        assert codes.dtype == np.int64
+
+    @given(
+        st.lists(
+            st.floats(min_value=-7.9, max_value=7.9, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_quantization_error_bounded_by_half_lsb(self, values):
+        fmt = fp.FixedPointFormat(16, 12)
+        arr = np.array(values)
+        err = np.abs(arr - fp.quantize(arr, fmt))
+        assert np.all(err <= fmt.lsb / 2 + 1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-7.9, max_value=7.9, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_quantize_is_idempotent(self, values):
+        arr = np.array(values)
+        once = fp.quantize(arr, fp.Q16)
+        twice = fp.quantize(once, fp.Q16)
+        assert np.array_equal(once, twice)
+
+
+class TestHelpers:
+    def test_quantization_error_nonnegative(self):
+        rng = np.random.default_rng(0)
+        vals = rng.normal(size=100)
+        assert fp.quantization_error(vals, fp.Q16) >= 0
+
+    def test_quantization_error_decreases_with_bits(self):
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(-1, 1, size=1000)
+        coarse = fp.quantization_error(vals, fp.FixedPointFormat(8, 6))
+        fine = fp.quantization_error(vals, fp.FixedPointFormat(16, 14))
+        assert fine < coarse
+
+    def test_required_frac_bits(self):
+        bits = fp.required_frac_bits(0.01)
+        assert 2.0**-bits / 2 <= 0.01
+        assert 2.0 ** -(bits - 1) / 2 > 0.01
+
+    def test_required_frac_bits_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fp.required_frac_bits(0.0)

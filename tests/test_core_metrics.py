@@ -1,0 +1,107 @@
+"""Tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import metrics
+
+
+class TestMse:
+    def test_identical_is_zero(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert metrics.mse(a, a) == 0.0
+
+    def test_known_value(self):
+        assert metrics.mse(np.zeros(4), np.full(4, 2.0)) == pytest.approx(4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.mse(np.zeros(3), np.zeros(4))
+
+
+class TestPsnr:
+    def test_identical_is_inf(self):
+        a = np.ones((8, 8))
+        assert metrics.psnr(a, a) == float("inf")
+
+    def test_known_value(self):
+        # MSE = 1 with peak 255 -> 10*log10(255^2) ~ 48.13 dB
+        ref = np.zeros(100)
+        test = np.ones(100)
+        assert metrics.psnr(ref, test) == pytest.approx(48.1308, abs=1e-3)
+
+    def test_peak_scaling(self):
+        ref = np.zeros(10)
+        test = np.full(10, 0.1)
+        assert metrics.psnr(ref, test, peak=1.0) == pytest.approx(20.0)
+
+    def test_more_noise_lower_psnr(self):
+        rng = np.random.default_rng(1)
+        ref = rng.uniform(0, 255, size=(32, 32))
+        small = ref + rng.normal(0, 1, ref.shape)
+        large = ref + rng.normal(0, 10, ref.shape)
+        assert metrics.psnr(ref, small) > metrics.psnr(ref, large)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        labels = np.array([0, 1, 2, 1])
+        assert metrics.classification_accuracy(labels, labels) == 1.0
+
+    def test_half(self):
+        assert metrics.classification_accuracy(
+            np.array([0, 1, 0, 1]), np.array([0, 1, 1, 0])
+        ) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.classification_accuracy(np.array([]), np.array([]))
+
+
+class TestDice:
+    def test_identical_masks(self):
+        m = np.array([[1, 0], [1, 1]], dtype=bool)
+        assert metrics.dice_coefficient(m, m) == 1.0
+
+    def test_disjoint_masks(self):
+        a = np.array([1, 1, 0, 0], dtype=bool)
+        b = np.array([0, 0, 1, 1], dtype=bool)
+        assert metrics.dice_coefficient(a, b) == 0.0
+
+    def test_empty_masks(self):
+        z = np.zeros(4, dtype=bool)
+        assert metrics.dice_coefficient(z, z) == 1.0
+
+    def test_known_overlap(self):
+        a = np.array([1, 1, 1, 0], dtype=bool)
+        b = np.array([1, 1, 0, 0], dtype=bool)
+        assert metrics.dice_coefficient(a, b) == pytest.approx(0.8)
+
+
+class TestRelativeChange:
+    def test_reduction(self):
+        assert metrics.relative_change(10.0, 9.0) == pytest.approx(-0.1)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.relative_change(0.0, 1.0)
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert metrics.geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            metrics.geometric_mean(np.array([1.0, 0.0]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20
+        )
+    )
+    def test_between_min_and_max(self, values):
+        vals = np.array(values)
+        gm = metrics.geometric_mean(vals)
+        assert vals.min() - 1e-9 <= gm <= vals.max() + 1e-9

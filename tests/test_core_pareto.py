@@ -1,0 +1,129 @@
+"""Tests for repro.core.pareto."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import pareto
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert pareto.dominates([1, 1], [2, 2])
+
+    def test_partial_improvement(self):
+        assert pareto.dominates([1, 2], [2, 2])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not pareto.dominates([1, 1], [1, 1])
+
+    def test_tradeoff_points(self):
+        assert not pareto.dominates([1, 3], [2, 2])
+        assert not pareto.dominates([2, 2], [1, 3])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto.dominates([1], [1, 2])
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        pts = np.array([[1, 4], [2, 2], [4, 1], [3, 3], [4, 4]])
+        front = pareto.pareto_front(pts)
+        assert front.tolist() == [[1, 4], [2, 2], [4, 1]]
+
+    def test_single_point(self):
+        assert pareto.pareto_front(np.array([[5.0, 5.0]])).tolist() == [[5, 5]]
+
+    def test_duplicates_kept(self):
+        pts = np.array([[1, 1], [1, 1], [2, 2]])
+        assert len(pareto.pareto_indices(pts)) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_front_points_mutually_nondominated(self, points):
+        pts = np.array(points)
+        front = pareto.pareto_front(pts)
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i != j:
+                    assert not pareto.dominates(front[i], front[j])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_every_point_dominated_or_on_front(self, points):
+        pts = np.array(points)
+        idx = set(pareto.pareto_indices(pts).tolist())
+        for i, p in enumerate(pts):
+            if i not in idx:
+                assert any(pareto.dominates(pts[j], p) for j in idx)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        hv = pareto.hypervolume_2d(np.array([[1.0, 1.0]]), [3.0, 3.0])
+        assert hv == pytest.approx(4.0)
+
+    def test_staircase(self):
+        front = np.array([[1.0, 2.0], [2.0, 1.0]])
+        hv = pareto.hypervolume_2d(front, [3.0, 3.0])
+        # Union of 2x1 and 1x2 rectangles overlapping in 1x1.
+        assert hv == pytest.approx(3.0)
+
+    def test_dominated_point_ignored(self):
+        with_dominated = np.array([[1.0, 2.0], [2.0, 1.0], [2.5, 2.5]])
+        clean = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert pareto.hypervolume_2d(with_dominated, [3, 3]) == pytest.approx(
+            pareto.hypervolume_2d(clean, [3, 3])
+        )
+
+    def test_reference_must_dominate(self):
+        with pytest.raises(ValueError):
+            pareto.hypervolume_2d(np.array([[5.0, 5.0]]), [3.0, 3.0])
+
+    def test_bigger_front_bigger_volume(self):
+        small = np.array([[2.0, 2.0]])
+        large = np.array([[1.0, 1.0]])
+        ref = [4.0, 4.0]
+        assert pareto.hypervolume_2d(large, ref) > pareto.hypervolume_2d(
+            small, ref
+        )
+
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            pareto.hypervolume_2d(np.array([[1.0, 1.0, 1.0]]), [2, 2, 2])
+
+
+class TestCrowdingDistance:
+    def test_boundaries_infinite(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        dist = pareto.crowding_distance(pts)
+        assert np.isinf(dist[0])
+        assert np.isinf(dist[3])
+        assert np.isfinite(dist[1])
+        assert np.isfinite(dist[2])
+
+    def test_small_sets_all_infinite(self):
+        assert np.all(np.isinf(pareto.crowding_distance(np.array([[1, 2]]))))
+
+    def test_crowded_point_smaller_distance(self):
+        # Middle point at index 1 is much closer to its neighbors.
+        pts = np.array([[0.0, 10.0], [0.5, 9.5], [5.0, 5.0], [10.0, 0.0]])
+        dist = pareto.crowding_distance(pts)
+        assert dist[1] < dist[2]

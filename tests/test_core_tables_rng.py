@@ -1,0 +1,72 @@
+"""Tests for repro.core.tables and repro.core.rng."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import make_rng, spawn
+from repro.core.tables import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["method", "PSNR"], title="Table I")
+        t.add_row(["HTCONV", 31.25])
+        t.add_row(["baseline-with-long-name", 30.0])
+        text = t.render()
+        lines = text.split("\n")
+        assert lines[0] == "Table I"
+        # All data rows share the same width.
+        assert len(lines[2]) == len(lines[3])
+        assert "HTCONV" in text
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_bool_formatting(self):
+        t = Table(["flag"])
+        t.add_row([True])
+        assert "yes" in t.render()
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([3.14159265])
+        assert "3.142" in t.render()
+
+    def test_num_rows(self):
+        t = Table(["x"])
+        assert t.num_rows == 0
+        t.add_row([1])
+        assert t.num_rows == 1
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_spawn_independent_streams(self):
+        children = spawn(make_rng(7), 3)
+        assert len(children) == 3
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1]
+        assert draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = [c.random(3).tolist() for c in spawn(make_rng(9), 2)]
+        b = [c.random(3).tolist() for c in spawn(make_rng(9), 2)]
+        assert a == b
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)

@@ -1,0 +1,52 @@
+"""Tests for repro.core.units."""
+
+import pytest
+
+from repro.core import units
+
+
+class TestSiFormat:
+    def test_tera(self):
+        assert units.si_format(16.8e12, "CUPS") == "16.8 TCUPS"
+
+    def test_giga(self):
+        assert units.si_format(150e9, "FLOPS") == "150 GFLOPS"
+
+    def test_milli(self):
+        assert units.si_format(0.55, "V", precision=2) == "550 mV"
+
+    def test_unity(self):
+        assert units.si_format(3.7, "W") == "3.7 W"
+
+    def test_zero(self):
+        assert units.si_format(0.0, "W") == "0 W"
+
+    def test_no_unit(self):
+        assert units.si_format(2e6) == "2 M"
+
+    def test_negative_value(self):
+        assert units.si_format(-1.5e9, "B") == "-1.5 GB"
+
+    def test_pico(self):
+        assert units.si_format(2.3e-12, "J") == "2.3 pJ"
+
+
+class TestEnergyConversions:
+    def test_round_trip(self):
+        eff = 1.5  # TFLOPS/W as in the Sec. VII compute unit
+        j_per_op = units.tops_per_watt_to_joules_per_op(eff)
+        assert units.joules_per_op_to_tops_per_watt(j_per_op) == pytest.approx(eff)
+
+    def test_known_value(self):
+        # 1 pJ/op is exactly 1 TOPS/W.
+        assert units.joules_per_op_to_tops_per_watt(1e-12) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.joules_per_op_to_tops_per_watt(0.0)
+        with pytest.raises(ValueError):
+            units.tops_per_watt_to_joules_per_op(-1.0)
+
+    def test_binary_prefixes(self):
+        assert units.MEBI == 1024 * units.KIBI
+        assert units.GIBI == 1024 * units.MEBI

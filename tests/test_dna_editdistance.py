@@ -1,0 +1,125 @@
+"""Tests for the Levenshtein kernels (full DP, banded, Myers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dna.editdistance import (
+    CellUpdateCounter,
+    levenshtein,
+    levenshtein_banded,
+    levenshtein_myers,
+    levenshtein_reference,
+    pairwise_distance_matrix,
+)
+
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=30)
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("A", "", 1),
+            ("", "ACGT", 4),
+            ("ACGT", "ACGT", 0),
+            ("ACGT", "AGGT", 1),
+            ("ACGT", "CGT", 1),
+            ("ACGT", "TACGT", 1),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_all_kernels(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+        assert levenshtein_myers(a, b) == expected
+        assert levenshtein_reference(a, b) == expected
+        assert levenshtein_banded(a, b, band=10) == expected
+
+
+class TestAgreementProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(dna_strings, dna_strings)
+    def test_dp_matches_reference(self, a, b):
+        assert levenshtein(a, b) == levenshtein_reference(a, b)
+
+    @settings(max_examples=150, deadline=None)
+    @given(dna_strings, dna_strings)
+    def test_myers_matches_reference(self, a, b):
+        assert levenshtein_myers(a, b) == levenshtein_reference(a, b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(dna_strings, dna_strings, st.integers(min_value=0, max_value=8))
+    def test_banded_semantics(self, a, b, band):
+        ref = levenshtein_reference(a, b)
+        result = levenshtein_banded(a, b, band)
+        if ref <= band:
+            assert result == ref
+        else:
+            assert result is None
+
+
+class TestMetricAxioms:
+    @settings(max_examples=80, deadline=None)
+    @given(dna_strings)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna_strings, dna_strings)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(dna_strings, dna_strings, dna_strings)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna_strings, dna_strings)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+class TestCellAccounting:
+    def test_dp_charges_nm(self):
+        counter = CellUpdateCounter()
+        levenshtein("ACGTACGT", "ACGT", counter=counter)
+        assert counter.cells == 32
+
+    def test_myers_charges_nm(self):
+        counter = CellUpdateCounter()
+        levenshtein_myers("ACGTACGT", "ACGT", counter=counter)
+        assert counter.cells == 32
+
+    def test_banded_charges_less_than_full(self):
+        a = "ACGT" * 20
+        b = "ACGT" * 20
+        full = CellUpdateCounter()
+        levenshtein(a, b, counter=full)
+        banded = CellUpdateCounter()
+        levenshtein_banded(a, b, band=4, counter=banded)
+        assert banded.cells < full.cells
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CellUpdateCounter().charge(-1)
+
+    def test_band_rejects_negative(self):
+        with pytest.raises(ValueError):
+            levenshtein_banded("A", "A", band=-1)
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        seqs = ["ACGT", "AGGT", "TTTT"]
+        matrix = pairwise_distance_matrix(seqs)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+        assert matrix[0, 1] == 1
+
+    def test_counter_threads_through(self):
+        counter = CellUpdateCounter()
+        pairwise_distance_matrix(["ACGT", "ACGA"], counter=counter)
+        assert counter.cells == 16

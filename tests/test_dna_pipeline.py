@@ -1,0 +1,289 @@
+"""Tests for the DNA channel, clustering, consensus, end-to-end pipeline
+and the FPGA accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.dna.channel import ChannelParams, DNAChannel
+from repro.dna.clustering import cluster_reads, clustering_purity
+from repro.dna.consensus import align_to_template, consensus_sequence
+from repro.dna.decoder import DNAStorageSystem
+from repro.dna.editdistance import levenshtein
+from repro.dna.encoding import OligoLayout
+from repro.dna.fpga_accel import (
+    EditDistanceAcceleratorModel,
+    SoftwareBaselineModel,
+)
+
+
+class TestChannelParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelParams(substitution_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChannelParams(substitution_rate=0.5, insertion_rate=0.4,
+                          deletion_rate=0.4)
+        with pytest.raises(ValueError):
+            ChannelParams(mean_coverage=0)
+        with pytest.raises(ValueError):
+            ChannelParams(coverage_sigma=-1)
+
+    def test_total_rate(self):
+        p = ChannelParams(substitution_rate=0.01, insertion_rate=0.005,
+                          deletion_rate=0.005)
+        assert p.total_error_rate == pytest.approx(0.02)
+
+
+class TestChannel:
+    def test_noiseless_channel_identity(self):
+        params = ChannelParams(substitution_rate=0, insertion_rate=0,
+                               deletion_rate=0, coverage_sigma=0,
+                               mean_coverage=3)
+        channel = DNAChannel(params, seed=0)
+        assert channel.corrupt_strand("ACGTACGT") == "ACGTACGT"
+
+    def test_noise_changes_reads(self):
+        channel = DNAChannel(
+            ChannelParams(substitution_rate=0.3), seed=0
+        )
+        strand = "ACGT" * 25
+        corrupted = channel.corrupt_strand(strand)
+        assert corrupted != strand
+
+    def test_error_rate_statistics(self):
+        params = ChannelParams(substitution_rate=0.05, insertion_rate=0.0,
+                               deletion_rate=0.0)
+        channel = DNAChannel(params, seed=1)
+        strand = "ACGT" * 100
+        total_edits = sum(
+            levenshtein(strand, channel.corrupt_strand(strand))
+            for _ in range(20)
+        )
+        rate = total_edits / (20 * len(strand))
+        assert rate == pytest.approx(0.05, abs=0.02)
+
+    def test_deletions_shorten(self):
+        params = ChannelParams(substitution_rate=0, insertion_rate=0,
+                               deletion_rate=0.2)
+        channel = DNAChannel(params, seed=2)
+        strand = "A" * 200
+        assert len(channel.corrupt_strand(strand)) < 200
+
+    def test_coverage_near_mean(self):
+        params = ChannelParams(coverage_sigma=0.0, mean_coverage=7)
+        channel = DNAChannel(params, seed=3)
+        assert channel.copy_count() == 7
+
+    def test_dropout(self):
+        params = ChannelParams(dropout_rate=1.0)
+        channel = DNAChannel(params, seed=4)
+        assert channel.copy_count() == 0
+
+    def test_transmit_pools_reads(self):
+        channel = DNAChannel(ChannelParams(mean_coverage=5,
+                                           coverage_sigma=0.0), seed=5)
+        reads = channel.transmit(["ACGTACGT", "TTTTCCCC"])
+        assert len(reads) == 10
+
+    def test_empty_inputs_rejected(self):
+        channel = DNAChannel(seed=0)
+        with pytest.raises(ValueError):
+            channel.corrupt_strand("")
+        with pytest.raises(ValueError):
+            channel.transmit([])
+
+
+def _noisy_reads(strands, copies, seed, error=0.02):
+    params = ChannelParams(
+        substitution_rate=error, insertion_rate=error / 2,
+        deletion_rate=error / 2, mean_coverage=copies, coverage_sigma=0.0,
+    )
+    channel = DNAChannel(params, seed=seed)
+    reads, origins = [], []
+    for idx, strand in enumerate(strands):
+        for _ in range(copies):
+            reads.append(channel.corrupt_strand(strand))
+            origins.append(idx)
+    return reads, origins
+
+
+class TestClustering:
+    def test_groups_by_origin(self):
+        rng = np.random.default_rng(0)
+        strands = [
+            "".join(rng.choice(list("ACGT"), 60)) for _ in range(5)
+        ]
+        reads, origins = _noisy_reads(strands, copies=6, seed=1)
+        result = cluster_reads(reads, distance_threshold=10)
+        assert result.num_clusters == 5
+        assert clustering_purity(result, origins, reads) == 1.0
+
+    def test_zero_threshold_exact_grouping(self):
+        reads = ["AAAA", "AAAA", "CCCC"]
+        result = cluster_reads(reads, distance_threshold=0)
+        assert result.num_clusters == 2
+
+    def test_work_accounting(self):
+        reads = ["AAAA", "CCCC", "GGGG"]
+        result = cluster_reads(reads, distance_threshold=1)
+        assert result.comparisons == 3  # 0 + 1 + 2
+        assert result.cell_updates > 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            cluster_reads(["A"], distance_threshold=-1)
+
+    def test_purity_validation(self):
+        result = cluster_reads(["AAAA"], 1)
+        with pytest.raises(ValueError):
+            clustering_purity(result, [0, 1], ["AAAA"])
+
+
+class TestConsensus:
+    def test_align_identity(self):
+        events = align_to_template("ACGT", "ACGT")
+        assert events == [(0, "A"), (1, "C"), (2, "G"), (3, "T")]
+
+    def test_align_records_deletion(self):
+        events = align_to_template("AGT", "ACGT")
+        assert (1, "") in events
+
+    def test_align_records_insertion(self):
+        events = align_to_template("ACXGT", "ACGT")
+        assert any(sym.startswith("+") for _, sym in events)
+
+    def test_majority_substitution_fixed(self):
+        reads = ["ACGT", "ACGT", "AGGT"]
+        assert consensus_sequence(reads, template="ACGT") == "ACGT"
+
+    def test_majority_deletion_applied(self):
+        reads = ["ACT", "ACT", "ACGT"]
+        assert consensus_sequence(reads, template="ACGT") == "ACT"
+
+    def test_majority_insertion_applied(self):
+        reads = ["ACGGT", "ACGGT", "ACGT"]
+        assert consensus_sequence(reads, template="ACGT") == "ACGGT"
+
+    def test_recovers_strand_from_noisy_reads(self):
+        rng = np.random.default_rng(7)
+        strand = "".join(rng.choice(list("ACGT"), 80))
+        reads, _ = _noisy_reads([strand], copies=9, seed=8, error=0.03)
+        consensus = consensus_sequence(reads)
+        assert levenshtein(consensus, strand) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            consensus_sequence([])
+        with pytest.raises(ValueError):
+            consensus_sequence(["A"], iterations=0)
+
+
+class TestEndToEnd:
+    def test_roundtrip_recovers_payload(self):
+        system = DNAStorageSystem(
+            layout=OligoLayout(payload_bytes=10, index_bytes=1),
+            rs_n=40, rs_k=30,
+            channel_params=ChannelParams(mean_coverage=8),
+            seed=0,
+        )
+        payload = bytes(range(60))
+        report = system.roundtrip(payload)
+        assert report.success
+        assert report.payload == payload
+        assert report.cell_updates > 0
+
+    def test_dropout_repaired_by_ecc(self):
+        system = DNAStorageSystem(
+            layout=OligoLayout(payload_bytes=5, index_bytes=1),
+            rs_n=30, rs_k=20,
+            channel_params=ChannelParams(mean_coverage=10,
+                                         coverage_sigma=0.0),
+            seed=1,
+        )
+        payload = bytes(range(40))
+        strands = system.store(payload)
+        # Drop one entire oligo (5 coded bytes lost <= t = 5 per block).
+        reads = system.channel.transmit(strands[:-1])
+        report = system.retrieve(reads, len(payload))
+        assert report.missing_chunks >= 1
+        assert report.success
+        assert report.payload == payload
+
+    def test_hopeless_channel_fails_gracefully(self):
+        system = DNAStorageSystem(
+            layout=OligoLayout(payload_bytes=5, index_bytes=1),
+            rs_n=30, rs_k=20,
+            channel_params=ChannelParams(substitution_rate=0.3,
+                                         insertion_rate=0.1,
+                                         deletion_rate=0.1,
+                                         mean_coverage=2),
+            seed=2,
+        )
+        payload = bytes(range(40))
+        report = system.roundtrip(payload)
+        # Success is not guaranteed; what matters is a clean verdict.
+        if not report.success:
+            assert report.payload is None
+
+    def test_validation(self):
+        system = DNAStorageSystem(seed=0)
+        with pytest.raises(ValueError):
+            system.store(b"")
+        with pytest.raises(ValueError):
+            system.retrieve(["ACGT"], 0)
+        with pytest.raises(ValueError):
+            system.coded_length(0)
+
+
+class TestAcceleratorModel:
+    def test_reproduces_published_figures(self):
+        model = EditDistanceAcceleratorModel()
+        # "nearly 90% of FPGA basic-block hardware resources"
+        assert model.resource_utilization == pytest.approx(0.90, abs=0.02)
+        # "maximum throughput of 16.8 TCUPS"
+        assert model.sustained_tcups == pytest.approx(16.8, rel=0.03)
+        # "energy efficiency of 46 Mpair/Joule" (80-base oligo pairs)
+        assert model.pairs_per_joule(80, 80) / 1e6 == pytest.approx(
+            46.0, rel=0.10
+        )
+
+    def test_efficiency_scales_peak(self):
+        model = EditDistanceAcceleratorModel()
+        assert model.sustained_cups == pytest.approx(
+            0.9 * model.peak_cups
+        )
+
+    def test_longer_sequences_fewer_pairs(self):
+        model = EditDistanceAcceleratorModel()
+        assert model.pairs_per_second(200, 200) < model.pairs_per_second(
+            100, 100
+        )
+
+    def test_time_and_energy_linear_in_cells(self):
+        model = EditDistanceAcceleratorModel()
+        assert model.time_for_cells(2_000_000) == pytest.approx(
+            2 * model.time_for_cells(1_000_000)
+        )
+        assert model.energy_for_cells(10**9) > 0
+
+    def test_fpga_beats_software_baseline(self):
+        fpga = EditDistanceAcceleratorModel()
+        cpu = SoftwareBaselineModel()
+        cells = 10**12
+        assert fpga.time_for_cells(cells) < cpu.time_for_cells(cells) / 100
+        assert fpga.energy_for_cells(cells) < cpu.energy_for_cells(cells)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EditDistanceAcceleratorModel(word_bits=0)
+        with pytest.raises(ValueError):
+            EditDistanceAcceleratorModel(target_utilization=1.5)
+        with pytest.raises(ValueError):
+            EditDistanceAcceleratorModel(computing_efficiency=0)
+        model = EditDistanceAcceleratorModel()
+        with pytest.raises(ValueError):
+            model.pairs_per_second(0, 10)
+        with pytest.raises(ValueError):
+            model.time_for_cells(-1)
+        with pytest.raises(ValueError):
+            SoftwareBaselineModel().time_for_cells(-1)

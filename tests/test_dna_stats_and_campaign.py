@@ -1,0 +1,113 @@
+"""Tests for the DNA channel estimator and the hetero campaign matrix."""
+
+import numpy as np
+import pytest
+
+from repro.dna.channel import ChannelParams, DNAChannel
+from repro.dna.stats import ChannelEstimate, estimate_channel, recommend_rs_parity
+from repro.hetero.campaign import (
+    best_configuration,
+    bottleneck_summary,
+    run_campaign,
+)
+from repro.hetero.workload import SegmentationWorkload
+
+
+class TestChannelEstimation:
+    def _reference(self, length=120, seed=0):
+        rng = np.random.default_rng(seed)
+        return "".join(rng.choice(list("ACGT"), length))
+
+    def test_clean_reads_estimate_zero(self):
+        ref = self._reference()
+        estimate = estimate_channel([ref] * 5, ref)
+        assert estimate.total_error_rate == 0.0
+        assert estimate.bases_observed == 5 * len(ref)
+
+    def test_recovers_substitution_rate(self):
+        ref = self._reference(seed=1)
+        channel = DNAChannel(
+            ChannelParams(substitution_rate=0.05, insertion_rate=0.0,
+                          deletion_rate=0.0),
+            seed=2,
+        )
+        reads = [channel.corrupt_strand(ref) for _ in range(40)]
+        estimate = estimate_channel(reads, ref)
+        assert estimate.substitution_rate == pytest.approx(0.05, abs=0.015)
+        assert estimate.insertion_rate < 0.01
+        assert estimate.deletion_rate < 0.01
+
+    def test_recovers_indel_rates(self):
+        ref = self._reference(seed=3)
+        channel = DNAChannel(
+            ChannelParams(substitution_rate=0.0, insertion_rate=0.03,
+                          deletion_rate=0.04),
+            seed=4,
+        )
+        reads = [channel.corrupt_strand(ref) for _ in range(40)]
+        estimate = estimate_channel(reads, ref)
+        assert estimate.insertion_rate == pytest.approx(0.03, abs=0.015)
+        assert estimate.deletion_rate == pytest.approx(0.04, abs=0.015)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_channel([], "ACGT")
+        with pytest.raises(ValueError):
+            estimate_channel(["ACGT"], "")
+
+    def test_parity_recommendation_scales_with_error(self):
+        low = ChannelEstimate(0.001, 0.0, 0.0, 1000)
+        high = ChannelEstimate(0.02, 0.01, 0.01, 1000)
+        p_low = recommend_rs_parity(low, chunk_bytes=10, chunks_per_block=3)
+        p_high = recommend_rs_parity(high, chunk_bytes=10,
+                                     chunks_per_block=3)
+        assert p_high > p_low >= 2
+        assert p_high % 2 == 0
+
+    def test_parity_validation(self):
+        est = ChannelEstimate(0.01, 0.0, 0.0, 100)
+        with pytest.raises(ValueError):
+            recommend_rs_parity(est, chunk_bytes=0, chunks_per_block=1)
+        with pytest.raises(ValueError):
+            recommend_rs_parity(est, 10, 3, safety_factor=0)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_campaign(SegmentationWorkload(num_volumes=50, epochs=1))
+
+    def test_matrix_coverage(self, cells):
+        devices = {c.device for c in cells}
+        storages = {c.storage for c in cells}
+        phases = {c.phase for c in cells}
+        assert len(devices) == 3
+        assert len(storages) == 3
+        assert phases == {"training", "inference"}
+
+    def test_fpga_inference_only(self, cells):
+        fpga = [c for c in cells if "FPGA" in c.device]
+        assert fpga
+        assert all(c.phase == "inference" for c in fpga)
+
+    def test_gpu_wins_training_time(self, cells):
+        best = best_configuration(cells, "training", objective="time")
+        assert "GPU" in best.device
+
+    def test_fpga_wins_inference_energy(self, cells):
+        best = best_configuration(cells, "inference", objective="energy")
+        assert "FPGA" in best.device
+
+    def test_bottleneck_summary_counts_all(self, cells):
+        summary = bottleneck_summary(cells)
+        assert sum(summary.values()) == len(cells)
+        # I/O-path or host stages dominate somewhere in the matrix (the
+        # campaign's motivation for the storage work).
+        io_stages = {"storage_read", "preprocess", "transfer_in"}
+        assert io_stages & set(summary)
+
+    def test_best_configuration_validation(self, cells):
+        with pytest.raises(ValueError):
+            best_configuration(cells, "compilation")
+        with pytest.raises(ValueError):
+            best_configuration(cells, "training", objective="beauty")

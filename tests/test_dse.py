@@ -1,0 +1,198 @@
+"""Tests for the DSE engine: spaces, evaluator, explorers, runner."""
+
+import numpy as np
+import pytest
+
+from repro.dse.explorer import (
+    ExhaustiveExplorer,
+    NSGA2Explorer,
+    RandomExplorer,
+    SimulatedAnnealingExplorer,
+    best_tradeoff,
+)
+from repro.dse.objectives import HLSEvaluator
+from repro.dse.runner import DSERunner
+from repro.dse.space import DesignSpace, Parameter, hls_directive_space
+from repro.hls.kernels import make_kernel
+
+
+def tiny_space():
+    return DesignSpace(
+        [
+            Parameter("unroll", (1, 2, 4)),
+            Parameter("pipeline", (False, True)),
+            Parameter("array_partition", (1, 2)),
+            Parameter("mul_units", (2, 4)),
+            Parameter("add_units", (2, 4)),
+        ]
+    )
+
+
+class TestSpace:
+    def test_size(self):
+        assert tiny_space().size == 3 * 2 * 2 * 2 * 2
+
+    def test_enumerate_covers_space(self):
+        space = tiny_space()
+        configs = list(space.enumerate())
+        assert len(configs) == space.size
+        keys = {space.key(c) for c in configs}
+        assert len(keys) == space.size
+
+    def test_sample_valid(self):
+        space = tiny_space()
+        for seed in range(10):
+            space.validate(space.sample(seed))
+
+    def test_mutate_changes_one_parameter(self):
+        space = tiny_space()
+        config = space.sample(0)
+        mutated = space.mutate(config, 1)
+        space.validate(mutated)
+        diffs = [k for k in config if config[k] != mutated[k]]
+        assert len(diffs) <= 1
+
+    def test_crossover_mixes_parents(self):
+        space = tiny_space()
+        a = {p.name: p.values[0] for p in space.parameters}
+        b = {p.name: p.values[-1] for p in space.parameters}
+        child = space.crossover(a, b, 0)
+        space.validate(child)
+        for key in child:
+            assert child[key] in (a[key], b[key])
+
+    def test_validate_rejects_bad_config(self):
+        space = tiny_space()
+        with pytest.raises(ValueError):
+            space.validate({"unroll": 3})
+        with pytest.raises(ValueError):
+            space.validate({})
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Parameter("x", ())
+        with pytest.raises(ValueError):
+            Parameter("x", (1, 1))
+        with pytest.raises(ValueError):
+            Parameter("", (1,))
+
+    def test_space_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpace([])
+        with pytest.raises(ValueError):
+            DesignSpace([Parameter("a", (1,)), Parameter("a", (2,))])
+
+    def test_standard_space_powers_of_two(self):
+        space = hls_directive_space(max_unroll=8)
+        unroll = next(p for p in space.parameters if p.name == "unroll")
+        assert unroll.values == (1, 2, 4, 8)
+
+
+class TestEvaluator:
+    def test_caching(self):
+        evaluator = HLSEvaluator(make_kernel("dot", size=32), tiny_space())
+        config = evaluator.space.sample(0)
+        p1 = evaluator.evaluate(config)
+        p2 = evaluator.evaluate(config)
+        assert p1 is p2
+        assert evaluator.unique_evaluations == 1
+
+    def test_objectives_positive(self):
+        evaluator = HLSEvaluator(make_kernel("dot", size=32), tiny_space())
+        point = evaluator.evaluate(evaluator.space.sample(1))
+        assert point.latency_s > 0
+        assert point.area > 0
+
+
+class TestExplorers:
+    def _runner(self):
+        return DSERunner(make_kernel("gemm", size=64), space=tiny_space())
+
+    def test_exhaustive_covers_small_space(self):
+        runner = self._runner()
+        result = runner.run(ExhaustiveExplorer(), budget=100)
+        assert result.unique_evaluations == tiny_space().size
+
+    def test_random_respects_budget(self):
+        runner = self._runner()
+        result = runner.run(RandomExplorer(), budget=10, seed=0)
+        assert len(result.evaluated) <= 10
+
+    def test_front_is_nondominated(self):
+        from repro.core.pareto import dominates
+
+        runner = self._runner()
+        result = runner.run(ExhaustiveExplorer(), budget=100)
+        front = result.front
+        for i, p in enumerate(front):
+            for j, q in enumerate(front):
+                if i != j:
+                    assert not dominates(q.objectives, p.objectives)
+
+    def test_front_dominates_all_points(self):
+        from repro.core.pareto import dominates
+
+        runner = self._runner()
+        result = runner.run(ExhaustiveExplorer(), budget=100)
+        for point in result.evaluated:
+            on_front = any(
+                point.objectives == f.objectives for f in result.front
+            )
+            dominated = any(
+                dominates(f.objectives, point.objectives)
+                for f in result.front
+            )
+            assert on_front or dominated
+
+    def test_heuristics_approach_exhaustive_front(self):
+        runner = self._runner()
+        scores = runner.compare(
+            [ExhaustiveExplorer(), NSGA2Explorer(population=8),
+             SimulatedAnnealingExplorer(restarts=2)],
+            budget=48,
+            seed=1,
+        )
+        exhaustive_hv = scores["exhaustive"]["hypervolume"]
+        assert scores["nsga2"]["hypervolume"] >= 0.5 * exhaustive_hv
+        assert scores["annealing"]["hypervolume"] >= 0.5 * exhaustive_hv
+
+    def test_explorer_budget_validation(self):
+        runner = self._runner()
+        evaluator = HLSEvaluator(runner.nest, runner.space)
+        with pytest.raises(ValueError):
+            ExhaustiveExplorer().explore(evaluator, 0)
+        with pytest.raises(ValueError):
+            RandomExplorer().explore(evaluator, 0)
+        with pytest.raises(ValueError):
+            NSGA2Explorer(population=8).explore(evaluator, 4)
+
+    def test_explorer_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingExplorer(restarts=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingExplorer(cooling=1.5)
+        with pytest.raises(ValueError):
+            NSGA2Explorer(population=2)
+        with pytest.raises(ValueError):
+            NSGA2Explorer(mutation_rate=2.0)
+
+    def test_best_tradeoff_on_front(self):
+        runner = self._runner()
+        result = runner.run(ExhaustiveExplorer(), budget=100)
+        knee = best_tradeoff(result.evaluated)
+        objs = np.array([p.objectives for p in result.front])
+        assert any(
+            np.allclose(knee.objectives, row) for row in objs
+        )
+
+    def test_best_tradeoff_empty(self):
+        with pytest.raises(ValueError):
+            best_tradeoff([])
+
+    def test_results_deterministic_given_seed(self):
+        runner = self._runner()
+        a = runner.run(RandomExplorer(), budget=12, seed=7)
+        b = runner.run(RandomExplorer(), budget=12, seed=7)
+        assert [p.objectives for p in a.evaluated] == [
+            p.objectives for p in b.evaluated
+        ]

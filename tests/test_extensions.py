@@ -1,0 +1,172 @@
+"""Tests for the extension modules: DNA q-gram pre-filters, DSE
+sensitivity analysis, and the SCF host dispatch model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dna.editdistance import levenshtein
+from repro.dna.filters import (
+    filtered_all_pairs_within,
+    qgram_distance_lower_bound,
+    qgram_filter,
+    qgram_profile,
+)
+from repro.dse.objectives import HLSEvaluator
+from repro.dse.sensitivity import (
+    most_sensitive_parameter,
+    parameter_sensitivity,
+)
+from repro.dse.space import hls_directive_space
+from repro.hls.kernels import make_kernel
+from repro.scf.host import (
+    DispatchResult,
+    HostConfig,
+    dispatch_overhead_fraction,
+    run_dispatch,
+)
+from repro.scf.fabric import ScalableComputeFabric
+from repro.scf.workloads import TransformerConfig
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+
+
+class TestQgramProfile:
+    def test_known_profile(self):
+        profile = qgram_profile("ACGTACG", q=3)
+        assert profile["ACG"] == 2
+        assert profile["CGT"] == 1
+        assert sum(profile.values()) == 5
+
+    def test_short_sequence_empty(self):
+        assert not qgram_profile("AC", q=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qgram_profile("ACGT", q=0)
+        with pytest.raises(ValueError):
+            qgram_filter("A", "A", k=-1)
+
+
+class TestQgramBound:
+    @settings(max_examples=150, deadline=None)
+    @given(dna, dna)
+    def test_lower_bound_never_exceeds_distance(self, a, b):
+        # Completeness: the filter must never reject a true match.
+        assert qgram_distance_lower_bound(a, b) <= levenshtein(a, b) + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(dna, st.integers(min_value=0, max_value=10))
+    def test_identical_strings_always_pass(self, a, k):
+        assert qgram_filter(a, a, k)
+
+    def test_distant_strings_rejected(self):
+        a = "A" * 30
+        b = "T" * 30
+        assert not qgram_filter(a, b, k=3)
+
+
+class TestFilteredSearch:
+    def _reads(self):
+        rng = np.random.default_rng(0)
+        strands = ["".join(rng.choice(list("ACGT"), 40)) for _ in range(6)]
+        reads = []
+        for s in strands:
+            reads.append(s)
+            # a close variant: one substitution
+            variant = list(s)
+            variant[5] = "A" if s[5] != "A" else "C"
+            reads.append("".join(variant))
+        return reads
+
+    def test_filter_preserves_matches(self):
+        reads = self._reads()
+        with_filter, stats_f = filtered_all_pairs_within(reads, k=3)
+        without, stats_n = filtered_all_pairs_within(
+            reads, k=3, use_filter=False
+        )
+        assert set(with_filter) == set(without)
+
+    def test_filter_saves_work(self):
+        reads = self._reads()
+        _, stats_f = filtered_all_pairs_within(reads, k=3)
+        _, stats_n = filtered_all_pairs_within(reads, k=3, use_filter=False)
+        assert stats_f.filter_rate > 0.5
+        assert stats_f.cell_updates < stats_n.cell_updates
+        assert stats_f.verified < stats_n.verified
+
+    def test_stats_consistency(self):
+        reads = self._reads()
+        matches, stats = filtered_all_pairs_within(reads, k=3)
+        assert stats.pairs == len(reads) * (len(reads) - 1) // 2
+        assert stats.filtered_out + stats.verified == stats.pairs
+        assert stats.matches == len(matches)
+
+
+class TestSensitivity:
+    def _evaluator(self):
+        return HLSEvaluator(
+            make_kernel("gemm", size=128),
+            hls_directive_space(max_unroll=8, max_units=8),
+        )
+
+    def test_rows_cover_all_parameters(self):
+        evaluator = self._evaluator()
+        base = {p.name: p.values[0] for p in evaluator.space.parameters}
+        rows = parameter_sensitivity(evaluator, base)
+        assert {r.parameter for r in rows} == {
+            p.name for p in evaluator.space.parameters
+        }
+
+    def test_sorted_by_latency_leverage(self):
+        evaluator = self._evaluator()
+        base = {p.name: p.values[0] for p in evaluator.space.parameters}
+        rows = parameter_sensitivity(evaluator, base)
+        spans = [r.latency_span for r in rows]
+        assert spans == sorted(spans, reverse=True)
+        assert all(s >= 1.0 for s in spans)
+
+    def test_pipeline_is_high_leverage_for_gemm(self):
+        evaluator = self._evaluator()
+        base = {p.name: p.values[0] for p in evaluator.space.parameters}
+        top = most_sensitive_parameter(evaluator, base)
+        assert top in ("pipeline", "unroll")
+
+    def test_base_validated(self):
+        evaluator = self._evaluator()
+        with pytest.raises(ValueError):
+            parameter_sensitivity(evaluator, {"unroll": 3})
+
+
+class TestHostDispatch:
+    def test_dispatch_counts(self):
+        result = run_dispatch(TransformerConfig(seq_len=2048), num_cus=8)
+        assert isinstance(result, DispatchResult)
+        assert result.tiles == 8
+        assert result.cycles > 0
+        assert result.cycles_per_tile > 1
+
+    def test_descriptors_cover_sequence(self):
+        workload = TransformerConfig(seq_len=1024)
+        result = run_dispatch(workload, num_cus=4)
+        bases = [base for base, _ in result.descriptors]
+        rows = {count for _, count in result.descriptors}
+        assert bases == [i * 256 for i in range(4)]
+        assert rows == {256}
+
+    def test_overhead_negligible_vs_fabric(self):
+        workload = TransformerConfig(seq_len=2048)
+        fabric = ScalableComputeFabric()
+        point = fabric.run_block(workload, 16)
+        fraction = dispatch_overhead_fraction(
+            workload, 16, point.seconds_per_block
+        )
+        assert fraction < 0.01  # dispatch is not the bottleneck
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_dispatch(TransformerConfig(), num_cus=0)
+        with pytest.raises(ValueError):
+            HostConfig(clock_hz=0)
+        with pytest.raises(ValueError):
+            dispatch_overhead_fraction(TransformerConfig(), 4, 0.0)

@@ -1,0 +1,188 @@
+"""Tests for the heterogeneous-platform pipeline (Fig. 5) package."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import dice_coefficient, relative_change
+from repro.hetero.devices import (
+    CPU_XEON,
+    ComputeDevice,
+    DeviceKind,
+    FPGA_ALVEO,
+    GPU_A100,
+)
+from repro.hetero.pipeline import simulate_inference, simulate_training
+from repro.hetero.profiler import bottleneck_stage, io_share, profile, profile_table
+from repro.hetero.storage import (
+    NVME_SSD,
+    PERSISTENT_MEMORY,
+    SATA_SSD,
+    StorageDevice,
+    computational_storage,
+)
+from repro.hetero.workload import (
+    SegmentationWorkload,
+    ct_phantom,
+    threshold_segmenter,
+)
+
+
+class TestDevices:
+    def test_presets_sane(self):
+        assert GPU_A100.train_flops > CPU_XEON.train_flops
+        assert FPGA_ALVEO.power_w < GPU_A100.power_w
+
+    def test_compute_time(self):
+        assert GPU_A100.compute_time_s(
+            GPU_A100.train_flops, training=True
+        ) == pytest.approx(1.0)
+
+    def test_fpga_training_rejected(self):
+        with pytest.raises(ValueError):
+            FPGA_ALVEO.compute_time_s(1e12, training=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeDevice("x", DeviceKind.CPU, 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            GPU_A100.compute_time_s(-1, training=False)
+        with pytest.raises(ValueError):
+            GPU_A100.transfer_time_s(-1)
+
+
+class TestStorage:
+    def test_tier_ordering(self):
+        size = 1e9
+        assert (
+            PERSISTENT_MEMORY.read_time_s(size)
+            < NVME_SSD.read_time_s(size)
+            < SATA_SSD.read_time_s(size)
+        )
+
+    def test_computational_storage_reduces_data(self):
+        comp = computational_storage(NVME_SSD, data_reduction=2.0)
+        assert comp.read_time_s(1e9) < NVME_SSD.read_time_s(1e9)
+        assert comp.is_computational
+        assert not NVME_SSD.is_computational
+
+    def test_access_latency_charged_per_request(self):
+        t1 = SATA_SSD.read_time_s(1e6, accesses=1)
+        t10 = SATA_SSD.read_time_s(1e6, accesses=10)
+        assert t10 > t1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageDevice("x", bandwidth_bytes_s=0, access_latency_s=0)
+        with pytest.raises(ValueError):
+            StorageDevice("x", 1e9, 0, data_reduction=0.5)
+        with pytest.raises(ValueError):
+            SATA_SSD.read_time_s(-1)
+
+
+class TestWorkload:
+    def test_dataset_bytes(self):
+        w = SegmentationWorkload(num_volumes=10)
+        assert w.dataset_bytes == 10 * w.bytes_per_volume
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentationWorkload(num_volumes=0)
+        with pytest.raises(ValueError):
+            SegmentationWorkload(bytes_per_volume=0)
+
+    def test_phantom_shapes_and_range(self):
+        volume, mask = ct_phantom(shape=(8, 24, 24), seed=0)
+        assert volume.shape == (8, 24, 24)
+        assert mask.shape == (8, 24, 24)
+        assert 0.0 <= volume.min() and volume.max() <= 1.0
+        assert mask.any()
+
+    def test_phantom_deterministic(self):
+        v1, m1 = ct_phantom(shape=(6, 16, 16), seed=3)
+        v2, m2 = ct_phantom(shape=(6, 16, 16), seed=3)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(m1, m2)
+
+    def test_threshold_segmenter_finds_lesions(self):
+        volume, mask = ct_phantom(shape=(12, 32, 32), seed=1)
+        predicted = threshold_segmenter(volume)
+        assert dice_coefficient(predicted, mask) > 0.6
+
+    def test_segmenter_validation(self):
+        with pytest.raises(ValueError):
+            threshold_segmenter(np.zeros((2, 2, 2)), threshold=1.5)
+
+
+class TestPipeline:
+    def test_training_scales_with_epochs(self):
+        one = simulate_training(SegmentationWorkload(epochs=1))
+        three = simulate_training(SegmentationWorkload(epochs=3))
+        assert three.total_seconds == pytest.approx(3 * one.total_seconds)
+
+    def test_gpu_much_faster_than_cpu(self):
+        gpu = simulate_training(device=GPU_A100)
+        cpu = simulate_training(device=CPU_XEON)
+        assert cpu.total_seconds > 3 * gpu.total_seconds
+
+    def test_overlap_never_slower(self):
+        base = simulate_training(overlap_io=False)
+        overlapped = simulate_training(overlap_io=True)
+        assert overlapped.total_seconds <= base.total_seconds
+
+    def test_stage_breakdown_covers_pipeline(self):
+        result = simulate_training()
+        assert set(result.stage_seconds) == {
+            "storage_read", "preprocess", "transfer_in",
+            "compute", "transfer_out", "postprocess",
+        }
+
+    def test_paper_claim_training_reduction_up_to_10_percent(self):
+        # "We obtained a training time reduction of up to 10%."
+        base = simulate_training(storage=SATA_SSD)
+        best = min(
+            simulate_training(storage=s).total_seconds
+            for s in (NVME_SSD, PERSISTENT_MEMORY, computational_storage())
+        )
+        reduction = -relative_change(base.total_seconds, best)
+        assert 0.05 <= reduction <= 0.15
+
+    def test_paper_claim_inference_improvement_up_to_10_percent(self):
+        # "...and inference throughput improvement of up to 10%."
+        base = simulate_inference(storage=SATA_SSD)
+        best = max(
+            simulate_inference(storage=s).throughput_volumes_s
+            for s in (NVME_SSD, PERSISTENT_MEMORY, computational_storage())
+        )
+        gain = relative_change(base.throughput_volumes_s, best)
+        assert 0.05 <= gain <= 0.15
+
+    def test_inference_faster_than_training(self):
+        train = simulate_training(SegmentationWorkload(epochs=1))
+        infer = simulate_inference()
+        assert infer.total_seconds < train.total_seconds
+
+    def test_energy_positive(self):
+        assert simulate_training().energy_j > 0
+
+
+class TestProfiler:
+    def test_profile_sorted_and_normalized(self):
+        result = simulate_training()
+        profiles = profile(result)
+        assert profiles == sorted(profiles, key=lambda p: -p.seconds)
+        assert sum(p.share for p in profiles) == pytest.approx(1.0)
+
+    def test_bottleneck_is_compute_or_io(self):
+        result = simulate_training(storage=SATA_SSD)
+        assert bottleneck_stage(result).stage in ("compute", "preprocess",
+                                                  "storage_read")
+
+    def test_io_share_decreases_with_better_storage(self):
+        slow = io_share(simulate_training(storage=SATA_SSD))
+        fast = io_share(simulate_training(storage=PERSISTENT_MEMORY))
+        assert fast < slow
+
+    def test_profile_table_renders(self):
+        table = profile_table(simulate_training(), title="Fig. 5")
+        text = table.render()
+        assert "Fig. 5" in text and "compute" in text

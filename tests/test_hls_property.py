@@ -1,0 +1,101 @@
+"""Property-based tests of the HLS schedulers over random DAGs.
+
+The targeted tests in test_hls.py use hand-built graphs; these generate
+arbitrary dataflow DAGs (random op kinds, random edges to earlier nodes)
+and check the scheduler invariants that must hold universally.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hls.allocation import bind_operations
+from repro.hls.ir import DataflowGraph, Operation, OpKind
+from repro.hls.scheduling import (
+    mobility,
+    schedule_alap,
+    schedule_asap,
+    schedule_list,
+)
+
+_KINDS = [
+    OpKind.ADD, OpKind.MUL, OpKind.MAC, OpKind.CMP,
+    OpKind.LOAD, OpKind.STORE, OpKind.LOGIC,
+]
+
+
+@st.composite
+def random_dag(draw):
+    """A random dataflow DAG: each node may depend on earlier nodes."""
+    n = draw(st.integers(min_value=1, max_value=18))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    graph = DataflowGraph("random")
+    for i in range(n):
+        kind = _KINDS[rng.integers(len(_KINDS))]
+        max_inputs = min(i, 3)
+        k = int(rng.integers(0, max_inputs + 1)) if max_inputs else 0
+        deps = tuple(
+            f"op{j}" for j in rng.choice(i, size=k, replace=False)
+        ) if k else ()
+        graph.add(Operation(f"op{i}", kind, inputs=deps))
+    return graph
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_dag())
+    def test_asap_valid_and_minimal(self, graph):
+        schedule = schedule_asap(graph)
+        schedule.validate()
+        assert schedule.makespan == graph.critical_path_latency()
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dag())
+    def test_alap_valid_same_makespan(self, graph):
+        alap = schedule_alap(graph)
+        alap.validate()
+        assert alap.makespan <= schedule_asap(graph).makespan
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dag())
+    def test_mobility_nonnegative(self, graph):
+        assert all(s >= 0 for s in mobility(graph).values())
+        assert any(s == 0 for s in mobility(graph).values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dag(), st.integers(min_value=1, max_value=3))
+    def test_list_schedule_valid_under_any_budget(self, graph, units):
+        resources = {kind: units for kind in _KINDS}
+        schedule = schedule_list(graph, resources)
+        schedule.validate()
+        usage = schedule.resource_usage()
+        for kind, peak in usage.items():
+            assert peak <= units
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dag())
+    def test_list_schedule_never_beats_asap(self, graph):
+        constrained = schedule_list(graph, {OpKind.MUL: 1, OpKind.LOAD: 1})
+        assert constrained.makespan >= schedule_asap(graph).makespan
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dag())
+    def test_binding_consistent_with_schedule(self, graph):
+        schedule = schedule_list(graph, {})
+        binding = bind_operations(schedule)
+        # Every op bound; two ops sharing a unit never overlap in time.
+        assert set(binding.unit_of) == {
+            op.name for op in graph.operations
+        }
+        by_unit = {}
+        for name, unit in binding.unit_of.items():
+            by_unit.setdefault(unit, []).append(name)
+        for names in by_unit.values():
+            intervals = []
+            for name in names:
+                start = schedule.start_cycle[name]
+                duration = max(graph.op(name).latency, 1)
+                intervals.append((start, start + duration))
+            intervals.sort()
+            for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+                assert start_b >= end_a

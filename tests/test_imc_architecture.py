@@ -1,0 +1,112 @@
+"""Tests for the system-level multi-tile IMC accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.imc.architecture import (
+    ExecutionReport,
+    IMCAccelerator,
+    SystemConfig,
+)
+from repro.imc.conv_mapper import map_conv_layer
+from repro.imc.crossbar import CrossbarConfig
+from repro.imc.mapper import map_linear_layer
+from repro.imc.tiles import TileConfig
+
+
+def tile_config(rows=32, cols=32):
+    return TileConfig(crossbar=CrossbarConfig(rows=rows, cols=cols))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(tile_mvm_latency_s=0)
+        with pytest.raises(ValueError):
+            SystemConfig(interconnect_energy_per_byte_j=-1)
+        with pytest.raises(ValueError):
+            IMCAccelerator([])
+
+
+class TestLinearStack:
+    def _two_layer(self, seed=0):
+        rng = np.random.default_rng(seed)
+        w1 = rng.normal(0, 0.3, (32, 24))
+        w2 = rng.normal(0, 0.3, (24, 8))
+        acc = IMCAccelerator(
+            [
+                map_linear_layer(w1, tile_config(), seed=seed),
+                map_linear_layer(w2, tile_config(), seed=seed + 1),
+            ]
+        )
+        return acc, w1, w2
+
+    def test_output_close_to_float(self):
+        acc, w1, w2 = self._two_layer()
+        x = np.random.default_rng(1).uniform(-1, 1, 32)
+        out, report = acc.run(x)
+        expected = np.maximum(w1.T @ x, 0.0) @ w2
+        rel = np.linalg.norm(out - expected) / np.linalg.norm(expected)
+        assert out.shape == (8,)
+        assert rel < 0.3
+
+    def test_report_decomposition(self):
+        acc, _, _ = self._two_layer()
+        _, report = acc.run(np.zeros(32))
+        assert isinstance(report, ExecutionReport)
+        assert report.latency_s == pytest.approx(
+            report.analog_latency_s
+            + report.digital_latency_s
+            + report.movement_latency_s
+        )
+        assert report.converter_energy_j > 0
+        assert report.total_energy_j >= report.converter_energy_j
+        assert report.total_tiles == 2
+
+    def test_shape_mismatch_rejected(self):
+        acc, _, _ = self._two_layer()
+        with pytest.raises(ValueError):
+            acc.run(np.zeros(31))
+
+    def test_bigger_layers_more_wavefronts(self):
+        rng = np.random.default_rng(2)
+        small = IMCAccelerator(
+            [map_linear_layer(rng.normal(0, 0.3, (32, 8)),
+                              tile_config(), seed=0)]
+        )
+        tall = IMCAccelerator(
+            [map_linear_layer(rng.normal(0, 0.3, (96, 8)),
+                              tile_config(), seed=0)]
+        )
+        _, rep_small = small.run(np.zeros(32))
+        _, rep_tall = tall.run(np.zeros(96))
+        assert rep_tall.analog_latency_s > rep_small.analog_latency_s
+
+
+class TestConvThenLinear:
+    def test_cnn_stack_runs(self):
+        rng = np.random.default_rng(3)
+        conv_w = rng.normal(0, 0.3, (4, 1, 3, 3))
+        conv = map_conv_layer(conv_w, tile_config(16, 16), seed=3)
+        # 6x6 input, same padding -> 4 x 6 x 6 = 144 features.
+        fc_w = rng.normal(0, 0.3, (144, 4))
+        fc = map_linear_layer(fc_w, tile_config(), seed=4)
+        acc = IMCAccelerator([conv, fc])
+        out, report = acc.run(rng.uniform(-1, 1, (1, 6, 6)))
+        assert out.shape == (4,)
+        # Conv layers pay one analog wave per output pixel.
+        assert report.analog_latency_s >= 36 * 100e-9
+        assert report.total_tiles == conv.num_tiles + fc.num_tiles
+
+    def test_movement_scales_with_feature_volume(self):
+        rng = np.random.default_rng(5)
+        conv_w = rng.normal(0, 0.3, (8, 1, 3, 3))
+        small = IMCAccelerator(
+            [map_conv_layer(conv_w, tile_config(16, 16), seed=5)]
+        )
+        _, rep_small = small.run(rng.uniform(-1, 1, (1, 4, 4)))
+        big = IMCAccelerator(
+            [map_conv_layer(conv_w, tile_config(16, 16), seed=5)]
+        )
+        _, rep_big = big.run(rng.uniform(-1, 1, (1, 8, 8)))
+        assert rep_big.movement_energy_j > rep_small.movement_energy_j

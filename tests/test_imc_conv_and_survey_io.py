@@ -1,0 +1,109 @@
+"""Tests for the IMC convolution mapper and survey CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.imc.conv_mapper import ConvMapping, map_conv_layer
+from repro.imc.crossbar import CrossbarConfig
+from repro.imc.tiles import TileConfig
+from repro.survey.dataset import load_dataset
+from repro.survey.io import from_csv, to_csv
+
+
+def tile_config(rows=32, cols=32):
+    return TileConfig(crossbar=CrossbarConfig(rows=rows, cols=cols))
+
+
+class TestConvMapper:
+    def test_mapping_shape(self):
+        w = np.random.default_rng(0).normal(0, 0.3, (8, 3, 3, 3))
+        mapping = map_conv_layer(w, tile_config(), seed=0)
+        assert mapping.in_channels == 3
+        assert mapping.out_channels == 8
+        assert mapping.linear.in_features == 27
+        assert mapping.linear.out_features == 8
+
+    def test_conv_close_to_exact(self):
+        from repro.axc.layers import conv2d
+
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 0.3, (4, 2, 3, 3))
+        x = rng.uniform(-1, 1, (2, 8, 8))
+        mapping = map_conv_layer(w, tile_config(), seed=1)
+        analog = mapping.compute(x)
+        exact = conv2d(x, w)
+        assert analog.shape == exact.shape
+        rel = np.linalg.norm(analog - exact) / np.linalg.norm(exact)
+        assert rel < 0.25
+
+    def test_large_kernel_partitions_tiles(self):
+        w = np.zeros((8, 8, 3, 3))  # 72 input rows > 32-row tile
+        mapping = map_conv_layer(w, tile_config(), seed=0)
+        assert mapping.num_tiles >= 3
+
+    def test_zero_input_handled(self):
+        w = np.random.default_rng(2).normal(0, 0.3, (2, 1, 3, 3))
+        mapping = map_conv_layer(w, tile_config(16, 16), seed=2)
+        out = mapping.compute(np.zeros((1, 5, 5)))
+        assert np.allclose(out, 0.0)
+
+    def test_energy_accounted(self):
+        w = np.random.default_rng(3).normal(0, 0.3, (2, 1, 3, 3))
+        mapping = map_conv_layer(w, tile_config(16, 16), seed=3)
+        mapping.compute(np.random.default_rng(4).uniform(-1, 1, (1, 5, 5)))
+        assert mapping.total_energy_j > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            map_conv_layer(np.zeros((2, 1, 3, 5)), tile_config())
+        with pytest.raises(ValueError):
+            map_conv_layer(np.zeros((2, 1, 3, 3)), tile_config(),
+                           padding=-1)
+        w = np.zeros((2, 1, 3, 3))
+        mapping = map_conv_layer(w, tile_config(16, 16), seed=0)
+        with pytest.raises(ValueError):
+            mapping.compute(np.zeros((2, 5, 5)))  # wrong channel count
+        big = map_conv_layer(
+            np.zeros((2, 1, 5, 5)), tile_config(32, 32), padding=0, seed=0
+        )
+        with pytest.raises(ValueError):
+            big.compute(np.zeros((1, 3, 3)))  # kernel larger than input
+
+
+class TestSurveyCsv:
+    def test_round_trip(self):
+        records = load_dataset()
+        text = to_csv(records)
+        recovered = from_csv(text)
+        assert recovered == records
+
+    def test_header_present(self):
+        text = to_csv(load_dataset()[:1])
+        header = text.splitlines()[0]
+        assert "name" in header and "peak_tops" in header
+
+    def test_tags_preserved(self):
+        records = [r for r in load_dataset() if r.tags]
+        assert records  # dataset has tagged entries
+        recovered = from_csv(to_csv(records))
+        assert recovered[0].tags == records[0].tags
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ValueError):
+            from_csv("name,year\nfoo,2020\n")
+
+    def test_malformed_row_reports_line(self):
+        text = to_csv(load_dataset()[:1])
+        broken = text.replace("2021", "not-a-year", 1)
+        header_ok = "not-a-year" in broken
+        if header_ok:
+            with pytest.raises(ValueError):
+                from_csv(broken)
+
+    def test_bad_platform_rejected(self):
+        good = to_csv(load_dataset()[:1])
+        bad = good.replace("CPU", "QPU").replace("GPU", "QPU")
+        lines = bad.splitlines()
+        if "QPU" in lines[1]:
+            with pytest.raises(ValueError):
+                from_csv(bad)

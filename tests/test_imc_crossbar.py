@@ -1,0 +1,258 @@
+"""Tests for the analog crossbar, converters and digital IMC macro."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.imc.adc import ADCConfig, ConversionLedger, DACConfig
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.imc.dimc import DIMCCostModel, DigitalIMCMacro
+
+
+class TestDAC:
+    def test_quantize_endpoints(self):
+        dac = DACConfig(bits=8, v_max=0.3)
+        out = dac.quantize(np.array([-1.0, 1.0]))
+        assert out[0] == pytest.approx(-0.3)
+        assert out[1] == pytest.approx(0.3)
+
+    def test_quantize_clips(self):
+        dac = DACConfig(bits=4, v_max=0.3)
+        out = dac.quantize(np.array([5.0, -5.0]))
+        assert out[0] == pytest.approx(0.3)
+        assert out[1] == pytest.approx(-0.3)
+
+    def test_resolution(self):
+        coarse = DACConfig(bits=2, v_max=1.0)
+        x = np.array([0.3])
+        assert abs(coarse.quantize(x)[0] - 0.3) > 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DACConfig(bits=0)
+        with pytest.raises(ValueError):
+            DACConfig(v_max=0)
+
+
+class TestADC:
+    def test_quantize_saturates(self):
+        adc = ADCConfig(bits=8, i_max=1e-3)
+        out = adc.quantize(np.array([5.0, -5.0]))
+        assert out[0] == pytest.approx(1e-3)
+        assert out[1] == pytest.approx(-1e-3)
+
+    def test_energy_doubles_per_bit(self):
+        assert ADCConfig(bits=9).energy_per_conversion_j == pytest.approx(
+            2 * ADCConfig(bits=8).energy_per_conversion_j
+        )
+
+    def test_lsb(self):
+        adc = ADCConfig(bits=8, i_max=1e-3)
+        assert adc.lsb_current() == pytest.approx(2e-3 / 255)
+
+    @given(st.floats(min_value=-1e-3, max_value=1e-3))
+    def test_quantization_error_bounded(self, current):
+        adc = ADCConfig(bits=8, i_max=1e-3)
+        err = abs(adc.quantize(np.array([current]))[0] - current)
+        assert err <= adc.lsb_current() / 2 + 1e-18
+
+
+class TestLedger:
+    def test_charges_accumulate(self):
+        ledger = ConversionLedger()
+        adc, dac = ADCConfig(), DACConfig()
+        ledger.charge_adc(adc, 10)
+        ledger.charge_dac(dac, 5)
+        assert ledger.adc_conversions == 10
+        assert ledger.dac_conversions == 5
+        assert ledger.total_energy_j == pytest.approx(
+            10 * adc.energy_per_conversion_j + 5 * dac.energy_per_conversion_j
+        )
+
+    def test_merge(self):
+        a, b = ConversionLedger(), ConversionLedger()
+        b.charge_adc(ADCConfig(), 3)
+        a.merge(b)
+        assert a.adc_conversions == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConversionLedger().charge_adc(ADCConfig(), -1)
+
+
+class TestAnalogCrossbar:
+    def _programmed(self, rows=32, cols=32, seed=0, **cfg_kwargs):
+        config = CrossbarConfig(rows=rows, cols=cols, **cfg_kwargs)
+        xbar = AnalogCrossbar(config, seed=seed)
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(0, 0.3, (rows, cols))
+        xbar.program_weights(weights)
+        return xbar, weights
+
+    def test_mvm_accurate_to_few_percent(self):
+        xbar, weights = self._programmed()
+        x = np.random.default_rng(1).uniform(-1, 1, 32)
+        y_true = weights.T @ x
+        y = xbar.mvm(x)
+        rel = np.linalg.norm(y - y_true) / np.linalg.norm(y_true)
+        assert rel < 0.15
+
+    def test_effective_weights_close_to_programmed(self):
+        xbar, weights = self._programmed()
+        eff = xbar.effective_weights()
+        corr = np.corrcoef(eff.ravel(), weights.ravel())[0, 1]
+        assert corr > 0.99
+
+    def test_unprogrammed_raises(self):
+        xbar = AnalogCrossbar(CrossbarConfig(rows=4, cols=4), seed=0)
+        with pytest.raises(RuntimeError):
+            xbar.mvm(np.zeros(4))
+        with pytest.raises(RuntimeError):
+            xbar.effective_weights()
+
+    def test_weight_shape_checked(self):
+        xbar = AnalogCrossbar(CrossbarConfig(rows=4, cols=4), seed=0)
+        with pytest.raises(ValueError):
+            xbar.program_weights(np.zeros((3, 4)))
+
+    def test_input_shape_checked(self):
+        xbar, _ = self._programmed(rows=8, cols=8)
+        with pytest.raises(ValueError):
+            xbar.mvm(np.zeros(4))
+
+    def test_drift_degrades_pcm_more(self):
+        from repro.imc.devices import PCM_PARAMS, RRAM_PARAMS
+
+        errors = {}
+        for params in (RRAM_PARAMS, PCM_PARAMS):
+            xbar, weights = self._programmed(device=params, seed=3)
+            x = np.random.default_rng(4).uniform(-1, 1, 32)
+            y_true = weights.T @ x
+            y = xbar.mvm(x, t_seconds=1e6)
+            errors[params.name] = float(
+                np.linalg.norm(y - y_true) / np.linalg.norm(y_true)
+            )
+        assert errors["PCM"] > errors["RRAM"]
+
+    def test_program_verify_beats_open_loop_mvm(self):
+        errs = {}
+        for use_pv in (True, False):
+            xbar, weights = self._programmed(
+                seed=5, use_program_verify=use_pv
+            )
+            rng = np.random.default_rng(6)
+            total, count = 0.0, 0
+            for _ in range(10):
+                x = rng.uniform(-1, 1, 32)
+                y_true = weights.T @ x
+                y = xbar.mvm(x)
+                total += float(
+                    np.linalg.norm(y - y_true) / np.linalg.norm(y_true)
+                )
+                count += 1
+            errs[use_pv] = total / count
+        assert errs[True] < errs[False]
+
+    def test_ir_drop_attenuates_far_cells(self):
+        config = CrossbarConfig(rows=64, cols=64, wire_resistance_ohm=5.0)
+        xbar = AnalogCrossbar(config, seed=0)
+        factor = xbar._ir_drop_factor()
+        assert factor[0, 0] > factor[-1, -1]
+        assert factor[0, 0] == pytest.approx(1.0)
+
+    def test_zero_wire_resistance_no_attenuation(self):
+        config = CrossbarConfig(rows=8, cols=8, wire_resistance_ohm=0.0)
+        xbar = AnalogCrossbar(config, seed=0)
+        assert np.allclose(xbar._ir_drop_factor(), 1.0)
+
+    def test_ledger_counts_conversions(self):
+        xbar, _ = self._programmed(rows=16, cols=16)
+        xbar.mvm(np.zeros(16))
+        assert xbar.ledger.dac_conversions == 16
+        assert xbar.ledger.adc_conversions == 16
+
+    def test_accumulated_mvm_fewer_conversions(self):
+        xbar, weights = self._programmed(
+            rows=16, cols=16, accumulation_depth=4
+        )
+        xs = np.random.default_rng(7).uniform(-0.25, 0.25, (4, 16))
+        y = xbar.mvm_accumulated(xs)
+        assert xbar.ledger.adc_conversions == 16  # one conversion per column
+        assert xbar.ledger.dac_conversions == 64
+        y_true = weights.T @ xs.sum(axis=0)
+        rel = np.linalg.norm(y - y_true) / max(np.linalg.norm(y_true), 1e-12)
+        assert rel < 0.3
+
+    def test_accumulation_depth_enforced(self):
+        xbar, _ = self._programmed(rows=8, cols=8, accumulation_depth=2)
+        with pytest.raises(ValueError):
+            xbar.mvm_accumulated(np.zeros((3, 8)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=0)
+        with pytest.raises(ValueError):
+            CrossbarConfig(wire_resistance_ohm=-1)
+        with pytest.raises(ValueError):
+            CrossbarConfig(accumulation_depth=0)
+
+    def test_zero_weights_programmable(self):
+        xbar = AnalogCrossbar(CrossbarConfig(rows=4, cols=4), seed=0)
+        xbar.program_weights(np.zeros((4, 4)))
+        y = xbar.mvm(np.ones(4))
+        assert np.all(np.abs(y) < 0.2)
+
+
+class TestDigitalIMC:
+    def test_exact_mvm(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-128, 128, (24, 12))
+        macro = DigitalIMCMacro(w)
+        x = rng.integers(-128, 128, 24)
+        assert np.array_equal(macro.mvm(x), w.T @ x)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10_000))
+    def test_exactness_property(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-8, 8, (rows, cols))
+        macro = DigitalIMCMacro(w, w_bits=4, x_bits=4)
+        x = rng.integers(-8, 8, rows)
+        assert np.array_equal(macro.mvm(x), w.T @ x)
+
+    def test_rejects_float_weights(self):
+        with pytest.raises(ValueError):
+            DigitalIMCMacro(np.ones((2, 2)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DigitalIMCMacro(np.array([[200]]), w_bits=8)
+        macro = DigitalIMCMacro(np.array([[1]]), x_bits=4)
+        with pytest.raises(ValueError):
+            macro.mvm(np.array([100]))
+
+    def test_rejects_float_input(self):
+        macro = DigitalIMCMacro(np.array([[1]]))
+        with pytest.raises(ValueError):
+            macro.mvm(np.array([0.5]))
+
+    def test_energy_scales_with_precision(self):
+        model = DIMCCostModel()
+        assert model.mvm_energy_j(64, 64, 8, 8) > model.mvm_energy_j(
+            64, 64, 4, 4
+        )
+
+    def test_latency_bit_serial(self):
+        model = DIMCCostModel()
+        assert model.mvm_latency_s(8, 8) == pytest.approx(
+            64 * model.cycle_time_s
+        )
+
+    def test_cost_validation(self):
+        model = DIMCCostModel()
+        with pytest.raises(ValueError):
+            model.mvm_energy_j(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            model.mvm_latency_s(0, 8)

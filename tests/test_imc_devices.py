@@ -1,0 +1,186 @@
+"""Tests for NVM device models and program-and-verify."""
+
+import numpy as np
+import pytest
+
+from repro.imc.devices import (
+    DeviceParams,
+    NVMDevice,
+    PCM_PARAMS,
+    RRAM_PARAMS,
+    relative_programming_error,
+)
+from repro.imc.program_verify import (
+    mlc_level_error_rate,
+    mlc_levels,
+    open_loop_program,
+    program_and_verify,
+)
+
+
+class TestDeviceParams:
+    def test_dynamic_range(self):
+        assert RRAM_PARAMS.dynamic_range == pytest.approx(100.0)
+
+    def test_pcm_drifts_more_than_rram(self):
+        assert PCM_PARAMS.drift_nu > RRAM_PARAMS.drift_nu
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceParams("x", g_min=0, g_max=1e-6, program_sigma=0.1,
+                         drift_nu=0.01, read_noise_fraction=0.01)
+        with pytest.raises(ValueError):
+            DeviceParams("x", g_min=2e-6, g_max=1e-6, program_sigma=0.1,
+                         drift_nu=0.01, read_noise_fraction=0.01)
+        with pytest.raises(ValueError):
+            DeviceParams("x", g_min=1e-6, g_max=1e-5, program_sigma=-0.1,
+                         drift_nu=0.01, read_noise_fraction=0.01)
+
+
+class TestNVMDevice:
+    def test_initial_state_at_gmin(self):
+        dev = NVMDevice(RRAM_PARAMS, (4, 4), seed=0)
+        assert np.allclose(dev.conductances, RRAM_PARAMS.g_min)
+
+    def test_program_pulse_lands_near_target(self):
+        dev = NVMDevice(RRAM_PARAMS, (200, 200), seed=0)
+        target = 50e-6
+        achieved = dev.program_pulse(np.full((200, 200), target))
+        rel = relative_programming_error(achieved, np.full((200, 200), target))
+        # Log-normal sigma=0.08 -> RMS error near 8%.
+        assert 0.04 < np.sqrt(np.mean(rel**2)) < 0.15
+
+    def test_program_clips_to_window(self):
+        dev = NVMDevice(RRAM_PARAMS, (8, 8), seed=0)
+        achieved = dev.program_pulse(np.full((8, 8), 1.0))  # way above g_max
+        assert np.all(achieved <= RRAM_PARAMS.g_max)
+
+    def test_program_rejects_negative(self):
+        dev = NVMDevice(RRAM_PARAMS, (2, 2), seed=0)
+        with pytest.raises(ValueError):
+            dev.program_pulse(np.full((2, 2), -1e-6))
+
+    def test_drift_is_power_law(self):
+        dev = NVMDevice(PCM_PARAMS, (4, 4), seed=0)
+        dev.program_pulse(np.full((4, 4), 20e-6))
+        g1 = dev.drifted(1.0)
+        g1000 = dev.drifted(1000.0)
+        expected = g1 * 1000.0 ** (-PCM_PARAMS.drift_nu)
+        assert np.allclose(g1000, expected)
+
+    def test_drift_rejects_early_times(self):
+        dev = NVMDevice(PCM_PARAMS, (2, 2), seed=0)
+        with pytest.raises(ValueError):
+            dev.drifted(0.5)
+
+    def test_read_noise_zero_mean(self):
+        dev = NVMDevice(RRAM_PARAMS, (100, 100), seed=0)
+        dev.program_pulse(np.full((100, 100), 50e-6))
+        reads = dev.read()
+        assert np.mean(reads) == pytest.approx(np.mean(dev.conductances),
+                                               rel=0.02)
+
+    def test_reads_are_stochastic(self):
+        dev = NVMDevice(RRAM_PARAMS, (8, 8), seed=0)
+        dev.program_pulse(np.full((8, 8), 50e-6))
+        assert not np.array_equal(dev.read(), dev.read())
+
+    def test_conductances_returns_copy(self):
+        dev = NVMDevice(RRAM_PARAMS, (2, 2), seed=0)
+        g = dev.conductances
+        g[:] = 0
+        assert np.all(dev.conductances > 0)
+
+    def test_correction_rejects_negative_sigma(self):
+        dev = NVMDevice(RRAM_PARAMS, (2, 2), seed=0)
+        dev.program_pulse(np.full((2, 2), 10e-6))
+        with pytest.raises(ValueError):
+            dev.program_correction(np.zeros((2, 2)), pulse_sigma=-1.0)
+
+    def test_relative_error_rejects_nonpositive_targets(self):
+        with pytest.raises(ValueError):
+            relative_programming_error(np.ones(3), np.zeros(3))
+
+
+class TestProgramVerify:
+    def _targets(self, shape, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(RRAM_PARAMS.g_min, RRAM_PARAMS.g_max, shape)
+
+    def test_beats_open_loop(self):
+        targets = self._targets((64, 64))
+        dev_ol = NVMDevice(RRAM_PARAMS, (64, 64), seed=1)
+        rms_ol = open_loop_program(dev_ol, targets)
+        dev_pv = NVMDevice(RRAM_PARAMS, (64, 64), seed=1)
+        result = program_and_verify(dev_pv, targets)
+        assert result.final_rms_error < rms_ol / 2
+        assert result.converged_fraction > 0.9
+
+    def test_error_trace_decreases(self):
+        targets = self._targets((32, 32), seed=2)
+        dev = NVMDevice(RRAM_PARAMS, (32, 32), seed=2)
+        result = program_and_verify(dev, targets)
+        assert result.rms_error_trace[-1] < result.rms_error_trace[0]
+
+    def test_loose_tolerance_converges_fully(self):
+        targets = self._targets((32, 32), seed=3)
+        dev = NVMDevice(RRAM_PARAMS, (32, 32), seed=3)
+        result = program_and_verify(dev, targets, tolerance=0.25)
+        assert result.converged
+        assert result.iterations_used <= 8
+
+    def test_pulse_accounting(self):
+        dev = NVMDevice(RRAM_PARAMS, (16, 16), seed=4)
+        result = program_and_verify(dev, self._targets((16, 16), seed=4))
+        assert result.total_pulses >= 16 * 16
+
+    def test_parameter_validation(self):
+        dev = NVMDevice(RRAM_PARAMS, (4, 4), seed=0)
+        with pytest.raises(ValueError):
+            program_and_verify(dev, np.full((4, 4), 1e-5), tolerance=0)
+        with pytest.raises(ValueError):
+            program_and_verify(dev, np.full((4, 4), 1e-5), max_iterations=0)
+
+
+class TestMLC:
+    def test_levels_span_window(self):
+        levels = mlc_levels(1e-6, 100e-6, bits=2)
+        assert levels.size == 4
+        assert levels[0] == pytest.approx(1e-6)
+        assert levels[-1] == pytest.approx(100e-6)
+
+    def test_levels_validation(self):
+        with pytest.raises(ValueError):
+            mlc_levels(1e-6, 100e-6, bits=0)
+        with pytest.raises(ValueError):
+            mlc_levels(1e-5, 1e-6, bits=2)
+
+    def test_verify_reduces_level_errors(self):
+        dev_pv = NVMDevice(PCM_PARAMS, (4, 128), seed=5)
+        err_pv = mlc_level_error_rate(dev_pv, bits=2, cells_per_level=128)
+        dev_ol = NVMDevice(PCM_PARAMS, (4, 128), seed=5)
+        err_ol = mlc_level_error_rate(
+            dev_ol, bits=2, cells_per_level=128, use_verify=False
+        )
+        assert err_pv <= err_ol
+
+    def test_drift_degrades_levels(self):
+        dev_now = NVMDevice(PCM_PARAMS, (8, 64), seed=6)
+        err_now = mlc_level_error_rate(dev_now, bits=3, cells_per_level=64)
+        dev_later = NVMDevice(PCM_PARAMS, (8, 64), seed=6)
+        err_later = mlc_level_error_rate(
+            dev_later, bits=3, cells_per_level=64, read_time_s=1e6
+        )
+        assert err_later > err_now
+
+    def test_more_bits_more_errors(self):
+        dev2 = NVMDevice(PCM_PARAMS, (4, 64), seed=7)
+        err2 = mlc_level_error_rate(dev2, bits=2, read_time_s=100.0)
+        dev4 = NVMDevice(PCM_PARAMS, (16, 64), seed=7)
+        err4 = mlc_level_error_rate(dev4, bits=4, read_time_s=100.0)
+        assert err4 >= err2
+
+    def test_shape_mismatch_rejected(self):
+        dev = NVMDevice(PCM_PARAMS, (3, 64), seed=0)
+        with pytest.raises(ValueError):
+            mlc_level_error_rate(dev, bits=2)

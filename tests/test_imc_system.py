@@ -1,0 +1,206 @@
+"""Tests for IMC tiles, the layer mapper, end-to-end inference and the
+Fig. 2 taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.imc.crossbar import CrossbarConfig
+from repro.imc.mapper import map_linear_layer
+from repro.imc.nn import IMCInferenceEngine, MLP, make_blobs, train_mlp
+from repro.imc.taxonomy import (
+    ArchitectureKind,
+    MovementCosts,
+    mvm_cost,
+    standby_weight_energy_j,
+    taxonomy_table,
+)
+from repro.imc.tiles import IMCTile, TileConfig
+
+
+def small_tile_config(rows=16, cols=16, **kwargs):
+    return TileConfig(crossbar=CrossbarConfig(rows=rows, cols=cols, **kwargs))
+
+
+class TestTile:
+    def test_compute_matches_weights(self):
+        tile = IMCTile(small_tile_config(), seed=0)
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 0.3, (16, 16))
+        tile.program(w)
+        x = rng.uniform(-1, 1, 16)
+        y = tile.compute(x)
+        rel = np.linalg.norm(y - w.T @ x) / np.linalg.norm(w.T @ x)
+        assert rel < 0.2
+
+    def test_energy_and_latency_accumulate(self):
+        tile = IMCTile(small_tile_config(), seed=0)
+        tile.program(np.zeros((16, 16)))
+        assert tile.total_energy_j == 0.0
+        tile.compute(np.zeros(16))
+        tile.compute(np.zeros(16))
+        assert tile.mvm_count == 2
+        assert tile.total_energy_j > 0
+        assert tile.latency_s == pytest.approx(2 * tile.config.mvm_latency_s)
+
+    def test_activation_applied(self):
+        tile = IMCTile(
+            small_tile_config(), seed=0, activation=lambda y: np.maximum(y, 0)
+        )
+        tile.program(-0.5 * np.eye(16))
+        y = tile.compute(np.ones(16))
+        assert np.all(y >= 0)
+
+    def test_drift_compensation_improves_long_term(self):
+        from repro.imc.devices import PCM_PARAMS
+
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 0.3, (16, 16))
+        x = rng.uniform(-1, 1, 16)
+        y_ref = w.T @ x
+        errs = {}
+        for compensate in (True, False):
+            config = TileConfig(
+                crossbar=CrossbarConfig(rows=16, cols=16, device=PCM_PARAMS),
+                drift_compensation=compensate,
+            )
+            tile = IMCTile(config, seed=2)
+            tile.program(w)
+            y = tile.compute(x, t_seconds=1e7)
+            errs[compensate] = float(np.linalg.norm(y - y_ref))
+        assert errs[True] < errs[False]
+
+
+class TestMapper:
+    def test_exact_fit_single_tile(self):
+        w = np.random.default_rng(0).normal(0, 0.3, (16, 16))
+        mapping = map_linear_layer(w, small_tile_config(), seed=0)
+        assert mapping.grid_shape == (1, 1)
+        assert mapping.utilization == pytest.approx(1.0)
+
+    def test_partition_counts(self):
+        w = np.zeros((40, 20))
+        mapping = map_linear_layer(w, small_tile_config(), seed=0)
+        assert mapping.grid_shape == (3, 2)
+        assert mapping.num_tiles == 6
+        assert mapping.utilization == pytest.approx(
+            40 * 20 / (6 * 16 * 16)
+        )
+
+    def test_partitioned_compute_close_to_dense(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(0, 0.3, (40, 24))
+        mapping = map_linear_layer(w, small_tile_config(), seed=3)
+        x = rng.uniform(-1, 1, 40)
+        y = mapping.compute(x)
+        y_ref = w.T @ x
+        rel = np.linalg.norm(y - y_ref) / np.linalg.norm(y_ref)
+        assert y.shape == (24,)
+        assert rel < 0.25
+
+    def test_input_validation(self):
+        w = np.zeros((8, 8))
+        mapping = map_linear_layer(w, small_tile_config(8, 8), seed=0)
+        with pytest.raises(ValueError):
+            mapping.compute(np.zeros(9))
+        with pytest.raises(ValueError):
+            map_linear_layer(np.zeros((0, 4)), small_tile_config())
+
+    def test_energy_aggregates_tiles(self):
+        w = np.zeros((32, 32))
+        mapping = map_linear_layer(w, small_tile_config(), seed=0)
+        mapping.compute(np.zeros(32))
+        assert mapping.total_energy_j > 0
+
+
+class TestEndToEnd:
+    def test_float_mlp_learns_blobs(self):
+        x, labels = make_blobs(seed=0)
+        model = train_mlp(x, labels, seed=0)
+        acc = float(np.mean(model.predict(x) == labels))
+        assert acc > 0.9
+
+    def test_imc_accuracy_close_to_float(self):
+        x, labels = make_blobs(seed=0)
+        model = train_mlp(x, labels, seed=0)
+        float_acc = float(np.mean(model.predict(x) == labels))
+        engine = IMCInferenceEngine(model, small_tile_config(32, 32), seed=0)
+        imc_acc = engine.accuracy(x[:80], labels[:80])
+        assert imc_acc > float_acc - 0.1
+
+    def test_drift_hurts_uncompensated_pcm(self):
+        from repro.imc.devices import PCM_PARAMS
+
+        x, labels = make_blobs(seed=1)
+        model = train_mlp(x, labels, seed=1)
+        config = TileConfig(
+            crossbar=CrossbarConfig(rows=32, cols=32, device=PCM_PARAMS),
+            drift_compensation=False,
+        )
+        engine = IMCInferenceEngine(model, config, seed=1)
+        fresh = engine.accuracy(x[:80], labels[:80], t_seconds=1.0)
+        aged = engine.accuracy(x[:80], labels[:80], t_seconds=1e8)
+        assert aged <= fresh
+
+    def test_engine_counts_tiles_and_energy(self):
+        x, labels = make_blobs(n_features=16, seed=2)
+        model = train_mlp(x, labels, hidden=32, epochs=20, seed=2)
+        engine = IMCInferenceEngine(model, small_tile_config(16, 16), seed=2)
+        assert engine.num_tiles == 2 + 2 * 1  # 16->32 and 32->4
+        engine.predict(x[:2])
+        assert engine.total_energy_j > 0
+
+    def test_make_blobs_validation(self):
+        with pytest.raises(ValueError):
+            make_blobs(n_samples=2, n_classes=4)
+
+    def test_train_mlp_validation(self):
+        with pytest.raises(ValueError):
+            train_mlp(np.zeros((4, 2)), np.zeros(3))
+
+
+class TestTaxonomy:
+    def test_fig2_energy_ordering(self):
+        # The Fig. 2 narrative: each step right reduces total MVM energy.
+        energies = [
+            mvm_cost(kind, 512, 512).total_energy_j
+            for kind in ArchitectureKind
+        ]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_imc_eliminates_weight_movement(self):
+        for kind in (ArchitectureKind.IMC_SRAM, ArchitectureKind.IMC_ENVM):
+            assert mvm_cost(kind, 256, 256).weight_movement_j == 0.0
+
+    def test_von_neumann_movement_dominated(self):
+        cost = mvm_cost(ArchitectureKind.VON_NEUMANN, 512, 512)
+        assert cost.movement_fraction > 0.9
+
+    def test_envm_free_standby(self):
+        assert standby_weight_energy_j(
+            ArchitectureKind.IMC_ENVM, 512, 512, 3600
+        ) == 0.0
+        assert standby_weight_energy_j(
+            ArchitectureKind.IMC_SRAM, 512, 512, 3600
+        ) > 0.0
+
+    def test_standby_validation(self):
+        with pytest.raises(ValueError):
+            standby_weight_energy_j(ArchitectureKind.IMC_SRAM, 4, 4, -1.0)
+
+    def test_taxonomy_table_complete(self):
+        table = taxonomy_table()
+        assert len(table) == 4
+        assert table[0]["architecture"] == "von Neumann"
+        assert all(row["total_pj"] > 0 for row in table)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            mvm_cost(ArchitectureKind.VON_NEUMANN, 0, 4)
+
+    def test_custom_costs_respected(self):
+        cheap_dram = MovementCosts(dram_per_byte=1e-15)
+        cost = mvm_cost(
+            ArchitectureKind.VON_NEUMANN, 64, 64, costs=cheap_dram
+        )
+        default = mvm_cost(ArchitectureKind.VON_NEUMANN, 64, 64)
+        assert cost.total_energy_j < default.total_energy_j

@@ -1,0 +1,117 @@
+"""Tests for noise-aware IMC training and the constrained DNA code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dna.constrained import (
+    decode_constrained,
+    density_bits_per_base,
+    encode_constrained,
+    expansion_vs_unconstrained,
+)
+from repro.dna.encoding import max_homopolymer_run
+from repro.imc.nn import make_blobs, train_mlp
+from repro.imc.noise_aware import (
+    accuracy_under_weight_noise,
+    train_mlp_noise_aware,
+)
+
+
+class TestNoiseAwareTraining:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        # Harder blobs (more spread) so noise actually threatens accuracy.
+        return make_blobs(n_samples=300, spread=1.4, seed=0)
+
+    def test_clean_accuracy_competitive(self, dataset):
+        x, labels = dataset
+        vanilla = train_mlp(x, labels, seed=0)
+        robust = train_mlp_noise_aware(x, labels, seed=0,
+                                       weight_noise_sigma=0.15)
+        acc_vanilla = float(np.mean(vanilla.predict(x) == labels))
+        acc_robust = float(np.mean(robust.predict(x) == labels))
+        assert acc_robust > acc_vanilla - 0.08
+
+    def test_more_robust_under_heavy_noise(self):
+        # A harder task (8 classes, 8 features, small hidden layer) where
+        # weight noise genuinely costs accuracy; the straight-through
+        # noise-injection scheme buys a small but consistent margin.
+        x, labels = make_blobs(
+            n_samples=400, n_features=8, n_classes=8, spread=1.8, seed=3
+        )
+        vanilla = train_mlp(x, labels, hidden=12, seed=0)
+        robust = train_mlp_noise_aware(
+            x, labels, hidden=12, seed=0, weight_noise_sigma=0.25
+        )
+        sigma = 0.8
+        acc_vanilla = accuracy_under_weight_noise(
+            vanilla, x, labels, sigma, trials=30, seed=1
+        )
+        acc_robust = accuracy_under_weight_noise(
+            robust, x, labels, sigma, trials=30, seed=1
+        )
+        assert acc_robust >= acc_vanilla
+
+    def test_zero_noise_reduces_to_vanilla_shape(self, dataset):
+        x, labels = dataset
+        model = train_mlp_noise_aware(x, labels, weight_noise_sigma=0.0,
+                                      seed=2)
+        assert float(np.mean(model.predict(x) == labels)) > 0.7
+
+    def test_validation(self, dataset):
+        x, labels = dataset
+        with pytest.raises(ValueError):
+            train_mlp_noise_aware(x, labels, weight_noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            train_mlp_noise_aware(np.zeros((3, 2)), np.zeros(4))
+        model = train_mlp(x, labels, epochs=5, seed=0)
+        with pytest.raises(ValueError):
+            accuracy_under_weight_noise(model, x, labels, -0.1)
+        with pytest.raises(ValueError):
+            accuracy_under_weight_noise(model, x, labels, 0.1, trials=0)
+
+
+class TestConstrainedCode:
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_round_trip(self, data):
+        assert decode_constrained(encode_constrained(data)) == data
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_no_homopolymers_by_construction(self, data):
+        strand = encode_constrained(data)
+        assert max_homopolymer_run(strand) == 1
+
+    def test_leading_zeros_preserved(self):
+        data = b"\x00\x00\x07"
+        assert decode_constrained(encode_constrained(data)) == data
+
+    def test_density(self):
+        assert density_bits_per_base() == pytest.approx(1.585, abs=0.001)
+
+    def test_expansion_ratio(self):
+        # ~26% longer strands than the unconstrained 2-bit/base code.
+        ratio = expansion_vs_unconstrained(100)
+        assert 1.2 < ratio < 1.3
+
+    def test_length_close_to_theory(self):
+        data = bytes(range(64))
+        strand = encode_constrained(data)
+        theoretical = 8 * len(data) / density_bits_per_base()
+        assert abs(len(strand) - theoretical) < 8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            encode_constrained(b"")
+        with pytest.raises(ValueError):
+            decode_constrained("")
+        with pytest.raises(ValueError):
+            decode_constrained("AXGT")
+        with pytest.raises(ValueError):
+            decode_constrained("AAGT")  # homopolymer cannot occur
+
+    def test_expansion_validation(self):
+        with pytest.raises(ValueError):
+            expansion_vs_unconstrained(0)

@@ -1,0 +1,277 @@
+"""Tests for the RV32IM assembler and functional simulator."""
+
+import pytest
+
+from repro.scf.rv32 import (
+    Assembler,
+    AssemblyError,
+    Instruction,
+    RV32Simulator,
+    assemble_and_run,
+)
+
+
+def run(src, **kwargs):
+    return assemble_and_run(src, **kwargs)
+
+
+EXIT = "\n    li a7, 93\n    ecall\n"
+
+
+class TestAssembler:
+    def test_labels_and_comments(self):
+        program = Assembler().assemble(
+            "start:  addi x1, x0, 5  # five\n    j start\n"
+        )
+        assert len(program) == 2
+        assert program[1].mnemonic == "jal"
+        assert program[1].imm == 0
+
+    def test_li_expansion_small(self):
+        program = Assembler().assemble("li a0, 42")
+        assert len(program) == 1
+        assert program[0].mnemonic == "addi"
+
+    def test_li_expansion_large(self):
+        program = Assembler().assemble("li a0, 0x12345")
+        assert len(program) == 2
+        assert program[0].mnemonic == "lui"
+
+    def test_li_expansion_keeps_labels_aligned(self):
+        src = """
+            li t0, 0x10000
+            j end
+        end:
+            li a7, 93
+            ecall
+        """
+        sim = run(src)
+        assert sim.exit_code == 0
+
+    def test_abi_and_numeric_registers(self):
+        program = Assembler().assemble("add sp, x2, t6")
+        assert program[0].rd == 2
+        assert program[0].rs1 == 2
+        assert program[0].rs2 == 31
+
+    def test_errors(self):
+        asm = Assembler()
+        with pytest.raises(AssemblyError):
+            asm.assemble("frobnicate x1, x2")
+        with pytest.raises(AssemblyError):
+            asm.assemble("add x1, x2")
+        with pytest.raises(AssemblyError):
+            asm.assemble("addi x1, x99, 0")
+        with pytest.raises(AssemblyError):
+            asm.assemble("addi x1, x2, notanumber")
+        with pytest.raises(AssemblyError):
+            asm.assemble("dup: nop\ndup: nop")
+        with pytest.raises(AssemblyError):
+            asm.assemble("lw x1, x2")  # missing imm(reg) form
+
+
+class TestArithmetic:
+    def test_sum_loop(self):
+        src = """
+            li a0, 0
+            li t0, 1
+            li t1, 11
+        loop:
+            beq t0, t1, done
+            add a0, a0, t0
+            addi t0, t0, 1
+            j loop
+        done:
+        """ + EXIT
+        assert run(src).exit_code == 55
+
+    def test_factorial_mul(self):
+        src = """
+            li a0, 1
+            li t0, 7
+        fact:
+            beq t0, x0, end
+            mul a0, a0, t0
+            addi t0, t0, -1
+            j fact
+        end:
+        """ + EXIT
+        assert run(src).exit_code == 5040
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("li a0, 20\n li t0, 6\n div a0, a0, t0", 3),
+            ("li a0, -20\n li t0, 6\n div a0, a0, t0", -3),
+            ("li a0, -17\n li t0, 5\n rem a0, a0, t0", -2),
+            ("li a0, 17\n li t0, -5\n rem a0, a0, t0", 2),
+            ("li a0, 7\n li t0, 0\n div a0, a0, t0", -1),
+            ("li a0, 7\n li t0, 0\n rem a0, a0, t0", 7),
+            ("li a0, 5\n slli a0, a0, 3", 40),
+            ("li a0, -8\n srai a0, a0, 2", -2),
+            ("li a0, -8\n srli a0, a0, 28", 15),
+            ("li a0, 12\n andi a0, a0, 10", 8),
+            ("li a0, 12\n ori a0, a0, 3", 15),
+            ("li a0, 12\n xori a0, a0, 10", 6),
+            ("li a0, -5\n li t0, 3\n slt a0, a0, t0", 1),
+            ("li a0, -5\n li t0, 3\n sltu a0, a0, t0", 0),
+            ("li a0, 100\n li t0, 42\n sub a0, a0, t0", 58),
+        ],
+    )
+    def test_alu_ops(self, expr, expected):
+        assert run(expr + EXIT).exit_code == expected
+
+    def test_mulh_variants(self):
+        src = """
+            li a0, 0x40000
+            li t0, 0x40000
+            mulhu a0, a0, t0
+        """ + EXIT
+        # 2^18 * 2^18 = 2^36 -> high word = 16.
+        assert run(src).exit_code == 16
+
+    def test_x0_hardwired(self):
+        src = "li t0, 99\n add x0, t0, t0\n mv a0, x0" + EXIT
+        assert run(src).exit_code == 0
+
+    def test_lui_auipc(self):
+        src = "lui a0, 1\n srli a0, a0, 12" + EXIT
+        assert run(src).exit_code == 1
+
+
+class TestMemoryAndControl:
+    def test_dot_product(self):
+        src = """
+            li t0, 0x1000
+            li t1, 0x2000
+            li t2, 5
+            li a0, 0
+        loop:
+            beq t2, x0, done
+            lw t3, 0(t0)
+            lw t4, 0(t1)
+            mul t5, t3, t4
+            add a0, a0, t5
+            addi t0, t0, 4
+            addi t1, t1, 4
+            addi t2, t2, -1
+            j loop
+        done:
+        """ + EXIT
+        sim = run(src, data={0x1000: [1, 2, 3, 4, 5],
+                             0x2000: [10, 20, 30, 40, 50]})
+        assert sim.exit_code == 550
+
+    def test_byte_and_half_access(self):
+        src = """
+            li t0, 0x100
+            li t1, -1
+            sb t1, 0(t0)
+            lbu a0, 0(t0)
+        """ + EXIT
+        assert run(src).exit_code == 255
+        src2 = """
+            li t0, 0x100
+            li t1, -1
+            sb t1, 0(t0)
+            lb a0, 0(t0)
+        """ + EXIT
+        assert run(src2).exit_code == -1
+
+    def test_halfword_sign_extension(self):
+        src = """
+            li t0, 0x100
+            li t1, 0x8000
+            sh t1, 0(t0)
+            lh a0, 0(t0)
+        """ + EXIT
+        assert run(src).exit_code == -32768
+
+    def test_function_call_ret(self):
+        src = """
+            li a0, 21
+            jal ra, double
+        """ + EXIT + """
+        double:
+            add a0, a0, a0
+            ret
+        """
+        assert run(src).exit_code == 42
+
+    def test_memcpy_program(self):
+        src = """
+            li t0, 0x1000
+            li t1, 0x3000
+            li t2, 4
+        copy:
+            beq t2, x0, check
+            lw t3, 0(t0)
+            sw t3, 0(t1)
+            addi t0, t0, 4
+            addi t1, t1, 4
+            addi t2, t2, -1
+            j copy
+        check:
+            li t1, 0x3000
+            lw a0, 12(t1)
+        """ + EXIT
+        sim = run(src, data={0x1000: [11, 22, 33, 44]})
+        assert sim.exit_code == 44
+        assert sim.read_words(0x3000, 4) == [11, 22, 33, 44]
+
+    def test_branch_variants(self):
+        src = """
+            li a0, 0
+            li t0, -1
+            li t1, 1
+            bltu t0, t1, no
+            addi a0, a0, 1
+        no:
+            blt t0, t1, yes
+            j end
+        yes:
+            addi a0, a0, 2
+        end:
+        """ + EXIT
+        # bltu: 0xFFFFFFFF < 1 unsigned is false -> a0 += 1;
+        # blt: -1 < 1 signed is true -> a0 += 2.
+        assert run(src).exit_code == 3
+
+
+class TestSimulatorMechanics:
+    def test_cycle_model_charges_extra_for_loads(self):
+        base = run("li a0, 0" + EXIT).cycles
+        with_load = run(
+            "li t0, 0x100\n lw a0, 0(t0)" + EXIT
+        ).cycles
+        assert with_load > base + 1
+
+    def test_instruction_budget(self):
+        src = "loop: j loop"
+        with pytest.raises(RuntimeError):
+            assemble_and_run(src, max_instructions=100)
+
+    def test_memory_bounds_checked(self):
+        sim = RV32Simulator(memory_bytes=64)
+        with pytest.raises(IndexError):
+            sim.load_word(64)
+        with pytest.raises(IndexError):
+            sim.store_word(-4, 0)
+
+    def test_pc_out_of_program(self):
+        program = Assembler().assemble("nop")
+        with pytest.raises(IndexError):
+            RV32Simulator().run(program)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            RV32Simulator().run([])
+
+    def test_write_read_words(self):
+        sim = RV32Simulator()
+        sim.write_words(0x40, [1, 2, 3])
+        assert sim.read_words(0x40, 3) == [1, 2, 3]
+
+    def test_small_memory_rejected(self):
+        with pytest.raises(ValueError):
+            RV32Simulator(memory_bytes=2)

@@ -1,0 +1,180 @@
+"""Tests for RV32IM binary encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scf.rv32 import Assembler, Instruction, RV32Simulator
+from repro.scf.rv32_encoding import (
+    EncodingError,
+    decode,
+    decode_program,
+    disassemble,
+    encode,
+    encode_program,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+shamt = st.integers(min_value=0, max_value=31)
+imm20 = st.integers(min_value=0, max_value=(1 << 20) - 1)
+
+
+class TestKnownEncodings:
+    def test_addi_golden(self):
+        # addi x1, x2, 5 -> 0x00510093
+        word = encode(Instruction("addi", rd=1, rs1=2, imm=5))
+        assert word == 0x00510093
+
+    def test_add_golden(self):
+        # add x3, x1, x2 -> 0x002081B3
+        word = encode(Instruction("add", rd=3, rs1=1, rs2=2))
+        assert word == 0x002081B3
+
+    def test_lw_golden(self):
+        # lw x5, 8(x10) -> 0x00852283
+        word = encode(Instruction("lw", rd=5, rs1=10, imm=8))
+        assert word == 0x00852283
+
+    def test_sw_golden(self):
+        # sw x5, 12(x10) -> 0x00552623
+        word = encode(Instruction("sw", rs2=5, rs1=10, imm=12))
+        assert word == 0x00552623
+
+    def test_lui_golden(self):
+        # lui x1, 0x12345 -> 0x123450B7
+        word = encode(Instruction("lui", rd=1, imm=0x12345))
+        assert word == 0x123450B7
+
+    def test_mul_golden(self):
+        # mul x5, x6, x7 -> funct7=1 -> 0x027302B3
+        word = encode(Instruction("mul", rd=5, rs1=6, rs2=7))
+        assert word == 0x027302B3
+
+    def test_ecall(self):
+        assert encode(Instruction("ecall")) == 0x00000073
+        assert decode(0x00000073).mnemonic == "ecall"
+
+    def test_beq_backward_branch(self):
+        # beq at slot 2 targeting slot 0: offset -8 bytes.
+        ins = Instruction("beq", rs1=1, rs2=2, imm=0)
+        word = encode(ins, slot=2)
+        back = decode(word, slot=2)
+        assert back.imm == 0
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(regs, regs, regs)
+    def test_r_type(self, rd, rs1, rs2):
+        for m in ("add", "sub", "xor", "mul", "divu", "sra", "sltu"):
+            ins = Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+            assert decode(encode(ins)) == ins
+
+    @settings(max_examples=60, deadline=None)
+    @given(regs, regs, imm12)
+    def test_i_type(self, rd, rs1, imm):
+        for m in ("addi", "andi", "ori", "xori", "slti", "sltiu"):
+            ins = Instruction(m, rd=rd, rs1=rs1, imm=imm)
+            assert decode(encode(ins)) == ins
+
+    @settings(max_examples=40, deadline=None)
+    @given(regs, regs, shamt)
+    def test_shifts(self, rd, rs1, amount):
+        for m in ("slli", "srli", "srai"):
+            ins = Instruction(m, rd=rd, rs1=rs1, imm=amount)
+            assert decode(encode(ins)) == ins
+
+    @settings(max_examples=40, deadline=None)
+    @given(regs, regs, imm12)
+    def test_loads_stores(self, r1, r2, imm):
+        load = Instruction("lw", rd=r1, rs1=r2, imm=imm)
+        assert decode(encode(load)) == load
+        store = Instruction("sh", rs1=r1, rs2=r2, imm=imm)
+        assert decode(encode(store)) == store
+
+    @settings(max_examples=40, deadline=None)
+    @given(regs, imm20)
+    def test_u_type(self, rd, imm):
+        for m in ("lui", "auipc"):
+            ins = Instruction(m, rd=rd, imm=imm)
+            assert decode(encode(ins)) == ins
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        regs,
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_jal_with_slots(self, rd, slot, target):
+        ins = Instruction("jal", rd=rd, imm=target)
+        assert decode(encode(ins, slot=slot), slot=slot) == ins
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        regs, regs,
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_branches_with_slots(self, rs1, rs2, slot, target):
+        for m in ("beq", "bne", "blt", "bgeu"):
+            ins = Instruction(m, rs1=rs1, rs2=rs2, imm=target)
+            assert decode(encode(ins, slot=slot), slot=slot) == ins
+
+
+class TestProgramLevel:
+    SOURCE = """
+        li a0, 0
+        li t0, 1
+        li t1, 11
+    loop:
+        beq t0, t1, done
+        add a0, a0, t0
+        addi t0, t0, 1
+        j loop
+    done:
+        li a7, 93
+        ecall
+    """
+
+    def test_assemble_encode_decode_execute(self):
+        program = Assembler().assemble(self.SOURCE)
+        code = encode_program(program)
+        assert len(code) == 4 * len(program)
+        recovered = decode_program(code)
+        # The decoded program executes identically.
+        sim = RV32Simulator()
+        assert sim.run(recovered) == 55
+
+    def test_decoded_equals_original(self):
+        program = Assembler().assemble(self.SOURCE)
+        recovered = decode_program(encode_program(program))
+        for a, b in zip(program, recovered):
+            assert a.mnemonic == b.mnemonic
+            assert (a.rd, a.rs1, a.rs2, a.imm) == (b.rd, b.rs1, b.rs2, b.imm)
+
+    def test_disassemble(self):
+        program = Assembler().assemble("addi x1, x0, 7\necall")
+        lines = disassemble(encode_program(program))
+        assert len(lines) == 2
+        assert "addi" in lines[0]
+        assert "ecall" in lines[1]
+
+
+class TestErrors:
+    def test_out_of_range_immediates(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=0, imm=5000))
+        with pytest.raises(EncodingError):
+            encode(Instruction("lui", rd=1, imm=1 << 20))
+        with pytest.raises(EncodingError):
+            encode(Instruction("slli", rd=1, rs1=0, imm=40))
+
+    def test_bad_word(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF + 1)
+        with pytest.raises(EncodingError):
+            decode(0b1011011)  # unused opcode
+
+    def test_bad_code_length(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x00\x00\x00")

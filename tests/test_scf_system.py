@@ -1,0 +1,277 @@
+"""Tests for the SCF engines, Compute Unit, interconnects, fabric,
+power model and roofline."""
+
+import pytest
+
+from repro.core.units import GIGA, TERA
+from repro.scf.cluster import ComputeUnit, ComputeUnitConfig
+from repro.scf.engines import EngineConfig, TensorEngine, VectorEngine
+from repro.scf.fabric import ScalableComputeFabric
+from repro.scf.interconnect import AXIHierarchy, NocMesh
+from repro.scf.power import CU_PUBLISHED, OperatingPoint, dvfs_scale
+from repro.scf.roofline import (
+    gemm_intensity,
+    ridge_intensity,
+    roofline_performance,
+)
+from repro.scf.workloads import (
+    TransformerConfig,
+    block_gemm_flops,
+    block_weight_bytes,
+    sequence_parallel_gemms,
+    transformer_block_gemms,
+)
+
+
+class TestEngines:
+    def test_peak_flops_per_cycle(self):
+        assert EngineConfig().peak_flops_per_cycle == 2 * 12 * 16
+
+    def test_perfect_tiles_hit_cap(self):
+        engine = TensorEngine()
+        eff = engine.tiling_efficiency(120, 160, 512)
+        assert eff > 0.7
+
+    def test_ragged_tiles_lose_efficiency(self):
+        engine = TensorEngine()
+        aligned = engine.tiling_efficiency(12, 16, 256)
+        ragged = engine.tiling_efficiency(13, 17, 256)
+        assert ragged < aligned
+
+    def test_short_k_pays_fill(self):
+        engine = TensorEngine()
+        assert engine.tiling_efficiency(
+            48, 64, 8
+        ) < engine.tiling_efficiency(48, 64, 512)
+
+    def test_gemm_cycles_lower_bound(self):
+        engine = TensorEngine()
+        cycles = engine.gemm_cycles(48, 64, 128)
+        ideal = 2 * 48 * 64 * 128 / EngineConfig().peak_flops_per_cycle
+        assert cycles >= ideal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(array_rows=0)
+        with pytest.raises(ValueError):
+            EngineConfig(efficiency_cap=0)
+        with pytest.raises(ValueError):
+            TensorEngine().tiling_efficiency(0, 4, 4)
+        with pytest.raises(ValueError):
+            TensorEngine().sustained_flops(4, 4, 4, 0)
+        with pytest.raises(ValueError):
+            VectorEngine(lanes=0)
+        with pytest.raises(ValueError):
+            VectorEngine().elementwise_cycles(0, 1.0)
+
+
+class TestComputeUnit:
+    def test_reproduces_published_operating_point(self):
+        # Fig. 9: "up to 150 GFLOPS and 1.5 TFLOPS/W at 460 MHz, 0.55 V".
+        cu = ComputeUnit()
+        for _, m, n, k, count in transformer_block_gemms(
+            TransformerConfig()
+        ):
+            for _ in range(count):
+                cu.run_gemm(m, n, k)
+        gflops = cu.achieved_flops() / GIGA
+        tflops_w = cu.achieved_efficiency_flops_per_w() / TERA
+        assert gflops == pytest.approx(150.0, rel=0.10)
+        assert tflops_w == pytest.approx(1.5, rel=0.10)
+
+    def test_peak_above_published_sustained(self):
+        cu = ComputeUnit()
+        assert cu.peak_flops > CU_PUBLISHED.peak_flops
+
+    def test_area_anchor(self):
+        assert ComputeUnitConfig().area_mm2 == pytest.approx(1.21)
+
+    def test_l1_fit_check(self):
+        cu = ComputeUnit()
+        assert cu.fits_in_l1(64, 64, 64)
+        assert not cu.fits_in_l1(4096, 4096, 4096)
+
+    def test_starved_l1_port_becomes_movement_bound(self):
+        cu = ComputeUnit(ComputeUnitConfig(l1_bandwidth_bytes_cycle=1))
+        execution = cu.run_gemm(128, 128, 128)
+        assert not execution.compute_bound
+
+    def test_elementwise_uses_vector_unit(self):
+        cu = ComputeUnit()
+        cycles = cu.run_elementwise(10_000)
+        assert cycles > 0
+        assert cu.busy_cycles == cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeUnitConfig(num_cores=0)
+        with pytest.raises(ValueError):
+            ComputeUnit().run_gemm(0, 4, 4)
+
+
+class TestWorkloads:
+    def test_gemm_list_structure(self):
+        gemms = transformer_block_gemms(TransformerConfig())
+        names = [g[0] for g in gemms]
+        assert names == [
+            "qkv_proj", "attn_scores", "attn_context",
+            "out_proj", "ffn_up", "ffn_down",
+        ]
+
+    def test_flops_positive_and_scaling(self):
+        small = block_gemm_flops(TransformerConfig(seq_len=128))
+        large = block_gemm_flops(TransformerConfig(seq_len=256))
+        assert large > small > 0
+
+    def test_sequence_parallel_attention_keeps_full_seq(self):
+        config = TransformerConfig(seq_len=256)
+        sliced = sequence_parallel_gemms(config, slice_len=64)
+        scores = next(g for g in sliced if g[0] == "attn_scores")
+        assert scores[1] == 64  # query rows sliced
+        assert scores[2] == 256  # keys stay global
+
+    def test_sequence_parallel_work_adds_up(self):
+        config = TransformerConfig(seq_len=256)
+
+        def flops(gemms):
+            return sum(2.0 * m * n * k * c for _, m, n, k, c in gemms)
+
+        full = flops(transformer_block_gemms(config))
+        quarters = 4 * flops(sequence_parallel_gemms(config, 64))
+        assert quarters == pytest.approx(full)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(seq_len=0)
+        with pytest.raises(ValueError):
+            TransformerConfig(d_model=100, num_heads=3)
+        with pytest.raises(ValueError):
+            sequence_parallel_gemms(TransformerConfig(), 0)
+
+    def test_weight_bytes(self):
+        config = TransformerConfig(d_model=512, d_ff=2048)
+        expected = (4 * 512 * 512 + 2 * 512 * 2048) * 2
+        assert block_weight_bytes(config) == expected
+
+
+class TestInterconnects:
+    def test_axi_root_bottleneck(self):
+        axi = AXIHierarchy()
+        assert axi.per_cu_bandwidth(64) == pytest.approx(
+            axi.per_cu_bandwidth(1) / 64
+        )
+
+    def test_noc_scales_more_gently(self):
+        axi, noc = AXIHierarchy(), NocMesh()
+        axi_drop = axi.per_cu_bandwidth(64) / axi.per_cu_bandwidth(4)
+        noc_drop = noc.per_cu_bandwidth(64) / noc.per_cu_bandwidth(4)
+        assert noc_drop > axi_drop
+
+    def test_latency_grows_with_size(self):
+        noc = NocMesh()
+        assert noc.access_latency_s(64) > noc.access_latency_s(4)
+        axi = AXIHierarchy()
+        assert axi.access_latency_s(64) > axi.access_latency_s(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AXIHierarchy(fanout=1)
+        with pytest.raises(ValueError):
+            NocMesh(link_bandwidth_bytes_s=0)
+        with pytest.raises(ValueError):
+            NocMesh().per_cu_bandwidth(0)
+
+
+class TestFabric:
+    def test_scaling_efficiency_bounded(self):
+        fabric = ScalableComputeFabric()
+        points = fabric.scaling_study(
+            TransformerConfig(seq_len=1024), [1, 4, 16]
+        )
+        assert all(0 < p.parallel_efficiency <= 1.01 for p in points)
+
+    def test_noc_outscales_axi_at_64(self):
+        workload = TransformerConfig(seq_len=2048)
+        noc = ScalableComputeFabric(interconnect=NocMesh()).run_block(
+            workload, 64
+        )
+        axi = ScalableComputeFabric(
+            interconnect=AXIHierarchy()
+        ).run_block(workload, 64)
+        assert noc.sustained_flops > 2 * axi.sustained_flops
+        assert noc.compute_bound and not axi.compute_bound
+
+    def test_throughput_monotone_while_compute_bound(self):
+        fabric = ScalableComputeFabric()
+        points = fabric.scaling_study(
+            TransformerConfig(seq_len=2048), [1, 4, 16, 64]
+        )
+        flops = [p.sustained_flops for p in points]
+        assert flops == sorted(flops)
+
+    def test_validation(self):
+        fabric = ScalableComputeFabric()
+        with pytest.raises(ValueError):
+            fabric.run_block(TransformerConfig(), 0)
+        with pytest.raises(ValueError):
+            fabric.scaling_study(TransformerConfig(), [])
+
+
+class TestPower:
+    def test_published_point_efficiency(self):
+        assert CU_PUBLISHED.efficiency_tflops_per_w == pytest.approx(1.5)
+
+    def test_dvfs_identity_at_anchor(self):
+        scaled = dvfs_scale(CU_PUBLISHED, CU_PUBLISHED.voltage_v)
+        assert scaled.clock_hz == pytest.approx(CU_PUBLISHED.clock_hz)
+        assert scaled.power_w == pytest.approx(CU_PUBLISHED.power_w)
+
+    def test_lower_voltage_more_efficient(self):
+        low = dvfs_scale(CU_PUBLISHED, 0.45)
+        assert low.clock_hz < CU_PUBLISHED.clock_hz
+        assert (
+            low.efficiency_flops_per_w
+            > CU_PUBLISHED.efficiency_flops_per_w
+        )
+
+    def test_higher_voltage_faster_less_efficient(self):
+        high = dvfs_scale(CU_PUBLISHED, 0.8)
+        assert high.peak_flops > CU_PUBLISHED.peak_flops
+        assert (
+            high.efficiency_flops_per_w
+            < CU_PUBLISHED.efficiency_flops_per_w
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dvfs_scale(CU_PUBLISHED, 0.2)
+        with pytest.raises(ValueError):
+            OperatingPoint(0, 1, 1, 1)
+
+
+class TestRoofline:
+    def test_compute_bound_at_high_intensity(self):
+        point = roofline_performance(1e12, 1e10, 1000.0)
+        assert point.compute_bound
+        assert point.attainable_flops == pytest.approx(1e12)
+
+    def test_memory_bound_at_low_intensity(self):
+        point = roofline_performance(1e12, 1e10, 1.0)
+        assert not point.compute_bound
+        assert point.attainable_flops == pytest.approx(1e10)
+
+    def test_ridge(self):
+        assert ridge_intensity(1e12, 1e10) == pytest.approx(100.0)
+
+    def test_gemm_intensity_grows_with_size(self):
+        assert gemm_intensity(256, 256, 256) > gemm_intensity(16, 16, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roofline_performance(0, 1, 1)
+        with pytest.raises(ValueError):
+            roofline_performance(1, 1, 0)
+        with pytest.raises(ValueError):
+            ridge_intensity(0, 1)
+        with pytest.raises(ValueError):
+            gemm_intensity(0, 1, 1)

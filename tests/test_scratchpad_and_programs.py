@@ -1,0 +1,122 @@
+"""Tests for SPARTA scratchpad staging and the RV32 program library."""
+
+import numpy as np
+import pytest
+
+from repro.scf import programs
+from repro.scf.rv32 import RV32Simulator, Assembler, assemble_and_run
+from repro.sparta import bfs_tasks, random_graph, simulate
+from repro.sparta.openmp import ParallelForRegion, Task, compute, load, store
+from repro.sparta.scratchpad import (
+    profile_accesses,
+    stage_hot_addresses,
+)
+
+
+class TestScratchpadStaging:
+    def _skewed_region(self):
+        """A region where one address dominates the traffic."""
+        hot = 1 << 20
+        tasks = []
+        for t in range(32):
+            steps = [load(hot), compute(1), load((1 << 21) + t),
+                     compute(1), store((1 << 22) + t)]
+            tasks.append(Task(task_id=t, steps=steps))
+        return ParallelForRegion("skewed", tasks), hot
+
+    def test_profile_counts(self):
+        region, hot = self._skewed_region()
+        counts = profile_accesses(region)
+        assert counts[hot] == 32
+        assert counts.most_common(1)[0][0] == hot
+
+    def test_staging_remaps_hot_address(self):
+        region, hot = self._skewed_region()
+        staged, plan = stage_hot_addresses(region, budget_words=1)
+        assert hot in plan.staged_addresses
+        assert plan.staged_addresses[hot] == 0
+        # ~1/3 of accesses hit the hot address.
+        assert 0.25 < plan.staged_access_fraction < 0.45
+        # The rewritten tasks use the scratchpad slot.
+        first_loads = [t.steps[0] for t in staged.tasks]
+        assert all(step == ("load", 0) for step in first_loads)
+
+    def test_staging_speeds_up_skewed_region(self):
+        region, _ = self._skewed_region()
+        staged, _ = stage_hot_addresses(region, budget_words=1)
+        base = simulate(region, num_lanes=2, contexts_per_lane=2,
+                        enable_cache=False)
+        fast = simulate(staged, num_lanes=2, contexts_per_lane=2,
+                        enable_cache=False)
+        assert fast.cycles < base.cycles
+        assert fast.memory_requests < base.memory_requests
+
+    def test_staging_bfs_graph(self):
+        region = bfs_tasks(random_graph(num_nodes=128, avg_degree=8,
+                                        seed=0))
+        staged, plan = stage_hot_addresses(region, budget_words=64)
+        assert plan.words_used == 64
+        assert plan.staged_access_fraction > 0.1
+        stats = simulate(staged, num_lanes=2, contexts_per_lane=4)
+        assert stats.tasks_completed == len(region.tasks)
+
+    def test_zero_budget_is_identity(self):
+        region, _ = self._skewed_region()
+        staged, plan = stage_hot_addresses(region, budget_words=0)
+        assert plan.words_used == 0
+        assert [t.steps for t in staged.tasks] == [
+            t.steps for t in region.tasks
+        ]
+
+    def test_negative_budget_rejected(self):
+        region, _ = self._skewed_region()
+        with pytest.raises(ValueError):
+            stage_hot_addresses(region, budget_words=-1)
+
+
+class TestProgramLibrary:
+    def test_sum_array(self):
+        src = programs.fill_template(programs.SUM_ARRAY, count=6)
+        sim = RV32Simulator()
+        sim.write_words(0x1000, [3, 1, 4, 1, 5, 9])
+        assert sim.run(Assembler().assemble(src)) == 23
+
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (2, 1),
+                                            (10, 55), (20, 6765)])
+    def test_fibonacci(self, n, expected):
+        src = programs.fill_template(programs.FIBONACCI, n=n)
+        assert assemble_and_run(src).exit_code == expected
+
+    @pytest.mark.parametrize("a,b,expected", [(48, 36, 12), (17, 5, 1),
+                                              (100, 100, 100), (7, 0, 7)])
+    def test_gcd(self, a, b, expected):
+        src = programs.fill_template(programs.GCD, a=a, b=b)
+        assert assemble_and_run(src).exit_code == expected
+
+    @pytest.mark.parametrize("value,expected", [(0, 0), (1, 1),
+                                                (0xFF, 8), (0b1011_0101, 5)])
+    def test_popcount(self, value, expected):
+        sim = RV32Simulator()
+        sim.write_words(0x1000, [value])
+        assert sim.run(Assembler().assemble(programs.POPCOUNT)) == expected
+
+    def test_bubble_sort(self):
+        values = [5, 2, 9, 1, 7, 3]
+        src = programs.fill_template(programs.BUBBLE_SORT,
+                                     count=len(values))
+        sim = RV32Simulator()
+        sim.write_words(0x1000, values)
+        passes = sim.run(Assembler().assemble(src),
+                         max_instructions=100_000)
+        assert sim.read_words(0x1000, len(values)) == sorted(values)
+        assert passes >= 2
+
+    def test_strlen(self):
+        text = b"flagship2\x00"
+        sim = RV32Simulator()
+        sim.memory[0x1000 : 0x1000 + len(text)] = text
+        assert sim.run(Assembler().assemble(programs.STRLEN)) == 9
+
+    def test_fill_template_validates(self):
+        with pytest.raises(ValueError):
+            programs.fill_template(programs.FIBONACCI, n="ten")

@@ -1,0 +1,260 @@
+"""Tests for the SPARTA simulator: tasks, memory system, lanes,
+end-to-end latency hiding."""
+
+import pytest
+
+from repro.sparta.accelerator import AcceleratorLane, LaneConfig
+from repro.sparta.cache import MemorySideCache
+from repro.sparta.kernels import (
+    bfs_tasks,
+    pagerank_tasks,
+    random_graph,
+    spmv_tasks,
+    streaming_tasks,
+)
+from repro.sparta.memory import MemoryChannel
+from repro.sparta.noc import CrossbarNoc, NocConfig
+from repro.sparta.openmp import (
+    ParallelForRegion,
+    Task,
+    compute,
+    load,
+    store,
+)
+from repro.sparta.simulator import SpartaSystem, simulate
+
+
+class TestTasks:
+    def test_step_constructors_validate(self):
+        with pytest.raises(ValueError):
+            compute(0)
+        with pytest.raises(ValueError):
+            load(-1)
+        with pytest.raises(ValueError):
+            store(-5)
+
+    def test_task_metrics(self):
+        task = Task(0, [load(100), compute(3), load(200), store(300)])
+        assert task.num_loads == 2
+        assert task.compute_cycles == 3
+
+    def test_task_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            Task(0, [("jump", 1)])
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            ParallelForRegion("x", [])
+        with pytest.raises(ValueError):
+            ParallelForRegion("x", [Task(0, []), Task(0, [])])
+
+    def test_memory_intensity(self):
+        region = ParallelForRegion(
+            "x", [Task(0, [load(100), compute(10)])]
+        )
+        assert region.memory_intensity == pytest.approx(0.1)
+
+
+class TestMemoryChannel:
+    def test_fixed_latency(self):
+        channel = MemoryChannel(latency=50)
+        assert channel.issue(10) == 60
+
+    def test_issue_port_serializes(self):
+        channel = MemoryChannel(latency=50)
+        first = channel.issue(0)
+        second = channel.issue(0)
+        assert first == 50
+        assert second == 51  # pipelined, one issue per cycle
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryChannel(latency=0)
+        with pytest.raises(ValueError):
+            MemoryChannel().issue(-1)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = MemorySideCache()
+        assert not cache.access(100)
+        assert cache.access(100)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_spatial_locality_within_line(self):
+        cache = MemorySideCache(line_words=8)
+        cache.access(0)
+        assert cache.access(7)
+        assert not cache.access(8)
+
+    def test_lru_eviction(self):
+        cache = MemorySideCache(num_sets=1, associativity=2, line_words=1)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 is now MRU
+        cache.access(2)  # evicts 1
+        assert cache.access(0)
+        assert not cache.access(1)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            MemorySideCache(num_sets=0)
+        with pytest.raises(ValueError):
+            MemorySideCache(line_words=3)
+        with pytest.raises(ValueError):
+            MemorySideCache().access(-1)
+
+    def test_reset_stats(self):
+        cache = MemorySideCache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestNoc:
+    def test_interleaving_spreads_lines(self):
+        noc = CrossbarNoc(NocConfig(num_channels=4, cache_line_words=8))
+        channels = {noc.channel_of(addr * 8) for addr in range(8)}
+        assert channels == {0, 1, 2, 3}
+
+    def test_same_line_same_channel(self):
+        noc = CrossbarNoc(NocConfig(num_channels=4, cache_line_words=8))
+        assert noc.channel_of(0) == noc.channel_of(7)
+
+    def test_cache_hit_faster_than_miss(self):
+        noc = CrossbarNoc(NocConfig(memory_latency=100, hop_latency=4))
+        miss_done = noc.request(1000, now=0)
+        hit_done = noc.request(1000, now=miss_done)
+        assert miss_done - 0 > 100
+        assert hit_done - miss_done < 20
+
+    def test_cache_disable(self):
+        noc = CrossbarNoc(NocConfig(enable_cache=False))
+        noc.request(0, 0)
+        noc.request(0, 200)
+        assert noc.total_hits == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NocConfig(num_channels=0)
+        with pytest.raises(ValueError):
+            NocConfig(memory_latency=0)
+        noc = CrossbarNoc()
+        with pytest.raises(ValueError):
+            noc.channel_of(-1)
+
+
+class TestLane:
+    def test_lane_config_validation(self):
+        with pytest.raises(ValueError):
+            LaneConfig(num_contexts=0)
+        with pytest.raises(ValueError):
+            LaneConfig(switch_penalty=-1)
+
+    def test_scratchpad_accesses_bypass_noc(self):
+        requests = []
+
+        def request_fn(addr, now):
+            requests.append(addr)
+            return now + 100
+
+        lane = AcceleratorLane(0, LaneConfig(scratchpad_words=1024),
+                               request_fn)
+        ctx = lane.idle_context()
+        ctx.assign(Task(0, [load(10), compute(1)]), 0)
+        for cycle in range(10):
+            lane.step(cycle)
+        assert requests == []  # address 10 is scratchpad-resident
+
+    def test_external_load_goes_to_noc(self):
+        requests = []
+
+        def request_fn(addr, now):
+            requests.append(addr)
+            return now + 100
+
+        lane = AcceleratorLane(0, LaneConfig(), request_fn)
+        ctx = lane.idle_context()
+        ctx.assign(Task(0, [load(1 << 20), compute(1)]), 0)
+        for cycle in range(5):
+            lane.step(cycle)
+        assert requests == [1 << 20]
+
+
+class TestEndToEnd:
+    def _bfs_region(self):
+        return bfs_tasks(random_graph(num_nodes=96, avg_degree=6, seed=0))
+
+    def test_all_tasks_complete(self):
+        region = self._bfs_region()
+        stats = simulate(region, num_lanes=2, contexts_per_lane=2)
+        assert stats.tasks_completed == len(region.tasks)
+
+    def test_context_switching_hides_latency(self):
+        # The central SPARTA claim: more contexts -> fewer cycles and
+        # higher utilization on irregular kernels.
+        region = self._bfs_region()
+        one = simulate(region, num_lanes=2, contexts_per_lane=1)
+        eight = simulate(region, num_lanes=2, contexts_per_lane=8)
+        assert eight.cycles < one.cycles / 2
+        assert eight.utilization > 2 * one.utilization
+
+    def test_more_lanes_speed_up(self):
+        region = spmv_tasks(num_rows=96, avg_nnz=6, seed=1)
+        narrow = simulate(region, num_lanes=1, contexts_per_lane=4)
+        wide = simulate(region, num_lanes=4, contexts_per_lane=4)
+        assert wide.cycles < narrow.cycles
+
+    def test_cache_helps_irregular_kernels(self):
+        region = self._bfs_region()
+        cached = simulate(region, num_lanes=2, contexts_per_lane=4)
+        uncached = simulate(
+            region, num_lanes=2, contexts_per_lane=4, enable_cache=False
+        )
+        assert cached.cycles < uncached.cycles
+        assert cached.cache_hit_rate > 0.3
+
+    def test_more_channels_help_under_contention(self):
+        region = spmv_tasks(num_rows=128, avg_nnz=8, seed=2)
+        one_ch = simulate(
+            region, num_lanes=8, contexts_per_lane=8, num_channels=1,
+            enable_cache=False,
+        )
+        four_ch = simulate(
+            region, num_lanes=8, contexts_per_lane=8, num_channels=4,
+            enable_cache=False,
+        )
+        assert four_ch.cycles < one_ch.cycles
+
+    def test_switch_penalty_costs_cycles(self):
+        region = self._bfs_region()
+        free = simulate(region, num_lanes=2, contexts_per_lane=8,
+                        switch_penalty=0)
+        costly = simulate(region, num_lanes=2, contexts_per_lane=8,
+                          switch_penalty=4)
+        assert costly.cycles > free.cycles
+
+    def test_kernel_generators_validate(self):
+        with pytest.raises(ValueError):
+            random_graph(num_nodes=1)
+        with pytest.raises(ValueError):
+            random_graph(avg_degree=0)
+        with pytest.raises(ValueError):
+            spmv_tasks(num_rows=0)
+        with pytest.raises(ValueError):
+            streaming_tasks(num_tasks=0)
+
+    def test_pagerank_region_structure(self):
+        region = pagerank_tasks(random_graph(num_nodes=32, seed=3))
+        assert region.name == "pagerank"
+        assert len(region.tasks) == 32
+        assert region.memory_intensity > 0.3
+
+    def test_system_validation(self):
+        with pytest.raises(ValueError):
+            SpartaSystem(num_lanes=0)
+
+    def test_runaway_simulation_guarded(self):
+        region = ParallelForRegion("tiny", [Task(0, [compute(10)])])
+        with pytest.raises(RuntimeError):
+            SpartaSystem(num_lanes=1).run(region, max_cycles=3)

@@ -1,0 +1,159 @@
+"""Tests for repro.survey: dataset integrity and Fig. 1 / Fig. 7 analytics."""
+
+import numpy as np
+import pytest
+
+from repro.survey import (
+    AcceleratorRecord,
+    PlatformClass,
+    Precision,
+    class_statistics,
+    efficiency_trend,
+    iso_efficiency_line,
+    load_dataset,
+    power_band_histogram,
+    riscv_subset,
+    scatter_series,
+)
+from repro.survey.analysis import POWER_BANDS_W, densest_band
+from repro.survey.dataset import europe_subset
+
+
+class TestRecords:
+    def test_efficiency_derived(self):
+        rec = AcceleratorRecord(
+            "x", 2020, PlatformClass.GPU, peak_tops=100, power_w=50
+        )
+        assert rec.tops_per_watt == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_tops(self):
+        with pytest.raises(ValueError):
+            AcceleratorRecord("x", 2020, PlatformClass.GPU, 0, 10)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            AcceleratorRecord("x", 2020, PlatformClass.GPU, 1, 0)
+
+    def test_rejects_bad_year(self):
+        with pytest.raises(ValueError):
+            AcceleratorRecord("x", 1885, PlatformClass.GPU, 1, 1)
+
+    def test_describe(self):
+        rec = AcceleratorRecord(
+            "H100", 2022, PlatformClass.GPU, 1979, 700, Precision.FP8
+        )
+        text = rec.describe()
+        assert "H100" in text and "TOPS/W" in text
+
+
+class TestDataset:
+    def test_nonempty_and_diverse(self):
+        data = load_dataset()
+        assert len(data) >= 40
+        platforms = {r.platform for r in data}
+        assert PlatformClass.CPU in platforms
+        assert PlatformClass.GPU in platforms
+        assert PlatformClass.RISCV in platforms
+        assert PlatformClass.NPU_SRAM_IMC in platforms
+
+    def test_unique_names(self):
+        names = [r.name for r in load_dataset()]
+        assert len(names) == len(set(names))
+
+    def test_filter_by_platform(self):
+        gpus = load_dataset(PlatformClass.GPU)
+        assert gpus and all(r.platform is PlatformClass.GPU for r in gpus)
+
+    def test_riscv_subset_size(self):
+        subset = riscv_subset()
+        assert len(subset) >= 10
+
+    def test_returned_list_is_a_copy(self):
+        a = load_dataset()
+        a.clear()
+        assert load_dataset()
+
+    def test_europe_subset_mostly_riscv(self):
+        eu = europe_subset()
+        assert eu
+        riscv = [r for r in eu if r.platform is PlatformClass.RISCV]
+        # Fig. 7 point: a strong European presence among RISC-V designs.
+        assert len(riscv) >= 5
+
+    def test_contains_icsc_prototype(self):
+        names = {r.name for r in riscv_subset()}
+        assert any("ICSC" in n for n in names)
+
+
+class TestFig1Analytics:
+    def test_class_ranking_cpu_worst_imc_best(self):
+        stats = class_statistics(load_dataset())
+        order = [s.platform for s in stats]
+        # The Fig. 1 narrative: CPUs least efficient, IMC NPUs most.
+        assert order[0] is PlatformClass.CPU
+        imc_rank = max(
+            order.index(PlatformClass.NPU_SRAM_IMC),
+            order.index(PlatformClass.NPU_RRAM_IMC),
+        )
+        assert imc_rank >= len(order) - 3
+
+    def test_gpu_more_efficient_than_cpu(self):
+        stats = {s.platform: s for s in class_statistics(load_dataset())}
+        assert (
+            stats[PlatformClass.GPU].median_tops_per_watt
+            > stats[PlatformClass.CPU].median_tops_per_watt
+        )
+
+    def test_trend_positive_growth(self):
+        trend = efficiency_trend(load_dataset())
+        assert trend.growth_per_year > 1.0
+        assert 0 < trend.doubling_years < 10
+
+    def test_trend_prediction_monotone(self):
+        trend = efficiency_trend(load_dataset())
+        assert trend.predict(2025) > trend.predict(2015)
+
+    def test_trend_needs_two_records(self):
+        with pytest.raises(ValueError):
+            efficiency_trend(load_dataset()[:1])
+
+    def test_trend_needs_year_spread(self):
+        rec = load_dataset()[0]
+        with pytest.raises(ValueError):
+            efficiency_trend([rec, rec])
+
+    def test_scatter_series_cover_dataset(self):
+        data = load_dataset()
+        series = scatter_series(data)
+        total = sum(len(xs) for xs, _ in series.values())
+        assert total == len(data)
+
+    def test_iso_line_constant_efficiency(self):
+        power, tops = iso_efficiency_line(10.0, (0.01, 100.0))
+        assert np.allclose(tops / power, 10.0)
+
+    def test_iso_line_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            iso_efficiency_line(1.0, (1.0, 0.5))
+
+
+class TestFig7Analytics:
+    def test_riscv_cluster_in_100mw_1w_band(self):
+        # The paper: RISC-V designs are "clustered, especially in the
+        # 100mW-1W power range".
+        assert densest_band(riscv_subset()) == (0.1, 1.0)
+
+    def test_above_1w_sparse(self):
+        hist = power_band_histogram(riscv_subset())
+        cluster = hist[(0.1, 1.0)]
+        hpc = hist[(1.0, 10.0)] + hist[(10.0, 100.0)]
+        assert hpc < cluster
+
+    def test_histogram_covers_all_riscv(self):
+        subset = riscv_subset()
+        hist = power_band_histogram(subset)
+        assert sum(hist.values()) == len(subset)
+
+    def test_bands_are_decades(self):
+        for lo, hi in POWER_BANDS_W:
+            assert hi == pytest.approx(10 * lo)
