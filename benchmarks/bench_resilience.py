@@ -1,0 +1,158 @@
+"""Experiment RESILIENCE: fault-rate -> degradation curves.
+
+ALPINE-style fault sweeps over the resilience subsystem: accuracy and
+throughput claims are re-measured under injected faults instead of the
+happy path only.
+
+- **IMC thrust**: stuck-at cell fraction swept into program-and-verify
+  convergence and MLC level-error degradation (RRAM physics);
+- **hetero thrust**: transient-storage fault rate swept into campaign
+  completion (cells recovered by bounded retry vs. recorded failures)
+  and retry overhead;
+- **SPARTA thrust**: accelerator-lane dropout swept into task
+  throughput (work remaps to surviving lanes, throughput degrades
+  gracefully instead of the run dying).
+
+Asserts the graceful-degradation contract: fault-free sweeps are
+perfect, moderate fault rates complete with bounded retries, and the
+degradation curves are monotone in the expected direction.
+"""
+
+import numpy as np
+
+from repro.core.tables import Table
+from repro.hetero.campaign import run_resilient_campaign
+from repro.hetero.workload import SegmentationWorkload
+from repro.imc.devices import NVMDevice, RRAM_PARAMS
+from repro.imc.program_verify import program_and_verify
+from repro.resilience import BackoffPolicy, FaultInjector, FaultModel
+from repro.sparta.kernels import streaming_tasks
+from repro.sparta.simulator import simulate
+
+IMC_STUCK_FRACTIONS = (0.0, 0.02, 0.05, 0.10, 0.20)
+STORAGE_FAULT_RATES = (0.0, 0.1, 0.2, 0.4, 0.6)
+LANE_DROPOUTS = (0.0, 0.25, 0.5)
+
+
+def imc_degradation():
+    """Stuck-at fraction -> program-and-verify quality (RRAM)."""
+    rng = np.random.default_rng(11)
+    targets = rng.uniform(RRAM_PARAMS.g_min, RRAM_PARAMS.g_max, (48, 48))
+    rows = []
+    for fraction in IMC_STUCK_FRACTIONS:
+        device = NVMDevice(RRAM_PARAMS, (48, 48), seed=11)
+        injector = FaultInjector(
+            FaultModel(imc_stuck_fraction=fraction), seed=11
+        )
+        injector.inject_stuck_cells(device)
+        result = program_and_verify(device, targets, tolerance=0.02)
+        rows.append(
+            (fraction, device.stuck_cell_count,
+             result.converged_fraction, result.final_rms_error)
+        )
+    return rows
+
+
+def hetero_degradation():
+    """Transient-storage fault rate -> campaign completion/overhead."""
+    workload = SegmentationWorkload(num_volumes=16, epochs=1)
+    policy = BackoffPolicy(max_attempts=4, base_delay_s=0.01)
+    rows = []
+    for rate in STORAGE_FAULT_RATES:
+        injector = FaultInjector(
+            FaultModel(storage_transient_rate=rate), seed=11
+        )
+        report = run_resilient_campaign(
+            workload, injector=injector, policy=policy
+        )
+        rows.append(
+            (rate, len(report.cells), len(report.errors),
+             report.total_attempts, report.total_backoff_s)
+        )
+    return rows
+
+
+def sparta_degradation():
+    """Lane dropout -> throughput on surviving lanes."""
+    region = streaming_tasks(num_tasks=96, elements_per_task=8)
+    rows = []
+    for dropout in LANE_DROPOUTS:
+        injector = FaultInjector(
+            FaultModel(sparta_lane_dropout=dropout), seed=11
+        )
+        failed = injector.failed_lanes(4)
+        stats = simulate(region, num_lanes=4, failed_lanes=failed)
+        rows.append(
+            (dropout, 4 - len(failed), stats.cycles,
+             stats.tasks_per_kcycle)
+        )
+    return rows
+
+
+def run_resilience_study():
+    return {
+        "imc": imc_degradation(),
+        "hetero": hetero_degradation(),
+        "sparta": sparta_degradation(),
+    }
+
+
+def test_resilience_degradation(benchmark):
+    study = benchmark(run_resilience_study)
+
+    imc_table = Table(
+        ["stuck fraction", "stuck cells", "converged", "final RMS"],
+        title="IMC degradation -- stuck-at cells vs program-and-verify",
+    )
+    for fraction, stuck, converged, rms in study["imc"]:
+        imc_table.add_row(
+            [fraction, stuck, round(converged, 3), round(rms, 4)]
+        )
+    print()
+    print(imc_table)
+
+    hetero_table = Table(
+        ["fault rate", "cells ok", "cells failed", "attempts",
+         "backoff (s)"],
+        title="Hetero degradation -- transient storage faults vs campaign",
+    )
+    for rate, ok, failed, attempts, backoff in study["hetero"]:
+        hetero_table.add_row(
+            [rate, ok, failed, attempts, round(backoff, 3)]
+        )
+    print(hetero_table)
+
+    sparta_table = Table(
+        ["lane dropout", "surviving lanes", "cycles", "tasks/kcycle"],
+        title="SPARTA degradation -- lane dropout vs throughput",
+    )
+    for dropout, lanes, cycles, tpk in study["sparta"]:
+        sparta_table.add_row([dropout, lanes, cycles, round(tpk, 3)])
+    print(sparta_table)
+
+    # IMC: no faults -> full convergence; convergence degrades
+    # monotonically and roughly tracks the surviving-cell fraction.
+    imc = study["imc"]
+    assert imc[0][1] == 0 and imc[0][2] > 0.9
+    converged = [row[2] for row in imc]
+    assert all(a >= b - 1e-9 for a, b in zip(converged, converged[1:]))
+    assert converged[-1] < converged[0]
+
+    # Hetero: every cell is accounted for at every fault rate; the
+    # fault-free sweep is perfect; retries stay within the bounded
+    # policy budget (<= max_attempts per cell).
+    for rate, ok, failed, attempts, backoff in study["hetero"]:
+        assert ok + failed == 15
+        assert attempts <= 15 * 4
+    assert study["hetero"][0][2] == 0  # no faults -> no failures
+    assert study["hetero"][0][3] == 15  # exactly one attempt per cell
+    attempts_curve = [row[3] for row in study["hetero"]]
+    assert attempts_curve[-1] > attempts_curve[0]
+
+    # SPARTA: dropping lanes never aborts the run; full dropout request
+    # still leaves >= 1 lane and throughput degrades, not dies.
+    lanes = [row[1] for row in study["sparta"]]
+    assert lanes[0] == 4 and min(lanes) >= 1
+    cycles = [row[2] for row in study["sparta"]]
+    assert all(c > 0 for c in cycles)
+    assert cycles[-1] >= cycles[0]  # fewer lanes -> no faster

@@ -5,7 +5,9 @@ one paper artifact without going through pytest -- the quick way to eyeball
 a result or pipe it into another tool.
 
 Artifacts: ``fig1``, ``fig2``, ``fig7``, ``table1``, ``taxonomy`` (alias
-of fig2), ``scf``, ``survey-csv``.
+of fig2), ``scf``, ``survey-csv``, plus ``faults`` -- a quick
+fault-injection resilience sweep (IMC stuck-at cells and hetero
+transient-storage faults) over the :mod:`repro.resilience` subsystem.
 """
 
 from __future__ import annotations
@@ -112,6 +114,56 @@ def _cmd_scf() -> str:
     return table.render()
 
 
+def _cmd_faults() -> str:
+    import numpy as np
+
+    from repro.hetero.campaign import run_resilient_campaign
+    from repro.hetero.workload import SegmentationWorkload
+    from repro.imc.devices import NVMDevice, RRAM_PARAMS
+    from repro.imc.program_verify import program_and_verify
+    from repro.resilience import BackoffPolicy, FaultInjector, FaultModel
+
+    workload = SegmentationWorkload(num_volumes=16, epochs=1)
+    policy = BackoffPolicy(max_attempts=4)
+    hetero = Table(
+        ["transient fault rate", "cells ok", "cells failed", "attempts",
+         "backoff (s)"],
+        title="Resilience -- hetero campaign under storage faults",
+    )
+    for rate in (0.0, 0.1, 0.2, 0.4):
+        injector = FaultInjector(
+            FaultModel(storage_transient_rate=rate), seed=7
+        )
+        report = run_resilient_campaign(
+            workload, injector=injector, policy=policy
+        )
+        hetero.add_row(
+            [rate, len(report.cells), len(report.errors),
+             report.total_attempts, round(report.total_backoff_s, 3)]
+        )
+
+    imc = Table(
+        ["stuck-cell fraction", "stuck cells", "converged fraction",
+         "final RMS error"],
+        title="Resilience -- IMC program-and-verify under stuck-at faults",
+    )
+    rng = np.random.default_rng(7)
+    targets = rng.uniform(RRAM_PARAMS.g_min, RRAM_PARAMS.g_max, (32, 32))
+    for fraction in (0.0, 0.02, 0.05, 0.1):
+        device = NVMDevice(RRAM_PARAMS, (32, 32), seed=7)
+        injector = FaultInjector(
+            FaultModel(imc_stuck_fraction=fraction), seed=7
+        )
+        injector.inject_stuck_cells(device)
+        result = program_and_verify(device, targets)
+        imc.add_row(
+            [fraction, device.stuck_cell_count,
+             round(result.converged_fraction, 3),
+             round(result.final_rms_error, 4)]
+        )
+    return hetero.render() + "\n\n" + imc.render()
+
+
 def _cmd_survey_csv() -> str:
     from repro.survey import load_dataset
     from repro.survey.io import to_csv
@@ -127,6 +179,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "scf": _cmd_scf,
     "survey-csv": _cmd_survey_csv,
+    "faults": _cmd_faults,
 }
 
 

@@ -6,6 +6,15 @@ engine, image/accuracy metrics, deterministic RNG helpers and ASCII table
 rendering used by the benchmark harness.
 """
 
+from repro.core.errors import (
+    CampaignCellError,
+    DeviceFault,
+    ReproError,
+    SimulationTimeout,
+    StateError,
+    TransientFault,
+    ValidationError,
+)
 from repro.core.fixedpoint import FixedPointFormat, quantize, dequantize_int
 from repro.core.metrics import mse, psnr, classification_accuracy
 from repro.core.pareto import (
@@ -29,6 +38,13 @@ from repro.core.units import (
 )
 
 __all__ = [
+    "CampaignCellError",
+    "DeviceFault",
+    "ReproError",
+    "SimulationTimeout",
+    "StateError",
+    "TransientFault",
+    "ValidationError",
     "FixedPointFormat",
     "quantize",
     "dequantize_int",

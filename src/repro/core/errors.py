@@ -1,0 +1,145 @@
+"""Typed exception hierarchy for the reproduction suite.
+
+Long campaigns and DSE sweeps (ROADMAP north-star: production-scale
+runs that "handle as many scenarios as you can imagine") need errors a
+harness can reason about: which failures are retryable, which carry
+partial results worth checkpointing, and which identify a failed matrix
+cell rather than a broken program.  This module is the single hierarchy
+every thrust raises from:
+
+- :class:`ReproError` -- root of everything raised deliberately here;
+- :class:`ValidationError` -- bad arguments/configuration (subclasses
+  :class:`ValueError`, so legacy ``except ValueError`` callers and tests
+  keep working);
+- :class:`SimulationTimeout` -- a cycle or wall-clock deadline expired;
+  carries the partial statistics accumulated so far;
+- :class:`DeviceFault` -- a permanent hardware fault (stuck cells, dead
+  lane, dropped compute unit); retrying cannot help;
+- :class:`TransientFault` -- a retryable fault (storage read hiccup,
+  link glitch); :func:`repro.resilience.resilient_run` retries these
+  under a bounded backoff policy;
+- :class:`CampaignCellError` -- one (device, storage, phase) cell of a
+  benchmarking-campaign matrix failed after retries; the campaign
+  records it and continues instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class of all structured errors raised by the suite."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid argument or configuration value.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    sites (and the seed tests) are unaffected by the migration.
+    """
+
+
+class StateError(ReproError, RuntimeError):
+    """An operation was issued against an object in the wrong state
+    (e.g. an MVM on a crossbar that was never programmed)."""
+
+
+class SimulationTimeout(ReproError, RuntimeError):
+    """A simulation exceeded its cycle or wall-clock budget.
+
+    Subclasses :class:`RuntimeError` for backward compatibility with
+    callers that caught the old bare error.  *partial_stats* carries
+    whatever statistics object the simulator had accumulated when the
+    deadline fired, so a harness can checkpoint progress instead of
+    losing the run.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_stats: Any = None,
+        cycles: Optional[int] = None,
+        elapsed_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.partial_stats = partial_stats
+        self.cycles = cycles
+        self.elapsed_s = elapsed_s
+
+
+class DeviceFault(ReproError, RuntimeError):
+    """A permanent hardware fault: the component is gone for the rest
+    of the run and work must remap to surviving resources."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        component: Optional[str] = None,
+        fault_kind: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.component = component
+        self.fault_kind = fault_kind
+
+
+class TransientFault(DeviceFault):
+    """A retryable fault -- the operation may succeed if reissued.
+
+    The resilience harness retries these under a bounded
+    :class:`~repro.resilience.retry.BackoffPolicy`; anything else
+    propagates immediately.
+    """
+
+
+class CampaignCellError(ReproError):
+    """One cell of a campaign matrix failed after bounded retries.
+
+    Carries the cell coordinates and the final error so the campaign
+    report is complete: every (device, storage, phase) triple is either
+    a result or one of these.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device: str,
+        storage: str,
+        phase: str,
+        attempts: int = 1,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.device = device
+        self.storage = storage
+        self.phase = phase
+        self.attempts = attempts
+        self.cause = cause
+
+    @property
+    def key(self) -> str:
+        """Stable cell identifier used by checkpoints and reports."""
+        return f"{self.device}|{self.storage}|{self.phase}"
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-serializable form for checkpoint/resume."""
+        return {
+            "error": str(self),
+            "device": self.device,
+            "storage": self.storage,
+            "phase": self.phase,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "CampaignCellError":
+        return cls(
+            record["error"],
+            device=record["device"],
+            storage=record["storage"],
+            phase=record["phase"],
+            attempts=int(record.get("attempts", 1)),
+        )

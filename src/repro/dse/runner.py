@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.errors import TransientFault, ValidationError
 from repro.core.pareto import hypervolume_2d, pareto_indices
 from repro.core.rng import SeedLike
 from repro.dse.objectives import DesignPoint, HLSEvaluator
@@ -82,30 +83,72 @@ class DSERunner:
         explorers: Sequence,
         budget: int,
         seed: SeedLike = 0,
+        policy=None,
+        checkpoint=None,
     ) -> Dict[str, Dict[str, float]]:
         """Score *explorers* at equal *budget* by front hypervolume.
 
         The reference point is 10% beyond the worst objective values seen
         across all runs, so every front dominates it.
+
+        The comparison degrades gracefully: an explorer whose run fails
+        is recorded with an ``{"error": ...}`` entry instead of aborting
+        the whole study, transient faults are retried under *policy*
+        (a :class:`~repro.resilience.BackoffPolicy`), and a *checkpoint*
+        (:class:`~repro.resilience.CheckpointStore`) lets an interrupted
+        comparison resume with completed explorers' scores intact.
+
+        Checkpointed scores are computed against that run's own
+        reference point; mixing resumed and fresh scores is therefore
+        only meaningful when the evaluated kernels are deterministic
+        (they are, for the built-in evaluator at a fixed seed).
         """
-        results = {
-            explorer.name: self.run(explorer, budget, seed=seed)
-            for explorer in explorers
-        }
-        all_objs = np.vstack(
-            [
-                np.array([p.objectives for p in res.evaluated])
-                for res in results.values()
-            ]
-        )
-        reference = all_objs.max(axis=0) * 1.1
-        return {
-            name: {
-                "hypervolume": res.hypervolume(reference),
-                "front_size": float(len(res.front)),
-                "unique_evaluations": float(res.unique_evaluations),
-                "best_latency_s": res.best_latency.latency_s,
-                "best_area": res.best_area.area,
-            }
-            for name, res in results.items()
-        }
+        from repro.resilience import BackoffPolicy, resilient_run
+
+        policy = policy or BackoffPolicy(max_attempts=1)
+        results: Dict[str, ExplorationResult] = {}
+        failures: Dict[str, str] = {}
+        resumed: Dict[str, Dict[str, float]] = {}
+        for explorer in explorers:
+            key = f"{explorer.name}|budget={budget}|seed={seed}"
+            if checkpoint is not None and key in checkpoint:
+                resumed[explorer.name] = dict(checkpoint.get(key))
+                continue
+            try:
+                outcome = resilient_run(
+                    lambda e=explorer: self.run(e, budget, seed=seed),
+                    policy=policy,
+                    retry_on=(TransientFault,),
+                )
+            except Exception as exc:
+                failures[explorer.name] = str(exc)
+            else:
+                results[explorer.name] = outcome.value
+
+        scores: Dict[str, Dict[str, float]] = dict(resumed)
+        if results:
+            all_objs = np.vstack(
+                [
+                    np.array([p.objectives for p in res.evaluated])
+                    for res in results.values()
+                ]
+            )
+            reference = all_objs.max(axis=0) * 1.1
+            for name, res in results.items():
+                scores[name] = {
+                    "hypervolume": res.hypervolume(reference),
+                    "front_size": float(len(res.front)),
+                    "unique_evaluations": float(res.unique_evaluations),
+                    "best_latency_s": res.best_latency.latency_s,
+                    "best_area": res.best_area.area,
+                }
+                if checkpoint is not None:
+                    key = f"{name}|budget={budget}|seed={seed}"
+                    checkpoint.save(key, scores[name])
+        elif not scores and not failures:
+            raise ValidationError("compare needs at least one explorer")
+        for name, message in failures.items():
+            scores[name] = {"error": message}
+        if checkpoint is not None:
+            checkpoint.flush()
+        return scores

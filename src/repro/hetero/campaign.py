@@ -10,9 +10,14 @@ attribution, the input to the trade-off analysis the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.errors import (
+    CampaignCellError,
+    TransientFault,
+    ValidationError,
+)
 from repro.hetero.devices import (
     CPU_XEON,
     ComputeDevice,
@@ -43,7 +48,13 @@ DEFAULT_STORAGE: Tuple[StorageDevice, ...] = (
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One (device, storage, phase) measurement."""
+    """One (device, storage, phase) measurement.
+
+    *device* is the scheduled matrix coordinate.  Under fault injection
+    *attempts* counts the executions the cell took (1 = first try
+    succeeded) and *executed_on* names the surviving device the work
+    actually ran on when the scheduled device dropped out.
+    """
 
     device: str
     storage: str
@@ -52,6 +63,20 @@ class CampaignCell:
     throughput_volumes_s: float
     energy_j: float
     bottleneck: str
+    attempts: int = 1
+    executed_on: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        """Stable cell identifier used by checkpoints and reports."""
+        return f"{self.device}|{self.storage}|{self.phase}"
+
+    def to_record(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "CampaignCell":
+        return cls(**record)
 
 
 def run_campaign(
@@ -98,6 +123,162 @@ def run_campaign(
     return cells
 
 
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of a resilient campaign: every scheduled cell appears
+    exactly once, as a measurement or as a recorded error."""
+
+    cells: List[CampaignCell]
+    errors: List[CampaignCellError]
+    total_backoff_s: float
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.cells) + len(self.errors)
+
+    @property
+    def failure_rate(self) -> float:
+        if self.total_cells == 0:
+            return 0.0
+        return len(self.errors) / self.total_cells
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(c.attempts for c in self.cells) + sum(
+            e.attempts for e in self.errors
+        )
+
+    def keys(self) -> List[str]:
+        """Sorted keys of every reported cell (results and errors)."""
+        return sorted(
+            [c.key for c in self.cells] + [e.key for e in self.errors]
+        )
+
+
+def _scheduled_cells(
+    devices: Tuple[ComputeDevice, ...],
+    storage_tiers: Tuple[StorageDevice, ...],
+) -> List[Tuple[ComputeDevice, StorageDevice, str]]:
+    """The full campaign matrix in deterministic sweep order."""
+    cells = []
+    for device in devices:
+        for storage in storage_tiers:
+            if device.supports_training:
+                cells.append((device, storage, "training"))
+            cells.append((device, storage, "inference"))
+    return cells
+
+
+def run_resilient_campaign(
+    workload: SegmentationWorkload = SegmentationWorkload(),
+    devices: Tuple[ComputeDevice, ...] = DEFAULT_DEVICES,
+    storage_tiers: Tuple[StorageDevice, ...] = DEFAULT_STORAGE,
+    injector: Optional["FaultInjector"] = None,
+    policy: Optional["BackoffPolicy"] = None,
+    checkpoint: Optional["CheckpointStore"] = None,
+) -> CampaignReport:
+    """The campaign matrix under fault injection, without aborting.
+
+    Each scheduled (device, storage, phase) cell runs through
+    :func:`~repro.resilience.resilient_run`: transient storage faults
+    injected by *injector* are retried under the bounded backoff
+    *policy*; a cell that still fails is recorded as a
+    :class:`~repro.core.errors.CampaignCellError` and the sweep
+    continues.  Devices lost to dropout have their cells remapped to
+    the first surviving device (recorded via ``executed_on``).  With a
+    *checkpoint*, completed cells are persisted and skipped on resume
+    -- fault streams are key-addressed, so resuming reproduces the
+    exact outcome of an uninterrupted run.
+    """
+    from repro.resilience import BackoffPolicy, FaultInjector, resilient_run
+
+    injector = injector or FaultInjector()
+    policy = policy or BackoffPolicy()
+
+    failed = injector.failed_devices([d.name for d in devices])
+    survivors = [d for d in devices if d.name not in failed]
+    fallback = survivors[0] if survivors else None
+
+    cells: List[CampaignCell] = []
+    errors: List[CampaignCellError] = []
+    total_backoff = 0.0
+    for device, storage, phase in _scheduled_cells(devices, storage_tiers):
+        key = f"{device.name}|{storage.name}|{phase}"
+        if checkpoint is not None and key in checkpoint:
+            record = checkpoint.get(key)
+            if "error" in record:
+                errors.append(CampaignCellError.from_record(record))
+            else:
+                cells.append(CampaignCell.from_record(record))
+            continue
+
+        actual = device
+        executed_on = None
+        if device.name in failed and fallback is not None:
+            actual = fallback
+            executed_on = fallback.name
+        faulty_storage = injector.faulty_storage(storage, key=key)
+        simulate = simulate_training if phase == "training" else (
+            simulate_inference
+        )
+
+        def run_cell(
+            _simulate=simulate, _device=actual, _storage=faulty_storage
+        ) -> PipelineResult:
+            return _simulate(workload, device=_device, storage=_storage)
+
+        try:
+            outcome = resilient_run(
+                run_cell,
+                policy=policy,
+                rng=injector.derive_rng(f"retry|{key}"),
+            )
+        except TransientFault as exc:
+            error = CampaignCellError(
+                f"cell failed after {policy.max_attempts} attempts: {exc}",
+                device=device.name,
+                storage=storage.name,
+                phase=phase,
+                attempts=policy.max_attempts,
+                cause=exc,
+            )
+        except Exception as exc:  # permanent fault / validation error
+            error = CampaignCellError(
+                f"cell failed: {exc}",
+                device=device.name,
+                storage=storage.name,
+                phase=phase,
+                attempts=1,
+                cause=exc,
+            )
+        else:
+            total_backoff += outcome.backoff_s
+            result: PipelineResult = outcome.value
+            cell = CampaignCell(
+                device=device.name,
+                storage=storage.name,
+                phase=phase,
+                total_seconds=result.total_seconds,
+                throughput_volumes_s=result.throughput_volumes_s,
+                energy_j=result.energy_j,
+                bottleneck=bottleneck_stage(result).stage,
+                attempts=outcome.attempts,
+                executed_on=executed_on,
+            )
+            cells.append(cell)
+            if checkpoint is not None:
+                checkpoint.save(key, cell.to_record())
+            continue
+        errors.append(error)
+        if checkpoint is not None:
+            checkpoint.save(key, error.to_record())
+    if checkpoint is not None:
+        checkpoint.flush()
+    return CampaignReport(
+        cells=cells, errors=errors, total_backoff_s=total_backoff
+    )
+
+
 def best_configuration(
     cells: List[CampaignCell], phase: str, objective: str = "time"
 ) -> CampaignCell:
@@ -105,12 +286,12 @@ def best_configuration(
     (``"time"`` or ``"energy"``)."""
     candidates = [c for c in cells if c.phase == phase]
     if not candidates:
-        raise ValueError(f"no campaign cells for phase {phase!r}")
+        raise ValidationError(f"no campaign cells for phase {phase!r}")
     if objective == "time":
         return min(candidates, key=lambda c: c.total_seconds)
     if objective == "energy":
         return min(candidates, key=lambda c: c.energy_j)
-    raise ValueError(f"unknown objective {objective!r}")
+    raise ValidationError(f"unknown objective {objective!r}")
 
 
 def bottleneck_summary(cells: List[CampaignCell]) -> Dict[str, int]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.core.errors import ValidationError
 from repro.core.units import GIGA, TERA
 
 
@@ -35,23 +36,23 @@ class ComputeDevice:
 
     def __post_init__(self) -> None:
         if min(self.train_flops, self.infer_flops) <= 0:
-            raise ValueError("throughput must be positive")
+            raise ValidationError("throughput must be positive")
         if self.transfer_bw_bytes_s <= 0 or self.power_w <= 0:
-            raise ValueError("bandwidth and power must be positive")
+            raise ValidationError("bandwidth and power must be positive")
 
     def compute_time_s(self, flops: float, training: bool) -> float:
         """Time to execute *flops* floating-point operations."""
         if flops < 0:
-            raise ValueError("flops must be non-negative")
+            raise ValidationError("flops must be non-negative")
         if training and not self.supports_training:
-            raise ValueError(f"{self.name} does not support training")
+            raise ValidationError(f"{self.name} does not support training")
         rate = self.train_flops if training else self.infer_flops
         return flops / rate
 
     def transfer_time_s(self, num_bytes: float) -> float:
         """Host <-> accelerator transfer time."""
         if num_bytes < 0:
-            raise ValueError("bytes must be non-negative")
+            raise ValidationError("bytes must be non-negative")
         return num_bytes / self.transfer_bw_bytes_s
 
 

@@ -32,6 +32,8 @@ class PipelineResult:
 
     @property
     def throughput_volumes_s(self) -> float:
+        if self.total_seconds == 0:
+            return 0.0
         return self.volumes_processed / self.total_seconds
 
     def stage_share(self, stage: str) -> float:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.errors import ValidationError
 from repro.core.units import GIGA, MICRO, MILLI
 
 
@@ -32,13 +33,13 @@ class StorageDevice:
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_s <= 0:
-            raise ValueError("bandwidth must be positive")
+            raise ValidationError("bandwidth must be positive")
         if self.access_latency_s < 0:
-            raise ValueError("latency must be non-negative")
+            raise ValidationError("latency must be non-negative")
         if not 0.0 <= self.offload_fraction <= 1.0:
-            raise ValueError("offload fraction must be in [0, 1]")
+            raise ValidationError("offload fraction must be in [0, 1]")
         if self.data_reduction < 1.0:
-            raise ValueError("data reduction factor must be >= 1")
+            raise ValidationError("data reduction factor must be >= 1")
 
     def read_time_s(self, num_bytes: float, accesses: int = 1) -> float:
         """Time to read *num_bytes* in *accesses* requests.
@@ -47,7 +48,7 @@ class StorageDevice:
         device ships preprocessed, reduced data to the host).
         """
         if num_bytes < 0 or accesses < 1:
-            raise ValueError("invalid read parameters")
+            raise ValidationError("invalid read parameters")
         effective = num_bytes / self.data_reduction
         return accesses * self.access_latency_s + (
             effective / self.bandwidth_bytes_s

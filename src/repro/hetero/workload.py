@@ -19,6 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.errors import ValidationError
 from repro.core.rng import SeedLike, make_rng
 from repro.core.units import GIGA, MEBI
 
@@ -37,18 +38,18 @@ class SegmentationWorkload:
 
     def __post_init__(self) -> None:
         if self.num_volumes < 1 or self.epochs < 1:
-            raise ValueError("num_volumes and epochs must be >= 1")
+            raise ValidationError("num_volumes and epochs must be >= 1")
         if min(
             self.bytes_per_volume,
             self.train_flops_per_volume,
             self.infer_flops_per_volume,
         ) <= 0:
-            raise ValueError("per-volume costs must be positive")
+            raise ValidationError("per-volume costs must be positive")
         if (
             self.preprocess_cpu_s_per_volume < 0
             or self.postprocess_cpu_s_per_volume < 0
         ):
-            raise ValueError("CPU stage times must be non-negative")
+            raise ValidationError("CPU stage times must be non-negative")
 
     @property
     def dataset_bytes(self) -> float:
@@ -68,7 +69,7 @@ def ct_phantom(
     segments).  Intensities are normalized to [0, 1].
     """
     if num_lesions < 0:
-        raise ValueError("num_lesions must be non-negative")
+        raise ValidationError("num_lesions must be non-negative")
     rng = make_rng(seed)
     depth, height, width = shape
     volume = 0.3 + 0.05 * rng.standard_normal(shape)
@@ -102,5 +103,5 @@ def threshold_segmenter(volume: np.ndarray, threshold: float = 0.75) -> np.ndarr
     of the pipeline tests.
     """
     if not 0.0 < threshold < 1.0:
-        raise ValueError("threshold must be in (0, 1)")
+        raise ValidationError("threshold must be in (0, 1)")
     return np.asarray(volume) >= threshold

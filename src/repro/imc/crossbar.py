@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.errors import StateError
 from repro.core.rng import SeedLike, make_rng
 from repro.imc.adc import ADCConfig, ConversionLedger, DACConfig
 from repro.imc.devices import DeviceParams, NVMDevice, RRAM_PARAMS
@@ -104,7 +105,7 @@ class AnalogCrossbar:
     def effective_weights(self, t_seconds: float = 1.0) -> np.ndarray:
         """Weight matrix implied by the current (drifted) conductances."""
         if self._weight_scale is None:
-            raise RuntimeError("crossbar has not been programmed")
+            raise StateError("crossbar has not been programmed")
         params = self.config.device
         window = params.g_max - params.g_min
         diff = self._g_pos.drifted(t_seconds) - self._g_neg.drifted(t_seconds)
@@ -144,7 +145,7 @@ class AnalogCrossbar:
         if x.shape != (self.config.rows,):
             raise ValueError(f"input must be ({self.config.rows},)")
         if self._weight_scale is None:
-            raise RuntimeError("crossbar has not been programmed")
+            raise StateError("crossbar has not been programmed")
         if ideal:
             return self.effective_weights(1.0).T @ x
 
@@ -180,7 +181,7 @@ class AnalogCrossbar:
         if xs.shape[1] != self.config.rows:
             raise ValueError(f"inputs must be (k, {self.config.rows})")
         if self._weight_scale is None:
-            raise RuntimeError("crossbar has not been programmed")
+            raise StateError("crossbar has not been programmed")
         attenuation = self._ir_drop_factor()
         total_current = np.zeros(self.config.cols)
         for x in xs:

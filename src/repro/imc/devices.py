@@ -94,6 +94,8 @@ class NVMDevice:
         self._rng = make_rng(seed)
         self._g0 = np.full(shape, params.g_min, dtype=np.float64)
         self._t_program = np.ones(shape, dtype=np.float64)
+        self._stuck_mask: Optional[np.ndarray] = None
+        self._stuck_values: Optional[np.ndarray] = None
 
     @property
     def shape(self) -> tuple:
@@ -108,6 +110,43 @@ class NVMDevice:
     def clip_targets(self, targets: np.ndarray) -> np.ndarray:
         """Clamp *targets* into the programmable window."""
         return np.clip(targets, self.params.g_min, self.params.g_max)
+
+    @property
+    def stuck_cell_count(self) -> int:
+        """Number of cells pinned by injected stuck-at faults."""
+        if self._stuck_mask is None:
+            return 0
+        return int(self._stuck_mask.sum())
+
+    def apply_stuck_faults(
+        self, mask: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Pin the cells selected by *mask* at *values* (stuck-at faults).
+
+        Stuck cells hold their conductance through every subsequent
+        program/correction pulse -- the defining property of a stuck-at
+        defect and what makes it survive program-and-verify.  Injected
+        by :class:`repro.resilience.FaultInjector`; calling again merges
+        with any previously injected faults.
+        """
+        mask = np.broadcast_to(np.asarray(mask, dtype=bool), self.shape)
+        values = self.clip_targets(
+            np.broadcast_to(np.asarray(values, dtype=np.float64), self.shape)
+        )
+        if self._stuck_mask is None:
+            self._stuck_mask = mask.copy()
+            self._stuck_values = np.where(mask, values, 0.0)
+        else:
+            fresh = mask & ~self._stuck_mask
+            self._stuck_mask = self._stuck_mask | mask
+            self._stuck_values = np.where(
+                fresh, values, self._stuck_values
+            )
+        self._enforce_stuck()
+
+    def _enforce_stuck(self) -> None:
+        if self._stuck_mask is not None:
+            self._g0 = np.where(self._stuck_mask, self._stuck_values, self._g0)
 
     def program_pulse(self, targets: np.ndarray) -> np.ndarray:
         """Apply one open-loop programming pulse toward *targets*.
@@ -126,6 +165,7 @@ class NVMDevice:
         )
         self._g0 = self.clip_targets(targets * noise)
         self._t_program = np.ones(self.shape)
+        self._enforce_stuck()
         return self._g0.copy()
 
     def program_correction(
@@ -151,6 +191,7 @@ class NVMDevice:
             mean=0.0, sigma=pulse_sigma, size=self.shape
         )
         self._g0 = self.clip_targets(self._g0 * (1.0 - error_fraction) * noise)
+        self._enforce_stuck()
         return self._g0.copy()
 
     def drifted(self, t_seconds: float) -> np.ndarray:

@@ -1,0 +1,40 @@
+"""Cross-cutting resilience: fault injection, bounded retry, checkpoints.
+
+The production-grade counterpart to the happy-path simulators: this
+package injects the non-ideal behavior the paper's thrusts are actually
+about (device faults, link degradation, storage hiccups, engine
+dropout) and gives long sweeps the machinery to survive it -- bounded
+retry with exponential backoff, structured deadlines carrying partial
+stats, and JSON checkpoint/resume.
+
+Entry points:
+
+- :class:`FaultInjector` / :class:`FaultModel` -- seeded, key-addressed
+  fault models for the IMC, SPARTA, hetero and SCF thrusts;
+- :func:`resilient_run` + :class:`BackoffPolicy` -- retry harness for
+  :class:`~repro.core.errors.TransientFault`;
+- :class:`Deadline` -- cycle/wall-clock budgets raising structured
+  :class:`~repro.core.errors.SimulationTimeout`;
+- :class:`CheckpointStore` -- atomic JSON checkpoint/resume for
+  campaign and DSE sweeps.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import FaultInjector, FaultModel, FaultyStorage
+from repro.resilience.retry import (
+    BackoffPolicy,
+    Deadline,
+    RunOutcome,
+    resilient_run,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "CheckpointStore",
+    "Deadline",
+    "FaultInjector",
+    "FaultModel",
+    "FaultyStorage",
+    "RunOutcome",
+    "resilient_run",
+]

@@ -1,0 +1,102 @@
+"""JSON checkpoint/resume for long sweeps.
+
+A campaign or DSE run that takes hours must survive a crash at cell
+900/1000.  :class:`CheckpointStore` persists one JSON record per
+completed unit of work under a stable string key; on restart the sweep
+skips every key already present and recomputes only the remainder.
+Writes are atomic (temp file + ``os.replace``) so a crash mid-write
+never corrupts the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.core.errors import ValidationError
+
+
+class CheckpointStore:
+    """Keyed JSON records on disk, loaded eagerly and written atomically.
+
+    Records must be JSON-serializable dictionaries; the store is a flat
+    ``{key: record}`` mapping.  ``flush_every`` batches disk writes for
+    high-frequency sweeps (the store always flushes on :meth:`close`
+    and context-manager exit).
+    """
+
+    def __init__(
+        self, path: Union[str, Path], flush_every: int = 1
+    ) -> None:
+        if flush_every < 1:
+            raise ValidationError("flush_every must be >= 1")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self._dirty = 0
+        self._records: Dict[str, Dict[str, Any]] = self._load()
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        if not self.path.exists():
+            return {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"checkpoint file {self.path} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"checkpoint file {self.path} is not a JSON object"
+            )
+        return data
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(key)
+
+    def completed_keys(self) -> list:
+        return sorted(self._records)
+
+    def save(self, key: str, record: Dict[str, Any]) -> None:
+        """Record *key* as completed; flushes per ``flush_every``."""
+        self._records[key] = record
+        self._dirty += 1
+        if self._dirty >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the store on disk."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._records, fh, indent=1, sort_keys=True)
+        os.replace(tmp, self.path)
+        self._dirty = 0
+
+    def clear(self) -> None:
+        """Drop all records and remove the file."""
+        self._records = {}
+        self._dirty = 0
+        if self.path.exists():
+            self.path.unlink()
+
+    def close(self) -> None:
+        if self._dirty:
+            self.flush()
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

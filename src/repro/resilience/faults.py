@@ -1,0 +1,228 @@
+"""Pluggable, seeded fault injection for every thrust of the suite.
+
+ALPINE-style methodology: accuracy and performance claims are only
+credible when re-measured under explicit device-fault sweeps.  The
+:class:`FaultInjector` owns one seed and derives an independent,
+*key-addressed* random stream per injection site, so
+
+- the same seed reproduces the identical fault pattern bit-for-bit
+  (campaign reruns and checkpoint resumes see the same world), and
+- skipping already-checkpointed cells does not shift the faults of the
+  remaining ones (streams are keyed, not sequential).
+
+Fault models per thrust:
+
+- **IMC** -- stuck-at cells on NVM arrays (cells pinned at ``g_min`` /
+  ``g_max``, immune to further programming) and accelerated conductance
+  drift (scaled ``drift_nu``);
+- **SPARTA** -- accelerator-lane dropout (work remaps to surviving
+  lanes) and NoC link degradation (scaled hop/memory latency);
+- **hetero** -- storage throttling (reduced bandwidth) and transient
+  read faults (probabilistic :class:`TransientFault` per read), plus
+  compute-device dropout for campaign remapping;
+- **SCF** -- compute-unit dropout (the fabric runs on survivors).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.errors import TransientFault, ValidationError
+from repro.core.rng import SeedLike, make_rng
+
+
+def _stable_hash(key: str) -> int:
+    """Process-independent 32-bit hash (``hash()`` is salted per run)."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Fault rates for one injection campaign (all default to off)."""
+
+    imc_stuck_fraction: float = 0.0
+    imc_drift_acceleration: float = 1.0
+    sparta_lane_dropout: float = 0.0
+    noc_latency_multiplier: float = 1.0
+    storage_throttle_fraction: float = 0.0
+    storage_transient_rate: float = 0.0
+    device_dropout: float = 0.0
+    scf_cu_dropout: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "imc_stuck_fraction",
+            "sparta_lane_dropout",
+            "storage_throttle_fraction",
+            "storage_transient_rate",
+            "device_dropout",
+            "scf_cu_dropout",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1]")
+        if self.imc_drift_acceleration < 1.0:
+            raise ValidationError("imc_drift_acceleration must be >= 1")
+        if self.noc_latency_multiplier < 1.0:
+            raise ValidationError("noc_latency_multiplier must be >= 1")
+
+
+class FaultyStorage:
+    """A storage tier that fails reads with a given transient rate.
+
+    Wraps any :class:`~repro.hetero.storage.StorageDevice`-shaped
+    object; everything delegates to the base device except
+    :meth:`read_time_s`, which raises
+    :class:`~repro.core.errors.TransientFault` with probability
+    ``rate`` per call.  The wrapped device keeps the base device's
+    ``name`` so campaign cell keys are stable across fault sweeps.
+    """
+
+    def __init__(self, base, rate: float, rng: SeedLike = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError("fault rate must be in [0, 1]")
+        self._base = base
+        self._rate = rate
+        self._rng = make_rng(rng)
+        self.faults_raised = 0
+
+    @property
+    def base(self):
+        return self._base
+
+    @property
+    def fault_rate(self) -> float:
+        return self._rate
+
+    def read_time_s(self, num_bytes: float, accesses: int = 1) -> float:
+        if self._rate > 0.0 and self._rng.uniform() < self._rate:
+            self.faults_raised += 1
+            raise TransientFault(
+                f"transient read fault on {self._base.name}",
+                component=self._base.name,
+                fault_kind="storage-read",
+            )
+        return self._base.read_time_s(num_bytes, accesses)
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
+
+class FaultInjector:
+    """Seeded fault source; one instance drives a whole injection sweep.
+
+    Every method derives its random stream from ``(seed, key)`` where
+    *key* names the injection site, so call order and checkpoint skips
+    never change the injected faults.
+    """
+
+    def __init__(self, model: FaultModel = FaultModel(), seed: int = 0) -> None:
+        self.model = model
+        self.seed = int(seed)
+
+    def derive_rng(self, key: str) -> np.random.Generator:
+        """Independent generator for the injection site named *key*."""
+        return make_rng(
+            np.random.SeedSequence([self.seed, _stable_hash(key)])
+        )
+
+    # ---------------------------------------------------------------- IMC
+
+    def inject_stuck_cells(self, device, key: str = "imc") -> np.ndarray:
+        """Pin a fraction of *device*'s cells at ``g_min``/``g_max``.
+
+        Stuck-at-low and stuck-at-high are equally likely.  Returns the
+        boolean stuck mask.  The cells stay pinned through subsequent
+        program pulses (see :meth:`NVMDevice.apply_stuck_faults`).
+        """
+        rng = self.derive_rng(f"imc-stuck|{key}")
+        mask = rng.uniform(size=device.shape) < self.model.imc_stuck_fraction
+        high = rng.uniform(size=device.shape) < 0.5
+        values = np.where(high, device.params.g_max, device.params.g_min)
+        device.apply_stuck_faults(mask, values)
+        return mask
+
+    def accelerated_drift(self, params):
+        """Device parameters with fault-accelerated conductance drift."""
+        return replace(
+            params,
+            drift_nu=params.drift_nu * self.model.imc_drift_acceleration,
+        )
+
+    # ------------------------------------------------------------- SPARTA
+
+    def failed_lanes(self, num_lanes: int, key: str = "sparta") -> Tuple[int, ...]:
+        """Lane indices lost to dropout (never all of them: at least one
+        lane survives so the workload can remap)."""
+        if num_lanes < 1:
+            raise ValidationError("num_lanes must be >= 1")
+        rng = self.derive_rng(f"sparta-lanes|{key}")
+        draws = rng.uniform(size=num_lanes)
+        failed = [i for i in range(num_lanes)
+                  if draws[i] < self.model.sparta_lane_dropout]
+        if len(failed) == num_lanes:  # keep one survivor
+            failed = failed[1:]
+        return tuple(failed)
+
+    def degraded_noc(self, config):
+        """NoC configuration with link degradation applied (hop and
+        memory latency scaled by the model's multiplier)."""
+        mult = self.model.noc_latency_multiplier
+        return replace(
+            config,
+            hop_latency=int(round(config.hop_latency * mult)),
+            memory_latency=int(round(config.memory_latency * mult)),
+        )
+
+    # ------------------------------------------------------------- hetero
+
+    def throttled_storage(self, storage):
+        """Storage tier with bandwidth degraded by the throttle model."""
+        if self.model.storage_throttle_fraction == 0.0:
+            return storage
+        surviving = 1.0 - self.model.storage_throttle_fraction
+        return replace(
+            storage,
+            bandwidth_bytes_s=storage.bandwidth_bytes_s * surviving,
+        )
+
+    def faulty_storage(self, storage, key: str = "hetero") -> FaultyStorage:
+        """Wrap *storage* with throttling plus transient read faults,
+        stream-keyed by *key* (one key per campaign cell)."""
+        base = self.throttled_storage(storage)
+        return FaultyStorage(
+            base,
+            self.model.storage_transient_rate,
+            rng=self.derive_rng(f"storage-read|{key}"),
+        )
+
+    def failed_devices(
+        self, names: Sequence[str], key: str = "hetero"
+    ) -> Set[str]:
+        """Compute devices lost to dropout (at least one survives so
+        campaign cells can remap)."""
+        failed = {
+            name
+            for name in names
+            if self.derive_rng(f"device-drop|{key}|{name}").uniform()
+            < self.model.device_dropout
+        }
+        if len(failed) == len(names) and names:
+            failed.discard(sorted(names)[0])
+        return failed
+
+    # ---------------------------------------------------------------- SCF
+
+    def surviving_cus(self, num_cus: int, key: str = "scf") -> int:
+        """Compute units left after engine dropout (at least one)."""
+        if num_cus < 1:
+            raise ValidationError("num_cus must be >= 1")
+        rng = self.derive_rng(f"scf-cus|{key}")
+        survivors = int(
+            (rng.uniform(size=num_cus) >= self.model.scf_cu_dropout).sum()
+        )
+        return max(1, survivors)

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import Deque, List, Optional, Sequence
 
+from repro.core.errors import SimulationTimeout, ValidationError
 from repro.sparta.accelerator import AcceleratorLane, LaneConfig
 from repro.sparta.noc import CrossbarNoc, NocConfig
 from repro.sparta.openmp import ParallelForRegion
@@ -60,19 +61,52 @@ class SpartaSystem:
         num_lanes: int = 4,
         lane_config: LaneConfig = LaneConfig(),
         noc_config: NocConfig = NocConfig(),
+        failed_lanes: Optional[Sequence[int]] = None,
     ) -> None:
         if num_lanes < 1:
-            raise ValueError("need at least one lane")
+            raise ValidationError("need at least one lane")
+        failed = frozenset(failed_lanes or ())
+        if any(i < 0 or i >= num_lanes for i in failed):
+            raise ValidationError("failed lane index out of range")
+        if len(failed) >= num_lanes:
+            raise ValidationError("at least one lane must survive")
+        self.failed_lanes = failed
         self.noc = CrossbarNoc(noc_config)
+        # Dropped lanes are simply not built: the task queue feeds only
+        # survivors, which is exactly how work remaps around a dead lane.
         self.lanes: List[AcceleratorLane] = [
             AcceleratorLane(i, lane_config, self.noc.request)
             for i in range(num_lanes)
+            if i not in failed
         ]
+
+    def _stats(self, region: ParallelForRegion, now: int) -> SimulationStats:
+        """Statistics snapshot at cycle *now* (complete or partial)."""
+        return SimulationStats(
+            region=region.name,
+            cycles=now,
+            num_lanes=len(self.lanes),
+            contexts_per_lane=self.lanes[0].config.num_contexts,
+            tasks_completed=sum(l.tasks_completed for l in self.lanes),
+            busy_cycles=sum(l.busy_cycles for l in self.lanes),
+            stall_cycles=sum(l.stall_cycles for l in self.lanes),
+            context_switches=sum(l.switches for l in self.lanes),
+            cache_hits=self.noc.total_hits,
+            cache_misses=self.noc.total_misses,
+            memory_requests=self.noc.requests_routed,
+        )
 
     def run(
         self, region: ParallelForRegion, max_cycles: int = 5_000_000
     ) -> SimulationStats:
-        """Execute *region* to completion (or raise at *max_cycles*)."""
+        """Execute *region* to completion.
+
+        At *max_cycles* raises a structured
+        :class:`~repro.core.errors.SimulationTimeout` carrying the
+        partial :class:`SimulationStats` accumulated so far, so a
+        harness can checkpoint or report progress instead of losing
+        the run.
+        """
         queue: Deque = deque(region.tasks)
         now = 0
         while True:
@@ -90,22 +124,12 @@ class SpartaSystem:
                 lane.step(now)
             now += 1
             if now >= max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles"
+                raise SimulationTimeout(
+                    f"simulation exceeded {max_cycles} cycles",
+                    partial_stats=self._stats(region, now),
+                    cycles=now,
                 )
-        return SimulationStats(
-            region=region.name,
-            cycles=now,
-            num_lanes=len(self.lanes),
-            contexts_per_lane=self.lanes[0].config.num_contexts,
-            tasks_completed=sum(l.tasks_completed for l in self.lanes),
-            busy_cycles=sum(l.busy_cycles for l in self.lanes),
-            stall_cycles=sum(l.stall_cycles for l in self.lanes),
-            context_switches=sum(l.switches for l in self.lanes),
-            cache_hits=self.noc.total_hits,
-            cache_misses=self.noc.total_misses,
-            memory_requests=self.noc.requests_routed,
-        )
+        return self._stats(region, now)
 
 
 def simulate(
@@ -116,6 +140,7 @@ def simulate(
     memory_latency: int = 100,
     enable_cache: bool = True,
     switch_penalty: int = 1,
+    failed_lanes: Optional[Sequence[int]] = None,
 ) -> SimulationStats:
     """Convenience wrapper: build a system and run *region* once."""
     system = SpartaSystem(
@@ -128,5 +153,6 @@ def simulate(
             memory_latency=memory_latency,
             enable_cache=enable_cache,
         ),
+        failed_lanes=failed_lanes,
     )
     return system.run(region)

@@ -186,3 +186,102 @@ class TestProfiler:
         table = profile_table(simulate_training(), title="Fig. 5")
         text = table.render()
         assert "Fig. 5" in text and "compute" in text
+
+
+class TestPipelineResultGuards:
+    def test_zero_total_seconds_throughput(self):
+        from repro.hetero.pipeline import PipelineResult
+
+        result = PipelineResult(
+            stage_seconds={}, total_seconds=0.0, energy_j=0.0,
+            volumes_processed=10,
+        )
+        assert result.throughput_volumes_s == 0.0  # no ZeroDivisionError
+        assert result.stage_share("compute") == 0.0
+
+
+class TestErrorPaths:
+    """The documented ValueError messages of the hetero models.
+
+    All of them are now typed :class:`ValidationError`s (a ValueError
+    subclass), so both the legacy and the structured contract hold.
+    """
+
+    @pytest.mark.parametrize(
+        "trigger, message",
+        [
+            (lambda: ComputeDevice("x", DeviceKind.CPU, 0, 1, 1, 1),
+             "throughput must be positive"),
+            (lambda: ComputeDevice("x", DeviceKind.CPU, 1, 1, 0, 1),
+             "bandwidth and power must be positive"),
+            (lambda: ComputeDevice("x", DeviceKind.CPU, 1, 1, 1, 0),
+             "bandwidth and power must be positive"),
+            (lambda: GPU_A100.compute_time_s(-1, training=False),
+             "flops must be non-negative"),
+            (lambda: FPGA_ALVEO.compute_time_s(1e9, training=True),
+             "does not support training"),
+            (lambda: GPU_A100.transfer_time_s(-1),
+             "bytes must be non-negative"),
+        ],
+        ids=["zero-throughput", "zero-bandwidth", "zero-power",
+             "negative-flops", "fpga-training", "negative-bytes"],
+    )
+    def test_device_errors(self, trigger, message):
+        with pytest.raises(ValueError, match=message):
+            trigger()
+
+    @pytest.mark.parametrize(
+        "trigger, message",
+        [
+            (lambda: StorageDevice("x", 0, 0),
+             "bandwidth must be positive"),
+            (lambda: StorageDevice("x", 1, -1),
+             "latency must be non-negative"),
+            (lambda: StorageDevice("x", 1, 0, offload_fraction=1.5),
+             r"offload fraction must be in \[0, 1\]"),
+            (lambda: StorageDevice("x", 1, 0, data_reduction=0.5),
+             "data reduction factor must be >= 1"),
+            (lambda: SATA_SSD.read_time_s(-1),
+             "invalid read parameters"),
+            (lambda: SATA_SSD.read_time_s(1024, accesses=0),
+             "invalid read parameters"),
+        ],
+        ids=["zero-bandwidth", "negative-latency", "bad-offload",
+             "bad-reduction", "negative-bytes", "zero-accesses"],
+    )
+    def test_storage_errors(self, trigger, message):
+        with pytest.raises(ValueError, match=message):
+            trigger()
+
+    @pytest.mark.parametrize(
+        "trigger, message",
+        [
+            (lambda: SegmentationWorkload(num_volumes=0),
+             "num_volumes and epochs must be >= 1"),
+            (lambda: SegmentationWorkload(epochs=0),
+             "num_volumes and epochs must be >= 1"),
+            (lambda: SegmentationWorkload(bytes_per_volume=0),
+             "per-volume costs must be positive"),
+            (lambda: SegmentationWorkload(preprocess_cpu_s_per_volume=-1),
+             "CPU stage times must be non-negative"),
+            (lambda: ct_phantom(num_lesions=-1),
+             "num_lesions must be non-negative"),
+            (lambda: threshold_segmenter(np.zeros((2, 2, 2)), threshold=1.5),
+             r"threshold must be in \(0, 1\)"),
+        ],
+        ids=["zero-volumes", "zero-epochs", "zero-bytes",
+             "negative-preprocess", "negative-lesions", "bad-threshold"],
+    )
+    def test_workload_errors(self, trigger, message):
+        with pytest.raises(ValueError, match=message):
+            trigger()
+
+    def test_errors_are_typed(self):
+        from repro.core.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            StorageDevice("x", 0, 0)
+        with pytest.raises(ValidationError):
+            SegmentationWorkload(num_volumes=0)
+        with pytest.raises(ValidationError):
+            GPU_A100.transfer_time_s(-1)

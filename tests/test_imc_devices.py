@@ -184,3 +184,34 @@ class TestMLC:
         dev = NVMDevice(PCM_PARAMS, (3, 64), seed=0)
         with pytest.raises(ValueError):
             mlc_level_error_rate(dev, bits=2)
+
+
+class TestProgramVerifyDeterminism:
+    """Same seed => bit-identical trace; different seed => different
+    stochastic pulse history (the suite's reproducibility contract)."""
+
+    def _run(self, seed):
+        rng = np.random.default_rng(0)  # targets fixed across runs
+        targets = rng.uniform(
+            RRAM_PARAMS.g_min, RRAM_PARAMS.g_max, (24, 24)
+        )
+        device = NVMDevice(RRAM_PARAMS, (24, 24), seed=seed)
+        return program_and_verify(device, targets, tolerance=0.02)
+
+    def test_same_seed_identical_result(self):
+        a = self._run(seed=123)
+        b = self._run(seed=123)
+        assert a.iterations_used == b.iterations_used
+        assert a.total_pulses == b.total_pulses
+        assert a.converged_fraction == b.converged_fraction
+        assert a.rms_error_trace == b.rms_error_trace
+        assert a.final_rms_error == b.final_rms_error
+
+    def test_different_seed_differs(self):
+        a = self._run(seed=123)
+        results = [self._run(seed=s) for s in (124, 125, 126)]
+        assert any(
+            r.total_pulses != a.total_pulses
+            or r.rms_error_trace != a.rms_error_trace
+            for r in results
+        )

@@ -3,6 +3,7 @@ end-to-end latency hiding."""
 
 import pytest
 
+from repro.core.errors import SimulationTimeout
 from repro.sparta.accelerator import AcceleratorLane, LaneConfig
 from repro.sparta.cache import MemorySideCache
 from repro.sparta.kernels import (
@@ -258,3 +259,20 @@ class TestEndToEnd:
         region = ParallelForRegion("tiny", [Task(0, [compute(10)])])
         with pytest.raises(RuntimeError):
             SpartaSystem(num_lanes=1).run(region, max_cycles=3)
+
+    def test_timeout_is_structured_with_partial_stats(self):
+        region = ParallelForRegion(
+            "tiny", [Task(0, [compute(10)]), Task(1, [compute(10)])]
+        )
+        with pytest.raises(SimulationTimeout) as excinfo:
+            SpartaSystem(num_lanes=1).run(region, max_cycles=3)
+        assert "simulation exceeded 3 cycles" in str(excinfo.value)
+        stats = excinfo.value.partial_stats
+        assert stats is not None
+        assert stats.region == "tiny"
+        assert stats.cycles == 3
+        assert excinfo.value.cycles == 3
+        # Partial progress was captured: cycles elapsed but the region
+        # had not completed all its tasks.
+        assert stats.tasks_completed < 2
+        assert stats.busy_cycles > 0
