@@ -1,0 +1,202 @@
+"""Experiment PARALLEL: speedup-vs-workers and cache-hit-rate curves.
+
+The throughput claim behind :mod:`repro.exec`: a campaign of
+independent simulator cells scales with workers and a warm
+content-addressed cache turns a rerun into lookups.  The campaign here
+is an IMC crossbar grid (program-and-verify dominated -- genuinely
+CPU-bound cells), the same shape as the paper's Sec. IV variability
+sweeps.
+
+Run standalone to emit the JSON artifact CI uploads::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick \
+        --out bench_parallel.json
+
+Acceptance targets (asserted with ``--check``, reported always):
+
+- >= 2x wall-clock speedup at 4 workers on >= 64 cells (needs >= 4
+  physical cores; the JSON records the measured value either way);
+- warm-cache rerun >= 95% hit rate with results identical to the cold
+  run (asserted unconditionally -- it does not depend on hardware).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.exec import ParallelEvaluator, ResultCache
+from repro.imc.sweep import crossbar_sweep, sweep_grid
+
+FULL_CELLS = 64
+FULL_ROWS = 128
+QUICK_CELLS = 12
+QUICK_ROWS = 32
+WORKER_COUNTS = (1, 2, 4)
+
+
+def run_parallel_study(
+    num_cells: int = FULL_CELLS,
+    rows: int = FULL_ROWS,
+    worker_counts=WORKER_COUNTS,
+    cache_path=None,
+):
+    """Measure the speedup and cache curves on one campaign grid."""
+    specs = sweep_grid(num_cells, rows=rows, cols=rows, num_inputs=16)
+
+    start = time.perf_counter()
+    baseline = crossbar_sweep(specs)
+    serial_s = time.perf_counter() - start
+
+    workers_curve = []
+    for workers in worker_counts:
+        engine = ParallelEvaluator(max_workers=workers)
+        start = time.perf_counter()
+        result = crossbar_sweep(specs, parallel=engine)
+        wall = time.perf_counter() - start
+        workers_curve.append(
+            {
+                "workers": workers,
+                "wall_s": wall,
+                "speedup": serial_s / wall if wall else float("inf"),
+                "identical_to_serial": result == baseline,
+            }
+        )
+
+    cache = ResultCache(path=cache_path)
+    cold_engine = ParallelEvaluator(max_workers=worker_counts[-1],
+                                    cache=cache)
+    start = time.perf_counter()
+    cold = crossbar_sweep(specs, parallel=cold_engine)
+    cold_s = time.perf_counter() - start
+    cold_stats = cache.stats()
+
+    warm_engine = ParallelEvaluator(max_workers=worker_counts[-1],
+                                    cache=cache)
+    start = time.perf_counter()
+    warm = crossbar_sweep(specs, parallel=warm_engine)
+    warm_s = time.perf_counter() - start
+    warm_stats = cache.stats()
+    warm_hits = warm_stats["hits"] - cold_stats["hits"]
+    warm_misses = warm_stats["misses"] - cold_stats["misses"]
+    warm_lookups = warm_hits + warm_misses
+    cache.close()
+
+    return {
+        "campaign": {
+            "cells": num_cells,
+            "rows": rows,
+            "cols": rows,
+            "inputs_per_cell": 16,
+        },
+        "hardware": {"cpu_count": os.cpu_count()},
+        "serial_wall_s": serial_s,
+        "workers": workers_curve,
+        "cache": {
+            "cold_wall_s": cold_s,
+            "warm_wall_s": warm_s,
+            "warm_hit_rate": warm_hits / warm_lookups if warm_lookups
+            else 0.0,
+            "warm_identical": warm == cold and cold == baseline,
+            "final_stats": warm_stats,
+        },
+    }
+
+
+def render(study) -> str:
+    from repro.core.tables import Table
+
+    table = Table(
+        ["workers", "wall (s)", "speedup", "identical"],
+        title=(
+            f"bench_parallel -- {study['campaign']['cells']} cells of "
+            f"{study['campaign']['rows']}x{study['campaign']['cols']} "
+            "crossbar program+MVM"
+        ),
+    )
+    table.add_row([0, round(study["serial_wall_s"], 3), 1.0, True])
+    for row in study["workers"]:
+        table.add_row(
+            [row["workers"], round(row["wall_s"], 3),
+             round(row["speedup"], 2), row["identical_to_serial"]]
+        )
+    cache = study["cache"]
+    lines = [
+        table.render(),
+        (
+            f"cache: cold {cache['cold_wall_s']:.3f}s -> warm "
+            f"{cache['warm_wall_s']:.3f}s, hit rate "
+            f"{cache['warm_hit_rate']:.1%}, identical="
+            f"{cache['warm_identical']}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def check(study, require_speedup: bool) -> None:
+    """Assert the acceptance contract (cache always, speedup on >=4 cores)."""
+    assert all(row["identical_to_serial"] for row in study["workers"]), (
+        "parallel results diverged from the serial baseline"
+    )
+    assert study["cache"]["warm_identical"], (
+        "warm-cache rerun diverged from the cold run"
+    )
+    assert study["cache"]["warm_hit_rate"] >= 0.95, (
+        f"warm hit rate {study['cache']['warm_hit_rate']:.1%} < 95%"
+    )
+    if require_speedup:
+        at4 = [r for r in study["workers"] if r["workers"] == 4]
+        assert at4 and at4[0]["speedup"] >= 2.0, (
+            f"speedup at 4 workers {at4[0]['speedup'] if at4 else 0:.2f}x "
+            "< 2x"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced size for CI smoke runs")
+    parser.add_argument("--cells", type=int, default=None)
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="write the study JSON here")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist the result cache in this directory")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the >=2x @ 4 workers speedup target "
+                        "(needs >= 4 cores) in addition to the cache "
+                        "contract")
+    args = parser.parse_args(argv)
+
+    cells = args.cells or (QUICK_CELLS if args.quick else FULL_CELLS)
+    rows = args.rows or (QUICK_ROWS if args.quick else FULL_ROWS)
+    cache_path = (
+        os.path.join(args.cache_dir, "bench-parallel-cache.json")
+        if args.cache_dir
+        else None
+    )
+    study = run_parallel_study(
+        num_cells=cells, rows=rows, cache_path=cache_path
+    )
+    print(render(study))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(study, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    check(study, require_speedup=args.check)
+    return 0
+
+
+def test_parallel_engine_contract(benchmark):
+    """Pytest-benchmark entry: the reduced-size engine contract."""
+    study = benchmark(
+        lambda: run_parallel_study(num_cells=QUICK_CELLS, rows=QUICK_ROWS)
+    )
+    print()
+    print(render(study))
+    check(study, require_speedup=False)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,16 @@ happy path only.
 Asserts the graceful-degradation contract: fault-free sweeps are
 perfect, moderate fault rates complete with bounded retries, and the
 degradation curves are monotone in the expected direction.
+
+Run standalone to emit the JSON artifact CI uploads::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick \
+        --out bench_resilience.json
 """
+
+import argparse
+import json
+import sys
 
 import numpy as np
 
@@ -32,14 +41,16 @@ from repro.sparta.simulator import simulate
 IMC_STUCK_FRACTIONS = (0.0, 0.02, 0.05, 0.10, 0.20)
 STORAGE_FAULT_RATES = (0.0, 0.1, 0.2, 0.4, 0.6)
 LANE_DROPOUTS = (0.0, 0.25, 0.5)
+QUICK_IMC_STUCK_FRACTIONS = (0.0, 0.05, 0.20)
+QUICK_STORAGE_FAULT_RATES = (0.0, 0.2, 0.6)
 
 
-def imc_degradation():
+def imc_degradation(fractions=IMC_STUCK_FRACTIONS):
     """Stuck-at fraction -> program-and-verify quality (RRAM)."""
     rng = np.random.default_rng(11)
     targets = rng.uniform(RRAM_PARAMS.g_min, RRAM_PARAMS.g_max, (48, 48))
     rows = []
-    for fraction in IMC_STUCK_FRACTIONS:
+    for fraction in fractions:
         device = NVMDevice(RRAM_PARAMS, (48, 48), seed=11)
         injector = FaultInjector(
             FaultModel(imc_stuck_fraction=fraction), seed=11
@@ -53,12 +64,12 @@ def imc_degradation():
     return rows
 
 
-def hetero_degradation():
+def hetero_degradation(rates=STORAGE_FAULT_RATES):
     """Transient-storage fault rate -> campaign completion/overhead."""
     workload = SegmentationWorkload(num_volumes=16, epochs=1)
     policy = BackoffPolicy(max_attempts=4, base_delay_s=0.01)
     rows = []
-    for rate in STORAGE_FAULT_RATES:
+    for rate in rates:
         injector = FaultInjector(
             FaultModel(storage_transient_rate=rate), seed=11
         )
@@ -89,12 +100,39 @@ def sparta_degradation():
     return rows
 
 
-def run_resilience_study():
+def run_resilience_study(quick: bool = False):
+    if quick:
+        return {
+            "imc": imc_degradation(QUICK_IMC_STUCK_FRACTIONS),
+            "hetero": hetero_degradation(QUICK_STORAGE_FAULT_RATES),
+            "sparta": sparta_degradation(),
+        }
     return {
         "imc": imc_degradation(),
         "hetero": hetero_degradation(),
         "sparta": sparta_degradation(),
     }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep for CI smoke runs")
+    parser.add_argument("--out", default=None,
+                        help="write the study JSON here")
+    args = parser.parse_args(argv)
+
+    study = run_resilience_study(quick=args.quick)
+    for thrust, rows in study.items():
+        print(f"{thrust}:")
+        for row in rows:
+            print("  " + ", ".join(f"{v:g}" if isinstance(v, float)
+                                   else str(v) for v in row))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(study, fh, indent=1, sort_keys=True, default=float)
+        print(f"wrote {args.out}")
+    return 0
 
 
 def test_resilience_degradation(benchmark):
@@ -156,3 +194,7 @@ def test_resilience_degradation(benchmark):
     cycles = [row[2] for row in study["sparta"]]
     assert all(c > 0 for c in cycles)
     assert cycles[-1] >= cycles[0]  # fewer lanes -> no faster
+
+
+if __name__ == "__main__":
+    sys.exit(main())

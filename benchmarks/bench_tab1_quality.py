@@ -9,7 +9,6 @@ the MAC ledger, and asserts both halves of the claim.
 """
 
 import numpy as np
-import pytest
 
 from repro.axc.data import evaluation_set
 from repro.axc.fsrcnn import FSRCNN, FSRCNN_25_5_1, FSRCNN_56_12_4

@@ -14,6 +14,9 @@ package mirrors that structure, one subpackage per thrust:
 - :mod:`repro.dna`     -- DNA-based data-storage pipeline and edit distance (Sec. VI)
 - :mod:`repro.scf`     -- RISC-V Scalable Compute Fabric (Sec. VII)
 - :mod:`repro.core`    -- shared numerics, metrics and reporting utilities
+- :mod:`repro.resilience` -- fault injection, bounded retry, checkpoint/resume
+- :mod:`repro.exec`    -- parallel evaluation engine + content-addressed
+  result caching under the DSE/campaign/sweep hot paths
 """
 
 __version__ = "1.0.0"
@@ -29,4 +32,6 @@ __all__ = [
     "hetero",
     "dna",
     "scf",
+    "resilience",
+    "exec",
 ]

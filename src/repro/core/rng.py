@@ -8,7 +8,7 @@ either into a generator so experiments are reproducible bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -13,7 +13,7 @@ its ECC strength.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.dna.consensus import align_to_template
 

@@ -20,7 +20,7 @@ from typing import List
 
 import numpy as np
 
-from repro.core.pareto import crowding_distance, dominates, pareto_indices
+from repro.core.pareto import crowding_distance, pareto_indices
 from repro.core.rng import SeedLike, make_rng
 from repro.dse.objectives import DesignPoint, HLSEvaluator
 
@@ -35,12 +35,12 @@ class ExhaustiveExplorer:
     ) -> List[DesignPoint]:
         if budget < 1:
             raise ValueError("budget must be >= 1")
-        points = []
+        configs = []
         for config in evaluator.space.enumerate():
-            if len(points) >= budget:
+            if len(configs) >= budget:
                 break
-            points.append(evaluator.evaluate(config))
-        return points
+            configs.append(config)
+        return evaluator.evaluate_many(configs)
 
 
 class RandomExplorer:
@@ -55,17 +55,19 @@ class RandomExplorer:
             raise ValueError("budget must be >= 1")
         rng = make_rng(seed)
         seen = set()
-        points = []
+        configs = []
         attempts = 0
-        while len(points) < budget and attempts < budget * 20:
+        while len(configs) < budget and attempts < budget * 20:
             config = evaluator.space.sample(rng)
             key = evaluator.space.key(config)
             attempts += 1
             if key in seen:
                 continue
             seen.add(key)
-            points.append(evaluator.evaluate(config))
-        return points
+            configs.append(config)
+        # Sampling never consults evaluation results, so the whole draw
+        # can be batched into one (possibly parallel) evaluation.
+        return evaluator.evaluate_many(configs)
 
 
 class SimulatedAnnealingExplorer:
@@ -193,16 +195,20 @@ class NSGA2Explorer:
         if budget < self.population:
             raise ValueError("budget must cover at least one population")
         rng = make_rng(seed)
-        population = [
-            evaluator.evaluate(evaluator.space.sample(rng))
-            for _ in range(self.population)
-        ]
+        population = evaluator.evaluate_many(
+            [evaluator.space.sample(rng) for _ in range(self.population)]
+        )
         all_points = list(population)
         evaluations = len(population)
         while evaluations < budget:
-            offspring: List[DesignPoint] = []
+            # Offspring configurations depend only on the parents and
+            # the RNG stream, never on the offspring's own objectives,
+            # so one generation evaluates as a single batch (the RNG
+            # call sequence is identical to the per-child loop).
+            child_cfgs = []
             while (
-                len(offspring) < self.population and evaluations < budget
+                len(child_cfgs) < self.population
+                and evaluations + len(child_cfgs) < budget
             ):
                 a, b = rng.choice(len(population), size=2, replace=False)
                 child_cfg = evaluator.space.crossover(
@@ -210,9 +216,9 @@ class NSGA2Explorer:
                 )
                 if rng.random() < self.mutation_rate:
                     child_cfg = evaluator.space.mutate(child_cfg, rng)
-                child = evaluator.evaluate(child_cfg)
-                offspring.append(child)
-                evaluations += 1
+                child_cfgs.append(child_cfg)
+            offspring = evaluator.evaluate_many(child_cfgs)
+            evaluations += len(offspring)
             all_points.extend(offspring)
             population = self._select(population + offspring)
         return all_points

@@ -5,18 +5,29 @@ The DSE objectives are the classic latency/area pair (both minimized);
 :func:`repro.hls.directives.synthesize` per configuration, with
 memoization -- re-evaluating a design point an explorer revisits is free,
 matching how real DSE frameworks cache synthesis results.
+
+Two optional layers extend the memo table to production scale:
+
+- an attached :class:`~repro.exec.ParallelEvaluator` fans
+  :meth:`HLSEvaluator.evaluate_many` batches out over a process pool
+  (synthesis is a pure function of the configuration, so parallel and
+  serial runs are bit-identical);
+- an attached :class:`~repro.exec.ResultCache` memoizes synthesis
+  results *across* runner invocations and processes, keyed by the
+  content digest of (kernel, library, configuration).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.dse.space import Configuration, DesignSpace
+from repro.exec import ParallelEvaluator, ResultCache, config_digest
 from repro.hls.directives import Directives, SynthesisResult, synthesize
-from repro.hls.estimation import ResourceLibrary
+from repro.hls.estimation import FPGAEstimate, ResourceLibrary
 from repro.hls.kernels import LoopNest
 
 
@@ -37,6 +48,58 @@ class DesignPoint:
         return self.objectives[1]
 
 
+def _directives_for(config: Configuration) -> Directives:
+    return Directives(
+        unroll=int(config["unroll"]),
+        pipeline=bool(config["pipeline"]),
+        array_partition=int(config["array_partition"]),
+        mul_units=int(config["mul_units"]),
+        add_units=int(config["add_units"]),
+    )
+
+
+def _synthesis_task(args: Tuple[LoopNest, Directives, ResourceLibrary]) -> Dict[str, Any]:
+    """Worker-side synthesis of one design point (module-level: picklable)."""
+    nest, directives, library = args
+    return synthesis_to_record(synthesize(nest, directives, library))
+
+
+def synthesis_to_record(result: SynthesisResult) -> Dict[str, Any]:
+    """JSON-serializable form of a :class:`SynthesisResult` (cacheable)."""
+    return {
+        "kernel": result.kernel,
+        "directives": {
+            "unroll": result.directives.unroll,
+            "pipeline": result.directives.pipeline,
+            "array_partition": result.directives.array_partition,
+            "mul_units": result.directives.mul_units,
+            "add_units": result.directives.add_units,
+        },
+        "estimate": {
+            "luts": result.estimate.luts,
+            "ffs": result.estimate.ffs,
+            "dsps": result.estimate.dsps,
+            "clock_mhz": result.estimate.clock_mhz,
+            "cycles": result.estimate.cycles,
+        },
+        "iteration_cycles": result.iteration_cycles,
+        "initiation_interval": result.initiation_interval,
+        "total_cycles": result.total_cycles,
+    }
+
+
+def synthesis_from_record(record: Dict[str, Any]) -> SynthesisResult:
+    """Rebuild a :class:`SynthesisResult` from its cached record."""
+    return SynthesisResult(
+        kernel=record["kernel"],
+        directives=Directives(**record["directives"]),
+        estimate=FPGAEstimate(**record["estimate"]),
+        iteration_cycles=int(record["iteration_cycles"]),
+        initiation_interval=int(record["initiation_interval"]),
+        total_cycles=int(record["total_cycles"]),
+    )
+
+
 class HLSEvaluator:
     """Maps configurations to (latency, area) objectives for one kernel."""
 
@@ -45,34 +108,80 @@ class HLSEvaluator:
         nest: LoopNest,
         space: DesignSpace,
         library: Optional[ResourceLibrary] = None,
+        executor: Optional[ParallelEvaluator] = None,
+        result_cache: Optional[ResultCache] = None,
     ) -> None:
         self.nest = nest
         self.space = space
         self.library = library or ResourceLibrary()
+        self.executor = executor
+        self.result_cache = result_cache
         self._cache: Dict[Tuple, DesignPoint] = {}
         self.evaluations = 0
 
-    def evaluate(self, config: Configuration) -> DesignPoint:
-        """Synthesize *config* (memoized)."""
-        key = self.space.key(config)
-        if key in self._cache:
-            return self._cache[key]
-        directives = Directives(
-            unroll=int(config["unroll"]),
-            pipeline=bool(config["pipeline"]),
-            array_partition=int(config["array_partition"]),
-            mul_units=int(config["mul_units"]),
-            add_units=int(config["add_units"]),
+    def _digest(self, config: Configuration) -> str:
+        return config_digest(
+            {"nest": self.nest, "library": self.library, "config": config}
         )
-        result = synthesize(self.nest, directives, self.library)
-        point = DesignPoint(
+
+    def _point_from_record(
+        self, config: Configuration, record: Dict[str, Any]
+    ) -> DesignPoint:
+        result = synthesis_from_record(record)
+        return DesignPoint(
             config=dict(config),
             objectives=(result.latency_s, result.estimate.area_score),
             synthesis=result,
         )
-        self._cache[key] = point
-        self.evaluations += 1
-        return point
+
+    def evaluate(self, config: Configuration) -> DesignPoint:
+        """Synthesize *config* (memoized)."""
+        return self.evaluate_many([config])[0]
+
+    def evaluate_many(
+        self, configs: Sequence[Configuration]
+    ) -> List[DesignPoint]:
+        """Synthesize a batch of configurations, preserving order.
+
+        Configurations already in the memo table are free; the rest are
+        deduplicated and computed -- through the attached executor and
+        content-addressed cache when present, serially otherwise.  The
+        evaluation counters advance exactly as a serial `evaluate` loop
+        would, so parallel runs report identical accounting.
+        """
+        keys = [self.space.key(c) for c in configs]
+        missing: List[Tuple[Tuple, Configuration]] = []
+        seen = set()
+        for key, config in zip(keys, configs):
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            missing.append((key, config))
+
+        if missing:
+            tasks = [
+                (self.nest, _directives_for(config), self.library)
+                for _, config in missing
+            ]
+            if self.executor is not None:
+                digests = [self._digest(config) for _, config in missing]
+                records = self.executor.map(
+                    _synthesis_task, tasks, keys=digests
+                )
+            elif self.result_cache is not None:
+                records = [
+                    self.result_cache.get_or_compute(
+                        self._digest(config),
+                        lambda t=task: _synthesis_task(t),
+                    )
+                    for (_, config), task in zip(missing, tasks)
+                ]
+            else:
+                records = [_synthesis_task(task) for task in tasks]
+            for (key, config), record in zip(missing, records):
+                self._cache[key] = self._point_from_record(config, record)
+                self.evaluations += 1
+        return [self._cache[key] for key in keys]
 
     @property
     def unique_evaluations(self) -> int:

@@ -9,6 +9,7 @@ quality (larger is better).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -19,6 +20,8 @@ from repro.core.pareto import hypervolume_2d, pareto_indices
 from repro.core.rng import SeedLike
 from repro.dse.objectives import DesignPoint, HLSEvaluator
 from repro.dse.space import DesignSpace, hls_directive_space
+from repro.exec import make_evaluator
+from repro.exec.parallel import CacheLike, EvaluatorLike
 from repro.hls.estimation import ResourceLibrary
 from repro.hls.kernels import LoopNest
 
@@ -59,10 +62,28 @@ class DSERunner:
         self.library = library or ResourceLibrary()
 
     def run(
-        self, explorer, budget: int, seed: SeedLike = 0
+        self,
+        explorer,
+        budget: int,
+        seed: SeedLike = 0,
+        parallel: EvaluatorLike = None,
+        cache: CacheLike = None,
     ) -> ExplorationResult:
-        """One exploration with a fresh evaluator (fair caching)."""
-        evaluator = HLSEvaluator(self.nest, self.space, self.library)
+        """One exploration with a fresh evaluator (fair caching).
+
+        *parallel* fans the explorer's objective evaluations out over a
+        :class:`~repro.exec.ParallelEvaluator` (worker count, ``True``
+        for CPU count, or a ready-made engine); *cache* memoizes
+        synthesis results across runs through a content-addressed
+        :class:`~repro.exec.ResultCache` (instance or path).  Synthesis
+        is a pure function of the configuration and explorer RNG
+        streams never depend on execution order, so serial and parallel
+        runs produce bit-identical results at a fixed seed.
+        """
+        executor = make_evaluator(parallel, cache)
+        evaluator = HLSEvaluator(
+            self.nest, self.space, self.library, executor=executor
+        )
         points = explorer.explore(evaluator, budget, seed=seed)
         objs = np.array([p.objectives for p in points])
         front = [points[i] for i in pareto_indices(objs)]
@@ -85,11 +106,19 @@ class DSERunner:
         seed: SeedLike = 0,
         policy=None,
         checkpoint=None,
+        parallel: EvaluatorLike = None,
+        cache: CacheLike = None,
     ) -> Dict[str, Dict[str, float]]:
         """Score *explorers* at equal *budget* by front hypervolume.
 
         The reference point is 10% beyond the worst objective values seen
         across all runs, so every front dominates it.
+
+        Each explorer's score records its evaluation budget accounting
+        (``evaluations`` actually spent, ``unique_evaluations`` distinct
+        design points) and its measured ``wall_time_s``, so explorer
+        speedups under ``parallel=``/``cache=`` (forwarded to
+        :meth:`run`) are directly comparable instead of anecdotal.
 
         The comparison degrades gracefully: an explorer whose run fails
         is recorded with an ``{"error": ...}`` entry instead of aborting
@@ -109,14 +138,18 @@ class DSERunner:
         results: Dict[str, ExplorationResult] = {}
         failures: Dict[str, str] = {}
         resumed: Dict[str, Dict[str, float]] = {}
+        wall_times: Dict[str, float] = {}
         for explorer in explorers:
             key = f"{explorer.name}|budget={budget}|seed={seed}"
             if checkpoint is not None and key in checkpoint:
                 resumed[explorer.name] = dict(checkpoint.get(key))
                 continue
+            start = time.perf_counter()
             try:
                 outcome = resilient_run(
-                    lambda e=explorer: self.run(e, budget, seed=seed),
+                    lambda e=explorer: self.run(
+                        e, budget, seed=seed, parallel=parallel, cache=cache
+                    ),
                     policy=policy,
                     retry_on=(TransientFault,),
                 )
@@ -124,6 +157,7 @@ class DSERunner:
                 failures[explorer.name] = str(exc)
             else:
                 results[explorer.name] = outcome.value
+                wall_times[explorer.name] = time.perf_counter() - start
 
         scores: Dict[str, Dict[str, float]] = dict(resumed)
         if results:
@@ -138,7 +172,9 @@ class DSERunner:
                 scores[name] = {
                     "hypervolume": res.hypervolume(reference),
                     "front_size": float(len(res.front)),
+                    "evaluations": float(len(res.evaluated)),
                     "unique_evaluations": float(res.unique_evaluations),
+                    "wall_time_s": wall_times[name],
                     "best_latency_s": res.best_latency.latency_s,
                     "best_area": res.best_area.area,
                 }

@@ -11,7 +11,7 @@ the Sec. III toolchain aims to automate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.dse.objectives import HLSEvaluator
 from repro.dse.space import Configuration

@@ -1,0 +1,34 @@
+"""Parallel evaluation engine with content-addressed result caching.
+
+The throughput layer under every campaign in the suite (ROADMAP
+north-star: "as fast as the hardware allows").  Grids of independent
+simulator evaluations -- DSE objective evaluations, hetero
+device x storage campaign cells, IMC crossbar sweeps -- fan out over a
+process pool and memoize through a content-addressed cache, so reruns
+of identical design points cost a lookup instead of a simulation.
+
+Entry points:
+
+- :class:`ParallelEvaluator` -- ordered, deterministic fan-out over
+  ``concurrent.futures`` with per-task timeouts;
+- :class:`ResultCache` / :func:`config_digest` -- SHA-256
+  content-addressed LRU result store with an atomic on-disk backing;
+- :func:`make_evaluator` / :func:`coerce_cache` -- adapters behind the
+  ``parallel=`` / ``cache=`` kwargs of the high-level runners.
+"""
+
+from repro.exec.cache import ResultCache, canonical_payload, config_digest
+from repro.exec.parallel import (
+    ParallelEvaluator,
+    coerce_cache,
+    make_evaluator,
+)
+
+__all__ = [
+    "ParallelEvaluator",
+    "ResultCache",
+    "canonical_payload",
+    "coerce_cache",
+    "config_digest",
+    "make_evaluator",
+]

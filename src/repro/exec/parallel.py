@@ -1,0 +1,240 @@
+"""Parallel evaluation of independent simulator cells.
+
+The paper's campaign grids (DSE objective evaluations, hetero
+device x storage matrices, IMC crossbar sweeps) are embarrassingly
+parallel: every cell is a pure function of its configuration.
+:class:`ParallelEvaluator` fans those cells out over
+:mod:`concurrent.futures` -- a process pool for the CPU-bound
+simulators (the default), a thread pool fallback for callables that do
+not pickle, or a serial mode that keeps exactly the legacy execution
+path -- while guaranteeing the properties campaigns rely on:
+
+- **deterministic ordering**: results come back in task-submission
+  order regardless of completion order, so downstream reductions
+  (Pareto fronts, float sums) are bit-identical to a serial run;
+- **determinism under parallelism**: the engine never injects
+  randomness; callers derive per-cell seeds from the cell *key* (not
+  from submission order), so worker scheduling cannot perturb results;
+- **per-task timeout**: a cell that exceeds ``timeout_s`` raises the
+  existing :class:`~repro.core.errors.SimulationTimeout`;
+- **content-addressed reuse**: an attached
+  :class:`~repro.exec.cache.ResultCache` memoizes cells across calls
+  and processes, with duplicate keys inside one batch computed once.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+import os
+import pickle
+import time
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.core.errors import SimulationTimeout, ValidationError
+from repro.exec.cache import ResultCache
+
+_MODES = ("process", "thread", "serial")
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
+    """Evaluate one chunk of tasks in a worker (module-level: picklable)."""
+    return [fn(task) for task in chunk]
+
+
+class ParallelEvaluator:
+    """Map pure evaluation functions over task grids, in parallel.
+
+    ``max_workers`` defaults to the CPU count; ``chunksize`` amortizes
+    inter-process overhead for very cheap cells (the per-task timeout
+    budget scales with the chunk length).  ``mode`` selects the
+    executor: ``"process"`` for CPU-bound simulator cells (tasks and
+    the function must pickle), ``"thread"`` for unpicklable callables,
+    ``"serial"`` for the legacy in-order loop (still cache-aware).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        mode: str = "process",
+        chunksize: int = 1,
+        timeout_s: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValidationError(f"mode must be one of {_MODES}")
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError("max_workers must be >= 1")
+        if chunksize < 1:
+            raise ValidationError("chunksize must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValidationError("timeout_s must be positive")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.mode = mode
+        self.chunksize = chunksize
+        self.timeout_s = timeout_s
+        self.cache = cache
+        self.tasks_seen = 0
+        self.tasks_computed = 0
+
+    # ------------------------------------------------------------- mapping
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
+        """``[fn(t) for t in tasks]`` with caching and parallelism.
+
+        *keys*, when given, must align with *tasks*: each key is the
+        content digest of its task, used for cache lookup and in-batch
+        deduplication (two tasks with the same key are computed once).
+        Results are returned in task order.
+        """
+        tasks = list(tasks)
+        if keys is not None and len(keys) != len(tasks):
+            raise ValidationError("keys must align one-to-one with tasks")
+        self.tasks_seen += len(tasks)
+        results: List[Any] = [None] * len(tasks)
+
+        # Resolve cache hits and deduplicate identical pending cells.
+        pending: List[int] = []  # index of the first occurrence per key
+        followers: dict = {}  # key -> indices sharing the computation
+        for idx, task in enumerate(tasks):
+            key = keys[idx] if keys is not None else None
+            if key is not None and self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[idx] = hit
+                    continue
+            if key is not None and key in followers:
+                followers[key].append(idx)
+                continue
+            if key is not None:
+                followers[key] = []
+            pending.append(idx)
+
+        if pending:
+            computed = self._execute(fn, [tasks[i] for i in pending])
+            self.tasks_computed += len(computed)
+            for slot, value in zip(pending, computed):
+                results[slot] = value
+                key = keys[slot] if keys is not None else None
+                if key is not None:
+                    if self.cache is not None:
+                        self.cache.put(key, value)
+                    for follower in followers.get(key, ()):
+                        results[follower] = value
+        return results
+
+    # ------------------------------------------------------------ internals
+
+    def _execute(self, fn: Callable[[Any], Any], tasks: List[Any]) -> List[Any]:
+        if self.mode == "serial" or self.max_workers == 1 or len(tasks) == 1:
+            return [fn(task) for task in tasks]
+        if self.mode == "process":
+            try:
+                return self._execute_pool(
+                    _futures.ProcessPoolExecutor, fn, tasks
+                )
+            except (pickle.PicklingError, TypeError, AttributeError,
+                    ImportError):
+                # Unpicklable cell function/payload: degrade to threads,
+                # which share the interpreter and need no serialization.
+                return self._execute_pool(
+                    _futures.ThreadPoolExecutor, fn, tasks
+                )
+        return self._execute_pool(_futures.ThreadPoolExecutor, fn, tasks)
+
+    def _execute_pool(
+        self,
+        executor_cls,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+    ) -> List[Any]:
+        chunks = [
+            tasks[i: i + self.chunksize]
+            for i in range(0, len(tasks), self.chunksize)
+        ]
+        start = time.monotonic()
+        with executor_cls(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            gathered: List[List[Any]] = []
+            try:
+                for chunk, future in zip(chunks, futures):
+                    budget = (
+                        None
+                        if self.timeout_s is None
+                        else self.timeout_s * len(chunk)
+                    )
+                    gathered.append(future.result(timeout=budget))
+            except _futures.TimeoutError:
+                for future in futures:
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                elapsed = time.monotonic() - start
+                raise SimulationTimeout(
+                    f"evaluation cell exceeded its {self.timeout_s:g} s "
+                    f"budget ({self.mode} pool, {self.max_workers} workers)",
+                    elapsed_s=elapsed,
+                ) from None
+        return [value for chunk in gathered for value in chunk]
+
+    # ------------------------------------------------------------ accounting
+
+    def stats(self) -> dict:
+        """Engine counters, merged with the attached cache's stats."""
+        info = {
+            "mode": self.mode,
+            "max_workers": self.max_workers,
+            "chunksize": self.chunksize,
+            "tasks_seen": self.tasks_seen,
+            "tasks_computed": self.tasks_computed,
+        }
+        if self.cache is not None:
+            info["cache"] = self.cache.stats()
+        return info
+
+
+EvaluatorLike = Union[None, bool, int, ParallelEvaluator]
+CacheLike = Union[None, str, "os.PathLike[str]", ResultCache]
+
+
+def make_evaluator(
+    parallel: EvaluatorLike = None,
+    cache: CacheLike = None,
+    **defaults: Any,
+) -> Optional[ParallelEvaluator]:
+    """Coerce the user-facing ``parallel=`` / ``cache=`` kwargs.
+
+    ``parallel`` accepts ``None``/``False`` (no engine -- unless a cache
+    is requested, in which case a serial cache-aware engine is built),
+    ``True`` (process pool at CPU count), a worker count, or a
+    ready-made :class:`ParallelEvaluator`.  ``cache`` accepts a
+    :class:`ResultCache` or a path for a persistent one.
+    """
+    result_cache = coerce_cache(cache)
+    if isinstance(parallel, ParallelEvaluator):
+        if result_cache is not None and parallel.cache is None:
+            parallel.cache = result_cache
+        return parallel
+    if parallel is None or parallel is False or parallel == 0:
+        if result_cache is None:
+            return None
+        return ParallelEvaluator(
+            max_workers=1, mode="serial", cache=result_cache, **defaults
+        )
+    workers = None if parallel is True else int(parallel)
+    mode = "serial" if workers == 1 else defaults.pop("mode", "process")
+    return ParallelEvaluator(
+        max_workers=workers, mode=mode, cache=result_cache, **defaults
+    )
+
+
+def coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
+    """``cache=`` kwarg -> :class:`ResultCache` (path means persistent)."""
+    if cache is None:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(path=cache)

@@ -18,6 +18,8 @@ from repro.core.errors import (
     TransientFault,
     ValidationError,
 )
+from repro.exec import config_digest, make_evaluator
+from repro.exec.parallel import CacheLike, EvaluatorLike
 from repro.hetero.devices import (
     CPU_XEON,
     ComputeDevice,
@@ -79,48 +81,75 @@ class CampaignCell:
         return cls(**record)
 
 
+def _campaign_cell_task(
+    args: Tuple[SegmentationWorkload, ComputeDevice, StorageDevice, str],
+) -> Dict[str, Any]:
+    """Evaluate one campaign cell; module-level so process pools can
+    ship it, returning a JSON record so result caches can store it."""
+    workload, device, storage, phase = args
+    simulate = simulate_training if phase == "training" else simulate_inference
+    result: PipelineResult = simulate(workload, device=device, storage=storage)
+    return CampaignCell(
+        device=device.name,
+        storage=storage.name,
+        phase=phase,
+        total_seconds=result.total_seconds,
+        throughput_volumes_s=result.throughput_volumes_s,
+        energy_j=result.energy_j,
+        bottleneck=bottleneck_stage(result).stage,
+    ).to_record()
+
+
+def _cell_digest(
+    workload: SegmentationWorkload,
+    device: ComputeDevice,
+    storage: StorageDevice,
+    phase: str,
+) -> str:
+    return config_digest(
+        {
+            "workload": workload,
+            "device": device,
+            "storage": storage,
+            "phase": phase,
+        }
+    )
+
+
 def run_campaign(
     workload: SegmentationWorkload = SegmentationWorkload(),
     devices: Tuple[ComputeDevice, ...] = DEFAULT_DEVICES,
     storage_tiers: Tuple[StorageDevice, ...] = DEFAULT_STORAGE,
+    parallel: EvaluatorLike = None,
+    cache: CacheLike = None,
 ) -> List[CampaignCell]:
     """Sweep the device x storage matrix for training and inference.
 
     FPGA cells skip the training phase (the campaign deploys FPGAs for
     inference only), mirroring the device capability flags.
+
+    Cells are independent pure evaluations: *parallel* fans them out
+    over a :class:`~repro.exec.ParallelEvaluator` (worker count or a
+    ready engine) and *cache* memoizes cells across invocations by the
+    content digest of (workload, device, storage, phase).  Results are
+    returned in sweep order either way, so parallel and serial runs are
+    identical.
     """
-    cells: List[CampaignCell] = []
-    for device in devices:
-        for storage in storage_tiers:
-            runs: List[Tuple[str, Optional[PipelineResult]]] = [
-                (
-                    "training",
-                    simulate_training(workload, device=device,
-                                      storage=storage)
-                    if device.supports_training
-                    else None,
-                ),
-                (
-                    "inference",
-                    simulate_inference(workload, device=device,
-                                       storage=storage),
-                ),
-            ]
-            for phase, result in runs:
-                if result is None:
-                    continue
-                cells.append(
-                    CampaignCell(
-                        device=device.name,
-                        storage=storage.name,
-                        phase=phase,
-                        total_seconds=result.total_seconds,
-                        throughput_volumes_s=result.throughput_volumes_s,
-                        energy_j=result.energy_j,
-                        bottleneck=bottleneck_stage(result).stage,
-                    )
-                )
-    return cells
+    scheduled = _scheduled_cells(devices, storage_tiers)
+    tasks = [
+        (workload, device, storage, phase)
+        for device, storage, phase in scheduled
+    ]
+    engine = make_evaluator(parallel, cache)
+    if engine is None:
+        records = [_campaign_cell_task(task) for task in tasks]
+    else:
+        keys = [
+            _cell_digest(workload, device, storage, phase)
+            for device, storage, phase in scheduled
+        ]
+        records = engine.map(_campaign_cell_task, tasks, keys=keys)
+    return [CampaignCell.from_record(record) for record in records]
 
 
 @dataclass(frozen=True)
@@ -169,6 +198,69 @@ def _scheduled_cells(
     return cells
 
 
+def _resilient_cell_task(args: Tuple) -> Dict[str, Any]:
+    """Run one resilient campaign cell (module-level: picklable).
+
+    The whole per-cell contract lives here so serial and parallel
+    sweeps share one code path: key-addressed fault injection, bounded
+    retry under the backoff policy, and the terminal
+    :class:`CampaignCellError` record when retries are exhausted.
+    Returns ``{"record": ..., "backoff_s": ...}`` where the record is
+    either a cell or an error in checkpoint format.
+    """
+    from repro.resilience import resilient_run
+
+    (workload, device, actual, executed_on, storage, phase, injector,
+     policy, key) = args
+    faulty_storage = injector.faulty_storage(storage, key=key)
+    simulate = simulate_training if phase == "training" else (
+        simulate_inference
+    )
+
+    def run_cell() -> PipelineResult:
+        return simulate(workload, device=actual, storage=faulty_storage)
+
+    try:
+        outcome = resilient_run(
+            run_cell,
+            policy=policy,
+            rng=injector.derive_rng(f"retry|{key}"),
+        )
+    except TransientFault as exc:
+        error = CampaignCellError(
+            f"cell failed after {policy.max_attempts} attempts: {exc}",
+            device=device.name,
+            storage=storage.name,
+            phase=phase,
+            attempts=policy.max_attempts,
+            cause=exc,
+        )
+        return {"record": error.to_record(), "backoff_s": 0.0}
+    except Exception as exc:  # permanent fault / validation error
+        error = CampaignCellError(
+            f"cell failed: {exc}",
+            device=device.name,
+            storage=storage.name,
+            phase=phase,
+            attempts=1,
+            cause=exc,
+        )
+        return {"record": error.to_record(), "backoff_s": 0.0}
+    result: PipelineResult = outcome.value
+    cell = CampaignCell(
+        device=device.name,
+        storage=storage.name,
+        phase=phase,
+        total_seconds=result.total_seconds,
+        throughput_volumes_s=result.throughput_volumes_s,
+        energy_j=result.energy_j,
+        bottleneck=bottleneck_stage(result).stage,
+        attempts=outcome.attempts,
+        executed_on=executed_on,
+    )
+    return {"record": cell.to_record(), "backoff_s": outcome.backoff_s}
+
+
 def run_resilient_campaign(
     workload: SegmentationWorkload = SegmentationWorkload(),
     devices: Tuple[ComputeDevice, ...] = DEFAULT_DEVICES,
@@ -176,6 +268,7 @@ def run_resilient_campaign(
     injector: Optional["FaultInjector"] = None,
     policy: Optional["BackoffPolicy"] = None,
     checkpoint: Optional["CheckpointStore"] = None,
+    parallel: EvaluatorLike = None,
 ) -> CampaignReport:
     """The campaign matrix under fault injection, without aborting.
 
@@ -189,8 +282,17 @@ def run_resilient_campaign(
     *checkpoint*, completed cells are persisted and skipped on resume
     -- fault streams are key-addressed, so resuming reproduces the
     exact outcome of an uninterrupted run.
+
+    *parallel* evaluates the remaining cells concurrently.  Fault and
+    retry streams are derived from each cell's key, never from
+    submission order, and per-cell retry happens inside the worker, so
+    a parallel sweep reports bit-identical cells, errors and backoff
+    accounting to a serial one (results and checkpoint writes stay in
+    scheduled sweep order).  Results are not content-cached here: under
+    fault injection a cell's outcome is part of the injected world, not
+    a reusable pure value.
     """
-    from repro.resilience import BackoffPolicy, FaultInjector, resilient_run
+    from repro.resilience import BackoffPolicy, FaultInjector
 
     injector = injector or FaultInjector()
     policy = policy or BackoffPolicy()
@@ -199,79 +301,54 @@ def run_resilient_campaign(
     survivors = [d for d in devices if d.name not in failed]
     fallback = survivors[0] if survivors else None
 
-    cells: List[CampaignCell] = []
-    errors: List[CampaignCellError] = []
-    total_backoff = 0.0
+    resumed: Dict[str, Dict[str, Any]] = {}
+    tasks = []
     for device, storage, phase in _scheduled_cells(devices, storage_tiers):
         key = f"{device.name}|{storage.name}|{phase}"
         if checkpoint is not None and key in checkpoint:
-            record = checkpoint.get(key)
-            if "error" in record:
-                errors.append(CampaignCellError.from_record(record))
-            else:
-                cells.append(CampaignCell.from_record(record))
+            resumed[key] = checkpoint.get(key)
             continue
-
         actual = device
         executed_on = None
         if device.name in failed and fallback is not None:
             actual = fallback
             executed_on = fallback.name
-        faulty_storage = injector.faulty_storage(storage, key=key)
-        simulate = simulate_training if phase == "training" else (
-            simulate_inference
+        tasks.append(
+            (workload, device, actual, executed_on, storage, phase,
+             injector, policy, key)
         )
 
-        def run_cell(
-            _simulate=simulate, _device=actual, _storage=faulty_storage
-        ) -> PipelineResult:
-            return _simulate(workload, device=_device, storage=_storage)
-
-        try:
-            outcome = resilient_run(
-                run_cell,
-                policy=policy,
-                rng=injector.derive_rng(f"retry|{key}"),
-            )
-        except TransientFault as exc:
-            error = CampaignCellError(
-                f"cell failed after {policy.max_attempts} attempts: {exc}",
-                device=device.name,
-                storage=storage.name,
-                phase=phase,
-                attempts=policy.max_attempts,
-                cause=exc,
-            )
-        except Exception as exc:  # permanent fault / validation error
-            error = CampaignCellError(
-                f"cell failed: {exc}",
-                device=device.name,
-                storage=storage.name,
-                phase=phase,
-                attempts=1,
-                cause=exc,
-            )
-        else:
-            total_backoff += outcome.backoff_s
-            result: PipelineResult = outcome.value
-            cell = CampaignCell(
-                device=device.name,
-                storage=storage.name,
-                phase=phase,
-                total_seconds=result.total_seconds,
-                throughput_volumes_s=result.throughput_volumes_s,
-                energy_j=result.energy_j,
-                bottleneck=bottleneck_stage(result).stage,
-                attempts=outcome.attempts,
-                executed_on=executed_on,
-            )
-            cells.append(cell)
+    engine = make_evaluator(parallel)
+    fresh: Dict[str, Dict[str, Any]] = {}
+    if engine is None:
+        # Serial sweep: checkpoint incrementally, so a crash at cell
+        # 900/1000 resumes with 899 cells intact.
+        for task in tasks:
+            outcome = _resilient_cell_task(task)
+            fresh[task[-1]] = outcome
             if checkpoint is not None:
-                checkpoint.save(key, cell.to_record())
-            continue
-        errors.append(error)
-        if checkpoint is not None:
-            checkpoint.save(key, error.to_record())
+                checkpoint.save(task[-1], outcome["record"])
+    else:
+        outcomes = engine.map(_resilient_cell_task, tasks)
+        for task, outcome in zip(tasks, outcomes):
+            fresh[task[-1]] = outcome
+            if checkpoint is not None:
+                checkpoint.save(task[-1], outcome["record"])
+
+    cells: List[CampaignCell] = []
+    errors: List[CampaignCellError] = []
+    total_backoff = 0.0
+    for device, storage, phase in _scheduled_cells(devices, storage_tiers):
+        key = f"{device.name}|{storage.name}|{phase}"
+        if key in resumed:
+            record = resumed[key]
+        else:
+            record = fresh[key]["record"]
+            total_backoff += fresh[key]["backoff_s"]
+        if "error" in record:
+            errors.append(CampaignCellError.from_record(record))
+        else:
+            cells.append(CampaignCell.from_record(record))
     if checkpoint is not None:
         checkpoint.flush()
     return CampaignReport(

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import ValidationError
-from repro.core.units import GIGA, MICRO, MILLI
+from repro.core.units import GIGA, MICRO
 
 
 @dataclass(frozen=True)

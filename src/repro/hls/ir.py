@@ -10,8 +10,8 @@ latencies, no control flow (loops are represented structurally by
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 
 class OpKind(enum.Enum):

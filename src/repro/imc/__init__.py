@@ -29,6 +29,12 @@ from repro.imc.tiles import IMCTile, TileConfig
 from repro.imc.mapper import LayerMapping, map_linear_layer
 from repro.imc.conv_mapper import ConvMapping, map_conv_layer
 from repro.imc.architecture import IMCAccelerator, SystemConfig
+from repro.imc.sweep import (
+    CrossbarSweepSpec,
+    crossbar_sweep,
+    evaluate_crossbar_spec,
+    sweep_grid,
+)
 from repro.imc.taxonomy import ArchitectureKind, mvm_cost, taxonomy_table
 
 __all__ = [
@@ -52,6 +58,10 @@ __all__ = [
     "IMCAccelerator",
     "SystemConfig",
     "ArchitectureKind",
+    "CrossbarSweepSpec",
+    "crossbar_sweep",
+    "evaluate_crossbar_spec",
     "mvm_cost",
+    "sweep_grid",
     "taxonomy_table",
 ]

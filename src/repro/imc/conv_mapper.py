@@ -12,7 +12,6 @@ weight-stationary scheme the cited IMC literature assumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view

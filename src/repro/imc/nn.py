@@ -11,7 +11,7 @@ and program-verify on a real accuracy metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

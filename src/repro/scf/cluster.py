@@ -14,9 +14,8 @@ array peaks at 384 FLOPs/cycle, so the published figure corresponds to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
-from repro.core.units import GIGA, KIBI
+from repro.core.units import KIBI
 from repro.scf.engines import EngineConfig, TensorEngine, VectorEngine
 from repro.scf.power import CU_PUBLISHED, OperatingPoint
 

@@ -26,7 +26,6 @@ from repro.scf.workloads import (
     block_gemm_flops,
     block_weight_bytes,
     sequence_parallel_gemms,
-    transformer_block_gemms,
 )
 
 Interconnect = Union[AXIHierarchy, NocMesh]

@@ -17,7 +17,7 @@ instructions: ``li mv nop j ret``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 _MASK32 = 0xFFFFFFFF

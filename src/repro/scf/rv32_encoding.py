@@ -16,7 +16,7 @@ given the instruction's slot index.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.scf.rv32 import Instruction
 

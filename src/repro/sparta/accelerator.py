@@ -13,7 +13,7 @@ window served at fixed low latency without touching the NoC.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.sparta.openmp import Task

@@ -8,7 +8,7 @@ to the accelerator lanes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -9,7 +9,7 @@ fronted by a :class:`~repro.sparta.cache.MemorySideCache`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.sparta.cache import MemorySideCache

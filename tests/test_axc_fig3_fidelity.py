@@ -11,7 +11,6 @@ last input row/column.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.axc.htconv import FovealRegion, htconv_x2

@@ -1,0 +1,256 @@
+"""Unit tests for the parallel evaluation engine and result cache."""
+
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationTimeout, ValidationError
+from repro.exec import (
+    ParallelEvaluator,
+    ResultCache,
+    canonical_payload,
+    coerce_cache,
+    config_digest,
+    make_evaluator,
+)
+from repro.hls.ir import OpKind
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_identity(x):
+    time.sleep(1.0)
+    return x
+
+
+@dataclass(frozen=True)
+class _SpecA:
+    alpha: int = 1
+    beta: float = 2.0
+
+
+@dataclass(frozen=True)
+class _SpecB:
+    alpha: int = 1
+    beta: float = 2.0
+
+
+class TestConfigDigest:
+    def test_dict_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_tuple_and_list_spellings_collide(self):
+        assert config_digest((1, 2, 3)) == config_digest([1, 2, 3])
+
+    def test_numpy_scalars_match_python(self):
+        assert config_digest({"n": np.int64(7)}) == config_digest({"n": 7})
+        assert config_digest(np.float64(0.5)) == config_digest(0.5)
+        assert config_digest(np.array([1, 2])) == config_digest([1, 2])
+
+    def test_negative_zero_normalized(self):
+        assert config_digest(-0.0) == config_digest(0.0)
+
+    def test_value_changes_change_digest(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_dataclass_type_tagged(self):
+        # Same field values, different config classes: distinct keys.
+        assert config_digest(_SpecA()) != config_digest(_SpecB())
+        assert config_digest(_SpecA()) == config_digest(_SpecA(1, 2.0))
+
+    def test_enum_digestible(self):
+        assert config_digest(OpKind.MUL) != config_digest(OpKind.ADD)
+        assert config_digest(OpKind.MUL) == config_digest(OpKind.MUL)
+
+    def test_cycle_rejected(self):
+        loop = {}
+        loop["self"] = loop
+        with pytest.raises(ValidationError):
+            config_digest(loop)
+
+    def test_canonical_payload_is_json_ready(self):
+        payload = canonical_payload({"spec": _SpecA(), "kind": OpKind.ADD})
+        json.dumps(payload)  # must not raise
+
+
+class TestResultCache:
+    def test_hit_miss_counters(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'; 'b' is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_or_compute(self):
+        cache = ResultCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 1}
+
+        assert cache.get_or_compute("k", compute) == {"x": 1}
+        assert cache.get_or_compute("k", compute) == {"x": 1}
+        assert len(calls) == 1
+
+    def test_values_isolated_from_mutation(self):
+        cache = ResultCache()
+        value = {"xs": [1, 2]}
+        cache.put("k", value)
+        value["xs"].append(3)
+        first = cache.get("k")
+        first["xs"].append(4)
+        assert cache.get("k") == {"xs": [1, 2]}
+
+    def test_disk_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        with ResultCache(path=path) as cache:
+            cache.put(config_digest({"cell": 1}), {"result": 42})
+        reopened = ResultCache(path=path)
+        assert reopened.get(config_digest({"cell": 1})) == {"result": 42}
+        assert reopened.stats()["entries"] == 1
+
+    def test_corruption_tolerated(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json !!", encoding="utf-8")
+        cache = ResultCache(path=path)
+        assert len(cache) == 0
+        assert cache.stats()["recovered_from_corruption"]
+        cache.put("k", {"v": 1})  # store must work again...
+        cache.flush()
+        assert ResultCache(path=path).get("k") == {"v": 1}  # ...atomically
+
+    def test_non_object_store_tolerated(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        cache = ResultCache(path=path)
+        assert len(cache) == 0
+        assert cache.stats()["recovered_from_corruption"]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValidationError):
+            ResultCache(flush_every=0)
+
+
+class TestParallelEvaluator:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_map_preserves_order(self, mode):
+        engine = ParallelEvaluator(max_workers=4, mode=mode)
+        assert engine.map(_square, range(10)) == [
+            x * x for x in range(10)
+        ]
+
+    def test_chunksize_covers_all_tasks(self):
+        engine = ParallelEvaluator(max_workers=2, mode="process",
+                                   chunksize=3)
+        assert engine.map(_square, range(8)) == [x * x for x in range(8)]
+
+    def test_cache_hits_skip_computation(self):
+        cache = ResultCache()
+        engine = ParallelEvaluator(max_workers=1, mode="serial",
+                                   cache=cache)
+        keys = [config_digest(x) for x in range(4)]
+        first = engine.map(_square, range(4), keys=keys)
+        second = engine.map(_square, range(4), keys=keys)
+        assert first == second == [0, 1, 4, 9]
+        assert engine.tasks_computed == 4
+        assert cache.stats()["hits"] == 4
+
+    def test_duplicate_keys_computed_once(self):
+        engine = ParallelEvaluator(max_workers=1, mode="serial")
+        keys = [config_digest("same")] * 5
+        assert engine.map(_square, [3] * 5, keys=keys) == [9] * 5
+        assert engine.tasks_computed == 1
+
+    def test_unpicklable_fn_falls_back_to_threads(self):
+        engine = ParallelEvaluator(max_workers=2, mode="process")
+        assert engine.map(lambda x: x + 1, range(4)) == [1, 2, 3, 4]
+
+    def test_timeout_raises_simulation_timeout(self):
+        engine = ParallelEvaluator(max_workers=2, mode="thread",
+                                   timeout_s=0.05)
+        with pytest.raises(SimulationTimeout):
+            engine.map(_slow_identity, [1, 2])
+
+    def test_keys_must_align(self):
+        engine = ParallelEvaluator(max_workers=1, mode="serial")
+        with pytest.raises(ValidationError):
+            engine.map(_square, [1, 2], keys=["only-one"])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(mode="gpu")
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(max_workers=0)
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(chunksize=0)
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(timeout_s=0)
+
+    def test_stats_shape(self):
+        cache = ResultCache()
+        engine = ParallelEvaluator(max_workers=2, cache=cache)
+        engine.map(_square, range(3),
+                   keys=[config_digest(i) for i in range(3)])
+        stats = engine.stats()
+        assert stats["tasks_seen"] == 3
+        assert stats["tasks_computed"] == 3
+        assert stats["cache"]["stores"] == 3
+
+
+class TestMakeEvaluator:
+    def test_none_without_cache_is_none(self):
+        assert make_evaluator(None) is None
+        assert make_evaluator(False) is None
+        assert make_evaluator(0) is None
+
+    def test_cache_only_builds_serial_engine(self):
+        engine = make_evaluator(None, ResultCache())
+        assert engine is not None
+        assert engine.mode == "serial"
+
+    def test_worker_count(self):
+        engine = make_evaluator(3)
+        assert engine.max_workers == 3
+        assert engine.mode == "process"
+
+    def test_single_worker_is_serial(self):
+        assert make_evaluator(1).mode == "serial"
+
+    def test_existing_engine_passthrough_gains_cache(self):
+        engine = ParallelEvaluator(max_workers=2)
+        cache = ResultCache()
+        assert make_evaluator(engine, cache) is engine
+        assert engine.cache is cache
+
+    def test_coerce_cache(self, tmp_path):
+        assert coerce_cache(None) is None
+        cache = ResultCache()
+        assert coerce_cache(cache) is cache
+        built = coerce_cache(tmp_path / "c.json")
+        assert isinstance(built, ResultCache)
+        assert built.path == tmp_path / "c.json"

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.imc.conv_mapper import ConvMapping, map_conv_layer
+from repro.imc.conv_mapper import map_conv_layer
 from repro.imc.crossbar import CrossbarConfig
 from repro.imc.tiles import TileConfig
 from repro.survey.dataset import load_dataset

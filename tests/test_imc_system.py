@@ -6,7 +6,7 @@ import pytest
 
 from repro.imc.crossbar import CrossbarConfig
 from repro.imc.mapper import map_linear_layer
-from repro.imc.nn import IMCInferenceEngine, MLP, make_blobs, train_mlp
+from repro.imc.nn import IMCInferenceEngine, make_blobs, train_mlp
 from repro.imc.taxonomy import (
     ArchitectureKind,
     MovementCosts,

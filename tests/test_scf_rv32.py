@@ -5,7 +5,6 @@ import pytest
 from repro.scf.rv32 import (
     Assembler,
     AssemblyError,
-    Instruction,
     RV32Simulator,
     assemble_and_run,
 )

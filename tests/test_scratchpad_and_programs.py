@@ -1,6 +1,5 @@
 """Tests for SPARTA scratchpad staging and the RV32 program library."""
 
-import numpy as np
 import pytest
 
 from repro.scf import programs
