@@ -28,6 +28,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.axc.layers import _check_feature_map, zero_upsample_x2
 from repro.axc.macs import MacCounter
+from repro.perf import profiled
 
 
 @dataclass(frozen=True)
@@ -122,12 +123,64 @@ def _odd_outputs_exact(
     return contract(odd_even), contract(even_odd), contract(odd_odd)
 
 
+def _htconv_x2_scalar(
+    x: np.ndarray,
+    kernel: np.ndarray,
+    foveal: np.ndarray,
+) -> np.ndarray:
+    """Literal per-pixel Fig. 3 pseudo-code: the scalar reference oracle.
+
+    Two passes, exactly mirroring the dataflow of the vectorized kernel
+    (even-even outputs for *every* pixel first, then the three odd
+    outputs per pixel): plain Python loops, one multiply-accumulate at a
+    time in ``(c, u, v)`` order.
+    """
+    c, h, w = x.shape
+    t = kernel.shape[-1]
+    up = zero_upsample_x2(x, pad_tail=t)
+
+    def window_sum(y: int, xx: int) -> float:
+        acc = 0.0
+        for ch in range(c):
+            for u in range(t):
+                for v in range(t):
+                    acc += kernel[ch, u, v] * up[ch, y + u, xx + v]
+        return acc
+
+    even_even = np.zeros((h, w), dtype=np.float64)
+    for i in range(h):
+        for j in range(w):
+            even_even[i, j] = window_sum(2 * i, 2 * j)
+
+    out = np.zeros((2 * h, 2 * w), dtype=np.float64)
+    out[0::2, 0::2] = even_even
+    for i in range(h):
+        for j in range(w):
+            if foveal[i, j]:
+                out[2 * i + 1, 2 * j] = window_sum(2 * i + 1, 2 * j)
+                out[2 * i, 2 * j + 1] = window_sum(2 * i, 2 * j + 1)
+                out[2 * i + 1, 2 * j + 1] = window_sum(2 * i + 1, 2 * j + 1)
+            else:
+                south = even_even[min(i + 1, h - 1), j]
+                east = even_even[i, min(j + 1, w - 1)]
+                south_east = even_even[min(i + 1, h - 1), min(j + 1, w - 1)]
+                ee = even_even[i, j]
+                out[2 * i + 1, 2 * j] = (ee + south) / 2.0
+                out[2 * i, 2 * j + 1] = (ee + east) / 2.0
+                out[2 * i + 1, 2 * j + 1] = (
+                    ee + east + south + south_east
+                ) / 4.0
+    return out
+
+
+@profiled("axc.htconv_x2")
 def htconv_x2(
     x: np.ndarray,
     kernel: np.ndarray,
     fovea: FovealRegion,
     counter: Optional[MacCounter] = None,
     layer_name: str = "htconv",
+    impl: str = "numpy",
 ) -> np.ndarray:
     """Hybrid x2 transposed convolution (Fig. 3 pseudo-code).
 
@@ -135,6 +188,12 @@ def htconv_x2(
     Inside *fovea* the output matches
     :func:`repro.axc.layers.transposed_conv2d_x2` exactly; outside, odd
     outputs are neighbour averages of the even-even exact outputs.
+
+    ``impl="scalar"`` runs the literal per-pixel pseudo-code (the
+    reference oracle; MAC charges are identical); ``impl="numpy"``
+    (default) is the batched ``sliding_window_view``/``einsum`` kernel.
+    The two agree to reduction-reordering rounding (policy pinned in the
+    equivalence tests).
     """
     x = _check_feature_map(x)
     kernel = np.asarray(kernel, dtype=np.float64)
@@ -142,9 +201,17 @@ def htconv_x2(
         raise ValueError(f"kernel must be (C, t, t), got {kernel.shape}")
     if kernel.shape[0] != x.shape[0]:
         raise ValueError("channel mismatch between input and kernel")
+    if impl not in ("scalar", "numpy"):
+        raise ValueError(f"impl must be 'scalar' or 'numpy', got {impl!r}")
     c, h, w = x.shape
     t = kernel.shape[-1]
     foveal = fovea.mask(h, w)
+
+    if impl == "scalar":
+        out = _htconv_x2_scalar(x, kernel, foveal)
+        if counter is not None:
+            _charge_htconv(counter, layer_name, foveal, h, w, t, c)
+        return out
 
     even_even = _even_even_outputs(x, kernel)
 
@@ -170,15 +237,28 @@ def htconv_x2(
     ) / 4.0
 
     if counter is not None:
-        n_foveal = int(foveal.sum())
-        n_periph = h * w - n_foveal
-        per_pixel = t * t * c
-        counter.charge_macs(
-            layer_name, n_foveal * 4 * per_pixel + n_periph * per_pixel
-        )
-        # Two 2-term averages (1 add each) + one 4-term average (3 adds).
-        counter.charge_interp(layer_name, n_periph * 5)
+        _charge_htconv(counter, layer_name, foveal, h, w, t, c)
     return out
+
+
+def _charge_htconv(
+    counter: MacCounter,
+    layer_name: str,
+    foveal: np.ndarray,
+    h: int,
+    w: int,
+    t: int,
+    c: int,
+) -> None:
+    """MAC/interp accounting shared by both kernel implementations."""
+    n_foveal = int(foveal.sum())
+    n_periph = h * w - n_foveal
+    per_pixel = t * t * c
+    counter.charge_macs(
+        layer_name, n_foveal * 4 * per_pixel + n_periph * per_pixel
+    )
+    # Two 2-term averages (1 add each) + one 4-term average (3 adds).
+    counter.charge_interp(layer_name, n_periph * 5)
 
 
 def htconv_mac_model(

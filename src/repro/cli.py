@@ -11,6 +11,10 @@ transient-storage faults) over the :mod:`repro.resilience` subsystem --
 and ``exec`` -- the parallel evaluation engine demo: an IMC crossbar
 campaign fanned out over the process pool with content-addressed result
 caching (``--workers``, ``--cells``, ``--cache-dir``, ``--no-cache``).
+
+``profile [demo]`` enables the :mod:`repro.perf` profiler, runs one (or
+all) of the short kernel demos -- ``imc``, ``dna``, ``axc``, ``sparta``,
+``hls``, ``exec`` -- and prints the timer/counter table.
 """
 
 from __future__ import annotations
@@ -223,6 +227,108 @@ def _cmd_exec(args: "argparse.Namespace") -> str:
     return table.render() + "\n" + footer
 
 
+def _demo_imc() -> None:
+    import numpy as np
+
+    from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+
+    xbar = AnalogCrossbar(CrossbarConfig(rows=32, cols=32), seed=11)
+    rng = np.random.default_rng(11)
+    xbar.program_weights(rng.uniform(-1, 1, (32, 32)))
+    xbar.mvm_batch(rng.uniform(-1, 1, (16, 32)))
+    for x in rng.uniform(-1, 1, (4, 32)):
+        xbar.mvm(x)
+
+
+def _demo_dna() -> None:
+    import numpy as np
+
+    from repro.dna.ecc import ReedSolomonCodec
+    from repro.dna.editdistance import levenshtein_banded
+
+    rng = np.random.default_rng(12)
+    reads = [
+        "".join("ACGT"[i] for i in rng.integers(0, 4, 400))
+        for _ in range(12)
+    ]
+    for a in reads[:6]:
+        for b in reads[6:]:
+            levenshtein_banded(a, b, band=24)
+    codec = ReedSolomonCodec(255, 223)
+    for _ in range(8):
+        message = bytes(int(v) for v in rng.integers(0, 256, 223))
+        codeword = bytearray(codec.encode(message))
+        codeword[3] ^= 0xA5
+        codec.decode(bytes(codeword))
+
+
+def _demo_axc() -> None:
+    import numpy as np
+
+    from repro.axc.htconv import FovealRegion, htconv_x2
+
+    rng = np.random.default_rng(13)
+    x = rng.normal(size=(8, 24, 24))
+    kernel = rng.normal(size=(8, 3, 3))
+    fovea = FovealRegion.centered(24, 24, 0.25)
+    for _ in range(4):
+        htconv_x2(x, kernel, fovea)
+
+
+def _demo_sparta() -> None:
+    from repro.sparta.kernels import bfs_tasks, random_graph
+    from repro.sparta.simulator import simulate
+
+    region = bfs_tasks(random_graph(128, seed=14), seed=14)
+    simulate(region)
+    simulate(region, enable_cache=False, memory_latency=200)
+
+
+def _demo_hls() -> None:
+    from repro.hls.ir import OpKind
+    from repro.hls.kernels import _gemm_body
+    from repro.hls.scheduling import schedule_list
+
+    body = _gemm_body(unroll_k=8)
+    for muls in (1, 2, 4):
+        schedule_list(body, {OpKind.MUL: muls, OpKind.ADD: 2})
+
+
+def _demo_exec() -> None:
+    from repro.exec import ResultCache
+    from repro.imc.sweep import crossbar_sweep, sweep_grid
+
+    cache = ResultCache()
+    specs = sweep_grid(6, rows=24, cols=24, num_inputs=4)
+    crossbar_sweep(specs, cache=cache)  # cold: all misses
+    crossbar_sweep(specs, cache=cache)  # warm: all hits
+
+
+_PROFILE_DEMOS = {
+    "imc": _demo_imc,
+    "dna": _demo_dna,
+    "axc": _demo_axc,
+    "sparta": _demo_sparta,
+    "hls": _demo_hls,
+    "exec": _demo_exec,
+}
+
+
+def _cmd_profile(args: "argparse.Namespace") -> str:
+    from repro.perf import disable_profiling, enable_profiling
+
+    names = [args.demo] if args.demo else sorted(_PROFILE_DEMOS)
+    profiler = enable_profiling()
+    profiler.reset()
+    try:
+        for name in names:
+            with profiler.timer(name):
+                _PROFILE_DEMOS[name]()
+    finally:
+        disable_profiling()
+    return profiler.render_table()
+
+
 def _cmd_survey_csv() -> str:
     from repro.survey import load_dataset
     from repro.survey.io import to_csv
@@ -250,9 +356,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_COMMANDS) + ["exec"],
-        help="which paper artifact to regenerate (or 'exec' for the "
-        "parallel evaluation engine demo)",
+        choices=sorted(_COMMANDS) + ["exec", "profile"],
+        help="which paper artifact to regenerate ('exec' runs the "
+        "parallel evaluation engine demo, 'profile' times the "
+        "instrumented kernels on short demo workloads)",
+    )
+    parser.add_argument(
+        "demo",
+        nargs="?",
+        default=None,
+        choices=sorted(_PROFILE_DEMOS),
+        help="profile: which kernel demo to run (default: all)",
     )
     parser.add_argument(
         "--workers",
@@ -277,8 +391,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exec: disable the content-addressed result cache",
     )
     args = parser.parse_args(argv)
+    if args.demo is not None and args.artifact != "profile":
+        parser.error("a demo name is only valid with 'profile'")
     if args.artifact == "exec":
         print(_cmd_exec(args))
+    elif args.artifact == "profile":
+        print(_cmd_profile(args))
     else:
         print(_COMMANDS[args.artifact]())
     return 0

@@ -18,6 +18,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
+from repro.perf import profiled
+
 _PRIMITIVE_POLY = 0x11D  # x^8 + x^4 + x^3 + x^2 + 1
 _FIELD_SIZE = 256
 
@@ -39,6 +43,24 @@ def _build_tables() -> None:
 
 
 _build_tables()
+
+
+def _build_mul_table() -> np.ndarray:
+    """Full 256 x 256 GF(256) product table (64 KiB, built once).
+
+    ``_MUL_TABLE[a, b] == gf_mul(a, b)``: one gather replaces the
+    log/antilog lookups and the zero-operand branch, which is what lets
+    the vectorized codec paths do a whole row of multiplies per step.
+    """
+    exp = np.asarray(_EXP, dtype=np.int64)
+    log = np.asarray(_LOG, dtype=np.int64)
+    table = exp[log[:, None] + log[None, :]]
+    table[0, :] = 0
+    table[:, 0] = 0
+    return table.astype(np.uint8)
+
+
+_MUL_TABLE = _build_mul_table()
 
 
 def gf_mul(a: int, b: int) -> int:
@@ -115,6 +137,15 @@ def _poly_eval(poly: List[int], x: int) -> int:
     return result
 
 
+def _poly_eval_many(poly: List[int], xs: np.ndarray) -> np.ndarray:
+    """Evaluate *poly* at every point of *xs* (Horner, one table gather
+    per coefficient instead of one multiply per point)."""
+    result = np.zeros(xs.shape, dtype=np.uint8)
+    for coeff in poly:
+        result = _MUL_TABLE[result, xs] ^ coeff
+    return result
+
+
 class ReedSolomonCodec:
     """Systematic RS(n, k) codec over GF(256).
 
@@ -122,19 +153,48 @@ class ReedSolomonCodec:
     corrects up to ``t = (n - k) // 2`` byte errors anywhere in the
     codeword.  Codeword convention: ``c(x) = m(x) x^(n-k) + parity(x)``
     with byte 0 the highest-degree coefficient.
+
+    ``impl="scalar"`` runs the per-byte ``gf_mul`` loops (the reference);
+    ``impl="numpy"`` (default) replaces the inner multiply loops with
+    gathers into the precomputed product table -- encode folds a whole
+    generator row per byte, the syndromes are one table gather plus an
+    XOR reduction, and the Chien search evaluates the locator at all *n*
+    points at once.  GF(256) arithmetic is exact either way, so both
+    produce identical bytes.
     """
 
-    def __init__(self, n: int, k: int) -> None:
+    def __init__(self, n: int, k: int, impl: str = "numpy") -> None:
         if not 1 <= k < n <= 255:
             raise ValueError("require 1 <= k < n <= 255")
+        if impl not in ("scalar", "numpy"):
+            raise ValueError(
+                f"impl must be 'scalar' or 'numpy', got {impl!r}"
+            )
         self.n = n
         self.k = k
         self.n_parity = n - k
+        self.impl = impl
         # Generator polynomial: product of (x - alpha^i), i = 0..n-k-1.
         gen = [1]
         for i in range(self.n_parity):
             gen = _poly_mul(gen, [1, gf_pow(2, i)])
         self._generator = gen
+        # Lookup rows for the vectorized paths, built once per codec.
+        # Tail of the (monic) generator: the row XORed into the
+        # remainder per message byte during systematic encoding.
+        self._gen_tail = np.asarray(gen[1:], dtype=np.uint8)
+        # Syndrome powers: S_i = sum_j c_j * alpha^{i * (n - 1 - j)}
+        # (byte 0 is the highest-degree coefficient).
+        degrees = np.arange(n - 1, -1, -1, dtype=np.int64)
+        rows = np.arange(self.n_parity, dtype=np.int64)[:, None]
+        exp = np.asarray(_EXP, dtype=np.int64)
+        self._syndrome_powers = exp[
+            (rows * degrees[None, :]) % (_FIELD_SIZE - 1)
+        ].astype(np.uint8)
+        # Chien-search points: alpha^{-degree} for degree = 0..n-1.
+        self._inv_alpha = np.asarray(
+            [gf_inverse(gf_pow(2, d)) for d in range(n)], dtype=np.uint8
+        )
 
     @property
     def t(self) -> int:
@@ -146,10 +206,24 @@ class ReedSolomonCodec:
         """Parity overhead fraction ``(n - k) / k``."""
         return self.n_parity / self.k
 
+    @profiled("dna.rs_encode")
     def encode(self, message: bytes) -> bytes:
         """Systematic encoding: message followed by parity bytes."""
         if len(message) != self.k:
             raise ValueError(f"message must be {self.k} bytes")
+        if self.impl == "numpy":
+            remainder = np.zeros(self.n, dtype=np.uint8)
+            remainder[: self.k] = np.frombuffer(message, dtype=np.uint8)
+            width = self._gen_tail.size
+            for i in range(self.k):
+                coef = remainder[i]
+                if coef:
+                    # One table gather multiplies the whole generator
+                    # tail by coef; XOR folds it into the remainder.
+                    remainder[i + 1 : i + 1 + width] ^= _MUL_TABLE[
+                        self._gen_tail, coef
+                    ]
+            return bytes(message) + remainder[self.k :].tobytes()
         remainder = list(message) + [0] * self.n_parity
         for i in range(self.k):
             coef = remainder[i]
@@ -160,11 +234,16 @@ class ReedSolomonCodec:
         return bytes(message) + bytes(remainder[self.k :])
 
     def _syndromes(self, codeword: bytes) -> List[int]:
+        if self.impl == "numpy":
+            cw = np.frombuffer(codeword, dtype=np.uint8)
+            products = _MUL_TABLE[self._syndrome_powers, cw[None, :]]
+            return np.bitwise_xor.reduce(products, axis=1).tolist()
         return [
             _poly_eval(list(codeword), gf_pow(2, i))
             for i in range(self.n_parity)
         ]
 
+    @profiled("dna.rs_decode")
     def decode(self, codeword: bytes) -> Optional[bytes]:
         """Decode *codeword*; returns the corrected message or ``None``
         when the errors exceed the code's correction capability."""
@@ -213,11 +292,17 @@ class ReedSolomonCodec:
         sigma = list(reversed(lambdas)) + [1]
         # Root search: error at codeword position p (degree n-1-p)
         # corresponds to locator root x = alpha^{-(n-1-p)}.
-        positions = []
-        for degree in range(self.n):
-            x = gf_inverse(gf_pow(2, degree))
-            if _poly_eval(sigma, x) == 0:
-                positions.append(self.n - 1 - degree)
+        if self.impl == "numpy":
+            values = _poly_eval_many(sigma, self._inv_alpha)
+            positions = [
+                self.n - 1 - int(d) for d in np.flatnonzero(values == 0)
+            ]
+        else:
+            positions = []
+            for degree in range(self.n):
+                x = gf_inverse(gf_pow(2, degree))
+                if _poly_eval(sigma, x) == 0:
+                    positions.append(self.n - 1 - degree)
         if len(positions) != len(lambdas):
             return None
         # Magnitudes: solve the Vandermonde system

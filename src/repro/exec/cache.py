@@ -28,13 +28,15 @@ import enum
 import hashlib
 import json
 import os
+import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Callable, Dict, FrozenSet, Optional, Union
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.errors import ValidationError
+from repro.perf import get_profiler
 
 
 def canonical_payload(
@@ -115,6 +117,53 @@ def config_digest(obj: Any) -> str:
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
+def _is_memoizable(obj: Any) -> bool:
+    """Only frozen dataclass instances are digest-memoized by identity:
+    their fields cannot be rebound, so the digest computed once stays
+    valid for the object's lifetime."""
+    return (
+        dataclasses.is_dataclass(obj)
+        and not isinstance(obj, type)
+        and type(obj).__dataclass_params__.frozen
+    )
+
+
+class _DigestMemo:
+    """``id()``-keyed memo of the most recent *capacity* config digests.
+
+    Campaign loops re-digest the *same* config objects (sweep grids hold
+    one frozen spec per cell and pass it to several stages), so the
+    canonical-JSON walk is repeated work.  Entries hold a strong
+    reference to the object: an id cannot be recycled while its entry
+    lives, which is what makes identity keying sound.  Each entry also
+    remembers how long the original digest took, so hits can account the
+    time they saved.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValidationError("digest memo capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[Any, str, float]]" = (
+            OrderedDict()
+        )
+
+    def lookup(self, obj: Any) -> Optional[Tuple[Any, str, float]]:
+        entry = self._entries.get(id(obj))
+        if entry is not None:
+            self._entries.move_to_end(id(obj))
+        return entry
+
+    def store(self, obj: Any, digest: str, elapsed_s: float) -> None:
+        self._entries[id(obj)] = (obj, digest, elapsed_s)
+        self._entries.move_to_end(id(obj))
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class ResultCache:
     """Content-addressed evaluation results with LRU bounds and stats.
 
@@ -131,6 +180,7 @@ class ResultCache:
         path: Optional[Union[str, Path]] = None,
         max_entries: Optional[int] = None,
         flush_every: int = 1,
+        digest_memo_size: int = 128,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValidationError("max_entries must be >= 1")
@@ -145,6 +195,9 @@ class ResultCache:
         self._evictions = 0
         self._stores = 0
         self._recovered = False
+        self._digest_memo = _DigestMemo(digest_memo_size)
+        self._memo_hits = 0
+        self._digest_time_saved_s = 0.0
         self._records: "OrderedDict[str, Any]" = self._load()
 
     def _load(self) -> "OrderedDict[str, Any]":
@@ -179,8 +232,22 @@ class ResultCache:
         """The cached value for *key*, or ``None`` on a miss.
 
         Hits refresh the entry's LRU position.  Values are deep-copied
-        on the way out so callers cannot mutate the store.
+        on the way out so callers cannot mutate the store.  When the
+        default profiler is enabled, lookups are timed separately as
+        ``cache.get.hit`` / ``cache.get.miss``.
         """
+        profiler = get_profiler()
+        if not profiler.enabled:
+            return self._get(key)
+        start = time.perf_counter()
+        value = self._get(key)
+        profiler.record(
+            "cache.get.hit" if value is not None else "cache.get.miss",
+            time.perf_counter() - start,
+        )
+        return value
+
+    def _get(self, key: str) -> Optional[Any]:
         if key in self._records:
             self._records.move_to_end(key)
             self._hits += 1
@@ -190,6 +257,14 @@ class ResultCache:
 
     def put(self, key: str, value: Any) -> None:
         """Store *value* under *key*, evicting LRU entries as needed."""
+        profiler = get_profiler()
+        if not profiler.enabled:
+            return self._put(key, value)
+        start = time.perf_counter()
+        self._put(key, value)
+        profiler.record("cache.put", time.perf_counter() - start)
+
+    def _put(self, key: str, value: Any) -> None:
         self._records[key] = copy.deepcopy(value)
         self._records.move_to_end(key)
         self._stores += 1
@@ -203,6 +278,27 @@ class ResultCache:
             self._dirty += 1
             if self._dirty >= self.flush_every:
                 self.flush()
+
+    def digest(self, obj: Any) -> str:
+        """:func:`config_digest` of *obj*, memoized by object identity.
+
+        Frozen-dataclass configs seen among the most recent
+        ``digest_memo_size`` objects skip the canonical-JSON walk
+        entirely; every other object (mutable, ad-hoc) is digested
+        afresh.  :meth:`stats` reports the hits and the digest time they
+        saved.
+        """
+        if not _is_memoizable(obj):
+            return config_digest(obj)
+        entry = self._digest_memo.lookup(obj)
+        if entry is not None:
+            self._memo_hits += 1
+            self._digest_time_saved_s += entry[2]
+            return entry[1]
+        start = time.perf_counter()
+        digest = config_digest(obj)
+        self._digest_memo.store(obj, digest, time.perf_counter() - start)
+        return digest
 
     def get_or_compute(self, key: str, fn: Callable[[], Any]) -> Any:
         """The cached value for *key*, computing and storing on a miss."""
@@ -225,6 +321,8 @@ class ResultCache:
             "hit_rate": self._hits / lookups if lookups else 0.0,
             "persistent": self.path is not None,
             "recovered_from_corruption": self._recovered,
+            "digest_memo_hits": self._memo_hits,
+            "digest_time_saved_s": self._digest_time_saved_s,
         }
 
     def flush(self) -> None:

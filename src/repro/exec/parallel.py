@@ -32,6 +32,7 @@ from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.core.errors import SimulationTimeout, ValidationError
 from repro.exec.cache import ResultCache
+from repro.perf import profiled
 
 _MODES = ("process", "thread", "serial")
 
@@ -78,6 +79,7 @@ class ParallelEvaluator:
 
     # ------------------------------------------------------------- mapping
 
+    @profiled("exec.map")
     def map(
         self,
         fn: Callable[[Any], Any],

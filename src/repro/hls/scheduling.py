@@ -18,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.hls.ir import DataflowGraph, OpKind
+from repro.perf import profiled
 
 
 @dataclass
@@ -113,8 +116,11 @@ def mobility(graph: DataflowGraph) -> Dict[str, int]:
     }
 
 
+@profiled("hls.schedule_list")
 def schedule_list(
-    graph: DataflowGraph, resources: Dict[OpKind, int]
+    graph: DataflowGraph,
+    resources: Dict[OpKind, int],
+    impl: str = "numpy",
 ) -> Schedule:
     """Resource-constrained list scheduling.
 
@@ -122,10 +128,27 @@ def schedule_list(
     operation kind (kinds absent from the map are unconstrained).
     Priority is lowest mobility first (critical path first), the
     standard heuristic.
+
+    ``impl="scalar"`` walks every cycle and re-sorts the ready list (the
+    reference); ``impl="numpy"`` (default) keeps priority/wake state in
+    arrays pre-sorted by ``(slack, name)`` and jumps empty cycles to the
+    next unit retirement or operand arrival.  Both produce the identical
+    ``start_cycle`` map; the equivalence tests pin that.
     """
     for kind, count in resources.items():
         if count < 1:
             raise ValueError(f"resource count for {kind} must be >= 1")
+    if impl == "numpy":
+        return _list_numpy(graph, resources)
+    if impl != "scalar":
+        raise ValueError(f"impl must be 'scalar' or 'numpy', got {impl!r}")
+    return _list_scalar(graph, resources)
+
+
+def _list_scalar(
+    graph: DataflowGraph, resources: Dict[OpKind, int]
+) -> Schedule:
+    """Reference cycle-by-cycle list scheduler."""
     slack = mobility(graph)
     remaining_inputs = {
         op.name: len(op.inputs) for op in graph.operations
@@ -166,6 +189,78 @@ def schedule_list(
                 if remaining_inputs[consumer] == 0:
                     ready.append(consumer)
         cycle += 1
+    schedule = Schedule(graph=graph, start_cycle=start)
+    schedule.validate()
+    return schedule
+
+
+def _list_numpy(
+    graph: DataflowGraph, resources: Dict[OpKind, int]
+) -> Schedule:
+    """Priority-array list scheduler; identical schedule to
+    :func:`_list_scalar`.
+
+    Operations are renumbered once into ``(slack, name)`` priority order,
+    so each cycle's candidate set -- ready ops whose operands have
+    arrived -- is one boolean reduction and already sorted.  Cycles where
+    nothing was scheduled are skipped to the next event (earliest busy-
+    unit retirement or operand arrival); on such cycles the scalar loop
+    provably schedules nothing, so the skip cannot change the result.
+    A cycle that *did* schedule is followed cycle-by-cycle: a latency-0
+    producer (PHI) can make its consumer a candidate at ``cycle + 1``.
+    """
+    slack = mobility(graph)
+    order = sorted(slack, key=lambda n: (slack[n], n))
+    index = {name: i for i, name in enumerate(order)}
+    total = len(order)
+    latency = [graph.op(name).latency for name in order]
+    kind_of = [graph.op(name).kind for name in order]
+    consumers = [
+        [index[c] for c in graph.consumers(name)] for name in order
+    ]
+    remaining = np.array(
+        [len(graph.op(name).inputs) for name in order], dtype=np.int64
+    )
+    ready = remaining == 0
+    earliest = np.zeros(total, dtype=np.int64)
+    start: Dict[str, int] = {}
+    busy: Dict[OpKind, list] = {}
+    cycle = 0
+    scheduled = 0
+    while scheduled < total:
+        for kind in busy:
+            busy[kind] = [t for t in busy[kind] if t > cycle]
+        progressed = False
+        # Ascending index order == ascending (slack, name): the exact
+        # candidate order the scalar path sorts out each cycle.
+        for i in np.flatnonzero(ready & (earliest <= cycle)):
+            i = int(i)
+            limit = resources.get(kind_of[i])
+            in_flight = busy.setdefault(kind_of[i], [])
+            if limit is not None and len(in_flight) >= limit:
+                continue
+            start[order[i]] = cycle
+            in_flight.append(cycle + max(latency[i], 1))
+            ready[i] = False
+            scheduled += 1
+            progressed = True
+            finish = cycle + latency[i]
+            for c in consumers[i]:
+                remaining[c] -= 1
+                if finish > earliest[c]:
+                    earliest[c] = finish
+                if remaining[c] == 0:
+                    ready[c] = True
+        if progressed or scheduled >= total:
+            cycle += 1
+            continue
+        # Nothing schedulable: jump to the next retirement or arrival.
+        events = [t for lst in busy.values() for t in lst]
+        waits = earliest[ready]
+        waits = waits[waits > cycle]
+        if waits.size:
+            events.append(int(waits.min()))
+        cycle = min(events) if events else cycle + 1
     schedule = Schedule(graph=graph, start_cycle=start)
     schedule.validate()
     return schedule

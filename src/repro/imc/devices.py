@@ -102,6 +102,15 @@ class NVMDevice:
         return self._g0.shape
 
     @property
+    def rng(self) -> np.random.Generator:
+        """The device's generator (shared across devices when seeded with
+        one :class:`~numpy.random.Generator`, e.g. a crossbar's G+/G-
+        pair).  Exposed so batched kernels can draw the read noise of
+        several reads in one call while consuming the *same* stream as
+        repeated :meth:`read` calls."""
+        return self._rng
+
+    @property
     def conductances(self) -> np.ndarray:
         """Programmed (time-zero) conductances; copy, callers cannot
         corrupt device state."""
@@ -211,7 +220,6 @@ class NVMDevice:
             0.0, self.params.read_noise_fraction, size=self.shape
         )
         return np.clip(g * (1.0 + noise), 0.0, None)
-
 
 def relative_programming_error(
     achieved: np.ndarray, targets: np.ndarray

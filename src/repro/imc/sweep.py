@@ -138,7 +138,11 @@ def crossbar_sweep(
     engine = make_evaluator(parallel, cache)
     if engine is None:
         return [evaluate_crossbar_spec(spec) for spec in specs]
-    keys = [config_digest(spec) for spec in specs]
+    # Frozen specs digest through the cache's identity memo when one is
+    # attached, so repeated sweeps over the same grid skip the
+    # canonical-JSON walk.
+    digest = engine.cache.digest if engine.cache is not None else config_digest
+    keys = [digest(spec) for spec in specs]
     return engine.map(evaluate_crossbar_spec, specs, keys=keys)
 
 

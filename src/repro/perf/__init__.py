@@ -1,0 +1,29 @@
+"""Profiling subsystem: evidence for every throughput claim.
+
+- :class:`Profiler` -- nestable named timers + counters, dict/JSON/table
+  reports;
+- :func:`get_profiler` / :func:`enable_profiling` /
+  :func:`disable_profiling` -- module-level registry of named singleton
+  profilers (the default one backs the built-in kernel instrumentation
+  and starts disabled);
+- :func:`profiled` -- decorator wiring a function into the default
+  profiler.
+"""
+
+from repro.perf.profiler import (
+    Profiler,
+    TimerStat,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profiled,
+)
+
+__all__ = [
+    "Profiler",
+    "TimerStat",
+    "disable_profiling",
+    "enable_profiling",
+    "get_profiler",
+    "profiled",
+]

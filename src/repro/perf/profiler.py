@@ -1,0 +1,283 @@
+"""Lightweight hierarchical profiler for the simulator hot paths.
+
+The suite's throughput work (vectorized kernels, parallel campaigns,
+content-addressed caching) needs *evidence*: which kernel burned the
+wall-clock, how often the cache hit, what a rewrite actually bought.
+:class:`Profiler` collects exactly that with nothing beyond the standard
+library -- nestable named timers (``with profiler.timer("imc/mvm"):``),
+monotonic counters, and report rendering as dict / JSON / aligned table.
+
+Design constraints, in order:
+
+1. **near-zero cost when disabled** -- the instrumented kernels are the
+   innermost loops of the system, so every hook first checks a single
+   boolean and returns; the global profiler starts disabled;
+2. **nesting without bookkeeping at the call site** -- timers maintain a
+   per-thread stack and record themselves under a ``parent/child`` path,
+   so a kernel profiled inside a campaign shows up indented under it;
+3. **self-timing honesty** -- ``perf_counter`` pairs only; no sampling,
+   no threads, no atexit magic.
+
+The module-level registry (:func:`get_profiler`) hands out named
+singleton profilers; the anonymous default (``get_profiler()``) is the
+one the built-in instrumentation uses and the ``repro profile`` CLI
+enables.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class TimerStat:
+    """Aggregate of one named timer: calls, total and extreme durations."""
+
+    __slots__ = ("calls", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+        if elapsed_s < self.min_s:
+            self.min_s = elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.calls else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class Profiler:
+    """Named timers and counters with hierarchical paths.
+
+    Timer names are joined with ``/`` along the per-thread nesting stack:
+    timing ``"mvm"`` inside an open ``"campaign"`` timer records under
+    ``"campaign/mvm"``.  Counters are flat monotonic integers.  All
+    mutation is guarded by one lock -- the profiler is shared state and
+    campaign code is threaded.
+    """
+
+    def __init__(self, name: str = "", enabled: bool = True) -> None:
+        self.name = name
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._timers: Dict[str, TimerStat] = {}
+        self._counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- control
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected statistics (keeps the enabled state)."""
+        with self._lock:
+            self._timers = {}
+            self._counters = {}
+
+    # ------------------------------------------------------------- timers
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under *name* (nested under any open
+        timers of the current thread)."""
+        if not self.enabled:
+            yield
+            return
+        stack = self._stack()
+        path = "/".join(stack + [name]) if stack else name
+        stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stack.pop()
+            with self._lock:
+                stat = self._timers.get(path)
+                if stat is None:
+                    stat = self._timers[path] = TimerStat()
+                stat.record(elapsed)
+
+    def record(self, name: str, elapsed_s: float) -> None:
+        """Record a pre-measured duration under *name*.
+
+        For call sites that only know the right label *after* the timed
+        work (e.g. a cache lookup that turns out to be a hit or a miss).
+        Nested under open :meth:`timer` blocks exactly like a timer.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        path = "/".join(stack + [name]) if stack else name
+        with self._lock:
+            stat = self._timers.get(path)
+            if stat is None:
+                stat = self._timers[path] = TimerStat()
+            stat.record(elapsed_s)
+
+    # ------------------------------------------------------------ counters
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creates it at zero)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------- reports
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Snapshot of every timer and counter."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "timers": {
+                    path: stat.as_dict()
+                    for path, stat in sorted(self._timers.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+            }
+
+    def as_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render_table(self) -> str:
+        """Aligned text table: nested timer paths indented, counters
+        appended."""
+        snapshot = self.as_dict()
+        rows = [("timer", "calls", "total (s)", "mean (s)", "max (s)")]
+        for path, stat in snapshot["timers"].items():
+            depth = path.count("/")
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            rows.append(
+                (
+                    label,
+                    str(stat["calls"]),
+                    f"{stat['total_s']:.6f}",
+                    f"{stat['mean_s']:.6f}",
+                    f"{stat['max_s']:.6f}",
+                )
+            )
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        lines = []
+        title = f"profile: {self.name}" if self.name else "profile"
+        lines.append(title)
+        lines.append("-" * len(title))
+        for idx, row in enumerate(rows):
+            lines.append(
+                "  ".join(
+                    cell.ljust(w) if i == 0 else cell.rjust(w)
+                    for i, (cell, w) in enumerate(zip(row, widths))
+                )
+            )
+            if idx == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if snapshot["counters"]:
+            lines.append("")
+            lines.append("counters:")
+            for name, value in snapshot["counters"].items():
+                lines.append(f"  {name}: {value}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, Profiler] = {}
+_REGISTRY_LOCK = threading.Lock()
+_DEFAULT_NAME = "repro"
+
+
+def get_profiler(name: str = _DEFAULT_NAME) -> Profiler:
+    """The singleton profiler registered under *name*.
+
+    The default profiler (no argument) is the one the built-in kernel
+    instrumentation reports to; it starts **disabled** so instrumented
+    code costs one attribute check until someone opts in
+    (:func:`enable_profiling` or the ``repro profile`` CLI).
+    """
+    # Lock-free fast path: dict reads are atomic in CPython and the
+    # instrumented kernels resolve the profiler on every call.
+    profiler = _REGISTRY.get(name)
+    if profiler is not None:
+        return profiler
+    with _REGISTRY_LOCK:
+        profiler = _REGISTRY.get(name)
+        if profiler is None:
+            profiler = _REGISTRY[name] = Profiler(
+                name=name, enabled=False
+            )
+        return profiler
+
+
+def enable_profiling(name: str = _DEFAULT_NAME) -> Profiler:
+    """Enable (and return) the registered profiler *name*."""
+    profiler = get_profiler(name)
+    profiler.enable()
+    return profiler
+
+
+def disable_profiling(name: str = _DEFAULT_NAME) -> Profiler:
+    """Disable (and return) the registered profiler *name*."""
+    profiler = get_profiler(name)
+    profiler.disable()
+    return profiler
+
+
+def profiled(
+    name: Optional[str] = None, profiler: Optional[Profiler] = None
+) -> Callable:
+    """Decorator timing every call of the wrapped function.
+
+    Records under *name* (default ``module.qualname``) on *profiler*
+    (default: the registered default profiler, resolved at call time so
+    tests can swap it).  When the profiler is disabled the wrapper adds
+    a single boolean check per call.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or f"{fn.__module__.split('.')[-1]}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            target = profiler if profiler is not None else get_profiler()
+            if not target.enabled:
+                return fn(*args, **kwargs)
+            with target.timer(label):
+                return fn(*args, **kwargs)
+
+        wrapper.__profiled_name__ = label
+        return wrapper
+
+    return decorate

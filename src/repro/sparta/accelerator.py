@@ -197,6 +197,32 @@ class AcceleratorLane:
         if self._current is ctx:
             self._current = None
 
+    def stall_wake(self, now: int) -> Optional[float]:
+        """Earliest future cycle at which this lane could do work, given
+        that it is purely stalled at *now*.
+
+        Returns ``None`` when the lane can act at *now* (a running or
+        ready context, a waking waiter, or an in-progress context
+        switch), ``inf`` when every context is idle, else the smallest
+        ``ready_at`` among waiting contexts.  The event-skipping
+        simulator uses this to retire whole stall spans in one update;
+        each skipped cycle is exactly one :meth:`step` that would have
+        counted a stall.
+        """
+        if self._switch_stall > 0:
+            return None
+        wake = float("inf")
+        for ctx in self.contexts:
+            if ctx.state is ContextState.IDLE:
+                continue
+            if ctx.state is ContextState.WAITING:
+                if ctx.ready_at <= now:
+                    return None
+                wake = min(wake, float(ctx.ready_at))
+            else:  # READY or RUNNING: work available this cycle
+                return None
+        return wake
+
     def drain_waiting_finished(self, now: int) -> None:
         """Retire contexts whose final step was a load that has returned."""
         for ctx in self.contexts:

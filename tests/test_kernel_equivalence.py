@@ -1,0 +1,311 @@
+"""Golden + property-based equivalence of the scalar/numpy kernel pairs.
+
+Every hot kernel ships a scalar reference oracle and a vectorized numpy
+path behind ``impl=``.  The equivalence contract pinned here:
+
+- **bit-exact** for the integer/discrete kernels (banded edit distance
+  including its cell-update charges and early-exit behavior, the SPARTA
+  cycle simulator's full statistics, the HLS list schedule, the RS codec
+  bytes) *and* for the crossbar MVM (the batched draw consumes the same
+  RNG stream and the batched contraction is bitwise-equal to the per-
+  vector gemv on every platform numpy supports);
+- ``rtol = atol = 1e-12`` for HTCONV only, whose einsum reduction order
+  differs from the per-pixel loop (float addition is not associative).
+
+Property-based sections drive the edit-distance and crossbar kernels
+over seeded random sizes well beyond the golden cases.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.axc.htconv import FovealRegion, htconv_x2
+from repro.dna.ecc import ReedSolomonCodec
+from repro.dna.editdistance import (
+    CellUpdateCounter,
+    levenshtein_banded,
+    levenshtein_reference,
+)
+from repro.hls.ir import DataflowGraph, OpKind, Operation
+from repro.hls.scheduling import schedule_list
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.sparta.kernels import (
+    bfs_tasks,
+    pagerank_tasks,
+    random_graph,
+    spmv_tasks,
+    streaming_tasks,
+)
+from repro.sparta.simulator import simulate
+
+
+def _crossbar(rows, cols, seed):
+    xbar = AnalogCrossbar(CrossbarConfig(rows=rows, cols=cols), seed=seed)
+    rng = np.random.default_rng(seed)
+    xbar.program_weights(rng.uniform(-1, 1, (rows, cols)))
+    return xbar
+
+
+class TestCrossbarEquivalence:
+    def test_batch_matches_scalar_bitwise(self):
+        for seed in (0, 7):
+            xs = np.random.default_rng(seed).uniform(-1, 1, (9, 24))
+            scalar = _crossbar(24, 16, seed).mvm_batch(xs, impl="scalar")
+            vector = _crossbar(24, 16, seed).mvm_batch(xs, impl="numpy")
+            assert np.array_equal(scalar, vector)
+
+    def test_ledger_charges_identical(self):
+        xs = np.random.default_rng(3).uniform(-1, 1, (5, 16))
+        a = _crossbar(16, 8, 3)
+        b = _crossbar(16, 8, 3)
+        a.mvm_batch(xs, impl="scalar")
+        b.mvm_batch(xs, impl="numpy")
+        assert a.ledger.adc_conversions == b.ledger.adc_conversions
+        assert a.ledger.dac_conversions == b.ledger.dac_conversions
+        assert a.ledger.total_energy_j == b.ledger.total_energy_j
+
+    def test_rng_stream_position_identical(self):
+        """After a batch, both impls leave the shared stream at the same
+        point: a subsequent scalar mvm must agree bitwise."""
+        xs = np.random.default_rng(11).uniform(-1, 1, (4, 12))
+        probe = np.random.default_rng(12).uniform(-1, 1, 12)
+        a = _crossbar(12, 10, 11)
+        b = _crossbar(12, 10, 11)
+        a.mvm_batch(xs, impl="scalar")
+        b.mvm_batch(xs, impl="numpy")
+        assert np.array_equal(a.mvm(probe), b.mvm(probe))
+
+    def test_drift_time_respected(self):
+        xs = np.random.default_rng(4).uniform(-1, 1, (3, 8))
+        scalar = _crossbar(8, 8, 4).mvm_batch(
+            xs, t_seconds=1e4, impl="scalar"
+        )
+        vector = _crossbar(8, 8, 4).mvm_batch(
+            xs, t_seconds=1e4, impl="numpy"
+        )
+        assert np.array_equal(scalar, vector)
+
+    def test_invalid_impl_rejected(self):
+        xbar = _crossbar(8, 8, 0)
+        with pytest.raises(ValueError, match="impl"):
+            xbar.mvm_batch(np.zeros((1, 8)), impl="fortran")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=2, max_value=40),
+        cols=st.integers(min_value=1, max_value=24),
+        batch=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_batch_bitwise(self, rows, cols, batch, seed):
+        xs = np.random.default_rng(seed).uniform(-1, 1, (batch, rows))
+        scalar = _crossbar(rows, cols, seed).mvm_batch(xs, impl="scalar")
+        vector = _crossbar(rows, cols, seed).mvm_batch(xs, impl="numpy")
+        assert np.array_equal(scalar, vector)
+
+
+_DNA = st.text(alphabet="ACGT", max_size=160)
+
+
+class TestEditDistanceEquivalence:
+    def test_golden_cases(self):
+        cases = [
+            ("", "", 0),
+            ("ACGT", "ACGT", 0),
+            ("ACGT", "AGGT", 1),
+            ("AAAA", "TTTT", 4),
+            ("ACGTACGT", "CGTACGTA", 2),
+        ]
+        for a, b, expected in cases:
+            for band in (0, 1, 4, 8):
+                scalar = levenshtein_banded(a, b, band, impl="scalar")
+                vector = levenshtein_banded(a, b, band, impl="numpy")
+                assert scalar == vector
+                if expected <= band:
+                    assert vector == expected
+                else:
+                    assert vector is None
+
+    def test_counter_charges_identical(self):
+        rng = np.random.default_rng(0)
+        a = "".join("ACGT"[i] for i in rng.integers(0, 4, 300))
+        b = "".join("ACGT"[i] for i in rng.integers(0, 4, 290))
+        for band in (10, 40, 120):
+            cs, cv = CellUpdateCounter(), CellUpdateCounter()
+            ds = levenshtein_banded(a, b, band, counter=cs, impl="scalar")
+            dv = levenshtein_banded(a, b, band, counter=cv, impl="numpy")
+            assert ds == dv
+            assert cs.cells == cv.cells
+
+    def test_non_ascii_falls_back(self):
+        # The vector kernel compares byte codes; multi-byte characters
+        # must take the scalar path and still be correct.
+        assert levenshtein_banded("naïve", "naive", 2) == 1
+        assert levenshtein_banded("αβγ", "αβδ", 2, impl="numpy") == 1
+
+    def test_invalid_impl_rejected(self):
+        with pytest.raises(ValueError, match="impl"):
+            levenshtein_banded("AC", "AG", 2, impl="simd")
+
+    @settings(max_examples=120, deadline=None)
+    @given(a=_DNA, b=_DNA, band=st.integers(min_value=0, max_value=24))
+    def test_property_scalar_numpy_agree(self, a, b, band):
+        cs, cv = CellUpdateCounter(), CellUpdateCounter()
+        scalar = levenshtein_banded(a, b, band, counter=cs, impl="scalar")
+        vector = levenshtein_banded(a, b, band, counter=cv, impl="numpy")
+        assert scalar == vector
+        assert cs.cells == cv.cells
+        reference = levenshtein_reference(a, b)
+        if reference <= band:
+            assert vector == reference
+        else:
+            assert vector is None
+
+
+class TestHtconvEquivalence:
+    def test_scalar_matches_numpy_within_policy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 10, 12))
+        kernel = rng.normal(size=(3, 3, 3))
+        for fovea in (
+            FovealRegion.centered(10, 12, 0.3),
+            FovealRegion.everything(),
+            FovealRegion.nothing(),
+        ):
+            scalar = htconv_x2(x, kernel, fovea, impl="scalar")
+            vector = htconv_x2(x, kernel, fovea, impl="numpy")
+            assert np.allclose(scalar, vector, rtol=1e-12, atol=1e-12)
+
+    def test_mac_charges_identical(self):
+        from repro.axc.macs import MacCounter
+
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 8, 8))
+        kernel = rng.normal(size=(2, 3, 3))
+        fovea = FovealRegion.centered(8, 8, 0.4)
+        cs, cv = MacCounter(), MacCounter()
+        htconv_x2(x, kernel, fovea, counter=cs, impl="scalar")
+        htconv_x2(x, kernel, fovea, counter=cv, impl="numpy")
+        assert cs.report() == cv.report()
+
+    def test_invalid_impl_rejected(self):
+        with pytest.raises(ValueError, match="impl"):
+            htconv_x2(
+                np.zeros((1, 4, 4)),
+                np.zeros((1, 3, 3)),
+                FovealRegion.everything(),
+                impl="loop",
+            )
+
+
+class TestSpartaEquivalence:
+    @pytest.mark.parametrize(
+        "region_factory",
+        [
+            lambda: bfs_tasks(random_graph(96, seed=1), seed=1),
+            lambda: spmv_tasks(num_rows=80, seed=2),
+            lambda: pagerank_tasks(random_graph(60, seed=3), seed=3),
+            lambda: streaming_tasks(num_tasks=100),
+        ],
+    )
+    @pytest.mark.parametrize(
+        "config",
+        [
+            {},
+            {"enable_cache": False, "memory_latency": 200},
+            {"num_lanes": 2, "memory_latency": 300, "switch_penalty": 2},
+        ],
+    )
+    def test_stats_identical(self, region_factory, config):
+        region = region_factory()
+        scalar = simulate(region, impl="scalar", **config)
+        vector = simulate(region, impl="numpy", **config)
+        assert dataclasses.asdict(scalar) == dataclasses.asdict(vector)
+
+    def test_invalid_impl_rejected(self):
+        from repro.core.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="impl"):
+            simulate(streaming_tasks(num_tasks=2), impl="verilog")
+
+
+def _hls_graph(num_ops, seed):
+    import random
+
+    rng = random.Random(seed)
+    kinds = list(OpKind)
+    graph = DataflowGraph(f"g{seed}")
+    for i in range(num_ops):
+        deps = tuple(
+            f"op{j}"
+            for j in rng.sample(range(i), min(i, rng.randint(0, 3)))
+        )
+        graph.add(
+            Operation(name=f"op{i}", kind=rng.choice(kinds), inputs=deps)
+        )
+    return graph
+
+
+class TestHlsEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "resources",
+        [
+            {},
+            {OpKind.MUL: 1, OpKind.ADD: 1},
+            {kind: 1 for kind in OpKind},
+            {OpKind.DIV: 1, OpKind.LOAD: 2, OpKind.MAC: 2},
+        ],
+    )
+    def test_schedules_identical(self, seed, resources):
+        graph = _hls_graph(120, seed)
+        scalar = schedule_list(graph, resources, impl="scalar")
+        vector = schedule_list(graph, resources, impl="numpy")
+        assert scalar.start_cycle == vector.start_cycle
+        assert scalar.makespan == vector.makespan
+
+    def test_kernel_bodies_identical(self):
+        from repro.hls.kernels import _fir_body, _gemm_body
+
+        for body in (_fir_body(12), _gemm_body(8)):
+            for resources in ({}, {OpKind.MUL: 2, OpKind.ADD: 1}):
+                scalar = schedule_list(body, resources, impl="scalar")
+                vector = schedule_list(body, resources, impl="numpy")
+                assert scalar.start_cycle == vector.start_cycle
+
+    def test_invalid_impl_rejected(self):
+        with pytest.raises(ValueError, match="impl"):
+            schedule_list(_hls_graph(4, 0), {}, impl="ilp")
+
+
+class TestEccEquivalence:
+    def test_roundtrip_identical(self):
+        rng = np.random.default_rng(5)
+        for n, k in [(255, 223), (63, 39), (20, 12)]:
+            scalar = ReedSolomonCodec(n, k, impl="scalar")
+            vector = ReedSolomonCodec(n, k, impl="numpy")
+            for _ in range(10):
+                message = bytes(int(v) for v in rng.integers(0, 256, k))
+                cs, cv = scalar.encode(message), vector.encode(message)
+                assert cs == cv
+                corrupted = bytearray(cs)
+                for pos in rng.integers(0, n, scalar.t + 1):
+                    corrupted[int(pos)] ^= int(rng.integers(1, 256))
+                assert scalar.decode(bytes(corrupted)) == vector.decode(
+                    bytes(corrupted)
+                )
+
+    def test_correction_capability_preserved(self):
+        codec = ReedSolomonCodec(63, 39, impl="numpy")
+        message = bytes(range(39))
+        codeword = bytearray(codec.encode(message))
+        for pos in range(codec.t):
+            codeword[pos * 3] ^= 0x5A
+        assert codec.decode(bytes(codeword)) == message
+
+    def test_invalid_impl_rejected(self):
+        with pytest.raises(ValueError, match="impl"):
+            ReedSolomonCodec(10, 8, impl="gpu")

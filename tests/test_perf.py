@@ -1,0 +1,344 @@
+"""Tests for the :mod:`repro.perf` profiling layer and its wiring."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.perf import (
+    Profiler,
+    TimerStat,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profiled,
+)
+
+
+class TestTimerStat:
+    def test_accumulates(self):
+        stat = TimerStat()
+        stat.record(0.5)
+        stat.record(1.5)
+        assert stat.calls == 2
+        assert stat.total_s == 2.0
+        assert stat.mean_s == 1.0
+        assert stat.min_s == 0.5
+        assert stat.max_s == 1.5
+
+    def test_empty_as_dict_is_finite(self):
+        snapshot = TimerStat().as_dict()
+        assert snapshot["calls"] == 0
+        assert snapshot["min_s"] == 0.0
+        assert snapshot["mean_s"] == 0.0
+
+
+class TestProfiler:
+    def test_timer_records(self):
+        profiler = Profiler("t")
+        with profiler.timer("work"):
+            time.sleep(0.001)
+        snapshot = profiler.as_dict()
+        assert snapshot["timers"]["work"]["calls"] == 1
+        assert snapshot["timers"]["work"]["total_s"] > 0
+
+    def test_nested_paths(self):
+        profiler = Profiler("t")
+        with profiler.timer("outer"):
+            with profiler.timer("inner"):
+                pass
+        timers = profiler.as_dict()["timers"]
+        assert set(timers) == {"outer", "outer/inner"}
+
+    def test_disabled_costs_nothing_and_records_nothing(self):
+        profiler = Profiler("t", enabled=False)
+        with profiler.timer("work"):
+            pass
+        profiler.count("events")
+        profiler.record("late", 1.0)
+        snapshot = profiler.as_dict()
+        assert snapshot["timers"] == {}
+        assert snapshot["counters"] == {}
+
+    def test_counters(self):
+        profiler = Profiler("t")
+        profiler.count("hits")
+        profiler.count("hits", 4)
+        assert profiler.as_dict()["counters"]["hits"] == 5
+
+    def test_record_respects_nesting(self):
+        profiler = Profiler("t")
+        with profiler.timer("outer"):
+            profiler.record("measured", 0.25)
+        timers = profiler.as_dict()["timers"]
+        assert timers["outer/measured"]["total_s"] == 0.25
+
+    def test_reset_keeps_enabled_state(self):
+        profiler = Profiler("t")
+        with profiler.timer("work"):
+            pass
+        profiler.reset()
+        assert profiler.as_dict()["timers"] == {}
+        assert profiler.enabled
+
+    def test_as_json_round_trips(self):
+        profiler = Profiler("t")
+        with profiler.timer("work"):
+            pass
+        payload = json.loads(profiler.as_json())
+        assert payload["name"] == "t"
+        assert "work" in payload["timers"]
+
+    def test_render_table_indents_and_lists_counters(self):
+        profiler = Profiler("demo")
+        with profiler.timer("outer"):
+            with profiler.timer("inner"):
+                pass
+        profiler.count("cache.hits", 3)
+        text = profiler.render_table()
+        assert "profile: demo" in text
+        assert "outer" in text
+        assert "  inner" in text
+        assert "cache.hits: 3" in text
+
+    def test_thread_local_nesting(self):
+        profiler = Profiler("t")
+        seen = []
+
+        def worker():
+            with profiler.timer("child"):
+                pass
+            seen.append(True)
+
+        with profiler.timer("parent"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        timers = profiler.as_dict()["timers"]
+        # The other thread has its own stack: no parent/child path.
+        assert "child" in timers
+        assert "parent/child" not in timers
+        assert seen == [True]
+
+
+class TestRegistry:
+    def test_default_profiler_starts_disabled(self):
+        assert not get_profiler("fresh-default-check").enabled
+
+    def test_named_singletons(self):
+        assert get_profiler("alpha") is get_profiler("alpha")
+        assert get_profiler("alpha") is not get_profiler("beta")
+
+    def test_enable_disable_helpers(self):
+        profiler = enable_profiling("toggled")
+        assert profiler.enabled
+        assert disable_profiling("toggled") is profiler
+        assert not profiler.enabled
+
+
+class TestProfiledDecorator:
+    def test_records_under_default_label(self):
+        profiler = Profiler("t")
+
+        @profiled(profiler=profiler)
+        def sample():
+            return 42
+
+        assert sample() == 42
+        label = sample.__profiled_name__
+        assert label.endswith("sample")
+        assert profiler.as_dict()["timers"][label]["calls"] == 1
+
+    def test_explicit_label(self):
+        profiler = Profiler("t")
+
+        @profiled("custom.label", profiler=profiler)
+        def sample():
+            return 1
+
+        sample()
+        assert "custom.label" in profiler.as_dict()["timers"]
+
+    def test_disabled_passthrough(self):
+        profiler = Profiler("t", enabled=False)
+
+        @profiled("x", profiler=profiler)
+        def sample():
+            return "ok"
+
+        assert sample() == "ok"
+        assert profiler.as_dict()["timers"] == {}
+
+    def test_default_registry_resolved_at_call_time(self):
+        name = "call-time-resolution"
+
+        @profiled(name)
+        def sample():
+            return None
+
+        sample()  # default profiler disabled: nothing recorded
+        assert name not in get_profiler().as_dict()["timers"]
+        enable_profiling()
+        try:
+            sample()
+            assert get_profiler().as_dict()["timers"][name]["calls"] == 1
+        finally:
+            disable_profiling()
+            get_profiler().reset()
+
+
+class TestKernelInstrumentation:
+    def test_kernels_report_when_enabled(self):
+        import numpy as np
+
+        from repro.dna.editdistance import levenshtein_banded
+        from repro.hls.ir import OpKind
+        from repro.hls.kernels import _dot_body
+        from repro.hls.scheduling import schedule_list
+
+        profiler = enable_profiling()
+        profiler.reset()
+        try:
+            levenshtein_banded("ACGT", "ACGA", band=2)
+            schedule_list(_dot_body(), {OpKind.MUL: 1})
+            timers = profiler.as_dict()["timers"]
+            assert timers["dna.levenshtein_banded"]["calls"] == 1
+            assert timers["hls.schedule_list"]["calls"] == 1
+            assert np is not None
+        finally:
+            disable_profiling()
+            profiler.reset()
+
+    def test_cache_hit_miss_timers(self):
+        from repro.exec import ResultCache
+
+        profiler = enable_profiling()
+        profiler.reset()
+        try:
+            cache = ResultCache()
+            cache.put("k", {"v": 1})
+            assert cache.get("k") == {"v": 1}
+            assert cache.get("absent") is None
+            timers = profiler.as_dict()["timers"]
+            assert timers["cache.put"]["calls"] == 1
+            assert timers["cache.get.hit"]["calls"] == 1
+            assert timers["cache.get.miss"]["calls"] == 1
+        finally:
+            disable_profiling()
+            profiler.reset()
+
+    def test_evaluator_map_nests_cache_timers(self):
+        from repro.exec import ParallelEvaluator, ResultCache
+
+        profiler = enable_profiling()
+        profiler.reset()
+        try:
+            engine = ParallelEvaluator(
+                max_workers=1, mode="serial", cache=ResultCache()
+            )
+            engine.map(lambda x: x * 2, [1, 2], keys=["a", "b"])
+            timers = profiler.as_dict()["timers"]
+            assert timers["exec.map"]["calls"] == 1
+            assert timers["exec.map/cache.get.miss"]["calls"] == 2
+            assert timers["exec.map/cache.put"]["calls"] == 2
+        finally:
+            disable_profiling()
+            profiler.reset()
+
+
+class TestDigestMemo:
+    def test_memo_hits_and_time_saved(self):
+        from dataclasses import dataclass
+
+        from repro.exec import ResultCache, config_digest
+
+        @dataclass(frozen=True)
+        class Spec:
+            value: int
+
+        cache = ResultCache()
+        spec = Spec(3)
+        first = cache.digest(spec)
+        second = cache.digest(spec)
+        assert first == second == config_digest(spec)
+        stats = cache.stats()
+        assert stats["digest_memo_hits"] == 1
+        assert stats["digest_time_saved_s"] > 0
+
+    def test_mutable_objects_bypass_memo(self):
+        from repro.exec import ResultCache, config_digest
+
+        cache = ResultCache()
+        payload = {"a": 1}
+        assert cache.digest(payload) == config_digest(payload)
+        payload["a"] = 2
+        assert cache.digest(payload) == config_digest(payload)
+        assert cache.stats()["digest_memo_hits"] == 0
+
+    def test_memo_capacity_bounded(self):
+        from dataclasses import dataclass
+
+        from repro.exec import ResultCache
+
+        @dataclass(frozen=True)
+        class Spec:
+            value: int
+
+        cache = ResultCache(digest_memo_size=2)
+        specs = [Spec(i) for i in range(5)]
+        for spec in specs:
+            cache.digest(spec)
+        assert len(cache._digest_memo) == 2
+
+    def test_bad_capacity_rejected(self):
+        from repro.core.errors import ValidationError
+        from repro.exec import ResultCache
+
+        with pytest.raises(ValidationError):
+            ResultCache(digest_memo_size=0)
+
+
+class TestProfileCli:
+    def test_profile_all_demos(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: repro" in out
+        for label in (
+            "imc.mvm_batch",
+            "dna.levenshtein_banded",
+            "axc.htconv_x2",
+            "sparta.run",
+            "hls.schedule_list",
+            "cache.get.hit",
+        ):
+            assert label in out
+
+    def test_profile_single_demo(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "hls"]) == 0
+        out = capsys.readouterr().out
+        assert "hls.schedule_list" in out
+        assert "sparta.run" not in out
+
+    def test_profile_leaves_profiler_disabled(self, capsys):
+        from repro.cli import main
+
+        main(["profile", "hls"])
+        capsys.readouterr()
+        assert not get_profiler().enabled
+
+    def test_demo_requires_profile(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig1", "hls"])
+
+    def test_unknown_demo_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["profile", "nope"])
