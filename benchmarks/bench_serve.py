@@ -1,0 +1,296 @@
+"""Experiment SERVE: latency/throughput curves of the evaluation service.
+
+The serving claim behind :mod:`repro.serve`: a micro-batched front
+door over the workload registry sustains higher throughput than
+request-at-a-time dispatch (in-batch dedup + amortized dispatch, the
+NeuroScalar-style batched-serving effect), keeps latency bounded below
+saturation, and turns warm reruns into content-addressed cache hits --
+without ever changing a result.
+
+Run standalone to emit the JSON artifact CI uploads::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick \
+        --out BENCH_serve.json
+
+Acceptance targets (asserted with ``--check``, reported always):
+
+- p50/p95/p99 latency and achieved throughput at >= 3 offered-load
+  levels (0.5x / 1x / 2x of estimated capacity);
+- >= 2x throughput for the largest micro-batch vs batch-size-1 at the
+  highest (burst) load on the same Zipf request stream;
+- warm-cache replay served from the result cache at >= 95% hit rate,
+  byte-identical (canonical form) to the cold run.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.api import get_workload
+from repro.exec import ResultCache
+from repro.serve import EvaluationService, generate_requests, run_load
+
+WORKLOAD = "imc-crossbar"
+FULL_REQUESTS = 64
+QUICK_REQUESTS = 24
+FULL_BATCHES = (1, 2, 4, 8, 16)
+QUICK_BATCHES = (1, 4, 8)
+POOL_SIZE = 6
+ZIPF_SKEW = 2.0
+SEED = 7
+LOAD_FACTORS = (0.5, 1.0, 2.0)
+
+
+def _service(batch_size, num_requests, cache=None):
+    return EvaluationService(
+        batch_size=batch_size,
+        batch_wait_s=0.002,
+        max_queue=max(1, num_requests),
+        cache=cache,
+    )
+
+
+def estimate_capacity_rps(requests):
+    """Mean direct evaluation rate over the distinct configs of the
+    stream -- the denominator for the offered-load factors."""
+    seen = {}
+    for request in requests:
+        seen.setdefault(request.digest, request)
+    workload = get_workload(WORKLOAD)
+    start = time.perf_counter()
+    for request in seen.values():
+        workload.evaluate(request.config, seed=request.seed)
+    elapsed = time.perf_counter() - start
+    mean_s = elapsed / len(seen)
+    return (1.0 / mean_s if mean_s > 0 else float("inf")), mean_s
+
+
+def run_load_curve(requests, capacity_rps, batch_size=8):
+    """Latency/throughput at paced offered loads below and above
+    capacity (fresh uncached service per level: pure queueing)."""
+    curve = []
+    for factor in LOAD_FACTORS:
+        rate = capacity_rps * factor
+        service = _service(batch_size, len(requests))
+        try:
+            point = run_load(service, requests, rate_rps=rate)
+            snapshot = service.snapshot()
+        finally:
+            service.shutdown()
+        curve.append(
+            {
+                "load_factor": factor,
+                "offered_rps": rate,
+                "achieved_rps": point["achieved_rps"],
+                "latency_s": {
+                    k: point["latency_s"][k]
+                    for k in ("p50", "p95", "p99", "mean", "max", "count")
+                },
+                "errors": point["errors"],
+                "rejected": point["rejected"],
+                "mean_batch_occupancy": (
+                    snapshot["batches"]["mean_occupancy"]
+                ),
+                "queue_depth_max": snapshot["queue_depth"]["max"],
+            }
+        )
+    return curve
+
+
+def run_batch_curve(requests, batch_sizes):
+    """Burst throughput vs micro-batch size on one Zipf stream.
+
+    Caching is off, so the only levers are in-batch dedup and amortized
+    dispatch -- the micro-batching effect itself.  Results are checked
+    identical across batch sizes (canonical form).
+    """
+    curve = []
+    reference = None
+    for batch_size in batch_sizes:
+        service = _service(batch_size, len(requests))
+        try:
+            point = run_load(service, requests, rate_rps=None)
+            snapshot = service.snapshot()
+        finally:
+            service.shutdown()
+        canon = [r.canonical_json() for r in point["results"]]
+        if reference is None:
+            reference = canon
+        entry = {
+            "batch_size": batch_size,
+            "throughput_rps": point["achieved_rps"],
+            "elapsed_s": point["elapsed_s"],
+            "latency_s": {
+                k: point["latency_s"][k] for k in ("p50", "p95", "p99")
+            },
+            "computed": snapshot["evaluations"]["computed"],
+            "deduped": snapshot["evaluations"]["deduped"],
+            "mean_batch_occupancy": snapshot["batches"]["mean_occupancy"],
+            "identical_to_batch1": canon == reference,
+        }
+        curve.append(entry)
+    base = curve[0]["throughput_rps"]
+    for entry in curve:
+        entry["speedup_vs_batch1"] = (
+            entry["throughput_rps"] / base if base else float("inf")
+        )
+    return curve
+
+
+def run_cache_study(requests, batch_size=8):
+    """Cold-vs-warm replay through a shared result cache."""
+    cache = ResultCache()
+    outcomes = {}
+    canonical = {}
+    for label in ("cold", "warm"):
+        service = _service(batch_size, len(requests), cache=cache)
+        try:
+            point = run_load(service, requests, rate_rps=None)
+            snapshot = service.snapshot()
+        finally:
+            # close() on the shared in-memory cache only flushes, so the
+            # warm pass still sees the cold pass's entries.
+            service.shutdown()
+        canonical[label] = [r.canonical_json() for r in point["results"]]
+        evaluations = snapshot["evaluations"]
+        served = (
+            evaluations["computed"]
+            + evaluations["cache_hits"]
+            + evaluations["deduped"]
+        )
+        outcomes[label] = {
+            "throughput_rps": point["achieved_rps"],
+            "computed": evaluations["computed"],
+            "cache_hits": evaluations["cache_hits"],
+            "deduped": evaluations["deduped"],
+            "hit_rate": (
+                evaluations["cache_hits"] / served if served else 0.0
+            ),
+        }
+    outcomes["identical_cold_warm"] = canonical["cold"] == canonical["warm"]
+    return outcomes
+
+
+def run_serve_study(num_requests, batch_sizes):
+    workload = get_workload(WORKLOAD)
+    requests = generate_requests(
+        workload,
+        num_requests,
+        pool_size=POOL_SIZE,
+        skew=ZIPF_SKEW,
+        seed=SEED,
+    )
+    capacity_rps, mean_cell_s = estimate_capacity_rps(requests)
+    return {
+        "workload": WORKLOAD,
+        "num_requests": num_requests,
+        "pool_size": POOL_SIZE,
+        "zipf_skew": ZIPF_SKEW,
+        "seed": SEED,
+        "estimated_capacity_rps": capacity_rps,
+        "mean_cell_s": mean_cell_s,
+        "load_curve": run_load_curve(requests, capacity_rps),
+        "batch_curve": run_batch_curve(requests, batch_sizes),
+        "cache": run_cache_study(requests),
+    }
+
+
+def check(report):
+    """Gate the acceptance targets; returns (ok, messages)."""
+    messages = []
+    ok = True
+    if len(report["load_curve"]) < 3:
+        ok = False
+        messages.append("FAIL: fewer than 3 offered-load levels")
+    else:
+        messages.append(
+            f"ok: {len(report['load_curve'])} offered-load levels measured"
+        )
+    top = report["batch_curve"][-1]
+    if top["speedup_vs_batch1"] < 2.0:
+        ok = False
+        messages.append(
+            f"FAIL: batch={top['batch_size']} speedup "
+            f"{top['speedup_vs_batch1']:.2f}x < 2.0x over batch-size-1"
+        )
+    else:
+        messages.append(
+            f"ok: batch={top['batch_size']} gives "
+            f"{top['speedup_vs_batch1']:.2f}x over batch-size-1"
+        )
+    if not all(e["identical_to_batch1"] for e in report["batch_curve"]):
+        ok = False
+        messages.append("FAIL: batch sizes changed results")
+    else:
+        messages.append("ok: results identical across batch sizes")
+    warm = report["cache"]["warm"]
+    if warm["hit_rate"] < 0.95:
+        ok = False
+        messages.append(
+            f"FAIL: warm hit rate {warm['hit_rate']:.2f} < 0.95"
+        )
+    else:
+        messages.append(f"ok: warm hit rate {warm['hit_rate']:.2f}")
+    if not report["cache"]["identical_cold_warm"]:
+        ok = False
+        messages.append("FAIL: warm results diverged from cold run")
+    else:
+        messages.append("ok: warm results identical to cold run")
+    return ok, messages
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if acceptance targets fail")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    num_requests = QUICK_REQUESTS if args.quick else FULL_REQUESTS
+    batch_sizes = QUICK_BATCHES if args.quick else FULL_BATCHES
+    report = run_serve_study(num_requests, batch_sizes)
+    ok, messages = check(report)
+    report["check"] = {"passed": ok, "messages": messages}
+
+    print(f"workload: {report['workload']}  requests: {num_requests}  "
+          f"capacity ~{report['estimated_capacity_rps']:.1f} rps")
+    for point in report["load_curve"]:
+        latency = point["latency_s"]
+        print(
+            f"  load {point['load_factor']:.1f}x "
+            f"({point['offered_rps']:.1f} rps offered): "
+            f"achieved {point['achieved_rps']:.1f} rps, "
+            f"p50 {latency['p50'] * 1000:.1f} ms, "
+            f"p95 {latency['p95'] * 1000:.1f} ms, "
+            f"p99 {latency['p99'] * 1000:.1f} ms"
+        )
+    for entry in report["batch_curve"]:
+        print(
+            f"  batch {entry['batch_size']:>2}: "
+            f"{entry['throughput_rps']:.1f} rps "
+            f"({entry['speedup_vs_batch1']:.2f}x), "
+            f"computed {entry['computed']}, deduped {entry['deduped']}"
+        )
+    print(
+        f"  cache: warm hit rate "
+        f"{report['cache']['warm']['hit_rate']:.2f}, identical="
+        f"{report['cache']['identical_cold_warm']}"
+    )
+    for message in messages:
+        print(f"  {message}")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    if args.check and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

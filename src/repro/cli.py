@@ -15,6 +15,13 @@ caching (``--workers``, ``--cells``, ``--cache-dir``, ``--no-cache``).
 ``profile [demo]`` enables the :mod:`repro.perf` profiler, runs one (or
 all) of the short kernel demos -- ``imc``, ``dna``, ``axc``, ``sparta``,
 ``hls``, ``exec`` -- and prints the timer/counter table.
+
+``serve`` runs the :mod:`repro.serve` micro-batched evaluation service:
+``--requests FILE`` serves a JSON array of requests one-shot; without it
+a synthetic load (``--workload``, ``--num-requests``, ``--rate``,
+``--batch-size``) exercises the service and prints the
+latency/throughput point, optionally writing the full metrics snapshot
+with ``--out``.
 """
 
 from __future__ import annotations
@@ -227,6 +234,99 @@ def _cmd_exec(args: "argparse.Namespace") -> str:
     return table.render() + "\n" + footer
 
 
+def _cmd_serve(args: "argparse.Namespace") -> str:
+    import json
+
+    from repro.core.api import get_workload, workload_names
+    from repro.serve import (
+        generate_requests,
+        load_requests,
+        run_load,
+        serve_requests,
+        EvaluationService,
+    )
+
+    batch_size = args.batch_size
+    if args.requests:
+        with open(args.requests, "r", encoding="utf-8") as fh:
+            requests = load_requests(fh.read())
+        results, snapshot = serve_requests(
+            requests,
+            batch_size=batch_size,
+            parallel=args.workers,
+            cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
+        )
+        table = Table(
+            ["#", "workload", "status", "digest", "wall (ms)", "metrics"],
+            title=f"repro serve -- {len(requests)} request(s) "
+            f"from {args.requests}",
+        )
+        for i, (request, result) in enumerate(zip(requests, results)):
+            head = sorted(result.metrics)[:3]
+            table.add_row(
+                [
+                    i,
+                    request.workload,
+                    result.status,
+                    result.config_digest[:12],
+                    round(result.wall_time_s * 1000, 2),
+                    ", ".join(
+                        f"{k}={result.metrics[k]}" for k in head
+                    ) or result.error,
+                ]
+            )
+    else:
+        workload = get_workload(args.workload)
+        requests = generate_requests(
+            workload,
+            args.num_requests,
+            pool_size=args.pool,
+            seed=args.seed,
+        )
+        service = EvaluationService(
+            batch_size=batch_size,
+            max_queue=max(1, len(requests)),
+            parallel=args.workers,
+            cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
+        )
+        try:
+            point = run_load(service, requests, rate_rps=args.rate)
+            snapshot = service.snapshot()
+        finally:
+            service.shutdown()
+        table = Table(
+            ["requests", "offered (rps)", "achieved (rps)", "p50 (ms)",
+             "p95 (ms)", "p99 (ms)", "errors"],
+            title=f"repro serve -- synthetic load, workload "
+            f"{workload.name!r} (registered: {len(workload_names())})",
+        )
+        latency = point["latency_s"]
+        table.add_row(
+            [
+                point["num_requests"],
+                "burst" if args.rate is None else round(args.rate, 1),
+                round(point["achieved_rps"], 1),
+                round(latency["p50"] * 1000, 2),
+                round(latency["p95"] * 1000, 2),
+                round(latency["p99"] * 1000, 2),
+                point["errors"],
+            ]
+        )
+    evaluations = snapshot["evaluations"]
+    footer = (
+        f"batches: {snapshot['batches']['count']} "
+        f"(mean occupancy {snapshot['batches']['mean_occupancy']:.2f}); "
+        f"computed {evaluations['computed']}, "
+        f"deduped {evaluations['deduped']}, "
+        f"cache hits {evaluations['cache_hits']}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+        footer += f"; metrics snapshot written to {args.out}"
+    return table.render() + "\n" + footer
+
+
 def _demo_imc() -> None:
     import numpy as np
 
@@ -356,10 +456,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_COMMANDS) + ["exec", "profile"],
+        choices=sorted(_COMMANDS) + ["exec", "profile", "serve"],
         help="which paper artifact to regenerate ('exec' runs the "
         "parallel evaluation engine demo, 'profile' times the "
-        "instrumented kernels on short demo workloads)",
+        "instrumented kernels on short demo workloads, 'serve' runs "
+        "the micro-batched evaluation service -- one-shot with "
+        "--requests FILE, synthetic load otherwise)",
     )
     parser.add_argument(
         "demo",
@@ -372,7 +474,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="exec: pool size (default: CPU count)",
+        help="exec: pool size (default: CPU count); serve: batch "
+        "execution workers (default: serial)",
     )
     parser.add_argument(
         "--cells",
@@ -390,6 +493,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="exec: disable the content-addressed result cache",
     )
+    parser.add_argument(
+        "--requests",
+        default=None,
+        help="serve: JSON file holding an array of evaluation requests "
+        "(one-shot mode)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="imc-crossbar",
+        help="serve: workload name for the synthetic load generator",
+    )
+    parser.add_argument(
+        "--num-requests",
+        type=int,
+        default=24,
+        help="serve: synthetic request count",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="serve: offered load in requests/second (default: burst)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="serve: micro-batch size",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=6,
+        help="serve: distinct configurations in the synthetic pool",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="serve: load-generator seed",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="serve: write the service metrics snapshot JSON here",
+    )
     args = parser.parse_args(argv)
     if args.demo is not None and args.artifact != "profile":
         parser.error("a demo name is only valid with 'profile'")
@@ -397,6 +546,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_exec(args))
     elif args.artifact == "profile":
         print(_cmd_profile(args))
+    elif args.artifact == "serve":
+        print(_cmd_serve(args))
     else:
         print(_COMMANDS[args.artifact]())
     return 0

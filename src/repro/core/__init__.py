@@ -6,6 +6,17 @@ engine, image/accuracy metrics, deterministic RNG helpers and ASCII table
 rendering used by the benchmark harness.
 """
 
+from repro.core.api import (
+    RunResult,
+    Workload,
+    build_run_result,
+    ensure_default_workloads,
+    example_config,
+    get_workload,
+    register_workload,
+    request_digest,
+    workload_names,
+)
 from repro.core.errors import (
     CampaignCellError,
     DeviceFault,
@@ -38,6 +49,15 @@ from repro.core.units import (
 )
 
 __all__ = [
+    "RunResult",
+    "Workload",
+    "build_run_result",
+    "ensure_default_workloads",
+    "example_config",
+    "get_workload",
+    "register_workload",
+    "request_digest",
+    "workload_names",
     "CampaignCellError",
     "DeviceFault",
     "ReproError",

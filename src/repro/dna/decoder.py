@@ -37,6 +37,36 @@ class RetrievalReport:
     cell_updates: int
     comparisons: int
 
+    def to_run_result(
+        self,
+        *,
+        workload: str = "dna-pipeline",
+        config=None,
+        seed=None,
+        impl=None,
+        wall_time_s: float = 0.0,
+        extra_metrics=None,
+    ):
+        """This report in the unified :class:`~repro.core.api.RunResult`
+        shape (the raw payload bytes stay out of the metrics dict; the
+        legacy field names remain reachable as deprecated aliases)."""
+        from repro.core.api import build_run_result
+
+        metrics = {
+            "success": self.success,
+            "num_reads": self.num_reads,
+            "num_clusters": self.num_clusters,
+            "missing_chunks": self.missing_chunks,
+            "cell_updates": self.cell_updates,
+            "comparisons": self.comparisons,
+        }
+        if extra_metrics:
+            metrics.update(extra_metrics)
+        return build_run_result(
+            workload, metrics, config=config, seed=seed, impl=impl,
+            wall_time_s=wall_time_s,
+        )
+
 
 class DNAStorageSystem:
     """A configured DNA storage stack.

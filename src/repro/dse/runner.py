@@ -47,6 +47,35 @@ class ExplorationResult:
     def best_area(self) -> DesignPoint:
         return min(self.front, key=lambda p: p.area)
 
+    def to_run_result(
+        self,
+        *,
+        workload: str = "dse",
+        config=None,
+        seed=None,
+        impl=None,
+        wall_time_s: float = 0.0,
+        reference: Sequence[float] = (1.0, 1e6),
+    ):
+        """This exploration outcome in the unified
+        :class:`~repro.core.api.RunResult` shape, scored against a fixed
+        hypervolume *reference* so results are comparable across runs."""
+        from repro.core.api import build_run_result
+
+        metrics = {
+            "explorer": self.explorer_name,
+            "hypervolume": self.hypervolume(reference),
+            "front_size": len(self.front),
+            "evaluations": len(self.evaluated),
+            "unique_evaluations": self.unique_evaluations,
+            "best_latency_s": self.best_latency.latency_s,
+            "best_area": self.best_area.area,
+        }
+        return build_run_result(
+            workload, metrics, config=config, seed=seed, impl=impl,
+            wall_time_s=wall_time_s,
+        )
+
 
 class DSERunner:
     """Run explorations of one kernel's directive space."""

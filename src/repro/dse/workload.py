@@ -1,0 +1,90 @@
+"""DSE adapter for the unified :class:`~repro.core.api.Workload`
+contract: one evaluation runs a full exploration (explorer x budget) of
+an HLS directive space and reports front quality at a fixed reference
+point, so exploration campaigns are servable like any other cell."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.api import RunResult, register_workload
+from repro.core.errors import ValidationError
+
+#: Fixed hypervolume reference (latency_s, area); generous enough that
+#: every front of the small spaces explored here dominates it, and
+#: fixed so scores are comparable across requests.
+_REFERENCE = (1.0, 1e6)
+
+
+class DSEWorkload:
+    """``dse``: one exploration run scored by front hypervolume."""
+
+    name = "dse"
+
+    def space(self) -> Dict[str, tuple]:
+        return {
+            "explorer": ("random", "annealing", "exhaustive"),
+            "budget": (8, 16, 32, 64),
+            "kernel": ("gemm", "dot", "fir8", "gather"),
+            "size": (32, 64, 128),
+            "max_unroll": (4, 8, 16),
+            "max_units": (4, 8, 16),
+        }
+
+    def _explorer(self, name: str):
+        from repro.dse.explorer import (
+            ExhaustiveExplorer,
+            RandomExplorer,
+            SimulatedAnnealingExplorer,
+        )
+
+        explorers = {
+            "random": RandomExplorer,
+            "annealing": SimulatedAnnealingExplorer,
+            "exhaustive": ExhaustiveExplorer,
+        }
+        if name not in explorers:
+            raise ValidationError(
+                f"unknown explorer {name!r} (choose from "
+                f"{sorted(explorers)})"
+            )
+        return explorers[name]()
+
+    def evaluate(
+        self,
+        config: Mapping[str, Any],
+        *,
+        seed: int = 0,
+        impl: Optional[str] = None,
+    ) -> RunResult:
+        from repro.dse.runner import DSERunner
+        from repro.dse.space import hls_directive_space
+        from repro.hls.kernels import make_kernel
+
+        if impl not in (None, "scalar", "numpy"):
+            raise ValidationError(
+                f"dse supports impl=None|'scalar'|'numpy', got {impl!r}"
+            )
+        cfg = dict(config)
+        runner = DSERunner(
+            make_kernel(
+                str(cfg.get("kernel", "gemm")), size=int(cfg.get("size", 32))
+            ),
+            space=hls_directive_space(
+                max_unroll=int(cfg.get("max_unroll", 4)),
+                max_partition=int(cfg.get("max_partition", 4)),
+                max_units=int(cfg.get("max_units", 4)),
+            ),
+        )
+        explorer = self._explorer(str(cfg.get("explorer", "random")))
+        start = time.perf_counter()
+        result = runner.run(explorer, int(cfg.get("budget", 8)), seed=seed)
+        wall = time.perf_counter() - start
+        return result.to_run_result(
+            workload=self.name, config=cfg, seed=seed, impl=impl,
+            wall_time_s=wall, reference=_REFERENCE,
+        )
+
+
+register_workload(DSEWorkload())

@@ -279,6 +279,19 @@ class ResultCache:
             if self._dirty >= self.flush_every:
                 self.flush()
 
+    def delete(self, key: str) -> bool:
+        """Drop *key* if present (used by :mod:`repro.serve` to keep
+        failed evaluations out of the store).  Returns whether the key
+        existed; the disk store is rewritten at the next flush."""
+        if key not in self._records:
+            return False
+        del self._records[key]
+        if self.path is not None:
+            self._dirty += 1
+            if self._dirty >= self.flush_every:
+                self.flush()
+        return True
+
     def digest(self, obj: Any) -> str:
         """:func:`config_digest` of *obj*, memoized by object identity.
 

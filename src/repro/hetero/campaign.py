@@ -80,6 +80,36 @@ class CampaignCell:
     def from_record(cls, record: Dict[str, Any]) -> "CampaignCell":
         return cls(**record)
 
+    def to_run_result(
+        self,
+        *,
+        workload: str = "hetero-cell",
+        config=None,
+        seed=None,
+        impl=None,
+        wall_time_s: float = 0.0,
+    ):
+        """This cell in the unified :class:`~repro.core.api.RunResult`
+        shape; the legacy field names stay reachable as deprecated
+        attribute aliases on the returned object."""
+        from repro.core.api import build_run_result
+
+        metrics = {
+            "device": self.device,
+            "storage": self.storage,
+            "phase": self.phase,
+            "total_seconds": self.total_seconds,
+            "throughput_volumes_s": self.throughput_volumes_s,
+            "energy_j": self.energy_j,
+            "bottleneck": self.bottleneck,
+        }
+        if self.executed_on is not None:
+            metrics["executed_on"] = self.executed_on
+        return build_run_result(
+            workload, metrics, config=config, seed=seed, impl=impl,
+            wall_time_s=wall_time_s, attempts=self.attempts,
+        )
+
 
 def _campaign_cell_task(
     args: Tuple[SegmentationWorkload, ComputeDevice, StorageDevice, str],

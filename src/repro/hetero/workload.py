@@ -105,3 +105,88 @@ def threshold_segmenter(volume: np.ndarray, threshold: float = 0.75) -> np.ndarr
     if not 0.0 < threshold < 1.0:
         raise ValidationError("threshold must be in (0, 1)")
     return np.asarray(volume) >= threshold
+
+
+class HeteroCellWorkload:
+    """``hetero-cell``: one (device, storage, phase) campaign cell of the
+    Sec. VI benchmarking matrix, under the unified
+    :class:`~repro.core.api.Workload` contract.  Device and storage are
+    named by short preset keys so configs stay digest-friendly."""
+
+    name = "hetero-cell"
+
+    def space(self):
+        return {
+            "device": ("cpu", "gpu", "fpga"),
+            "storage": ("sata", "nvme", "csd"),
+            "phase": ("inference", "training"),
+            "num_volumes": (32, 64, 200),
+            "epochs": (1, 3),
+        }
+
+    @staticmethod
+    def _presets():
+        from repro.hetero.devices import CPU_XEON, FPGA_ALVEO, GPU_A100
+        from repro.hetero.storage import (
+            NVME_SSD,
+            SATA_SSD,
+            computational_storage,
+        )
+
+        devices = {"cpu": CPU_XEON, "gpu": GPU_A100, "fpga": FPGA_ALVEO}
+        storage = {
+            "sata": SATA_SSD,
+            "nvme": NVME_SSD,
+            "csd": computational_storage(),
+        }
+        return devices, storage
+
+    def evaluate(self, config, *, seed: int = 0, impl=None):
+        import time
+
+        from repro.core.errors import ValidationError
+        from repro.hetero.campaign import CampaignCell, _campaign_cell_task
+
+        if impl not in (None, "numpy"):
+            raise ValidationError(
+                f"hetero-cell supports impl=None|'numpy', got {impl!r}"
+            )
+        cfg = dict(config)
+        devices, storage_tiers = self._presets()
+        device_key = str(cfg.get("device", "cpu"))
+        storage_key = str(cfg.get("storage", "sata"))
+        phase = str(cfg.get("phase", "inference"))
+        if device_key not in devices:
+            raise ValidationError(
+                f"unknown device preset {device_key!r} "
+                f"(choose from {sorted(devices)})"
+            )
+        if storage_key not in storage_tiers:
+            raise ValidationError(
+                f"unknown storage preset {storage_key!r} "
+                f"(choose from {sorted(storage_tiers)})"
+            )
+        if phase not in ("training", "inference"):
+            raise ValidationError(f"unknown phase {phase!r}")
+        workload = SegmentationWorkload(
+            num_volumes=int(cfg.get("num_volumes", 32)),
+            epochs=int(cfg.get("epochs", 1)),
+        )
+        start = time.perf_counter()
+        record = _campaign_cell_task(
+            (workload, devices[device_key], storage_tiers[storage_key], phase)
+        )
+        wall = time.perf_counter() - start
+        return CampaignCell.from_record(record).to_run_result(
+            workload=self.name, config=cfg, seed=seed, impl=impl,
+            wall_time_s=wall,
+        )
+
+
+def _register() -> None:
+    from repro.core.api import register_workload
+
+    register_workload(HeteroCellWorkload())
+
+
+_register()

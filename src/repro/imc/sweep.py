@@ -154,12 +154,22 @@ def sweep_grid(
     wire_resistances: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
     num_inputs: int = 8,
     seed: int = 0,
-) -> List[CrossbarSweepSpec]:
+    evaluate: bool = False,
+    parallel: EvaluatorLike = None,
+    cache: CacheLike = None,
+):
     """A deterministic campaign grid of *num_cells* distinct specs.
 
     Cycles device technology and wire resistance while advancing the
     per-cell seed, the standard shape of the Sec. IV variability
     campaigns (n repetitions per corner).
+
+    By default returns the spec list (legacy behaviour).  With
+    ``evaluate=True`` -- implied when ``parallel=`` or ``cache=`` is
+    given -- the grid is run through :func:`crossbar_sweep` and the
+    evaluated records are returned instead, honouring the suite-wide
+    ``parallel=`` / ``cache=`` contract (see :mod:`repro.core.api`)
+    exactly like ``DSERunner.run`` and the hetero campaigns.
     """
     if num_cells < 1:
         raise ValidationError("num_cells must be >= 1")
@@ -177,6 +187,8 @@ def sweep_grid(
                 seed=seed + i,
             )
         )
+    if evaluate or parallel is not None or cache is not None:
+        return crossbar_sweep(specs, parallel=parallel, cache=cache)
     return specs
 
 

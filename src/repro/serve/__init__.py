@@ -1,0 +1,49 @@
+"""Asynchronous micro-batched evaluation serving.
+
+The front door that turns the suite's simulators into a servable
+system (ROADMAP north-star: "serves heavy traffic ... sharding,
+batching, async, caching"):
+
+- :class:`EvaluationService` -- bounded priority queue, micro-batch
+  coalescing, dispatch onto :class:`~repro.exec.ParallelEvaluator`
+  with content-addressed caching, in-batch dedup,
+  :mod:`repro.resilience` retry/deadline handling, admission control
+  and graceful drain/shutdown;
+- :class:`EvalRequest` / :class:`AdmissionRejected` -- the request
+  vocabulary;
+- :class:`ServiceMetrics` -- queue depth, batch occupancy, latency
+  percentiles, throughput and cache-hit accounting as JSON snapshots;
+- :func:`serve_requests` -- one-shot request-list serving;
+- :mod:`repro.serve.loadgen` -- deterministic synthetic traffic for
+  benches and the ``repro serve`` CLI.
+"""
+
+from repro.serve.loadgen import (
+    config_pool,
+    generate_requests,
+    run_load,
+    zipf_weights,
+)
+from repro.serve.metrics import ServiceMetrics, percentile
+from repro.serve.request import (
+    AdmissionRejected,
+    EvalRequest,
+    PRIORITY_LANES,
+    load_requests,
+)
+from repro.serve.service import EvaluationService, serve_requests
+
+__all__ = [
+    "AdmissionRejected",
+    "EvalRequest",
+    "EvaluationService",
+    "PRIORITY_LANES",
+    "ServiceMetrics",
+    "config_pool",
+    "generate_requests",
+    "load_requests",
+    "percentile",
+    "run_load",
+    "serve_requests",
+    "zipf_weights",
+]

@@ -1,0 +1,486 @@
+"""The asynchronous micro-batched evaluation service.
+
+:class:`EvaluationService` is the front door the ROADMAP's serving
+story needs: callers :meth:`~EvaluationService.submit` evaluation
+requests for any registered :class:`~repro.core.api.Workload` and get
+back a future; a dispatcher thread coalesces queued requests into
+micro-batches (size- and time-bounded, priority lanes first) and ships
+each batch through :class:`~repro.exec.ParallelEvaluator`, which
+resolves content-addressed :class:`~repro.exec.ResultCache` hits,
+deduplicates identical requests inside the batch and evaluates the rest
+under the :mod:`repro.resilience` retry/deadline contract.  The queue
+is bounded: producers either block (backpressure) or get an immediate
+:class:`~repro.serve.request.AdmissionRejected` with a reason.
+
+Serving never perturbs results: evaluation happens through the same
+``Workload.evaluate`` a direct caller would use, and every random
+stream derives from request content, so a served
+:class:`~repro.core.api.RunResult` is byte-identical (canonical form)
+to a direct evaluation -- the equivalence the conformance tests pin.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.api import RunResult, ensure_default_workloads, get_workload
+from repro.core.errors import ValidationError
+from repro.exec import ParallelEvaluator, coerce_cache
+from repro.exec.parallel import CacheLike, EvaluatorLike, make_evaluator
+from repro.perf import get_profiler
+from repro.resilience import BackoffPolicy, Deadline, resilient_run
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.request import AdmissionRejected, EvalRequest
+
+
+def _evaluate_request_task(task: Tuple) -> Dict[str, Any]:
+    """Evaluate one request in a worker (module-level: picklable).
+
+    Returns ``RunResult.to_json()`` unconditionally -- transient faults
+    are retried under the policy, the deadline bounds the retry storm,
+    and any terminal exception becomes an error result instead of
+    killing the batch, so the service degrades per-request.
+    """
+    from repro.core.api import build_run_result
+    from repro.core.errors import TransientFault
+
+    name, config, seed, impl, policy, timeout_s = task
+    ensure_default_workloads()
+    start = time.perf_counter()
+    try:
+        workload = get_workload(name)
+        deadline = Deadline(timeout_s) if timeout_s is not None else None
+        outcome = resilient_run(
+            lambda: workload.evaluate(config, seed=seed, impl=impl),
+            policy=policy,
+            retry_on=(TransientFault,),
+            deadline=deadline,
+        )
+        result: RunResult = outcome.value
+        if outcome.attempts > 1:
+            result = RunResult(
+                **{**result.to_json(), "attempts": outcome.attempts}
+            )
+        return result.to_json()
+    except Exception as exc:
+        return build_run_result(
+            name,
+            {},
+            config=config,
+            seed=seed,
+            impl=impl,
+            wall_time_s=time.perf_counter() - start,
+            status="error",
+            error=str(exc),
+            error_type=type(exc).__name__,
+        ).to_json()
+
+
+class EvaluationService:
+    """Async micro-batched front door over the workload registry.
+
+    Parameters follow the suite-wide ``parallel=`` / ``cache=``
+    contract (see :mod:`repro.core.api`): *parallel* selects the batch
+    execution engine (default: a serial cache-aware engine -- batching
+    still wins through dedup and amortized dispatch), *cache* memoizes
+    results across batches by request digest.  *batch_size* bounds
+    micro-batch occupancy; *batch_wait_s* is how long the dispatcher
+    holds an under-full batch open for coalescing; *max_queue* bounds
+    the admission queue.
+    """
+
+    def __init__(
+        self,
+        *,
+        batch_size: int = 8,
+        batch_wait_s: float = 0.005,
+        max_queue: int = 256,
+        parallel: EvaluatorLike = None,
+        cache: CacheLike = None,
+        policy: Optional[BackoffPolicy] = None,
+        default_timeout_s: Optional[float] = None,
+        start: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValidationError("batch_size must be >= 1")
+        if batch_wait_s < 0:
+            raise ValidationError("batch_wait_s must be >= 0")
+        if max_queue < 1:
+            raise ValidationError("max_queue must be >= 1")
+        self.batch_size = batch_size
+        self.batch_wait_s = batch_wait_s
+        self.max_queue = max_queue
+        engine = make_evaluator(parallel, cache)
+        if engine is None:
+            engine = ParallelEvaluator(
+                max_workers=1, mode="serial", cache=coerce_cache(cache)
+            )
+        self._evaluator = engine
+        self.policy = policy or BackoffPolicy(max_attempts=1)
+        self.default_timeout_s = default_timeout_s
+        self.metrics = ServiceMetrics()
+
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._space_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: List[Tuple[int, int, float, EvalRequest, Future]] = []
+        self._seq = 0
+        self._pending = 0
+        self._draining = False
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._stopped:
+                raise ValidationError("service has been shut down")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-serve-dispatcher",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    @property
+    def cache(self):
+        return self._evaluator.cache
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------ admission
+
+    def submit_request(
+        self, request: EvalRequest, *, block: bool = False
+    ) -> "Future[RunResult]":
+        """Admit *request*; returns a future resolving to its
+        :class:`~repro.core.api.RunResult`.
+
+        A saturated queue raises :class:`AdmissionRejected` immediately
+        unless ``block=True``, in which case the caller waits for space
+        -- backpressure instead of rejection.
+        """
+        get_workload(request.workload)  # unknown names fail fast
+        future: "Future[RunResult]" = Future()
+        with self._lock:
+            self._check_admission()
+            while len(self._queue) >= self.max_queue:
+                if not block:
+                    self.metrics.record_reject("queue full")
+                    raise AdmissionRejected(
+                        f"queue is full ({self.max_queue} requests); "
+                        "retry later or submit with block=True",
+                        reason="queue full",
+                    )
+                self._space_ready.wait()
+                self._check_admission()
+            self._seq += 1
+            heapq.heappush(
+                self._queue,
+                (
+                    request.priority_rank,
+                    self._seq,
+                    time.perf_counter(),
+                    request,
+                    future,
+                ),
+            )
+            self._pending += 1
+            self.metrics.record_submit(len(self._queue))
+            self._work_ready.notify()
+        return future
+
+    def _check_admission(self) -> None:
+        if self._stopped:
+            self.metrics.record_reject("stopped")
+            raise AdmissionRejected(
+                "service is stopped", reason="stopped"
+            )
+        if self._draining:
+            self.metrics.record_reject("draining")
+            raise AdmissionRejected(
+                "service is draining", reason="draining"
+            )
+
+    def submit(
+        self,
+        workload: str,
+        config: Optional[Mapping[str, Any]] = None,
+        *,
+        seed: int = 0,
+        impl: Optional[str] = None,
+        priority: Any = "normal",
+        timeout_s: Optional[float] = None,
+        block: bool = False,
+    ) -> "Future[RunResult]":
+        """Convenience :meth:`submit_request` from bare arguments."""
+        return self.submit_request(
+            EvalRequest(
+                workload=workload,
+                config=dict(config or {}),
+                seed=seed,
+                impl=impl,
+                priority=priority,
+                timeout_s=(
+                    timeout_s if timeout_s is not None
+                    else self.default_timeout_s
+                ),
+            ),
+            block=block,
+        )
+
+    def submit_async(self, request: EvalRequest, *, block: bool = False):
+        """Awaitable form of :meth:`submit_request` for asyncio callers
+        (wraps the concurrent future into the running event loop)."""
+        import asyncio
+
+        return asyncio.wrap_future(self.submit_request(request, block=block))
+
+    def evaluate(
+        self,
+        workload: str,
+        config: Optional[Mapping[str, Any]] = None,
+        **kwargs: Any,
+    ) -> RunResult:
+        """Synchronous round trip: submit and wait for the result."""
+        return self.submit(workload, config, **kwargs).result()
+
+    # ------------------------------------------------------------- shutdown
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request has resolved.
+
+        Returns False if *timeout* elapsed first.  Admission stays open
+        (callers wanting a terminal drain use :meth:`shutdown`), so a
+        drain only completes when producers pause.
+        """
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        with self._lock:
+            while self._pending > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop the service.
+
+        ``drain=True`` (graceful) completes every queued request first;
+        ``drain=False`` cancels queued requests (their futures raise
+        :class:`AdmissionRejected`) and stops after the in-flight batch.
+        Idempotent.
+        """
+        with self._lock:
+            if self._stopped and self._thread is None:
+                return
+            self._draining = True
+            if not drain:
+                cancelled = [entry for entry in self._queue]
+                self._queue.clear()
+                for *_, request, future in cancelled:
+                    self._pending -= 1
+                    future.set_exception(
+                        AdmissionRejected(
+                            "service shut down before this request "
+                            "was dispatched",
+                            reason="cancelled",
+                        )
+                    )
+                if cancelled:
+                    self._idle.notify_all()
+            self._space_ready.notify_all()
+        if drain:
+            self.drain(timeout)
+        with self._lock:
+            self._stopped = True
+            self._work_ready.notify_all()
+            self._space_ready.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+        if self.cache is not None:
+            self.cache.close()
+
+    # ------------------------------------------------------------ dispatch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            try:
+                self._run_batch(batch)
+            except Exception as exc:  # pragma: no cover - defensive
+                # A batch-level failure must not strand futures.
+                for _, _, request, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                with self._lock:
+                    self._pending -= len(batch)
+                    self._idle.notify_all()
+
+    def _next_batch(
+        self,
+    ) -> Optional[List[Tuple[float, float, EvalRequest, Future]]]:
+        """Pop up to ``batch_size`` requests, priority lanes first.
+
+        The first request opens the batch; the dispatcher then holds it
+        open for up to ``batch_wait_s`` (or until full) so closely
+        spaced requests coalesce -- the micro-batching window.
+        """
+        with self._lock:
+            while not self._queue and not self._stopped:
+                self._work_ready.wait()
+            if self._stopped and not self._queue:
+                return None
+            batch = [self._pop_entry()]
+            hold_until = time.perf_counter() + self.batch_wait_s
+            while len(batch) < self.batch_size:
+                if self._queue:
+                    batch.append(self._pop_entry())
+                    continue
+                remaining = hold_until - time.perf_counter()
+                if remaining <= 0 or self._stopped:
+                    break
+                self._work_ready.wait(remaining)
+            self._space_ready.notify_all()
+            return batch
+
+    def _pop_entry(self) -> Tuple[float, float, EvalRequest, Future]:
+        _, _, enqueued, request, future = heapq.heappop(self._queue)
+        return (enqueued, time.perf_counter(), request, future)
+
+    def _run_batch(
+        self, batch: List[Tuple[float, float, EvalRequest, Future]]
+    ) -> None:
+        profiler = get_profiler()
+        start = time.perf_counter()
+        tasks = [
+            (
+                request.workload,
+                dict(request.config),
+                request.seed,
+                request.impl,
+                self.policy,
+                (
+                    request.timeout_s
+                    if request.timeout_s is not None
+                    else self.default_timeout_s
+                ),
+            )
+            for _, _, request, _ in batch
+        ]
+        keys = [request.digest for _, _, request, _ in batch]
+        cache = self._evaluator.cache
+        hits_before = cache.stats()["hits"] if cache is not None else 0
+        computed_before = self._evaluator.tasks_computed
+        records = self._evaluator.map(_evaluate_request_task, tasks, keys=keys)
+        computed = self._evaluator.tasks_computed - computed_before
+        cache_hits = (
+            (cache.stats()["hits"] - hits_before) if cache is not None else 0
+        )
+
+        retries = 0
+        done_at = time.perf_counter()
+        for (enqueued, dispatched, request, future), key, record in zip(
+            batch, keys, records
+        ):
+            result = RunResult.from_json(record)
+            if not result.ok and cache is not None:
+                # Failures are outcomes, not reusable pure values.
+                cache.delete(key)
+            retries += max(0, result.attempts - 1)
+            self.metrics.record_done(
+                latency_s=done_at - enqueued,
+                queue_wait_s=dispatched - enqueued,
+                ok=result.ok,
+            )
+            future.set_result(result)
+        self.metrics.record_batch(
+            size=len(batch),
+            computed=computed,
+            cache_hits=cache_hits,
+            deduped=len(batch) - computed - cache_hits,
+            retries=retries,
+        )
+        if profiler.enabled:
+            profiler.record("serve.batch", time.perf_counter() - start)
+            profiler.count("serve.batch.requests", len(batch))
+        with self._lock:
+            self._pending -= len(batch)
+            if self._pending == 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Metrics snapshot including cache and evaluator accounting."""
+        cache = self._evaluator.cache
+        return self.metrics.snapshot(
+            queue_depth=self.queue_depth,
+            cache_stats=cache.stats() if cache is not None else None,
+            evaluator_stats=self._evaluator.stats(),
+        )
+
+
+def serve_requests(
+    requests: Sequence[EvalRequest],
+    *,
+    batch_size: int = 8,
+    batch_wait_s: float = 0.005,
+    parallel: EvaluatorLike = None,
+    cache: CacheLike = None,
+    policy: Optional[BackoffPolicy] = None,
+) -> Tuple[List[RunResult], Dict[str, Any]]:
+    """One-shot convenience: serve *requests* to completion.
+
+    Builds a service sized to the request list, submits everything
+    (blocking admission = backpressure, no rejections), drains, and
+    returns ``(results in request order, metrics snapshot)``.
+    """
+    service = EvaluationService(
+        batch_size=batch_size,
+        batch_wait_s=batch_wait_s,
+        max_queue=max(1, len(requests)),
+        parallel=parallel,
+        cache=cache,
+        policy=policy,
+    )
+    try:
+        futures = [
+            service.submit_request(request, block=True)
+            for request in requests
+        ]
+        results = [future.result() for future in futures]
+        snapshot = service.snapshot()
+    finally:
+        service.shutdown()
+    return results, snapshot

@@ -53,6 +53,31 @@ class SimulationStats:
     def tasks_per_kcycle(self) -> float:
         return 1000.0 * self.tasks_completed / self.cycles if self.cycles else 0.0
 
+    def to_run_result(
+        self,
+        *,
+        workload: str = "sparta",
+        config=None,
+        seed=None,
+        impl=None,
+        wall_time_s: float = 0.0,
+    ):
+        """This result in the unified :class:`~repro.core.api.RunResult`
+        shape; the legacy field names stay reachable as deprecated
+        attribute aliases on the returned object."""
+        from dataclasses import asdict
+
+        from repro.core.api import build_run_result
+
+        metrics = asdict(self)
+        metrics["utilization"] = self.utilization
+        metrics["cache_hit_rate"] = self.cache_hit_rate
+        metrics["tasks_per_kcycle"] = self.tasks_per_kcycle
+        return build_run_result(
+            workload, metrics, config=config, seed=seed, impl=impl,
+            wall_time_s=wall_time_s,
+        )
+
 
 class SpartaSystem:
     """N-lane SPARTA accelerator with a shared crossbar NoC."""

@@ -45,3 +45,45 @@ class TestCli:
         main(["survey-csv"])
         out = capsys.readouterr().out
         assert from_csv(out) == load_dataset()
+
+
+class TestServeCli:
+    def test_synthetic_load_mode(self, capsys):
+        assert main([
+            "serve", "--workload", "hls", "--num-requests", "8",
+            "--batch-size", "4", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic load" in out
+        assert "'hls'" in out
+        assert "batches:" in out
+        assert "deduped" in out
+
+    def test_request_file_mode(self, tmp_path, capsys):
+        import json
+
+        requests = [
+            {"workload": "hls", "config": {"kernel": "dot", "size": 8}},
+            {"workload": "sparta", "config": {"num_nodes": 48},
+             "priority": "high", "seed": 3},
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(requests))
+        out_path = tmp_path / "snapshot.json"
+        assert main([
+            "serve", "--requests", str(path), "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 request(s)" in out
+        assert "hls" in out and "sparta" in out
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["requests"]["completed"] == 2
+        assert "latency_s" in snapshot
+
+    def test_bad_request_file_rejected(self, tmp_path):
+        from repro.core.errors import ValidationError
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"workload": "hls"}')
+        with pytest.raises(ValidationError, match="array"):
+            main(["serve", "--requests", str(path)])
