@@ -1,0 +1,212 @@
+"""Experiment OBS: observability overhead on the profiled hot kernels.
+
+The ``repro.obs`` spine promises near-zero cost when disabled -- the
+``@profiled`` wrapper on every hot kernel reduces to one hook check and
+one ``enabled`` flag read.  This bench measures that promise on the
+kernel microbench workloads and gates it in CI:
+
+- **disabled**: tracing, metrics, ledger and the perf profiler all off
+  (the default state of every library entry point).  Measured against
+  the unwrapped kernel (``fn.__wrapped__``), the wrapper must cost at
+  most ``--max-overhead`` (default 5%) at the bench size.
+- **enabled**: full tracing with span capture under an active trace
+  context.  Reported for the record, never gated -- recording spans is
+  supposed to cost something.
+
+Run standalone to emit the JSON artifact and a sample Chrome trace::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick \
+        --out BENCH_obs.json --trace-out BENCH_obs_trace.json
+
+Acceptance targets (asserted with ``--check``, reported always):
+
+- disabled-mode overhead <= 5% on every measured kernel;
+- the enabled-mode run records at least one span per kernel call
+  (the bridge actually fires).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
+from repro.obs.trace import derive_trace_id
+from repro.perf import get_profiler
+
+FULL = {"rows": 128, "cols": 128, "batch": 8, "calls": 400}
+QUICK = {"rows": 64, "cols": 64, "batch": 4, "calls": 120}
+
+
+def _make_workload(size):
+    """A seeded crossbar and input batch; returns (call, unwrapped)."""
+    xbar = AnalogCrossbar(
+        CrossbarConfig(rows=size["rows"], cols=size["cols"]), seed=42
+    )
+    rng = np.random.default_rng(42)
+    xbar.program_weights(rng.uniform(-1, 1, (size["rows"], size["cols"])))
+    xs = rng.uniform(-1, 1, (size["batch"], size["rows"]))
+
+    def call():
+        return xbar.mvm_batch(xs)
+
+    # ``@profiled`` uses functools.wraps, so the raw kernel is reachable
+    # for an honest no-instrumentation baseline.
+    raw = AnalogCrossbar.mvm_batch.__wrapped__
+
+    def direct():
+        return raw(xbar, xs)
+
+    return call, direct
+
+
+def _time_calls(fn, calls: int) -> float:
+    start = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return time.perf_counter() - start
+
+
+def _measure(size, repeats: int):
+    """One overhead row: direct vs wrapped-disabled vs wrapped-enabled."""
+    call, direct = _make_workload(size)
+    calls = size["calls"]
+
+    obs.disable()
+    get_profiler().disable()
+    call()  # warm-up: imports, allocator, caches
+    direct_s = min(_time_calls(direct, calls) for _ in range(repeats))
+    disabled_s = min(_time_calls(call, calls) for _ in range(repeats))
+
+    tracer = obs.enable_tracing()
+    tracer.reset()
+    ctx_id = derive_trace_id("bench-obs", 0)
+    root = tracer.start_span("bench", trace_id=ctx_id, parent_id="")
+    with tracer.activate(root.context):
+        enabled_s = min(_time_calls(call, calls) for _ in range(repeats))
+    tracer.end_span(root)
+    spans = len(tracer.spans(ctx_id))
+    obs.disable()
+
+    return {
+        "kernel": "imc.mvm_batch",
+        "size": {k: size[k] for k in ("rows", "cols", "batch")},
+        "calls": calls,
+        "direct_s": direct_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead": disabled_s / direct_s - 1.0,
+        "enabled_overhead": enabled_s / direct_s - 1.0,
+        "spans_recorded": spans,
+    }
+
+
+def _sample_trace(quick: bool):
+    """A small end-to-end serve run; returns Chrome trace JSON."""
+    from repro.obs.ledger import get_ledger
+    from repro.serve import EvalRequest, serve_requests
+
+    obs.enable()
+    tracer = obs.get_tracer()
+    tracer.reset()
+    get_ledger().reset()
+    requests = [
+        EvalRequest(
+            workload="imc-crossbar",
+            config={"rows": 32, "cols": 32, "batch": 4},
+            seed=seed,
+        )
+        for seed in range(2 if quick else 4)
+    ]
+    serve_requests(requests, batch_size=4)
+    trace = tracer.to_chrome()
+    obs.disable()
+    return trace
+
+
+def run_obs_study(sizes, repeats: int = 3):
+    """Measure wrapper overhead; returns the JSON-able study."""
+    return {
+        "hardware": {"cpu_count": os.cpu_count()},
+        "repeats": repeats,
+        "rows": [_measure(sizes, repeats)],
+    }
+
+
+def render(study) -> str:
+    from repro.core.tables import Table
+
+    table = Table(
+        ["kernel", "calls", "direct (s)", "disabled (s)", "enabled (s)",
+         "off ovh", "on ovh", "spans"],
+        title="bench_obs -- @profiled wrapper overhead per kernel batch",
+    )
+    for row in study["rows"]:
+        table.add_row(
+            [row["kernel"], row["calls"], round(row["direct_s"], 4),
+             round(row["disabled_s"], 4), round(row["enabled_s"], 4),
+             f"{row['disabled_overhead']:+.1%}",
+             f"{row['enabled_overhead']:+.1%}",
+             row["spans_recorded"]]
+        )
+    return table.render()
+
+
+def check(study, max_overhead: float = 0.05) -> None:
+    """Assert the disabled-mode overhead gate at the measured size."""
+    for row in study["rows"]:
+        assert row["disabled_overhead"] <= max_overhead, (
+            f"{row['kernel']}: disabled-mode observability overhead "
+            f"{row['disabled_overhead']:+.1%} exceeds the "
+            f"{max_overhead:.0%} gate"
+        )
+        assert row["spans_recorded"] >= row["calls"], (
+            f"{row['kernel']}: enabled run recorded "
+            f"{row['spans_recorded']} spans for {row['calls']} calls "
+            "(perf->span bridge did not fire)"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per mode (min is kept)")
+    parser.add_argument("--out", default=None,
+                        help="write the study JSON here")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a sample serve Chrome trace here")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the <=5%% disabled-overhead gate")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="disabled-mode overhead gate (fraction)")
+    args = parser.parse_args(argv)
+
+    sizes = QUICK if args.quick else FULL
+    study = run_obs_study(sizes, repeats=args.repeats)
+    study["quick"] = bool(args.quick)
+    print(render(study))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(study, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    if args.trace_out:
+        trace = _sample_trace(quick=args.quick)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=1, sort_keys=True)
+        print(
+            f"wrote {args.trace_out} "
+            f"({len(trace['traceEvents'])} trace events)"
+        )
+    if args.check:
+        check(study, max_overhead=args.max_overhead)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,14 @@ all) of the short kernel demos -- ``imc``, ``dna``, ``axc``, ``sparta``,
 a synthetic load (``--workload``, ``--num-requests``, ``--rate``,
 ``--batch-size``) exercises the service and prints the
 latency/throughput point, optionally writing the full metrics snapshot
-with ``--out``.
+with ``--out``.  With ``--trace-dir DIR`` the run executes under
+:mod:`repro.obs` tracing and writes ``trace.jsonl``, ``ledger.jsonl``
+and a Chrome ``trace.chrome.json`` into DIR.
+
+``obs`` inspects such a directory: ``repro obs show <trace_id>``
+renders one request's span tree and ledger events, ``repro obs
+summary`` aggregates span durations per name, ``repro obs export
+--format=chrome`` re-exports the spans as Chrome trace-event JSON.
 """
 
 from __future__ import annotations
@@ -234,6 +241,36 @@ def _cmd_exec(args: "argparse.Namespace") -> str:
     return table.render() + "\n" + footer
 
 
+#: File names inside a ``--trace-dir`` directory; shared by the serve
+#: exporter and the ``repro obs`` reader.
+TRACE_FILE = "trace.jsonl"
+LEDGER_FILE = "ledger.jsonl"
+CHROME_FILE = "trace.chrome.json"
+
+
+def _export_observability(trace_dir: str) -> str:
+    """Write the collected spans/events/Chrome trace into *trace_dir*
+    and return a one-line footer describing what landed where."""
+    import json
+    import os
+
+    from repro import obs
+
+    tracer = obs.get_tracer()
+    ledger = obs.get_ledger()
+    os.makedirs(trace_dir, exist_ok=True)
+    spans = tracer.export_jsonl(os.path.join(trace_dir, TRACE_FILE))
+    events = ledger.export_jsonl(os.path.join(trace_dir, LEDGER_FILE))
+    chrome_path = os.path.join(trace_dir, CHROME_FILE)
+    with open(chrome_path, "w", encoding="utf-8") as fh:
+        json.dump(tracer.to_chrome(), fh, indent=2, sort_keys=True)
+    return (
+        f"trace: {spans} spans / {events} events -> {trace_dir} "
+        f"(chrome: {chrome_path}; inspect with 'repro obs summary "
+        f"--trace-dir {trace_dir}')"
+    )
+
+
 def _cmd_serve(args: "argparse.Namespace") -> str:
     import json
 
@@ -245,6 +282,13 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
         serve_requests,
         EvaluationService,
     )
+
+    if args.trace_dir:
+        from repro import obs
+
+        obs.enable()
+        obs.get_tracer().reset()
+        obs.get_ledger().reset()
 
     batch_size = args.batch_size
     if args.requests:
@@ -324,7 +368,113 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
         footer += f"; metrics snapshot written to {args.out}"
+    if args.trace_dir:
+        from repro import obs
+
+        footer += "\n" + _export_observability(args.trace_dir)
+        obs.disable()
     return table.render() + "\n" + footer
+
+
+def _obs_main(argv: List[str]) -> int:
+    """The ``repro obs`` subcommand family (its own parser: the obs
+    verbs take a trace directory, not a paper artifact)."""
+    import json
+    import os
+
+    from repro.obs import (
+        chrome_trace,
+        load_ledger_jsonl,
+        load_trace_jsonl,
+        render_summary,
+        render_trace,
+        select_trace,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Inspect traces recorded by 'repro serve "
+        "--trace-dir' (or any repro.obs export).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    show = sub.add_parser(
+        "show", help="render one trace's span tree and ledger events"
+    )
+    show.add_argument("trace_id", help="trace id (unique prefix accepted)")
+    summary = sub.add_parser(
+        "summary", help="aggregate span durations across all traces"
+    )
+    export = sub.add_parser(
+        "export", help="re-export collected spans"
+    )
+    export.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome"
+    )
+    export.add_argument(
+        "--out", default=None,
+        help="output file (default: stdout)",
+    )
+    for verb in (show, summary, export):
+        verb.add_argument(
+            "--trace-dir", default="obs",
+            help="directory written by 'repro serve --trace-dir' "
+            "(default: ./obs)",
+        )
+    args = parser.parse_args(argv)
+
+    trace_path = os.path.join(args.trace_dir, TRACE_FILE)
+    if not os.path.exists(trace_path):
+        print(
+            f"no trace at {trace_path}; record one with "
+            f"'repro serve --trace-dir {args.trace_dir}'",
+            file=sys.stderr,
+        )
+        return 1
+    spans = load_trace_jsonl(trace_path)
+    ledger_path = os.path.join(args.trace_dir, LEDGER_FILE)
+    events = (
+        load_ledger_jsonl(ledger_path)
+        if os.path.exists(ledger_path)
+        else []
+    )
+
+    if args.verb == "show":
+        selected = select_trace(spans, args.trace_id)
+        if not selected:
+            known = sorted({s["trace_id"] for s in spans})
+            print(
+                f"trace {args.trace_id!r} not found "
+                f"(known: {', '.join(known) or 'none'})",
+                file=sys.stderr,
+            )
+            return 1
+        tid = selected[0]["trace_id"]
+        print(f"trace {tid}")
+        print(
+            render_trace(
+                selected,
+                [e for e in events if e.get("trace_id") == tid],
+            )
+        )
+    elif args.verb == "summary":
+        print(render_summary(spans, events))
+    else:
+        if args.format == "chrome":
+            payload = json.dumps(
+                chrome_trace(spans), indent=2, sort_keys=True
+            )
+        else:
+            payload = "\n".join(
+                json.dumps(s, sort_keys=True) for s in spans
+            )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(payload)
+    return 0
 
 
 def _demo_imc() -> None:
@@ -450,18 +600,22 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate ICSC Flagship 2 paper artifacts.",
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_COMMANDS) + ["exec", "profile", "serve"],
+        choices=sorted(_COMMANDS) + ["exec", "obs", "profile", "serve"],
         help="which paper artifact to regenerate ('exec' runs the "
         "parallel evaluation engine demo, 'profile' times the "
         "instrumented kernels on short demo workloads, 'serve' runs "
         "the micro-batched evaluation service -- one-shot with "
-        "--requests FILE, synthetic load otherwise)",
+        "--requests FILE, synthetic load otherwise; 'obs' inspects "
+        "recorded traces: show/summary/export)",
     )
     parser.add_argument(
         "demo",
@@ -538,6 +692,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out",
         default=None,
         help="serve: write the service metrics snapshot JSON here",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="serve: record the run under repro.obs tracing and write "
+        "trace.jsonl / ledger.jsonl / trace.chrome.json here",
     )
     args = parser.parse_args(argv)
     if args.demo is not None and args.artifact != "profile":

@@ -61,9 +61,10 @@ from repro.core.errors import ValidationError
 _STATUSES = ("ok", "error")
 
 #: RunResult fields excluded from the canonical form: they vary between
-#: two otherwise-identical evaluations (timing noise, retry count), so
-#: equality of evaluations is defined without them.
-VOLATILE_FIELDS = ("wall_time_s", "attempts")
+#: two otherwise-identical evaluations (timing noise, retry count, which
+#: request instance produced them), so equality of evaluations is
+#: defined without them.
+VOLATILE_FIELDS = ("wall_time_s", "attempts", "trace_id")
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,9 @@ class RunResult:
     error: Optional[str] = None
     error_type: Optional[str] = None
     attempts: int = 1
+    #: The trace this evaluation ran under (when tracing was enabled);
+    #: volatile, since the same evaluation can serve many traces.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status not in _STATUSES:
@@ -187,6 +191,7 @@ def build_run_result(
     error: Optional[str] = None,
     error_type: Optional[str] = None,
     attempts: int = 1,
+    trace_id: Optional[str] = None,
 ) -> RunResult:
     """Assemble a :class:`RunResult`, deriving the content digest from
     (workload, config, seed, impl) via :func:`request_digest`."""
@@ -200,6 +205,7 @@ def build_run_result(
         error=error,
         error_type=error_type,
         attempts=attempts,
+        trace_id=trace_id,
     )
 
 

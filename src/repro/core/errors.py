@@ -52,7 +52,9 @@ class SimulationTimeout(ReproError, RuntimeError):
     callers that caught the old bare error.  *partial_stats* carries
     whatever statistics object the simulator had accumulated when the
     deadline fired, so a harness can checkpoint progress instead of
-    losing the run.
+    losing the run.  *trace_id* ties the failure back to the request
+    trace and run ledger; when tracing is active it is filled in
+    automatically from the current trace context.
     """
 
     def __init__(
@@ -62,11 +64,29 @@ class SimulationTimeout(ReproError, RuntimeError):
         partial_stats: Any = None,
         cycles: Optional[int] = None,
         elapsed_s: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.partial_stats = partial_stats
         self.cycles = cycles
         self.elapsed_s = elapsed_s
+        if trace_id is None:
+            trace_id = _current_trace_id()
+        self.trace_id = trace_id
+
+
+def _current_trace_id() -> Optional[str]:
+    """The active trace id, if the observability layer is importable
+    and tracing is on -- errors must never fail to construct because
+    tracing is absent."""
+    try:
+        from repro.obs.trace import get_tracer
+    except ImportError:  # pragma: no cover - obs is part of the suite
+        return None
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    return tracer.current_trace_id()
 
 
 class DeviceFault(ReproError, RuntimeError):

@@ -109,6 +109,13 @@ class DSERunner:
         streams never depend on execution order, so serial and parallel
         runs produce bit-identical results at a fixed seed.
         """
+        from repro.obs.ledger import get_ledger
+
+        ledger = get_ledger()
+        ledger.event(
+            "run.started", kind="dse",
+            explorer=explorer.name, budget=budget,
+        )
         executor = make_evaluator(parallel, cache)
         evaluator = HLSEvaluator(
             self.nest, self.space, self.library, executor=executor
@@ -121,6 +128,11 @@ class DSERunner:
         for p in front:
             unique[self.space.key(p.config)] = p
         front = sorted(unique.values(), key=lambda p: p.latency_s)
+        ledger.event(
+            "run.finished", kind="dse",
+            explorer=explorer.name,
+            evaluations=len(points), front_size=len(front),
+        )
         return ExplorationResult(
             explorer_name=explorer.name,
             evaluated=points,
@@ -210,6 +222,9 @@ class DSERunner:
                 if checkpoint is not None:
                     key = f"{name}|budget={budget}|seed={seed}"
                     checkpoint.save(key, scores[name])
+                    from repro.obs.ledger import get_ledger
+
+                    get_ledger().event("checkpoint.saved", cell=key)
         elif not scores and not failures:
             raise ValidationError("compare needs at least one explorer")
         for name, message in failures.items():

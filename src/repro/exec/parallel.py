@@ -42,6 +42,51 @@ def _run_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
     return [fn(task) for task in chunk]
 
 
+def _traced_call(payload: tuple) -> dict:
+    """Evaluate one task under a propagated trace context (module-level:
+    picklable across the process-pool hop).
+
+    The payload carries the original task index, which becomes the
+    ``exec.task`` span's explicit *order*: span ids derive from
+    ``(trace, parent, name, order)``, so a worker process with a fresh
+    tracer allocates exactly the ids a serial run would -- the property
+    the serial-vs-parallel byte-identity test pins.  Spans and ledger
+    events land in local buffers and ride back in the envelope.
+    """
+    fn, task, index, wire = payload
+    from repro.obs.ledger import get_ledger
+    from repro.obs.trace import TraceContext, get_tracer
+
+    tracer = get_tracer()
+    tracer.enable()
+    ledger = get_ledger()
+    if wire.get("ledger"):
+        ledger.enable()
+    ctx = TraceContext.from_wire(wire)
+    spans: List[dict] = []
+    events: List[dict] = []
+    span = tracer.start_span(
+        "exec.task",
+        trace_id=ctx.trace_id,
+        parent_id=ctx.span_id,
+        order=index,
+        attributes={"index": index},
+    )
+    status = "ok"
+    try:
+        with tracer.activate(span.context, sink=spans), \
+                ledger.capture(events):
+            try:
+                value = fn(task)
+            except BaseException:
+                status = "error"
+                raise
+    finally:
+        tracer.end_span(span, status=status, sink=spans)
+    return {"__obs_task__": True, "value": value, "spans": spans,
+            "events": events}
+
+
 class ParallelEvaluator:
     """Map pure evaluation functions over task grids, in parallel.
 
@@ -117,7 +162,15 @@ class ParallelEvaluator:
             pending.append(idx)
 
         if pending:
-            computed = self._execute(fn, [tasks[i] for i in pending])
+            wire = self._trace_wire()
+            if wire is not None:
+                payloads = [(fn, tasks[i], i, wire) for i in pending]
+                computed = [
+                    self._absorb_envelope(env)
+                    for env in self._execute(_traced_call, payloads)
+                ]
+            else:
+                computed = self._execute(fn, [tasks[i] for i in pending])
             self.tasks_computed += len(computed)
             for slot, value in zip(pending, computed):
                 results[slot] = value
@@ -130,6 +183,35 @@ class ParallelEvaluator:
         return results
 
     # ------------------------------------------------------------ internals
+
+    def _trace_wire(self) -> Optional[dict]:
+        """The active trace context as an envelope header, or ``None``
+        when tracing is off / no context is active (the common case --
+        one boolean attribute check)."""
+        from repro.obs.ledger import get_ledger
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        ctx = tracer.current()
+        if ctx is None:
+            return None
+        wire = ctx.to_wire()
+        wire["ledger"] = get_ledger().enabled
+        return wire
+
+    def _absorb_envelope(self, envelope: dict) -> Any:
+        """Merge one :func:`_traced_call` envelope into the local
+        tracer/ledger and return the payload value."""
+        from repro.obs.ledger import get_ledger
+        from repro.obs.trace import get_tracer
+
+        get_tracer().merge_records(envelope["spans"])
+        events = envelope.get("events")
+        if events:
+            get_ledger().extend(events)
+        return envelope["value"]
 
     def _execute(self, fn: Callable[[Any], Any], tasks: List[Any]) -> List[Any]:
         if self.mode == "serial" or self.max_workers == 1 or len(tasks) == 1:

@@ -322,11 +322,19 @@ def run_resilient_campaign(
     fault injection a cell's outcome is part of the injected world, not
     a reusable pure value.
     """
+    from repro.obs.ledger import get_ledger
     from repro.resilience import BackoffPolicy, FaultInjector
 
+    ledger = get_ledger()
     injector = injector or FaultInjector()
     policy = policy or BackoffPolicy()
 
+    ledger.event(
+        "run.started",
+        kind="resilient_campaign",
+        devices=len(devices),
+        storage_tiers=len(storage_tiers),
+    )
     failed = injector.failed_devices([d.name for d in devices])
     survivors = [d for d in devices if d.name not in failed]
     fallback = survivors[0] if survivors else None
@@ -358,12 +366,14 @@ def run_resilient_campaign(
             fresh[task[-1]] = outcome
             if checkpoint is not None:
                 checkpoint.save(task[-1], outcome["record"])
+                ledger.event("checkpoint.saved", cell=task[-1])
     else:
         outcomes = engine.map(_resilient_cell_task, tasks)
         for task, outcome in zip(tasks, outcomes):
             fresh[task[-1]] = outcome
             if checkpoint is not None:
                 checkpoint.save(task[-1], outcome["record"])
+                ledger.event("checkpoint.saved", cell=task[-1])
 
     cells: List[CampaignCell] = []
     errors: List[CampaignCellError] = []
@@ -377,10 +387,21 @@ def run_resilient_campaign(
             total_backoff += fresh[key]["backoff_s"]
         if "error" in record:
             errors.append(CampaignCellError.from_record(record))
+            ledger.event(
+                "cell.error", cell=key,
+                attempts=int(record.get("attempts", 1)),
+            )
         else:
             cells.append(CampaignCell.from_record(record))
     if checkpoint is not None:
         checkpoint.flush()
+    ledger.event(
+        "run.finished",
+        kind="resilient_campaign",
+        cells=len(cells),
+        errors=len(errors),
+        resumed=len(resumed),
+    )
     return CampaignReport(
         cells=cells, errors=errors, total_backoff_s=total_backoff
     )

@@ -1,0 +1,106 @@
+"""repro.obs -- tracing, metrics, and the run ledger in one spine.
+
+Three pillars, one enablement policy (disabled by default, single
+boolean check on every hot path):
+
+- :mod:`repro.obs.trace` -- deterministic end-to-end request traces
+  with explicit context propagation across thread and process
+  boundaries, exported as JSONL or Chrome ``trace_event`` JSON;
+- :mod:`repro.obs.metrics` -- process-wide Counter/Gauge/Histogram
+  registry with mergeable fixed-bucket histograms, absorbing the
+  serve/perf/cache metric stores behind one ``snapshot()``;
+- :mod:`repro.obs.ledger` -- append-only event log keyed by trace id
+  (run/fault/retry/cache/admission/checkpoint events).
+
+``enable()``/``disable()`` flip all three together, which is what the
+``repro serve --trace-dir`` path and the tests use.
+"""
+
+from repro.obs.ledger import (
+    RunLedger,
+    disable_ledger,
+    enable_ledger,
+    get_ledger,
+    load_ledger_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+)
+from repro.obs.report import (
+    render_summary,
+    render_trace,
+    select_trace,
+    summarize_spans,
+)
+from repro.obs.stats import bucket_percentile, percentile, summary
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    canonical_spans,
+    chrome_trace,
+    derive_span_id,
+    derive_trace_id,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    load_trace_jsonl,
+)
+
+
+def enable() -> None:
+    """Turn on all three pillars (tracing + perf span bridge, metrics,
+    ledger)."""
+    enable_tracing()
+    enable_metrics()
+    enable_ledger()
+
+
+def disable() -> None:
+    """Turn all three pillars off (collected data is kept; use the
+    per-pillar ``reset()`` to drop it)."""
+    disable_tracing()
+    disable_metrics()
+    disable_ledger()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunLedger",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "bucket_percentile",
+    "canonical_spans",
+    "chrome_trace",
+    "derive_span_id",
+    "derive_trace_id",
+    "disable",
+    "disable_ledger",
+    "disable_metrics",
+    "disable_tracing",
+    "enable",
+    "enable_ledger",
+    "enable_metrics",
+    "enable_tracing",
+    "get_ledger",
+    "get_metrics",
+    "get_tracer",
+    "load_ledger_jsonl",
+    "load_trace_jsonl",
+    "percentile",
+    "render_summary",
+    "render_trace",
+    "select_trace",
+    "summarize_spans",
+    "summary",
+]

@@ -1,0 +1,154 @@
+"""Human-readable views over traces and the run ledger.
+
+Backs the ``repro obs`` CLI: ``show <trace_id>`` renders one trace as
+an indented span tree (durations, status, attributes) followed by the
+trace's ledger events; ``summary`` aggregates span durations by name
+across all traces through the shared :func:`repro.obs.stats.summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.obs.stats import summary
+
+
+def _format_attrs(record: Mapping[str, Any]) -> str:
+    attrs = dict(record.get("attributes", {}))
+    attrs.update(record.get("volatile", {}))
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    return f"  [{inner}]"
+
+
+def render_trace(
+    spans: Sequence[Mapping[str, Any]],
+    events: Sequence[Mapping[str, Any]] = (),
+) -> str:
+    """One trace as an indented tree, children ordered by span order.
+
+    Spans whose parent is missing from the set (e.g. filtered exports)
+    render as roots rather than disappearing.
+    """
+    if not spans:
+        return "(no spans)"
+    ids = {s["span_id"] for s in spans}
+    children: Dict[str, List[Mapping[str, Any]]] = {}
+    roots: List[Mapping[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_id") or ""
+        if parent and parent in ids:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def order_key(span: Mapping[str, Any]) -> Any:
+        return (span.get("order", 0), span["span_id"])
+
+    lines: List[str] = []
+
+    def walk(span: Mapping[str, Any], depth: int) -> None:
+        duration_ms = float(span.get("duration_s", 0.0)) * 1000.0
+        status = span.get("status", "ok")
+        marker = "" if status == "ok" else f"  !{status}"
+        lines.append(
+            f"{'  ' * depth}- {span['name']}  "
+            f"{duration_ms:.3f} ms{marker}{_format_attrs(span)}"
+        )
+        for child in sorted(children.get(span["span_id"], []),
+                            key=order_key):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=order_key):
+        walk(root, 0)
+
+    if events:
+        lines.append("events:")
+        for event in events:
+            extras = {
+                k: v
+                for k, v in event.items()
+                if k not in ("event", "trace_id", "ts", "seq")
+            }
+            detail = "".join(
+                f" {k}={extras[k]}" for k in sorted(extras)
+            )
+            lines.append(f"  * {event['event']}{detail}")
+    return "\n".join(lines)
+
+
+def summarize_spans(
+    spans: Sequence[Mapping[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-span-name duration summaries (count/mean/max/p50/p95/p99
+    seconds) across every trace in *spans*."""
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(str(span["name"]), []).append(
+            float(span.get("duration_s", 0.0))
+        )
+    return {name: summary(by_name[name]) for name in sorted(by_name)}
+
+
+def render_summary(
+    spans: Sequence[Mapping[str, Any]],
+    events: Sequence[Mapping[str, Any]] = (),
+) -> str:
+    """The ``repro obs summary`` table: traces, spans per name with
+    duration percentiles, event counts."""
+    trace_ids: Dict[str, None] = {}
+    for span in spans:
+        trace_ids.setdefault(str(span["trace_id"]))
+    lines = [
+        f"traces: {len(trace_ids)}   spans: {len(spans)}   "
+        f"events: {len(events)}"
+    ]
+    table = summarize_spans(spans)
+    if table:
+        lines.append(
+            f"{'span':<28} {'count':>6} {'mean ms':>9} "
+            f"{'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'max ms':>9}"
+        )
+        for name, stats in table.items():
+            lines.append(
+                f"{name:<28} {stats['count']:>6.0f} "
+                f"{stats['mean'] * 1e3:>9.3f} "
+                f"{stats['p50'] * 1e3:>9.3f} "
+                f"{stats['p95'] * 1e3:>9.3f} "
+                f"{stats['p99'] * 1e3:>9.3f} "
+                f"{stats['max'] * 1e3:>9.3f}"
+            )
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[str(event["event"])] = counts.get(str(event["event"]), 0) + 1
+    for name in sorted(counts):
+        lines.append(f"event {name}: {counts[name]}")
+    return "\n".join(lines)
+
+
+def select_trace(
+    spans: Sequence[Mapping[str, Any]], trace_id: str
+) -> List[Dict[str, Any]]:
+    """Spans of one trace, accepting unique trace-id prefixes."""
+    exact = [dict(s) for s in spans if s["trace_id"] == trace_id]
+    if exact:
+        return exact
+    matches = sorted(
+        {
+            str(s["trace_id"])
+            for s in spans
+            if str(s["trace_id"]).startswith(trace_id)
+        }
+    )
+    if len(matches) == 1:
+        return [dict(s) for s in spans if s["trace_id"] == matches[0]]
+    return []
+
+
+__all__: List[str] = [
+    "render_summary",
+    "render_trace",
+    "select_trace",
+    "summarize_spans",
+]

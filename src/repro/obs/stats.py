@@ -1,0 +1,91 @@
+"""Shared descriptive statistics for every observability surface.
+
+One percentile implementation, used everywhere a latency or duration
+distribution is summarized -- :class:`repro.serve.ServiceMetrics`
+snapshots, the load-generator's per-point latency summaries, the
+serving and observability benches.  Before :mod:`repro.obs` existed the
+same linear-interpolation math was hand-rolled per call site, which is
+exactly how two reports of "p99" quietly disagree; now the snapshots
+are byte-identical by construction (pinned by a regression test).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.errors import ValidationError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated *q*-th percentile (q in [0, 100]) of
+    *values*; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def summary(values: Sequence[float]) -> Dict[str, float]:
+    """The standard distribution summary every report shares:
+    count/mean/max plus p50/p95/p99."""
+    values = list(values)
+    if not values:
+        return {
+            "count": 0, "mean": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+    }
+
+
+def bucket_percentile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """*q*-th percentile estimated from fixed-bucket histogram counts.
+
+    *bounds* are the upper edges of the first ``len(bounds)`` buckets;
+    the final bucket (``counts[-1]``) is unbounded and is attributed its
+    lower edge.  Within a bounded bucket the estimate interpolates
+    linearly between the bucket's edges by rank -- the classic
+    mergeable-histogram percentile used by the
+    :class:`repro.obs.metrics.Histogram` snapshots.
+    """
+    if len(counts) != len(bounds) + 1:
+        raise ValidationError("counts must have one entry per bucket")
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError("percentile must be in [0, 100]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q / 100.0 * total
+    seen = 0.0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        if seen + count >= rank:
+            lo = bounds[i - 1] if i > 0 else 0.0
+            if i >= len(bounds):  # overflow bucket: no upper edge
+                return float(bounds[-1]) if bounds else 0.0
+            hi = bounds[i]
+            frac = (rank - seen) / count if count else 0.0
+            return float(lo + (hi - lo) * min(max(frac, 0.0), 1.0))
+        seen += count
+    lo = bounds[-1] if bounds else 0.0
+    return float(lo)
+
+
+__all__: List[str] = ["bucket_percentile", "percentile", "summary"]

@@ -7,7 +7,9 @@
   profilers (the default one backs the built-in kernel instrumentation
   and starts disabled);
 - :func:`profiled` -- decorator wiring a function into the default
-  profiler.
+  profiler;
+- :func:`set_span_hook` -- the bridge :mod:`repro.obs` installs so
+  every ``@profiled`` timer also emits a trace span when tracing is on.
 """
 
 from repro.perf.profiler import (
@@ -16,7 +18,9 @@ from repro.perf.profiler import (
     disable_profiling,
     enable_profiling,
     get_profiler,
+    get_span_hook,
     profiled,
+    set_span_hook,
 )
 
 __all__ = [
@@ -25,5 +29,7 @@ __all__ = [
     "disable_profiling",
     "enable_profiling",
     "get_profiler",
+    "get_span_hook",
     "profiled",
+    "set_span_hook",
 ]

@@ -212,6 +212,29 @@ class Profiler:
         return "\n".join(lines)
 
 
+# ------------------------------------------------------------- span bridge
+
+#: When tracing is enabled, :mod:`repro.obs` installs a hook here:
+#: a callable ``hook(label) -> context manager`` that opens a span with
+#: the timer's label.  Every ``@profiled`` kernel then shows up as a
+#: child span inside whatever request trace is active -- one
+#: instrumentation point, two backends.  ``None`` (the default) keeps
+#: the disabled path at a single extra identity check.
+_SPAN_HOOK: Optional[Callable[[str], Any]] = None
+
+
+def set_span_hook(hook: Optional[Callable[[str], Any]]) -> None:
+    """Install (or clear, with ``None``) the tracing bridge used by
+    :func:`profiled` wrappers.  Called by
+    :func:`repro.obs.enable_tracing` / ``disable_tracing``."""
+    global _SPAN_HOOK
+    _SPAN_HOOK = hook
+
+
+def get_span_hook() -> Optional[Callable[[str], Any]]:
+    return _SPAN_HOOK
+
+
 # ---------------------------------------------------------------- registry
 
 _REGISTRY: Dict[str, Profiler] = {}
@@ -272,9 +295,16 @@ def profiled(
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             target = profiler if profiler is not None else get_profiler()
+            hook = _SPAN_HOOK
+            if hook is None:
+                if not target.enabled:
+                    return fn(*args, **kwargs)
+                with target.timer(label):
+                    return fn(*args, **kwargs)
             if not target.enabled:
-                return fn(*args, **kwargs)
-            with target.timer(label):
+                with hook(label):
+                    return fn(*args, **kwargs)
+            with hook(label), target.timer(label):
                 return fn(*args, **kwargs)
 
         wrapper.__profiled_name__ = label

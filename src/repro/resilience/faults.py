@@ -101,6 +101,13 @@ class FaultyStorage:
     def read_time_s(self, num_bytes: float, accesses: int = 1) -> float:
         if self._rate > 0.0 and self._rng.uniform() < self._rate:
             self.faults_raised += 1
+            from repro.obs.ledger import get_ledger
+
+            get_ledger().event(
+                "fault.injected",
+                component=self._base.name,
+                fault_kind="storage-read",
+            )
             raise TransientFault(
                 f"transient read fault on {self._base.name}",
                 component=self._base.name,

@@ -150,6 +150,9 @@ def resilient_run(
     A *deadline* is checked before every attempt, so a retry storm
     cannot outlive its wall-clock budget.
     """
+    from repro.obs.ledger import get_ledger
+
+    ledger = get_ledger()
     generator = make_rng(rng)
     attempts = 0
     backoff_total = 0.0
@@ -159,11 +162,22 @@ def resilient_run(
         attempts += 1
         try:
             value = fn()
-        except retry_on:
+        except retry_on as exc:
             if attempts >= policy.max_attempts:
+                ledger.event(
+                    "retries.exhausted",
+                    attempts=attempts,
+                    error_type=type(exc).__name__,
+                )
                 raise
             delay = policy.delay_s(attempts, rng=generator)
             backoff_total += delay
+            ledger.event(
+                "retry",
+                attempt=attempts,
+                error_type=type(exc).__name__,
+                delay_s=delay,
+            )
             if sleep is not None:
                 sleep(delay)
         else:

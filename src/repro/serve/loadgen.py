@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.api import Workload, example_config
 from repro.core.errors import ValidationError
-from repro.serve.metrics import _summary
+from repro.obs.stats import summary as _summary
 from repro.serve.request import AdmissionRejected, EvalRequest
 from repro.serve.service import EvaluationService
 

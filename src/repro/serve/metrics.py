@@ -5,6 +5,14 @@ samples, batch occupancies and outcome counters under its own lock, and
 :meth:`ServiceMetrics.snapshot` folds them into the JSON report the
 CLI, the bench and CI artifacts share: p50/p95/p99 latency, throughput,
 batch occupancy, cache-hit ratio, rejection and dedup accounting.
+
+The percentile/summary math lives in :mod:`repro.obs.stats` (one
+implementation for serve, the load generator, the benches and the
+``repro obs`` reports); ``percentile`` is re-exported here for
+compatibility with pre-:mod:`repro.obs` callers.  When the process-wide
+:class:`repro.obs.MetricsRegistry` is enabled, every recording also
+feeds its counters/histograms, so the unified ``snapshot()`` covers the
+service too.
 """
 
 from __future__ import annotations
@@ -12,45 +20,15 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import get_metrics
+from repro.obs.stats import percentile, summary as _summary
 
 #: Cap on retained per-request samples; beyond it the reservoir keeps
 #: the most recent window so snapshots stay O(bounded) in a long-lived
 #: service.
 MAX_SAMPLES = 100_000
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated *q*-th percentile (q in [0, 100]) of
-    *values*; 0.0 for an empty sequence."""
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("percentile must be in [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    pos = (len(ordered) - 1) * q / 100.0
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
-
-
-def _summary(values: List[float]) -> Dict[str, float]:
-    if not values:
-        return {
-            "count": 0, "mean": 0.0, "max": 0.0,
-            "p50": 0.0, "p95": 0.0, "p99": 0.0,
-        }
-    return {
-        "count": len(values),
-        "mean": sum(values) / len(values),
-        "max": max(values),
-        "p50": percentile(values, 50.0),
-        "p95": percentile(values, 95.0),
-        "p99": percentile(values, 99.0),
-    }
 
 
 class ServiceMetrics:
@@ -81,6 +59,10 @@ class ServiceMetrics:
             self.submitted += 1
             self._queue_depths.append(queue_depth)
             self._trim(self._queue_depths)
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc("serve.submitted")
+            registry.set_gauge("serve.queue_depth", queue_depth)
 
     def record_reject(self, reason: str) -> None:
         with self._lock:
@@ -88,6 +70,7 @@ class ServiceMetrics:
             self.rejected_reasons[reason] = (
                 self.rejected_reasons.get(reason, 0) + 1
             )
+        get_metrics().inc("serve.rejected")
 
     def record_batch(
         self,
@@ -106,6 +89,14 @@ class ServiceMetrics:
             self.retries += retries
             self._batch_sizes.append(size)
             self._trim(self._batch_sizes)
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc("serve.batches")
+            registry.inc("serve.computed", computed)
+            registry.inc("serve.cache_hits", cache_hits)
+            registry.inc("serve.deduped", deduped)
+            registry.inc("serve.retries", retries)
+            registry.observe("serve.batch_occupancy", size)
 
     def record_done(
         self, *, latency_s: float, queue_wait_s: float, ok: bool
@@ -119,6 +110,11 @@ class ServiceMetrics:
             self._queue_waits.append(queue_wait_s)
             self._trim(self._latencies)
             self._trim(self._queue_waits)
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc("serve.completed" if ok else "serve.failed")
+            registry.observe("serve.latency_s", latency_s)
+            registry.observe("serve.queue_wait_s", queue_wait_s)
 
     @staticmethod
     def _trim(samples: List[Any]) -> None:

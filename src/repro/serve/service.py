@@ -31,24 +31,23 @@ from repro.core.api import RunResult, ensure_default_workloads, get_workload
 from repro.core.errors import ValidationError
 from repro.exec import ParallelEvaluator, coerce_cache
 from repro.exec.parallel import CacheLike, EvaluatorLike, make_evaluator
+from repro.obs.ledger import get_ledger
+from repro.obs.trace import derive_trace_id, get_tracer
 from repro.perf import get_profiler
 from repro.resilience import BackoffPolicy, Deadline, resilient_run
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.request import AdmissionRejected, EvalRequest
 
 
-def _evaluate_request_task(task: Tuple) -> Dict[str, Any]:
-    """Evaluate one request in a worker (module-level: picklable).
-
-    Returns ``RunResult.to_json()`` unconditionally -- transient faults
-    are retried under the policy, the deadline bounds the retry storm,
-    and any terminal exception becomes an error result instead of
-    killing the batch, so the service degrades per-request.
-    """
+def _evaluate_request_core(task: Tuple) -> Dict[str, Any]:
+    """The evaluation itself: transient faults retried under the
+    policy, the deadline bounds the retry storm, and any terminal
+    exception becomes an error result instead of killing the batch, so
+    the service degrades per-request."""
     from repro.core.api import build_run_result
     from repro.core.errors import TransientFault
 
-    name, config, seed, impl, policy, timeout_s = task
+    name, config, seed, impl, policy, timeout_s = task[:6]
     ensure_default_workloads()
     start = time.perf_counter()
     try:
@@ -77,7 +76,60 @@ def _evaluate_request_task(task: Tuple) -> Dict[str, Any]:
             status="error",
             error=str(exc),
             error_type=type(exc).__name__,
+            trace_id=getattr(exc, "trace_id", None),
         ).to_json()
+
+
+def _evaluate_request_task(task: Tuple) -> Dict[str, Any]:
+    """Evaluate one request in a worker (module-level: picklable).
+
+    Returns ``RunResult.to_json()`` unconditionally when tracing is off
+    (the seed-compatible wire shape).  Under tracing the task tuple
+    carries a 7th element -- the trace wire context -- and the return
+    value is an envelope: the result plus every span and ledger event
+    produced in the worker, keyed by the originating trace id so the
+    coordinator can tell a fresh computation from a replayed cache hit.
+    """
+    wire = task[6] if len(task) > 6 else None
+    if wire is None:
+        return _evaluate_request_core(task)
+
+    from repro.obs.ledger import get_ledger
+    from repro.obs.trace import TraceContext, enable_tracing, get_tracer
+
+    tracer = enable_tracing()  # idempotent; installs the perf bridge
+    ledger = get_ledger()
+    if wire.get("ledger"):
+        ledger.enable()
+    ctx = TraceContext.from_wire(wire)
+    spans: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    span = tracer.start_span(
+        "worker",
+        trace_id=ctx.trace_id,
+        parent_id=ctx.span_id,
+        order=0,
+    )
+    with tracer.activate(span.context, sink=spans), \
+            ledger.capture(events):
+        record = _evaluate_request_core(task)
+        if record.get("trace_id") is None:
+            record["trace_id"] = ctx.trace_id
+        status = "ok" if record.get("status") == "ok" else "error"
+        if status == "error":
+            ledger.event(
+                "request.error",
+                trace_id=ctx.trace_id,
+                error_type=record.get("error_type"),
+            )
+    get_tracer().end_span(span, status=status, sink=spans)
+    return {
+        "__obs__": True,
+        "trace_id": ctx.trace_id,
+        "result": record,
+        "spans": spans,
+        "events": events,
+    }
 
 
 class EvaluationService:
@@ -128,8 +180,15 @@ class EvaluationService:
         self._work_ready = threading.Condition(self._lock)
         self._space_ready = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
-        self._queue: List[Tuple[int, int, float, EvalRequest, Future]] = []
+        # Queue entries: (priority_rank, seq, enqueued, request, future,
+        # trace-or-None); the heap only ever compares the first two
+        # elements because seq is unique.
+        self._queue: List[Tuple] = []
         self._seq = 0
+        # Per-digest occurrence counters: the n-th submission of the
+        # same request content gets the n-th deterministic trace id, so
+        # a rerun of the same request stream reproduces its trace ids.
+        self._trace_occurrences: Dict[str, int] = {}
         self._pending = 0
         self._draining = False
         self._stopped = False
@@ -187,6 +246,11 @@ class EvaluationService:
             while len(self._queue) >= self.max_queue:
                 if not block:
                     self.metrics.record_reject("queue full")
+                    get_ledger().event(
+                        "admission.rejected",
+                        reason="queue full",
+                        digest=request.digest,
+                    )
                     raise AdmissionRejected(
                         f"queue is full ({self.max_queue} requests); "
                         "retry later or submit with block=True",
@@ -195,6 +259,7 @@ class EvaluationService:
                 self._space_ready.wait()
                 self._check_admission()
             self._seq += 1
+            trace = self._open_trace(request)
             heapq.heappush(
                 self._queue,
                 (
@@ -203,6 +268,7 @@ class EvaluationService:
                     time.perf_counter(),
                     request,
                     future,
+                    trace,
                 ),
             )
             self._pending += 1
@@ -210,14 +276,50 @@ class EvaluationService:
             self._work_ready.notify()
         return future
 
+    def _open_trace(self, request: EvalRequest) -> Optional[Dict[str, Any]]:
+        """Allocate the request's deterministic trace id and open its
+        root span (``None`` when tracing is off -- one boolean check).
+        Called under the service lock (the occurrence counter)."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        digest = request.digest
+        occurrence = self._trace_occurrences.get(digest, 0)
+        self._trace_occurrences[digest] = occurrence + 1
+        trace_id = derive_trace_id(digest, occurrence)
+        root = tracer.start_span(
+            "request",
+            trace_id=trace_id,
+            parent_id="",
+            attributes={
+                "workload": request.workload,
+                "digest": digest,
+                "seed": request.seed,
+                "priority": str(request.priority),
+            },
+        )
+        get_ledger().event(
+            "request.admitted",
+            trace_id=trace_id,
+            workload=request.workload,
+            digest=digest,
+        )
+        return {
+            "trace_id": trace_id,
+            "root": root,
+            "submitted_wall": time.time(),
+        }
+
     def _check_admission(self) -> None:
         if self._stopped:
             self.metrics.record_reject("stopped")
+            get_ledger().event("admission.rejected", reason="stopped")
             raise AdmissionRejected(
                 "service is stopped", reason="stopped"
             )
         if self._draining:
             self.metrics.record_reject("draining")
+            get_ledger().event("admission.rejected", reason="draining")
             raise AdmissionRejected(
                 "service is draining", reason="draining"
             )
@@ -304,8 +406,17 @@ class EvaluationService:
             if not drain:
                 cancelled = [entry for entry in self._queue]
                 self._queue.clear()
-                for *_, request, future in cancelled:
+                for entry in cancelled:
+                    _, _, _, request, future, trace = entry
                     self._pending -= 1
+                    if trace is not None:
+                        get_tracer().end_span(
+                            trace["root"], status="cancelled"
+                        )
+                        get_ledger().event(
+                            "request.cancelled",
+                            trace_id=trace["trace_id"],
+                        )
                     future.set_exception(
                         AdmissionRejected(
                             "service shut down before this request "
@@ -340,16 +451,15 @@ class EvaluationService:
                 self._run_batch(batch)
             except Exception as exc:  # pragma: no cover - defensive
                 # A batch-level failure must not strand futures.
-                for _, _, request, future in batch:
+                for entry in batch:
+                    future = entry[3]
                     if not future.done():
                         future.set_exception(exc)
                 with self._lock:
                     self._pending -= len(batch)
                     self._idle.notify_all()
 
-    def _next_batch(
-        self,
-    ) -> Optional[List[Tuple[float, float, EvalRequest, Future]]]:
+    def _next_batch(self) -> Optional[List[Tuple]]:
         """Pop up to ``batch_size`` requests, priority lanes first.
 
         The first request opens the batch; the dispatcher then holds it
@@ -374,15 +484,56 @@ class EvaluationService:
             self._space_ready.notify_all()
             return batch
 
-    def _pop_entry(self) -> Tuple[float, float, EvalRequest, Future]:
-        _, _, enqueued, request, future = heapq.heappop(self._queue)
-        return (enqueued, time.perf_counter(), request, future)
+    def _pop_entry(self) -> Tuple:
+        _, _, enqueued, request, future, trace = heapq.heappop(self._queue)
+        return (enqueued, time.perf_counter(), request, future, trace)
 
-    def _run_batch(
-        self, batch: List[Tuple[float, float, EvalRequest, Future]]
-    ) -> None:
+    def _open_batch_spans(
+        self, batch: List[Tuple]
+    ) -> Tuple[List[Any], List[Optional[Dict[str, Any]]], set]:
+        """Per traced request: record its measured ``queue.wait`` span,
+        open its ``batch`` span, and build the wire context its worker
+        task will evaluate under."""
+        tracer = get_tracer()
+        ledger_on = get_ledger().enabled
+        batch_spans: List[Any] = []
+        wires: List[Optional[Dict[str, Any]]] = []
+        batch_trace_ids: set = set()
+        for _, _, _, _, trace in batch:
+            if trace is None:
+                batch_spans.append(None)
+                wires.append(None)
+                continue
+            tid = trace["trace_id"]
+            batch_trace_ids.add(tid)
+            root_id = trace["root"].span_id
+            now_wall = time.time()
+            tracer.record_span(
+                "queue.wait",
+                trace_id=tid,
+                parent_id=root_id,
+                start_s=trace["submitted_wall"],
+                end_s=now_wall,
+            )
+            span = tracer.start_span(
+                "batch",
+                trace_id=tid,
+                parent_id=root_id,
+                volatile={"batch_size": len(batch)},
+                start_s=now_wall,
+            )
+            batch_spans.append(span)
+            wire = span.context.to_wire()
+            wire["ledger"] = ledger_on
+            wires.append(wire)
+        return batch_spans, wires, batch_trace_ids
+
+    def _run_batch(self, batch: List[Tuple]) -> None:
         profiler = get_profiler()
+        tracer = get_tracer()
+        ledger = get_ledger()
         start = time.perf_counter()
+        batch_spans, wires, batch_trace_ids = self._open_batch_spans(batch)
         tasks = [
             (
                 request.workload,
@@ -395,10 +546,10 @@ class EvaluationService:
                     if request.timeout_s is not None
                     else self.default_timeout_s
                 ),
-            )
-            for _, _, request, _ in batch
+            ) + ((wire,) if wire is not None else ())
+            for (_, _, request, _, _), wire in zip(batch, wires)
         ]
-        keys = [request.digest for _, _, request, _ in batch]
+        keys = [request.digest for _, _, request, _, _ in batch]
         cache = self._evaluator.cache
         hits_before = cache.stats()["hits"] if cache is not None else 0
         computed_before = self._evaluator.tasks_computed
@@ -410,14 +561,56 @@ class EvaluationService:
 
         retries = 0
         done_at = time.perf_counter()
-        for (enqueued, dispatched, request, future), key, record in zip(
-            batch, keys, records
+        done_wall = time.time()
+        for entry, key, bspan, record in zip(
+            batch, keys, batch_spans, records
         ):
-            result = RunResult.from_json(record)
+            enqueued, dispatched, request, future, trace = entry
+            envelope = (
+                record
+                if isinstance(record, dict) and record.get("__obs__")
+                else None
+            )
+            payload = envelope["result"] if envelope is not None else record
+            if trace is not None:
+                tid = trace["trace_id"]
+                # The same evaluation can serve many traces (dedup,
+                # cache); the result each caller sees is bound to *its*
+                # trace.  trace_id is volatile, so canonical identity
+                # is untouched.
+                payload = {**payload, "trace_id": tid}
+            result = RunResult.from_json(payload)
             if not result.ok and cache is not None:
                 # Failures are outcomes, not reusable pure values.
                 cache.delete(key)
             retries += max(0, result.attempts - 1)
+            if trace is not None:
+                status = "ok" if result.ok else "error"
+                if envelope is not None and envelope["trace_id"] == tid:
+                    # Freshly computed for this very request: its
+                    # worker/kernel spans belong in this trace.
+                    tracer.add_records(envelope["spans"])
+                    ledger.extend(envelope["events"])
+                elif envelope is not None:
+                    origin = (
+                        "evaluation.deduped"
+                        if envelope["trace_id"] in batch_trace_ids
+                        else "cache.hit"
+                    )
+                    ledger.event(
+                        origin, trace_id=tid,
+                        source_trace=envelope["trace_id"],
+                    )
+                else:
+                    # Plain cached payload from an untraced run.
+                    ledger.event("cache.hit", trace_id=tid)
+                tracer.end_span(bspan, status=status, end_s=done_wall)
+                tracer.end_span(
+                    trace["root"], status=status, end_s=done_wall
+                )
+                ledger.event(
+                    "request.done", trace_id=tid, status=result.status
+                )
             self.metrics.record_done(
                 latency_s=done_at - enqueued,
                 queue_wait_s=dispatched - enqueued,

@@ -136,6 +136,105 @@ class TestRegistry:
         assert disable_profiling("toggled") is profiler
         assert not profiler.enabled
 
+    def test_concurrent_get_profiler_is_a_singleton(self):
+        """Racing first-access from many threads must not mint two
+        profilers for one name (the double-checked registry lock)."""
+        name = "concurrent-registry-check"
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def grab():
+            barrier.wait()
+            seen.append(get_profiler(name))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == 8
+        assert all(p is seen[0] for p in seen)
+
+    def test_concurrent_recording_is_consistent(self):
+        profiler = enable_profiling("concurrent-recording")
+        profiler.reset()
+        try:
+            def work():
+                for _ in range(50):
+                    with profiler.timer("op"):
+                        pass
+                    profiler.count("ops", 1)
+
+            threads = [
+                threading.Thread(target=work) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snap = profiler.as_dict()
+            assert snap["timers"]["op"]["calls"] == 200
+            assert snap["counters"]["ops"] == 200
+        finally:
+            disable_profiling("concurrent-recording")
+
+
+class TestSpanHook:
+    def test_profiled_emits_spans_even_when_profiler_disabled(self):
+        """The perf->span bridge fires on the hook alone, so kernel
+        spans appear in traces without enabling the profiler."""
+        from repro import obs
+        from repro.obs.trace import derive_trace_id, get_tracer
+
+        profiler = Profiler("hook-test", enabled=False)
+
+        @profiled("hooked.kernel", profiler=profiler)
+        def sample():
+            return 7
+
+        tracer = obs.enable_tracing()
+        tracer.reset()
+        try:
+            tid = derive_trace_id("hook-test", 0)
+            root = tracer.start_span("r", trace_id=tid, parent_id="")
+            with tracer.activate(root.context):
+                assert sample() == 7
+            tracer.end_span(root)
+            names = [s["name"] for s in tracer.spans()]
+            assert "hooked.kernel" in names
+            assert profiler.as_dict()["timers"] == {}
+        finally:
+            obs.disable_tracing()
+            get_tracer().reset()
+
+    def test_hook_and_profiler_record_together(self):
+        from repro import obs
+        from repro.obs.trace import derive_trace_id, get_tracer
+
+        profiler = Profiler("hook-both", enabled=True)
+
+        @profiled("both.kernel", profiler=profiler)
+        def sample():
+            return 7
+
+        tracer = obs.enable_tracing()
+        tracer.reset()
+        try:
+            tid = derive_trace_id("hook-both", 0)
+            root = tracer.start_span("r", trace_id=tid, parent_id="")
+            with tracer.activate(root.context):
+                sample()
+            tracer.end_span(root)
+            assert "both.kernel" in [
+                s["name"] for s in tracer.spans()
+            ]
+            assert (
+                profiler.as_dict()["timers"]["both.kernel"]["calls"] == 1
+            )
+        finally:
+            obs.disable_tracing()
+            get_tracer().reset()
+
 
 class TestProfiledDecorator:
     def test_records_under_default_label(self):

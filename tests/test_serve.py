@@ -208,7 +208,7 @@ class TestPriorityAndBatching:
         service.submit("test-sleepy", seed=1, priority="normal")
         service.submit("test-sleepy", seed=2, priority="high")
         batch = service._next_batch()
-        lanes = [request.priority for _, _, request, _ in batch]
+        lanes = [request.priority for _, _, request, _, _ in batch]
         assert lanes == ["high", "normal"]
         service._run_batch(batch)  # resolve the popped futures
         service.start()
