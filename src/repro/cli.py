@@ -327,12 +327,23 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
             pool_size=args.pool,
             seed=args.seed,
         )
-        service = EvaluationService(
-            batch_size=batch_size,
-            max_queue=max(1, len(requests)),
-            parallel=args.workers,
-            cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
-        )
+        if args.shards and args.shards > 1:
+            from repro.serve import ShardCluster
+
+            service = ShardCluster(
+                num_shards=args.shards,
+                batch_size=batch_size,
+                max_queue=max(1, len(requests)),
+                parallel=args.workers,
+                cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
+            )
+        else:
+            service = EvaluationService(
+                batch_size=batch_size,
+                max_queue=max(1, len(requests)),
+                parallel=args.workers,
+                cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
+            )
         try:
             point = run_load(service, requests, rate_rps=args.rate)
             snapshot = service.snapshot()
@@ -364,6 +375,12 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
         f"deduped {evaluations['deduped']}, "
         f"cache hits {evaluations['cache_hits']}"
     )
+    if "shards" in snapshot:
+        footer += (
+            f"; shards: {snapshot['shards']} "
+            f"(restarts {snapshot['restarts']}, "
+            f"replayed {snapshot['replayed']})"
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
@@ -373,6 +390,73 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
 
         footer += "\n" + _export_observability(args.trace_dir)
         obs.disable()
+    return table.render() + "\n" + footer
+
+
+def _cmd_chaos(args: "argparse.Namespace") -> str:
+    """``repro chaos``: one seeded chaos campaign against a shard
+    cluster -- shard kills, delays and bursts injected at deterministic
+    request indices, exactly-once completion asserted in the footer."""
+    import json
+
+    from repro.core.api import get_workload
+    from repro.resilience import ChaosPolicy
+    from repro.serve import generate_requests, run_chaos_campaign
+
+    workload = get_workload(args.workload)
+    requests = generate_requests(
+        workload,
+        args.num_requests,
+        pool_size=args.pool,
+        seed=args.seed,
+    )
+    shards = args.shards or 4
+    policy = ChaosPolicy.random(
+        args.seed, len(requests), shards,
+        kills=args.kills, delays=2, bursts=1,
+    )
+    results, report = run_chaos_campaign(
+        requests,
+        policy,
+        num_shards=shards,
+        batch_size=args.batch_size,
+        parallel=args.workers,
+        cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
+    )
+    table = Table(
+        ["requests", "shards", "kills", "lost", "duplicated", "errors",
+         "restarts", "replayed", "p99 (ms)"],
+        title=f"repro chaos -- workload {workload.name!r}, "
+        f"seed {args.seed}",
+    )
+    table.add_row(
+        [
+            report["num_requests"],
+            shards,
+            len(report["kills"]),
+            report["lost"],
+            report["duplicate_results"],
+            report["errors"],
+            report["restarts"],
+            report["replayed"],
+            round(report["latency_s"]["p99"] * 1000, 2),
+        ]
+    )
+    survived = report["lost"] == 0 and report["duplicate_results"] == 0
+    footer = (
+        "exactly-once: "
+        + ("PASS" if survived else "FAIL")
+        + f" (completed {report['completed']}/{report['num_requests']}"
+        f" + {report['extras']} burst duplicates; schedule: "
+        + ", ".join(
+            f"{e['action']}@{e['at_request']}" for e in report["policy"]
+        )
+        + ")"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        footer += f"; chaos report written to {args.out}"
     return table.render() + "\n" + footer
 
 
@@ -609,13 +693,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_COMMANDS) + ["exec", "obs", "profile", "serve"],
+        choices=sorted(_COMMANDS) + [
+            "chaos", "exec", "obs", "profile", "serve",
+        ],
         help="which paper artifact to regenerate ('exec' runs the "
         "parallel evaluation engine demo, 'profile' times the "
         "instrumented kernels on short demo workloads, 'serve' runs "
         "the micro-batched evaluation service -- one-shot with "
-        "--requests FILE, synthetic load otherwise; 'obs' inspects "
-        "recorded traces: show/summary/export)",
+        "--requests FILE, synthetic load otherwise; 'chaos' runs a "
+        "seeded fault-injection campaign against a shard cluster; "
+        "'obs' inspects recorded traces: show/summary/export)",
     )
     parser.add_argument(
         "demo",
@@ -677,6 +764,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="serve: micro-batch size",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve/chaos: shard count (serve defaults to an unsharded "
+        "service, chaos to 4 supervised shards)",
+    )
+    parser.add_argument(
+        "--kills",
+        type=int,
+        default=1,
+        help="chaos: shard kills in the seeded schedule",
+    )
+    parser.add_argument(
         "--pool",
         type=int,
         default=6,
@@ -708,6 +808,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_profile(args))
     elif args.artifact == "serve":
         print(_cmd_serve(args))
+    elif args.artifact == "chaos":
+        print(_cmd_chaos(args))
     else:
         print(_COMMANDS[args.artifact]())
     return 0

@@ -20,7 +20,12 @@ every thrust raises from:
   under a bounded backoff policy;
 - :class:`CampaignCellError` -- one (device, storage, phase) cell of a
   benchmarking-campaign matrix failed after retries; the campaign
-  records it and continues instead of aborting the sweep.
+  records it and continues instead of aborting the sweep;
+- :class:`WorkerCrashError` -- a pool worker process died mid-batch
+  (``BrokenProcessPool`` and friends); carries which tasks completed
+  before the crash and which are suspect, so the evaluation engine can
+  re-execute only the affected work and quarantine persistent
+  poison tasks.
 """
 
 from __future__ import annotations
@@ -112,6 +117,39 @@ class TransientFault(DeviceFault):
     :class:`~repro.resilience.retry.BackoffPolicy`; anything else
     propagates immediately.
     """
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A worker process died while evaluating a batch.
+
+    Raised in place of the raw ``BrokenProcessPool`` RuntimeError so
+    callers can distinguish infrastructure death from evaluation
+    errors.  *completed* holds ``(index, value)`` pairs for the tasks
+    that finished before the crash; *suspect_indices* are the task
+    indices whose worker may have died under them (the crash cannot be
+    attributed more precisely than per chunk); *quarantined* lists the
+    content digests of tasks that crashed their worker
+    ``quarantine_after`` times and will no longer be dispatched.
+    Subclasses :class:`RuntimeError` so pre-typed ``except
+    RuntimeError`` callers keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        completed: Any = (),
+        suspect_indices: Any = (),
+        quarantined: Any = (),
+        trace_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.completed = tuple(completed)
+        self.suspect_indices = tuple(suspect_indices)
+        self.quarantined = tuple(quarantined)
+        if trace_id is None:
+            trace_id = _current_trace_id()
+        self.trace_id = trace_id
 
 
 class CampaignCellError(ReproError):

@@ -19,7 +19,17 @@ path -- while guaranteeing the properties campaigns rely on:
   existing :class:`~repro.core.errors.SimulationTimeout`;
 - **content-addressed reuse**: an attached
   :class:`~repro.exec.cache.ResultCache` memoizes cells across calls
-  and processes, with duplicate keys inside one batch computed once.
+  and processes, with duplicate keys inside one batch computed once;
+- **worker-crash recovery**: a dead worker process
+  (``BrokenProcessPool``) no longer aborts the whole map as a raw
+  RuntimeError.  Completed chunks are kept, suspect tasks are
+  re-executed in fresh single-task pools (exact crash attribution),
+  and a task whose digest has crashed its worker ``quarantine_after``
+  times is *quarantined*: it is never dispatched again and surfaces as
+  a typed :class:`~repro.core.errors.WorkerCrashError` instead of
+  poisoning every batch.  Tasks that keep failing environmentally
+  (without quarantine evidence) fall back to in-process serial
+  execution, so one flaky pool never loses a campaign.
 """
 
 from __future__ import annotations
@@ -28,9 +38,14 @@ import concurrent.futures as _futures
 import os
 import pickle
 import time
-from typing import Any, Callable, List, Optional, Sequence, Union
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import SimulationTimeout, ValidationError
+from repro.core.errors import (
+    SimulationTimeout,
+    ValidationError,
+    WorkerCrashError,
+)
 from repro.exec.cache import ResultCache
 from repro.perf import profiled
 
@@ -40,6 +55,39 @@ _MODES = ("process", "thread", "serial")
 def _run_chunk(fn: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
     """Evaluate one chunk of tasks in a worker (module-level: picklable)."""
     return [fn(task) for task in chunk]
+
+
+def _crash_error(
+    chunks: List[List[Any]], futures: List["_futures.Future"]
+) -> WorkerCrashError:
+    """Partition a broken pool's work into completed values and suspect
+    task indices.  A dead worker breaks the whole pool, so every chunk
+    that did not finish cleanly is suspect -- the crash cannot be
+    attributed more precisely here; the recovery path narrows it down
+    with single-task pools.
+    """
+    completed: List[Tuple[int, Any]] = []
+    suspects: List[int] = []
+    for future in futures:
+        try:  # let the executor's manager thread settle every future
+            future.exception(timeout=10.0)
+        except (_futures.TimeoutError, _futures.CancelledError):
+            pass
+    base = 0
+    for chunk, future in zip(chunks, futures):
+        if future.done() and not future.cancelled() \
+                and future.exception() is None:
+            for offset, value in enumerate(future.result()):
+                completed.append((base + offset, value))
+        else:
+            suspects.extend(range(base, base + len(chunk)))
+        base += len(chunk)
+    return WorkerCrashError(
+        f"worker process died mid-batch: {len(suspects)} task(s) suspect, "
+        f"{len(completed)} completed before the crash",
+        completed=completed,
+        suspect_indices=suspects,
+    )
 
 
 def _traced_call(payload: tuple) -> dict:
@@ -105,6 +153,8 @@ class ParallelEvaluator:
         chunksize: int = 1,
         timeout_s: Optional[float] = None,
         cache: Optional[ResultCache] = None,
+        crash_retries: int = 2,
+        quarantine_after: int = 3,
     ) -> None:
         if mode not in _MODES:
             raise ValidationError(f"mode must be one of {_MODES}")
@@ -114,13 +164,23 @@ class ParallelEvaluator:
             raise ValidationError("chunksize must be >= 1")
         if timeout_s is not None and timeout_s <= 0:
             raise ValidationError("timeout_s must be positive")
+        if crash_retries < 0:
+            raise ValidationError("crash_retries must be >= 0")
+        if quarantine_after < 1:
+            raise ValidationError("quarantine_after must be >= 1")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.mode = mode
         self.chunksize = chunksize
         self.timeout_s = timeout_s
         self.cache = cache
+        self.crash_retries = crash_retries
+        self.quarantine_after = quarantine_after
         self.tasks_seen = 0
         self.tasks_computed = 0
+        self.worker_crashes = 0
+        self.tasks_quarantined = 0
+        self._crash_counts: Dict[str, int] = {}
+        self._quarantined: Dict[str, int] = {}
 
     # ------------------------------------------------------------- mapping
 
@@ -163,14 +223,19 @@ class ParallelEvaluator:
 
         if pending:
             wire = self._trace_wire()
+            subkeys = [
+                keys[i] if keys is not None else None for i in pending
+            ]
             if wire is not None:
                 payloads = [(fn, tasks[i], i, wire) for i in pending]
                 computed = [
                     self._absorb_envelope(env)
-                    for env in self._execute(_traced_call, payloads)
+                    for env in self._compute(_traced_call, payloads, subkeys)
                 ]
             else:
-                computed = self._execute(fn, [tasks[i] for i in pending])
+                computed = self._compute(
+                    fn, [tasks[i] for i in pending], subkeys
+                )
             self.tasks_computed += len(computed)
             for slot, value in zip(pending, computed):
                 results[slot] = value
@@ -181,6 +246,145 @@ class ParallelEvaluator:
                     for follower in followers.get(key, ()):
                         results[follower] = value
         return results
+
+    # ------------------------------------------------------- crash recovery
+
+    @property
+    def quarantined(self) -> Dict[str, int]:
+        """Quarantined task digests -> worker crashes attributed."""
+        return dict(self._quarantined)
+
+    def _compute(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        keys: List[Optional[str]],
+    ) -> List[Any]:
+        """:meth:`_execute` with worker-crash recovery and poison-task
+        quarantine.  Quarantined keys fail fast, before any dispatch."""
+        blocked = sorted(
+            {k for k in keys if k is not None and k in self._quarantined}
+        )
+        if blocked:
+            raise WorkerCrashError(
+                f"{len(blocked)} task(s) are quarantined after repeated "
+                "worker crashes on their digests",
+                quarantined=blocked,
+            )
+        try:
+            return self._execute(fn, tasks)
+        except WorkerCrashError as exc:
+            return self._recover_from_crash(fn, tasks, keys, exc)
+
+    def _recover_from_crash(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        keys: List[Optional[str]],
+        exc: WorkerCrashError,
+    ) -> List[Any]:
+        """Re-execute only the crash-affected work.
+
+        Completed chunk results from *exc* are kept; each suspect task
+        is retried in its own fresh single-task process pool (exact
+        crash attribution, ``crash_retries`` rounds), crashes are
+        charged to the task's digest, and digests reaching
+        ``quarantine_after`` charges are quarantined.  Suspects that
+        outlive the retry rounds without quarantine evidence run
+        serially in-process -- the environmental-failure fallback.
+        """
+        from repro.obs.ledger import get_ledger
+
+        self.worker_crashes += 1
+        get_ledger().event(
+            "worker.crash",
+            suspects=len(exc.suspect_indices),
+            completed=len(exc.completed),
+        )
+        results: Dict[int, Any] = {rel: value for rel, value in exc.completed}
+        quarantined: List[str] = []
+        retry: List[int] = []
+        for rel in exc.suspect_indices:
+            if not self._charge_crash(keys[rel], quarantined):
+                retry.append(rel)
+
+        rounds = 0
+        while retry and rounds < self.crash_retries:
+            rounds += 1
+            settled, crashed = self._isolated_retry(fn, tasks, retry)
+            for rel, value in settled.items():
+                results[rel] = value
+                if keys[rel] is not None:
+                    # A success clears the digest's crash tab: the
+                    # earlier charges were collateral, not poison.
+                    self._crash_counts.pop(keys[rel], None)
+            retry = []
+            for rel in crashed:
+                self.worker_crashes += 1
+                if not self._charge_crash(keys[rel], quarantined):
+                    retry.append(rel)
+        for rel in retry:
+            # Environmental fallback: fewer than quarantine_after
+            # crashes on these digests, so run them in-process rather
+            # than lose the campaign to a flaky pool.
+            results[rel] = fn(tasks[rel])
+        if quarantined:
+            raise WorkerCrashError(
+                f"{len(quarantined)} task(s) quarantined after "
+                f"{self.quarantine_after}+ worker crashes",
+                completed=sorted(results.items()),
+                quarantined=sorted(set(quarantined)),
+            ) from exc
+        return [results[i] for i in range(len(tasks))]
+
+    def _charge_crash(
+        self, key: Optional[str], quarantined: List[str]
+    ) -> bool:
+        """Charge one worker crash to *key*; True when the charge tips
+        the digest into quarantine (keyless tasks are never
+        quarantined -- there is no digest to remember)."""
+        if key is None:
+            return False
+        count = self._crash_counts.get(key, 0) + 1
+        self._crash_counts[key] = count
+        if count < self.quarantine_after:
+            return False
+        if key not in self._quarantined:
+            from repro.obs.ledger import get_ledger
+
+            self._quarantined[key] = count
+            self.tasks_quarantined += 1
+            get_ledger().event(
+                "task.quarantined", digest=key, crashes=count
+            )
+        else:
+            self._quarantined[key] = count
+        quarantined.append(key)
+        return True
+
+    def _isolated_retry(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        rels: List[int],
+    ) -> Tuple[Dict[int, Any], List[int]]:
+        """One retry round: each suspect in its own fresh process pool,
+        so a crash is attributable to exactly one task."""
+        settled: Dict[int, Any] = {}
+        crashed: List[int] = []
+        for rel in rels:
+            try:
+                with _futures.ProcessPoolExecutor(max_workers=1) as pool:
+                    future = pool.submit(_run_chunk, fn, [tasks[rel]])
+                    settled[rel] = future.result(timeout=self.timeout_s)[0]
+            except BrokenProcessPool:
+                crashed.append(rel)
+            except _futures.TimeoutError:
+                raise SimulationTimeout(
+                    f"crash-retry of task exceeded its "
+                    f"{self.timeout_s:g} s budget",
+                ) from None
+        return settled, crashed
 
     # ------------------------------------------------------------ internals
 
@@ -262,6 +466,8 @@ class ParallelEvaluator:
                     f"budget ({self.mode} pool, {self.max_workers} workers)",
                     elapsed_s=elapsed,
                 ) from None
+            except BrokenProcessPool as exc:
+                raise _crash_error(chunks, futures) from exc
         return [value for chunk in gathered for value in chunk]
 
     # ------------------------------------------------------------ accounting
@@ -274,6 +480,8 @@ class ParallelEvaluator:
             "chunksize": self.chunksize,
             "tasks_seen": self.tasks_seen,
             "tasks_computed": self.tasks_computed,
+            "worker_crashes": self.worker_crashes,
+            "tasks_quarantined": self.tasks_quarantined,
         }
         if self.cache is not None:
             info["cache"] = self.cache.stats()

@@ -16,9 +16,20 @@ Entry points:
 - :class:`Deadline` -- cycle/wall-clock budgets raising structured
   :class:`~repro.core.errors.SimulationTimeout`;
 - :class:`CheckpointStore` -- atomic JSON checkpoint/resume for
-  campaign and DSE sweeps.
+  campaign and DSE sweeps, salvaging damaged stores on load;
+- :class:`CircuitBreaker` / :class:`CircuitOpenError` -- per-key
+  closed/open/half-open load shedding for repeatedly failing work,
+  with ledger/metrics-visible transitions;
+- :class:`ChaosPolicy` / :class:`ChaosEvent` -- seeded, deterministic
+  fault-injection schedules (shard kills, delays, queue-pressure
+  bursts) for the sharded serving tier's chaos harness.
 """
 
+from repro.resilience.breaker import (
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.resilience.chaos import ChaosEvent, ChaosPolicy
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import FaultInjector, FaultModel, FaultyStorage
 from repro.resilience.retry import (
@@ -30,7 +41,11 @@ from repro.resilience.retry import (
 
 __all__ = [
     "BackoffPolicy",
+    "ChaosEvent",
+    "ChaosPolicy",
     "CheckpointStore",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Deadline",
     "FaultInjector",
     "FaultModel",

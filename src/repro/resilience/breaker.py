@@ -1,0 +1,199 @@
+"""Circuit breakers: shed load from repeatedly failing work.
+
+A workload that fails every attempt should not keep riding into every
+micro-batch -- each retry wastes a batch slot, inflates tail latency
+for healthy requests and (under faults) hammers the very component
+that is struggling.  :class:`CircuitBreaker` implements the classic
+three-state machine:
+
+- **closed** (healthy): requests flow; consecutive failures are
+  counted, and ``failure_threshold`` of them in a row open the breaker;
+- **open** (shedding): requests are refused immediately with
+  :class:`CircuitOpenError` until ``recovery_time_s`` has elapsed;
+- **half-open** (probing): after the recovery window, up to
+  ``half_open_max`` trial requests are admitted; a success closes the
+  breaker, a failure re-opens it and restarts the window.
+
+Every transition is recorded as a run-ledger event
+(``breaker.open`` / ``breaker.half_open`` / ``breaker.closed``) and a
+:mod:`repro.obs` metrics counter, so a chaos run can assert the breaker
+actually tripped.  The clock is injectable, which keeps breaker tests
+and seeded chaos scenarios deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+from repro.core.errors import StateError, ValidationError
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(StateError):
+    """The breaker for this key is open: the request was shed, not
+    queued.  Callers treat it like admission rejection -- back off or
+    route the work elsewhere; retrying immediately defeats the point.
+    """
+
+    def __init__(self, message: str, *, key: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.key = key
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """Per-key failure isolation with closed/open/half-open states.
+
+    *key* names what the breaker protects (a workload, a shard); it
+    tags the ledger events and metrics.  ``failure_threshold``
+    consecutive failures open the breaker; after ``recovery_time_s``
+    it half-opens and admits up to ``half_open_max`` concurrent trial
+    calls.  Thread-safe; the injectable *clock* makes tests and seeded
+    chaos scenarios deterministic.
+    """
+
+    def __init__(
+        self,
+        key: str = "default",
+        *,
+        failure_threshold: int = 5,
+        recovery_time_s: float = 1.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1")
+        if recovery_time_s < 0:
+            raise ValidationError("recovery_time_s must be >= 0")
+        if half_open_max < 1:
+            raise ValidationError("half_open_max must be >= 1")
+        self.key = key
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self.transitions = 0
+        self.shed = 0
+        self.failures = 0
+        self.successes = 0
+
+    # ------------------------------------------------------------ state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the recovery window elapsed (called
+        under the lock)."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.recovery_time_s
+        ):
+            self._transition(HALF_OPEN)
+            self._half_open_inflight = 0
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions += 1
+        self._record_transition(state)
+
+    def _record_transition(self, state: str) -> None:
+        from repro.obs.ledger import get_ledger
+        from repro.obs.metrics import get_metrics
+
+        get_ledger().event(f"breaker.{state}", key=self.key)
+        registry = get_metrics()
+        if registry.enabled:
+            registry.inc(f"breaker.{state}")
+
+    # ------------------------------------------------------------ calls
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        Half-open admits at most ``half_open_max`` outstanding trials;
+        an allowed call **must** be followed by exactly one
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._half_open_inflight < self.half_open_max:
+                    self._half_open_inflight += 1
+                    return True
+            self.shed += 1
+            return False
+
+    def check(self) -> None:
+        """:meth:`allow` that raises :class:`CircuitOpenError` when the
+        request must be shed."""
+        if not self.allow():
+            with self._lock:
+                retry_after = max(
+                    0.0,
+                    self.recovery_time_s
+                    - (self._clock() - self._opened_at),
+                )
+            raise CircuitOpenError(
+                f"circuit for {self.key!r} is {self._state}: request "
+                f"shed (retry after {retry_after:.3g} s)",
+                key=self.key,
+                retry_after_s=retry_after,
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            if self._state == HALF_OPEN:
+                self._half_open_inflight = max(
+                    0, self._half_open_inflight - 1
+                )
+                self._transition(CLOSED)
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            if self._state == HALF_OPEN:
+                self._half_open_inflight = max(
+                    0, self._half_open_inflight - 1
+                )
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    # ------------------------------------------------------------ report
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "key": self.key,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failures": self.failures,
+                "successes": self.successes,
+                "shed": self.shed,
+                "transitions": self.transitions,
+            }

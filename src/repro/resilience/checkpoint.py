@@ -5,17 +5,56 @@ A campaign or DSE run that takes hours must survive a crash at cell
 completed unit of work under a stable string key; on restart the sweep
 skips every key already present and recomputes only the remainder.
 Writes are atomic (temp file + ``os.replace``) so a crash mid-write
-never corrupts the store.
+never corrupts the store -- and should a checkpoint file still arrive
+truncated or damaged (a crash on an older filesystem, a partial copy),
+:meth:`CheckpointStore._load` *salvages* every complete record it can
+parse instead of refusing to start: a degraded resume recomputes a few
+cells, a crashed resume recomputes the whole campaign.  Recovery is
+recorded as a ``checkpoint.recovered`` run-ledger event so the loss is
+observable, not silent.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.core.errors import ValidationError
+
+#: Complete ``"key": {...}`` top-level entries inside a (possibly
+#: truncated) checkpoint JSON object -- the salvage pattern.
+_RECORD_RE = re.compile(r'"((?:[^"\\]|\\.)*)"\s*:\s*(\{)')
+
+
+def _salvage_records(text: str) -> Dict[str, Dict[str, Any]]:
+    """Every complete top-level ``"key": {...}`` record in *text*.
+
+    Walks the (broken) JSON object left to right with
+    ``raw_decode``, so a file truncated mid-record yields everything
+    written before the torn tail.  Nested objects are skipped by
+    resuming the scan after each decoded record.
+    """
+    records: Dict[str, Dict[str, Any]] = {}
+    decoder = json.JSONDecoder()
+    pos = text.find("{")
+    if pos < 0:
+        return records
+    pos += 1
+    while True:
+        match = _RECORD_RE.search(text, pos)
+        if match is None:
+            break
+        try:
+            key = json.loads(f'"{match.group(1)}"')
+            value, end = decoder.raw_decode(text, match.start(2))
+        except json.JSONDecodeError:
+            break
+        records[str(key)] = value
+        pos = end
+    return records
 
 
 class CheckpointStore:
@@ -35,6 +74,8 @@ class CheckpointStore:
         self.path = Path(path)
         self.flush_every = flush_every
         self._dirty = 0
+        self.recovered = False
+        self.salvaged = 0
         self._records: Dict[str, Dict[str, Any]] = self._load()
 
     def _load(self) -> Dict[str, Dict[str, Any]]:
@@ -42,16 +83,37 @@ class CheckpointStore:
             return {}
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-        except json.JSONDecodeError as exc:
-            raise ValidationError(
-                f"checkpoint file {self.path} is corrupt: {exc}"
-            ) from exc
-        if not isinstance(data, dict):
-            raise ValidationError(
-                f"checkpoint file {self.path} is not a JSON object"
-            )
+                text = fh.read()
+        except OSError as exc:
+            self._record_recovery({}, exc)
+            return {}
+        try:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError("checkpoint store is not a JSON object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            # Crash consistency: a truncated or damaged store degrades
+            # to whatever complete records it still holds (the same
+            # tolerance ResultCache's on-disk store has) -- losing a
+            # few cells to recomputation beats refusing to resume.
+            records = _salvage_records(text)
+            self._record_recovery(records, exc)
+            return records
         return data
+
+    def _record_recovery(
+        self, records: Dict[str, Dict[str, Any]], error: Exception
+    ) -> None:
+        from repro.obs.ledger import get_ledger
+
+        self.recovered = True
+        self.salvaged = len(records)
+        get_ledger().event(
+            "checkpoint.recovered",
+            path=str(self.path),
+            salvaged=len(records),
+            error_type=type(error).__name__,
+        )
 
     def __contains__(self, key: str) -> bool:
         return key in self._records

@@ -14,10 +14,23 @@ batching, async, caching"):
 - :class:`ServiceMetrics` -- queue depth, batch occupancy, latency
   percentiles, throughput and cache-hit accounting as JSON snapshots;
 - :func:`serve_requests` -- one-shot request-list serving;
+- :class:`ShardCluster` / :class:`ShardRouter` / :class:`Supervisor`
+  -- fault-tolerant sharding: consistent-hash routing on request
+  digests, heartbeat/deadline failure detection, shard restart with
+  ledger-replay recovery, per-workload circuit breakers;
+- :func:`run_chaos_campaign` -- deterministic chaos-schedule driver
+  asserting exactly-once completion under shard kills;
 - :mod:`repro.serve.loadgen` -- deterministic synthetic traffic for
   benches and the ``repro serve`` CLI.
 """
 
+from repro.serve.cluster import (
+    ShardCluster,
+    ShardRouter,
+    Supervisor,
+    incomplete_from_ledger,
+    run_chaos_campaign,
+)
 from repro.serve.loadgen import (
     config_pool,
     generate_requests,
@@ -39,10 +52,15 @@ __all__ = [
     "EvaluationService",
     "PRIORITY_LANES",
     "ServiceMetrics",
+    "ShardCluster",
+    "ShardRouter",
+    "Supervisor",
     "config_pool",
     "generate_requests",
+    "incomplete_from_ledger",
     "load_requests",
     "percentile",
+    "run_chaos_campaign",
     "run_load",
     "serve_requests",
     "zipf_weights",

@@ -27,8 +27,13 @@ import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.api import RunResult, ensure_default_workloads, get_workload
-from repro.core.errors import ValidationError
+from repro.core.api import (
+    RunResult,
+    build_run_result,
+    ensure_default_workloads,
+    get_workload,
+)
+from repro.core.errors import ValidationError, WorkerCrashError
 from repro.exec import ParallelEvaluator, coerce_cache
 from repro.exec.parallel import CacheLike, EvaluatorLike, make_evaluator
 from repro.obs.ledger import get_ledger
@@ -221,6 +226,15 @@ class EvaluationService:
     @property
     def cache(self):
         return self._evaluator.cache
+
+    @property
+    def alive(self) -> bool:
+        """Whether the dispatcher is up -- the liveness signal a shard
+        supervisor polls."""
+        thread = self._thread
+        return (
+            thread is not None and thread.is_alive() and not self._stopped
+        )
 
     @property
     def queue_depth(self) -> int:
@@ -440,6 +454,26 @@ class EvaluationService:
         if self.cache is not None:
             self.cache.close()
 
+    def kill(self) -> None:
+        """Crash the service the way a dead process would.
+
+        Unlike :meth:`shutdown`, queued futures are *stranded* -- they
+        never resolve -- and nothing is drained or joined: that is
+        exactly what callers of a crashed shard observe, and it is the
+        failure mode :class:`~repro.serve.cluster.ShardCluster` must
+        recover from by restarting the shard and replaying the run
+        ledger.  A chaos/testing hook, not a lifecycle method.
+        """
+        with self._lock:
+            self._stopped = True
+            self._draining = True
+            self._queue.clear()
+            self._pending = 0
+            self._work_ready.notify_all()
+            self._space_ready.notify_all()
+            self._idle.notify_all()
+        get_ledger().event("shard.killed")
+
     # ------------------------------------------------------------ dispatch
 
     def _dispatch_loop(self) -> None:
@@ -456,7 +490,7 @@ class EvaluationService:
                     if not future.done():
                         future.set_exception(exc)
                 with self._lock:
-                    self._pending -= len(batch)
+                    self._pending = max(0, self._pending - len(batch))
                     self._idle.notify_all()
 
     def _next_batch(self) -> Optional[List[Tuple]]:
@@ -553,11 +587,25 @@ class EvaluationService:
         cache = self._evaluator.cache
         hits_before = cache.stats()["hits"] if cache is not None else 0
         computed_before = self._evaluator.tasks_computed
-        records = self._evaluator.map(_evaluate_request_task, tasks, keys=keys)
+        records = self._map_with_recovery(tasks, keys)
+        records = self._retry_error_followers(tasks, keys, records, cache)
         computed = self._evaluator.tasks_computed - computed_before
         cache_hits = (
             (cache.stats()["hits"] - hits_before) if cache is not None else 0
         )
+
+        # Keys whose final record is good: a follower retry may have
+        # repopulated the slot its leader's error vacated, and the
+        # leader's failure must not evict that fresh value below.
+        ok_keys = set()
+        for key, record in zip(keys, records):
+            payload = (
+                record["result"]
+                if isinstance(record, dict) and record.get("__obs__")
+                else record
+            )
+            if payload.get("status") == "ok":
+                ok_keys.add(key)
 
         retries = 0
         done_at = time.perf_counter()
@@ -580,7 +628,7 @@ class EvaluationService:
                 # is untouched.
                 payload = {**payload, "trace_id": tid}
             result = RunResult.from_json(payload)
-            if not result.ok and cache is not None:
+            if not result.ok and cache is not None and key not in ok_keys:
                 # Failures are outcomes, not reusable pure values.
                 cache.delete(key)
             retries += max(0, result.attempts - 1)
@@ -621,16 +669,120 @@ class EvaluationService:
             size=len(batch),
             computed=computed,
             cache_hits=cache_hits,
-            deduped=len(batch) - computed - cache_hits,
+            deduped=max(0, len(batch) - computed - cache_hits),
             retries=retries,
         )
         if profiler.enabled:
             profiler.record("serve.batch", time.perf_counter() - start)
             profiler.count("serve.batch.requests", len(batch))
         with self._lock:
-            self._pending -= len(batch)
+            self._pending = max(0, self._pending - len(batch))
             if self._pending == 0:
                 self._idle.notify_all()
+
+    def _map_with_recovery(
+        self, tasks: List[Tuple], keys: List[str]
+    ) -> List[Any]:
+        """Dispatch the batch, degrading per-digest on worker death.
+
+        :class:`~repro.core.errors.WorkerCrashError` from the engine
+        names the quarantined digests (poison tasks that crashed their
+        worker repeatedly); those become error records, and the rest of
+        the batch is re-mapped -- one poison request must never take
+        its batch-mates down with it.  The loop is bounded: every pass
+        either completes or quarantines at least one digest.
+        """
+        slots = list(range(len(tasks)))
+        records: List[Any] = [None] * len(tasks)
+        while slots:
+            try:
+                mapped = self._evaluator.map(
+                    _evaluate_request_task,
+                    [tasks[i] for i in slots],
+                    keys=[keys[i] for i in slots],
+                )
+            except WorkerCrashError as exc:
+                quarantined = set(exc.quarantined)
+                get_ledger().event(
+                    "batch.worker_crash",
+                    quarantined=sorted(quarantined),
+                )
+                survivors = []
+                for i in slots:
+                    if quarantined and keys[i] not in quarantined:
+                        survivors.append(i)
+                    else:
+                        records[i] = self._crash_record(tasks[i], exc)
+                slots = survivors
+                continue
+            for i, record in zip(slots, mapped):
+                records[i] = record
+            slots = []
+        return records
+
+    @staticmethod
+    def _crash_record(task: Tuple, exc: WorkerCrashError) -> Dict[str, Any]:
+        """An error :class:`RunResult` wire record for a request whose
+        evaluation kept crashing its worker."""
+        name, config, seed, impl = task[0], task[1], task[2], task[3]
+        return build_run_result(
+            name,
+            {},
+            config=config,
+            seed=seed,
+            impl=impl,
+            status="error",
+            error=str(exc),
+            error_type="WorkerCrashError",
+            trace_id=exc.trace_id,
+        ).to_json()
+
+    def _retry_error_followers(
+        self,
+        tasks: List[Tuple],
+        keys: List[str],
+        records: List[Any],
+        cache,
+    ) -> List[Any]:
+        """In-batch dedup must not fan one error out to every caller.
+
+        When identical requests coalesce onto a single evaluation and
+        that evaluation *fails*, only the first requester should see
+        the failure -- each coalesced follower gets a fresh, cache- and
+        dedup-free attempt (errors are outcomes, not reusable values;
+        the same contract :class:`ResultCache` enforces across
+        batches).  A follower success repopulates the cache slot the
+        error left vacant.
+        """
+        first_at: Dict[str, int] = {}
+        followers: List[int] = []
+        for idx, key in enumerate(keys):
+            if key not in first_at:
+                first_at[key] = idx
+                continue
+            shared = records[idx]
+            payload = (
+                shared["result"]
+                if isinstance(shared, dict) and shared.get("__obs__")
+                else shared
+            )
+            if payload.get("status") != "ok":
+                followers.append(idx)
+        if not followers:
+            return records
+        fresh = self._evaluator.map(
+            _evaluate_request_task, [tasks[i] for i in followers]
+        )
+        for idx, record in zip(followers, fresh):
+            records[idx] = record
+            payload = (
+                record["result"]
+                if isinstance(record, dict) and record.get("__obs__")
+                else record
+            )
+            if payload.get("status") == "ok" and cache is not None:
+                cache.put(keys[idx], record)
+        return records
 
     # ------------------------------------------------------------ reporting
 

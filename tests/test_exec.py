@@ -7,7 +7,11 @@ from dataclasses import dataclass
 import numpy as np
 import pytest
 
-from repro.core.errors import SimulationTimeout, ValidationError
+from repro.core.errors import (
+    SimulationTimeout,
+    ValidationError,
+    WorkerCrashError,
+)
 from repro.exec import (
     ParallelEvaluator,
     ResultCache,
@@ -26,6 +30,45 @@ def _square(x):
 def _slow_identity(x):
     time.sleep(1.0)
     return x
+
+
+def _crash_once(task):
+    """Crash the worker on first sight of the sentinel; succeed after.
+
+    The sentinel file is the cross-process memory: the crashing attempt
+    creates it with os._exit (no cleanup handlers -- a genuine process
+    death), so every retry finds it and completes.  Models an
+    *environmental* crash (OOM kill, node reaped), not a poison task.
+    """
+    import os
+
+    sentinel, value = task
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8"):
+            pass
+        os._exit(17)
+    return value * 2
+
+
+def _crash_if_flagged(task):
+    """A poison task: crashes its worker iff the flag is set."""
+    import os
+
+    flagged, value = task
+    if flagged:
+        os._exit(23)
+    return value + 1
+
+
+def _crash_off_main(task):
+    """Crashes in any worker process, succeeds in the coordinator --
+    the shape only the in-process serial fallback can complete."""
+    import os
+
+    main_pid, value = task
+    if os.getpid() != main_pid:
+        os._exit(11)
+    return value * 3
 
 
 @dataclass(frozen=True)
@@ -220,6 +263,97 @@ class TestParallelEvaluator:
         assert stats["tasks_seen"] == 3
         assert stats["tasks_computed"] == 3
         assert stats["cache"]["stores"] == 3
+
+
+class TestWorkerCrashRecovery:
+    """A dead worker process must cost at most the affected tasks."""
+
+    def test_environmental_crash_recovers_all_results(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        tasks = [(sentinel, i) for i in range(6)]
+        engine = ParallelEvaluator(max_workers=2, mode="process")
+        results = engine.map(
+            _crash_once, tasks,
+            keys=[config_digest(i) for i in range(6)],
+        )
+        assert results == [i * 2 for i in range(6)]
+        assert engine.worker_crashes >= 1
+        assert engine.stats()["tasks_quarantined"] == 0
+        assert engine.quarantined == {}
+
+    def test_poison_task_quarantined_with_typed_error(self):
+        tasks = [(False, 1), (True, 0), (False, 2)]
+        keys = [config_digest(t) for t in tasks]
+        engine = ParallelEvaluator(
+            max_workers=2, mode="process",
+            crash_retries=2, quarantine_after=2,
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            engine.map(_crash_if_flagged, tasks, keys=keys)
+        assert excinfo.value.quarantined == (keys[1],)
+        assert engine.stats()["tasks_quarantined"] == 1
+        assert engine.worker_crashes >= 2
+        # Innocent batch-mates were completed before the raise.
+        completed = dict(excinfo.value.completed)
+        assert completed.get(0) == 2 or completed.get(2) == 3
+
+    def test_quarantined_digest_fails_fast_without_dispatch(self):
+        tasks = [(True, 0), (True, 1)]
+        keys = [config_digest(t) for t in tasks]
+        engine = ParallelEvaluator(
+            max_workers=2, mode="process",
+            crash_retries=2, quarantine_after=2,
+        )
+        with pytest.raises(WorkerCrashError):
+            engine.map(_crash_if_flagged, tasks, keys=keys)
+        crashes_after_first = engine.worker_crashes
+        with pytest.raises(WorkerCrashError) as excinfo:
+            engine.map(_crash_if_flagged, tasks, keys=keys)
+        # The pre-dispatch quarantine check spent zero new crashes.
+        assert engine.worker_crashes == crashes_after_first
+        assert set(excinfo.value.quarantined) == set(keys)
+
+    def test_healthy_tasks_unaffected_by_poison_batchmate(self):
+        tasks = [(False, i) for i in range(4)] + [(True, 0)]
+        keys = [config_digest(t) for t in tasks]
+        engine = ParallelEvaluator(
+            max_workers=2, mode="process",
+            crash_retries=2, quarantine_after=2,
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            engine.map(_crash_if_flagged, tasks, keys=keys)
+        completed = dict(excinfo.value.completed)
+        # Every healthy task has a result despite the pool breaking;
+        # only the poison digest is quarantined.
+        assert excinfo.value.quarantined == (keys[4],)
+        for index in range(4):
+            assert completed[index] == index + 1
+
+    def test_keyless_crash_falls_back_to_serial(self):
+        import os
+
+        tasks = [(os.getpid(), 5), (os.getpid(), 6)]
+        engine = ParallelEvaluator(
+            max_workers=2, mode="process", crash_retries=1,
+        )
+        results = engine.map(_crash_off_main, tasks)
+        assert results == [15, 18]
+        assert engine.worker_crashes >= 1
+        assert engine.stats()["tasks_quarantined"] == 0
+
+    def test_crash_error_is_runtime_error(self):
+        exc = WorkerCrashError("boom", completed=[(0, "v")],
+                               suspect_indices=[1], quarantined=["k"])
+        assert isinstance(exc, RuntimeError)
+        assert exc.completed == ((0, "v"),)
+        assert exc.suspect_indices == (1,)
+        assert exc.quarantined == ("k",)
+
+    def test_crash_params_validated(self):
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(crash_retries=-1)
+        with pytest.raises(ValidationError):
+            ParallelEvaluator(quarantine_after=0)
 
 
 class TestMakeEvaluator:

@@ -244,17 +244,58 @@ class TestCheckpointStore:
         assert not path.exists()
         assert len(CheckpointStore(path)) == 0
 
-    def test_rejects_non_object_file(self, tmp_path):
+    def test_non_object_file_recovers_empty(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("[1, 2]")
-        with pytest.raises(ValidationError):
-            CheckpointStore(path)
+        store = CheckpointStore(path)
+        assert store.recovered
+        assert len(store) == 0
 
-    def test_corrupt_file_raises_typed_error(self, tmp_path):
+    def test_torn_file_recovers_instead_of_raising(self, tmp_path):
         path = tmp_path / "torn.json"
         path.write_text('{"half": ')  # torn mid-write
-        with pytest.raises(ValidationError, match="corrupt"):
-            CheckpointStore(path)
+        store = CheckpointStore(path)
+        assert store.recovered
+        assert store.salvaged == 0
+        assert len(store) == 0
+
+    def test_truncated_store_salvages_complete_records(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        with CheckpointStore(path) as store:
+            store.save("a", {"value": 1})
+            store.save("b", {"value": 2, "nested": {"deep": True}})
+            store.save("c", {"value": 3})
+        text = path.read_text()
+        # Tear the file mid-way through the last record.
+        path.write_text(text[: text.rfind('"value": 3') + 4])
+        store = CheckpointStore(path)
+        assert store.recovered
+        assert store.salvaged == 2
+        assert store.get("a") == {"value": 1}
+        assert store.get("b") == {"value": 2, "nested": {"deep": True}}
+        assert "c" not in store
+
+    def test_recovery_logs_ledger_event(self, tmp_path):
+        from repro.obs.ledger import get_ledger
+
+        path = tmp_path / "torn.json"
+        path.write_text('{"half": {"x": 1}, "torn": {"y"')
+        ledger = get_ledger()
+        ledger.enable()
+        ledger.reset()
+        try:
+            store = CheckpointStore(path)
+        finally:
+            events = ledger.events()
+            ledger.disable()
+            ledger.reset()
+        assert store.salvaged == 1
+        recovered = [
+            e for e in events if e["event"] == "checkpoint.recovered"
+        ]
+        assert len(recovered) == 1
+        assert recovered[0]["salvaged"] == 1
+        assert recovered[0]["error_type"] == "JSONDecodeError"
 
 
 class TestFaultModel:

@@ -12,6 +12,7 @@ accounting and the metrics snapshot.
 import asyncio
 import json
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 import pytest
 
@@ -283,6 +284,56 @@ class TestFailureHandling:
             )
         assert not result.ok
 
+    def test_coalesced_follower_not_served_leader_error(self):
+        # Two identical requests land in one batch; dedup makes the
+        # second a follower of the first.  The first attempt fails, so
+        # the follower must get a fresh evaluation (which succeeds),
+        # not a copy of the leader's error record.
+        flaky = _FlakyWorkload(failures=1)
+        register_workload(flaky, replace=True)
+        try:
+            cache = ResultCache()
+            service = _service(start=False, cache=cache, batch_size=4)
+            first = service.submit("test-flaky", {"x": 1}, seed=3)
+            second = service.submit("test-flaky", {"x": 1}, seed=3)
+            service.start()
+            leader = first.result(timeout=30.0)
+            follower = second.result(timeout=30.0)
+            assert not leader.ok
+            assert leader.error_type == "TransientFault"
+            assert follower.ok
+            # The follower's success repopulated the cache, so the next
+            # identical request is a hit on a good result.
+            before = service.snapshot()["evaluations"]["cache_hits"]
+            third = service.evaluate("test-flaky", {"x": 1}, seed=3)
+            after = service.snapshot()["evaluations"]["cache_hits"]
+            service.shutdown()
+            assert third.ok
+            assert after == before + 1
+        finally:
+            register_workload(_FlakyWorkload(), replace=True)
+
+    def test_follower_retry_counts_as_computed(self):
+        flaky = _FlakyWorkload(failures=1)
+        register_workload(flaky, replace=True)
+        try:
+            service = _service(start=False, batch_size=4)
+            futures = [
+                service.submit("test-flaky", {"x": 2}, seed=5)
+                for _ in range(3)
+            ]
+            service.start()
+            results = [f.result(timeout=30.0) for f in futures]
+            evaluations = service.snapshot()["evaluations"]
+            service.shutdown()
+            assert not results[0].ok
+            assert all(r.ok for r in results[1:])
+            # Leader attempt plus one fresh attempt per follower (the
+            # retry path deliberately skips dedup).
+            assert evaluations["computed"] == 3
+        finally:
+            register_workload(_FlakyWorkload(), replace=True)
+
 
 class TestLifecycle:
     def test_graceful_shutdown_completes_queued_requests(self):
@@ -322,6 +373,25 @@ class TestLifecycle:
         service.shutdown()
         with pytest.raises(ValidationError, match="shut down"):
             service.start()
+
+    def test_alive_reflects_lifecycle(self):
+        service = _service()
+        assert service.alive
+        service.shutdown()
+        assert not service.alive
+
+    def test_kill_strands_queued_work_and_rejects_new(self):
+        # kill() models a crash: queued futures are abandoned (never
+        # resolved -- recovery is the cluster's job), and the dead
+        # service refuses new admissions.
+        service = _service(start=False)
+        future = service.submit("test-sleepy", seed=1)
+        service.kill()
+        assert not service.alive
+        with pytest.raises(FuturesTimeoutError):
+            future.result(timeout=0.05)
+        with pytest.raises(AdmissionRejected):
+            service.submit("test-sleepy", seed=2)
 
 
 class TestAsyncAndOneShot:
