@@ -26,6 +26,14 @@ from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
 from repro.scf.power import CU_PUBLISHED, dvfs_scale
 from repro.sparta import bfs_tasks, random_graph, simulate
 
+if __name__ == "__main__":  # executed top-to-bottom; args must be empty
+    import argparse
+
+    # This bench takes no options: running everything at import time IS
+    # the benchmark.  Reject unknown/typo'd CLI args loudly instead of
+    # silently ignoring them (argparse exits 2 on anything unexpected).
+    argparse.ArgumentParser(description=__doc__).parse_args()
+
 ADC_BITS = (4, 6, 8, 10)
 SWITCH_PENALTIES = (0, 1, 4, 16, 64)
 COVERAGES = (2, 4, 8)

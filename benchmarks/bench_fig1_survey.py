@@ -20,6 +20,14 @@ from repro.survey import (
     scatter_series,
 )
 
+if __name__ == "__main__":  # executed top-to-bottom; args must be empty
+    import argparse
+
+    # This bench takes no options: running everything at import time IS
+    # the benchmark.  Reject unknown/typo'd CLI args loudly instead of
+    # silently ignoring them (argparse exits 2 on anything unexpected).
+    argparse.ArgumentParser(description=__doc__).parse_args()
+
 
 def regenerate_fig1():
     """Build the full Fig. 1 data package."""

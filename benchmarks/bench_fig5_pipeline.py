@@ -21,6 +21,14 @@ from repro.hetero.storage import (
     computational_storage,
 )
 
+if __name__ == "__main__":  # executed top-to-bottom; args must be empty
+    import argparse
+
+    # This bench takes no options: running everything at import time IS
+    # the benchmark.  Reject unknown/typo'd CLI args loudly instead of
+    # silently ignoring them (argparse exits 2 on anything unexpected).
+    argparse.ArgumentParser(description=__doc__).parse_args()
+
 TIERS = [
     ("SATA SSD (baseline)", SATA_SSD),
     ("NVMe SSD", NVME_SSD),

@@ -20,6 +20,14 @@ from repro.scf.roofline import gemm_intensity, ridge_intensity, roofline_perform
 from repro.scf.rv32 import assemble_and_run
 from repro.scf.workloads import TransformerConfig, transformer_block_gemms
 
+if __name__ == "__main__":  # executed top-to-bottom; args must be empty
+    import argparse
+
+    # This bench takes no options: running everything at import time IS
+    # the benchmark.  Reject unknown/typo'd CLI args loudly instead of
+    # silently ignoring them (argparse exits 2 on anything unexpected).
+    argparse.ArgumentParser(description=__doc__).parse_args()
+
 CU_COUNTS = [1, 2, 4, 8, 16, 32, 64]
 
 

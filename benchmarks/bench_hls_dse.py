@@ -18,6 +18,14 @@ from repro.hls.backends import BambuBackend, CommercialBackend
 from repro.hls.directives import Directives
 from repro.hls.kernels import make_kernel
 
+if __name__ == "__main__":  # executed top-to-bottom; args must be empty
+    import argparse
+
+    # This bench takes no options: running everything at import time IS
+    # the benchmark.  Reject unknown/typo'd CLI args loudly instead of
+    # silently ignoring them (argparse exits 2 on anything unexpected).
+    argparse.ArgumentParser(description=__doc__).parse_args()
+
 EXPLORERS = [
     ExhaustiveExplorer(),
     RandomExplorer(),

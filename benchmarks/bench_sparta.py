@@ -16,6 +16,14 @@ from repro.sparta import (
     spmv_tasks,
 )
 
+if __name__ == "__main__":  # executed top-to-bottom; args must be empty
+    import argparse
+
+    # This bench takes no options: running everything at import time IS
+    # the benchmark.  Reject unknown/typo'd CLI args loudly instead of
+    # silently ignoring them (argparse exits 2 on anything unexpected).
+    argparse.ArgumentParser(description=__doc__).parse_args()
+
 CONTEXT_SWEEP = (1, 2, 4, 8)
 
 

@@ -1,0 +1,166 @@
+"""Summarize BENCH_*.json artifacts into one markdown table.
+
+CI's ``bench-summary`` job downloads every benchmark artifact the
+matrixed ``bench`` job uploaded and pipes this script's output into
+``$GITHUB_STEP_SUMMARY``, so a PR shows one table -- per-bench gate
+verdict, best measured speedup, worst p99 -- instead of seven JSON
+blobs to click through::
+
+    python benchmarks/summarize.py BENCH_*.json >> "$GITHUB_STEP_SUMMARY"
+
+The extraction is deliberately structural, not per-bench: gate
+verdicts come from the shared ``report["check"]`` convention, speedup
+and p99 figures from a recursive walk over the report.  A bench that
+gates via plain asserts (no ``check`` block) is shown as ``asserted``
+-- its job failing is the verdict.  Unreadable files are reported as
+rows, never crashes: the summary must render even when a bench broke.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _walk(node):
+    """Yield every (key, value) pair in a nested JSON structure."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield key, value
+            yield from _walk(value)
+    elif isinstance(node, list):
+        for item in node:
+            yield from _walk(item)
+
+
+def _numbers(report, match):
+    """All finite numeric values under keys selected by *match*."""
+    out = []
+    for key, value in _walk(report):
+        if not match(key):
+            continue
+        if isinstance(value, (int, float)) and value == value:
+            if value not in (float("inf"), float("-inf")):
+                out.append(float(value))
+    return out
+
+
+def extract_row(name, report):
+    """One summary-table row (a dict) from a parsed bench report."""
+    check = report.get("check")
+    if isinstance(check, dict) and "passed" in check:
+        verdict = "PASS" if check.get("passed") else "**FAIL**"
+        messages = check.get("messages") or []
+        fails = [m for m in messages if str(m).startswith("FAIL")]
+        skips = [m for m in messages if str(m).startswith("skip")]
+        if fails:
+            note = str(fails[0])
+        else:
+            gates = len(messages) - len(skips)
+            note = f"{gates} gate(s) ok"
+            if skips:
+                note += f", {len(skips)} skipped"
+    else:
+        verdict = "asserted"
+        note = "gates asserted at run time"
+
+    speedups = _numbers(
+        report, lambda k: isinstance(k, str) and k.startswith("speedup")
+    )
+    p99s = _numbers(report, lambda k: k == "p99")
+    return {
+        "bench": name,
+        "verdict": verdict,
+        "best_speedup": max(speedups) if speedups else None,
+        "worst_p99_ms": max(p99s) * 1000 if p99s else None,
+        "note": note,
+    }
+
+
+def load_report(path):
+    """(name, report-or-None, error-or-None) for one artifact file."""
+    name = path.rsplit("/", 1)[-1]
+    for prefix in ("BENCH_", "bench_"):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+    if name.endswith(".json"):
+        name = name[: -len(".json")]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return name, json.load(fh), None
+    except (OSError, ValueError) as exc:
+        return name, None, str(exc)
+
+
+def summarize(paths):
+    """Markdown summary table over the given artifact paths."""
+    rows = []
+    for path in sorted(paths):
+        name, report, error = load_report(path)
+        if report is None:
+            rows.append({
+                "bench": name,
+                "verdict": "**unreadable**",
+                "best_speedup": None,
+                "worst_p99_ms": None,
+                "note": error,
+            })
+        elif isinstance(report, dict):
+            rows.append(extract_row(name, report))
+        else:
+            # e.g. BENCH_obs_trace.json is a span list, not a report.
+            rows.append({
+                "bench": name,
+                "verdict": "artifact",
+                "best_speedup": None,
+                "worst_p99_ms": None,
+                "note": f"non-report JSON ({type(report).__name__})",
+            })
+
+    lines = [
+        "## Benchmark summary",
+        "",
+        "| bench | gates | best speedup | worst p99 (ms) | notes |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for row in rows:
+        speedup = (
+            f"{row['best_speedup']:.2f}x"
+            if row["best_speedup"] is not None
+            else "-"
+        )
+        p99 = (
+            f"{row['worst_p99_ms']:.1f}"
+            if row["worst_p99_ms"] is not None
+            else "-"
+        )
+        note = str(row["note"]).replace("|", "\\|")
+        lines.append(
+            f"| {row['bench']} | {row['verdict']} | {speedup} "
+            f"| {p99} | {note} |"
+        )
+    if not rows:
+        lines.append("| (no artifacts found) | - | - | - | - |")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="+",
+        help="BENCH_*.json artifact files to summarize",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="also write the markdown here (always printed to stdout)",
+    )
+    args = parser.parse_args(argv)
+    table = summarize(args.paths)
+    print(table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,13 @@ and a Chrome ``trace.chrome.json`` into DIR.
 renders one request's span tree and ledger events, ``repro obs
 summary`` aggregates span durations per name, ``repro obs export
 --format=chrome`` re-exports the spans as Chrome trace-event JSON.
+
+``capacity`` answers the sizing question directly from the
+:mod:`repro.serve.capacity` model: given a measured per-shard
+throughput and service-time p99 (``--shard-rps`` / ``--shard-p99-ms``,
+or ``--from-report BENCH_scale.json``), print shards needed and cost
+per million requests at a target p99 over a load sweep.  ``repro serve
+--capacity-report`` appends the same table to a live serving run.
 """
 
 from __future__ import annotations
@@ -271,6 +278,139 @@ def _export_observability(trace_dir: str) -> str:
     )
 
 
+def _capacity_table(report: dict, title: str) -> str:
+    """Render a :func:`repro.serve.capacity.capacity_report` block as a
+    table (shared by ``repro capacity`` and ``serve --capacity-report``)."""
+    model = report["model"]
+    currency = report["cost"]["currency"]
+    table = Table(
+        ["offered (rps)", "shards", "util", "p99 (ms)",
+         f"{currency}/h", f"{currency}/1M req"],
+        title=title,
+    )
+    for plan in report["plans"]:
+        if plan["feasible"]:
+            table.add_row(
+                [
+                    round(plan["offered_rps"], 1),
+                    plan["shards"],
+                    round(plan["utilization"], 3),
+                    round(plan["modeled_p99_s"] * 1000, 2),
+                    round(plan["cost_per_hour"], 2),
+                    round(plan["cost_per_million"], 4),
+                ]
+            )
+        else:
+            table.add_row(
+                [round(plan["offered_rps"], 1), "-", "-", "-", "-",
+                 "infeasible"]
+            )
+    footer = (
+        f"model: {model['per_shard_rps']:.1f} rps/shard, service p99 "
+        f"{model['service_p99_s'] * 1000:.2f} ms, target p99 "
+        f"{report['target_p99_s'] * 1000:.1f} ms, max utilization "
+        f"{model['max_utilization']:g}"
+    )
+    return table.render() + "\n" + footer
+
+
+def _cost_model(args: "argparse.Namespace"):
+    from repro.serve import ShardCostModel
+
+    return ShardCostModel(
+        shard_cost_per_hour=args.shard_cost,
+        cluster_overhead_per_hour=args.overhead_cost,
+    )
+
+
+def _cmd_capacity(args: "argparse.Namespace") -> str:
+    """``repro capacity``: answer "how many shards and at what cost"
+    from measured numbers -- either ``--shard-rps``/``--shard-p99-ms``
+    or a ``BENCH_scale.json`` produced by ``benchmarks/bench_scale.py``
+    (``--from-report``)."""
+    import json
+
+    from repro.core.errors import ValidationError
+    from repro.serve import CapacityModel, capacity_report
+
+    if args.from_report:
+        with open(args.from_report, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+        block = report.get("capacity") or report
+        model_json = block.get("model")
+        if not model_json:
+            raise ValidationError(
+                f"{args.from_report} has no capacity model block"
+            )
+        model = CapacityModel(
+            model_json["per_shard_rps"],
+            model_json["service_p99_s"],
+            efficiency={
+                int(k): v
+                for k, v in (model_json.get("efficiency") or {}).items()
+            },
+            max_utilization=model_json.get("max_utilization", 0.95),
+        )
+        source = args.from_report
+    else:
+        if not args.shard_rps or not args.shard_p99_ms:
+            raise ValidationError(
+                "capacity needs --shard-rps and --shard-p99-ms "
+                "(or --from-report BENCH_scale.json)"
+            )
+        model = CapacityModel(args.shard_rps, args.shard_p99_ms / 1000.0)
+        source = "command line"
+    if args.offered_rps:
+        loads = [float(part) for part in args.offered_rps.split(",")]
+    else:
+        loads = [
+            model.per_shard_rps * mult for mult in (0.5, 1, 2, 4, 8)
+        ]
+    target = (args.target_p99_ms or 250.0) / 1000.0
+    block = capacity_report(
+        model,
+        offered_rps=loads,
+        target_p99_s=target,
+        cost=_cost_model(args),
+        max_shards=args.max_shards,
+    )
+    body = _capacity_table(
+        block, f"repro capacity -- model from {source}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(block, fh, indent=2, sort_keys=True)
+        body += f"\ncapacity report written to {args.out}"
+    return body
+
+
+def _serve_capacity_report(
+    args: "argparse.Namespace",
+    achieved_rps: float,
+    p99_s: float,
+    shards: int,
+) -> dict:
+    """Capacity block for a live ``repro serve`` run: the measured
+    point becomes the per-shard model, swept over load multiples."""
+    from repro.serve import CapacityModel, capacity_report
+
+    model = CapacityModel(
+        max(achieved_rps, 1e-9) / max(1, shards), max(p99_s, 1e-9)
+    )
+    target = (
+        args.target_p99_ms / 1000.0
+        if args.target_p99_ms
+        else 5.0 * p99_s
+    )
+    loads = [achieved_rps * mult for mult in (0.5, 1.0, 2.0, 4.0)]
+    return capacity_report(
+        model,
+        offered_rps=loads,
+        target_p99_s=target,
+        cost=_cost_model(args),
+    )
+
+
 def _cmd_serve(args: "argparse.Namespace") -> str:
     import json
 
@@ -300,6 +440,11 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
             parallel=args.workers,
             cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
         )
+        measured = (
+            float(snapshot.get("throughput_rps") or 0.0),
+            float((snapshot.get("latency_s") or {}).get("p99") or 0.0),
+            1,
+        )
         table = Table(
             ["#", "workload", "status", "digest", "wall (ms)", "metrics"],
             title=f"repro serve -- {len(requests)} request(s) "
@@ -327,16 +472,18 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
             pool_size=args.pool,
             seed=args.seed,
         )
-        if args.shards and args.shards > 1:
+        if (args.shards and args.shards > 1) or args.backend == "process":
             from repro.serve import ShardCluster
 
             service = ShardCluster(
-                num_shards=args.shards,
+                num_shards=args.shards or 2,
+                backend=args.backend,
                 batch_size=batch_size,
                 max_queue=max(1, len(requests)),
                 parallel=args.workers,
                 cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
             )
+            service.wait_ready()
         else:
             service = EvaluationService(
                 batch_size=batch_size,
@@ -349,6 +496,11 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
             snapshot = service.snapshot()
         finally:
             service.shutdown()
+        measured = (
+            float(point["achieved_rps"]),
+            float(point["latency_s"]["p99"]),
+            snapshot.get("shards") or 1,
+        )
         table = Table(
             ["requests", "offered (rps)", "achieved (rps)", "p50 (ms)",
              "p95 (ms)", "p99 (ms)", "errors"],
@@ -381,16 +533,32 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
             f"(restarts {snapshot['restarts']}, "
             f"replayed {snapshot['replayed']})"
         )
+    body = table.render() + "\n" + footer
+    if args.capacity_report:
+        achieved, p99_s, shard_count = measured
+        if achieved > 0 and p99_s > 0:
+            report = _serve_capacity_report(
+                args, achieved, p99_s, shard_count
+            )
+            snapshot = dict(snapshot)
+            snapshot["capacity"] = report
+            body += "\n\n" + _capacity_table(
+                report,
+                f"capacity plan -- measured {achieved:.1f} rps on "
+                f"{shard_count} shard(s)",
+            )
+        else:
+            body += "\ncapacity report skipped: no completed requests"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
-        footer += f"; metrics snapshot written to {args.out}"
+        body += f"\nmetrics snapshot written to {args.out}"
     if args.trace_dir:
         from repro import obs
 
-        footer += "\n" + _export_observability(args.trace_dir)
+        body += "\n" + _export_observability(args.trace_dir)
         obs.disable()
-    return table.render() + "\n" + footer
+    return body
 
 
 def _cmd_chaos(args: "argparse.Namespace") -> str:
@@ -694,7 +862,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "artifact",
         choices=sorted(_COMMANDS) + [
-            "chaos", "exec", "obs", "profile", "serve",
+            "capacity", "chaos", "exec", "obs", "profile", "serve",
         ],
         help="which paper artifact to regenerate ('exec' runs the "
         "parallel evaluation engine demo, 'profile' times the "
@@ -702,7 +870,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the micro-batched evaluation service -- one-shot with "
         "--requests FILE, synthetic load otherwise; 'chaos' runs a "
         "seeded fault-injection campaign against a shard cluster; "
-        "'obs' inspects recorded traces: show/summary/export)",
+        "'capacity' plans shard counts and cost per million requests "
+        "from measured throughput/latency; 'obs' inspects recorded "
+        "traces: show/summary/export)",
     )
     parser.add_argument(
         "demo",
@@ -771,6 +941,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         "service, chaos to 4 supervised shards)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("inproc", "process"),
+        default="inproc",
+        help="serve: shard backend -- 'process' hosts each shard in "
+        "its own worker process (implies a cluster, default 2 shards)",
+    )
+    parser.add_argument(
+        "--capacity-report",
+        action="store_true",
+        help="serve: append a capacity/TCO plan derived from the "
+        "measured throughput and p99",
+    )
+    parser.add_argument(
+        "--target-p99-ms",
+        type=float,
+        default=None,
+        help="serve/capacity: target p99 latency in ms (serve default: "
+        "5x the measured p99; capacity default: 250)",
+    )
+    parser.add_argument(
+        "--shard-rps",
+        type=float,
+        default=None,
+        help="capacity: measured per-shard throughput (rps)",
+    )
+    parser.add_argument(
+        "--shard-p99-ms",
+        type=float,
+        default=None,
+        help="capacity: measured service-time p99 (ms)",
+    )
+    parser.add_argument(
+        "--from-report",
+        default=None,
+        help="capacity: read the model from a BENCH_scale.json (or any "
+        "JSON with a capacity block)",
+    )
+    parser.add_argument(
+        "--offered-rps",
+        default=None,
+        help="capacity: comma-separated offered loads to plan for "
+        "(default: 0.5x..8x one shard's throughput)",
+    )
+    parser.add_argument(
+        "--shard-cost",
+        type=float,
+        default=0.50,
+        help="capacity/serve: cost per shard-hour (default: 0.50)",
+    )
+    parser.add_argument(
+        "--overhead-cost",
+        type=float,
+        default=0.20,
+        help="capacity/serve: fixed cluster overhead per hour "
+        "(default: 0.20)",
+    )
+    parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=1024,
+        help="capacity: largest shard count to consider",
+    )
+    parser.add_argument(
         "--kills",
         type=int,
         default=1,
@@ -810,6 +1043,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_serve(args))
     elif args.artifact == "chaos":
         print(_cmd_chaos(args))
+    elif args.artifact == "capacity":
+        print(_cmd_capacity(args))
     else:
         print(_COMMANDS[args.artifact]())
     return 0

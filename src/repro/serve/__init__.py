@@ -18,12 +18,25 @@ batching, async, caching"):
   -- fault-tolerant sharding: consistent-hash routing on request
   digests, heartbeat/deadline failure detection, shard restart with
   ledger-replay recovery, per-workload circuit breakers;
+- :class:`ProcessShard` -- a shard hosted in its own worker process
+  (``backend="process"``): true multi-core scaling with the same
+  exactly-once and replay guarantees, metrics/ledger collected across
+  the process boundary;
+- :class:`CapacityModel` / :class:`ShardCostModel` -- the capacity/TCO
+  model: shards needed and cost per million requests at a target p99,
+  from measured throughput, latency and scaling efficiency;
 - :func:`run_chaos_campaign` -- deterministic chaos-schedule driver
   asserting exactly-once completion under shard kills;
 - :mod:`repro.serve.loadgen` -- deterministic synthetic traffic for
   benches and the ``repro serve`` CLI.
 """
 
+from repro.serve.capacity import (
+    CapacityModel,
+    CapacityPlan,
+    ShardCostModel,
+    capacity_report,
+)
 from repro.serve.cluster import (
     ShardCluster,
     ShardRouter,
@@ -31,6 +44,7 @@ from repro.serve.cluster import (
     incomplete_from_ledger,
     run_chaos_campaign,
 )
+from repro.serve.procshard import ProcessShard
 from repro.serve.loadgen import (
     config_pool,
     generate_requests,
@@ -48,13 +62,18 @@ from repro.serve.service import EvaluationService, serve_requests
 
 __all__ = [
     "AdmissionRejected",
+    "CapacityModel",
+    "CapacityPlan",
     "EvalRequest",
     "EvaluationService",
     "PRIORITY_LANES",
+    "ProcessShard",
     "ServiceMetrics",
     "ShardCluster",
+    "ShardCostModel",
     "ShardRouter",
     "Supervisor",
+    "capacity_report",
     "config_pool",
     "generate_requests",
     "incomplete_from_ledger",

@@ -1,0 +1,309 @@
+"""Capacity planning and TCO for the sharded serving tier.
+
+The distributed-training simulator/TCO survey in PAPERS.md
+(arXiv:2506.09275) argues that scaling decisions need a cost model next
+to the performance model: "how many shards" is only half a design
+answer without "at what cost per request".  This module is that model
+for :mod:`repro.serve`:
+
+- :class:`ShardCostModel` -- the cost table: dollars per shard-hour
+  plus a fixed cluster overhead (router/supervisor host) per hour;
+- :class:`CapacityModel` -- measured per-shard throughput, the
+  service-time p99 and a measured scaling-efficiency curve (the
+  1/2/4-shard points ``bench_scale`` produces) folded into a simple
+  queueing heuristic: at utilization ``rho`` the tail inflates as
+  ``p99(rho) = service_p99 / (1 - rho)``;
+- :meth:`CapacityModel.plan` -- the design answer: the smallest shard
+  count meeting a target p99 at an offered load, with utilization,
+  modeled p99, cost per hour and **cost per million requests**;
+- :func:`capacity_report` -- the JSON block ``bench_scale`` embeds and
+  ``repro serve --capacity-report`` / ``repro capacity`` print.
+
+Everything here is arithmetic over measured numbers -- no simulation,
+no randomness -- so the unit tests pin exact hand-computed outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.errors import ValidationError
+
+#: Default ceiling on planned shard counts; beyond it a target is
+#: declared infeasible rather than answered with an absurd cluster.
+DEFAULT_MAX_SHARDS = 1024
+
+
+@dataclass(frozen=True)
+class ShardCostModel:
+    """Dollars per hour of cluster: ``shards * shard_cost_per_hour +
+    cluster_overhead_per_hour``.  Defaults approximate a small cloud VM
+    per shard plus a lightweight router/supervisor host."""
+
+    shard_cost_per_hour: float = 0.50
+    cluster_overhead_per_hour: float = 0.20
+    currency: str = "USD"
+
+    def __post_init__(self) -> None:
+        if self.shard_cost_per_hour < 0:
+            raise ValidationError("shard_cost_per_hour must be >= 0")
+        if self.cluster_overhead_per_hour < 0:
+            raise ValidationError(
+                "cluster_overhead_per_hour must be >= 0"
+            )
+
+    def cost_per_hour(self, shards: int) -> float:
+        return (
+            shards * self.shard_cost_per_hour
+            + self.cluster_overhead_per_hour
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """One answered design question: serve *offered_rps* under
+    *target_p99_s* -- with how many shards, at what cost."""
+
+    offered_rps: float
+    target_p99_s: float
+    feasible: bool
+    shards: Optional[int]
+    utilization: Optional[float]
+    modeled_p99_s: Optional[float]
+    effective_rps: Optional[float]
+    cost_per_hour: Optional[float]
+    cost_per_million: Optional[float]
+    reason: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class CapacityModel:
+    """Measured serving behaviour folded into a planning model.
+
+    *per_shard_rps* is the sustained throughput of a single shard;
+    *service_p99_s* the per-request service-time p99 at low load (the
+    irreducible tail); *efficiency* maps shard counts to measured
+    scaling efficiency (``speedup / shards``, 1.0 at one shard).
+    Between measured counts the efficiency is interpolated linearly in
+    ``log2(shards)``; beyond the largest measured count the last
+    measured value is held flat -- a conservative extrapolation that
+    never credits unmeasured superlinearity.
+    """
+
+    def __init__(
+        self,
+        per_shard_rps: float,
+        service_p99_s: float,
+        *,
+        efficiency: Optional[Mapping[int, float]] = None,
+        max_utilization: float = 0.95,
+    ) -> None:
+        if per_shard_rps <= 0:
+            raise ValidationError("per_shard_rps must be positive")
+        if service_p99_s <= 0:
+            raise ValidationError("service_p99_s must be positive")
+        if not 0 < max_utilization < 1:
+            raise ValidationError("max_utilization must be in (0, 1)")
+        self.per_shard_rps = float(per_shard_rps)
+        self.service_p99_s = float(service_p99_s)
+        self.max_utilization = float(max_utilization)
+        curve = {1: 1.0}
+        for count, value in (efficiency or {}).items():
+            count = int(count)
+            if count < 1:
+                raise ValidationError("efficiency keys must be >= 1")
+            if value <= 0:
+                raise ValidationError(
+                    "efficiency values must be positive"
+                )
+            curve[count] = float(value)
+        self._efficiency = dict(sorted(curve.items()))
+
+    # ----------------------------------------------------------- the model
+
+    def efficiency_at(self, shards: int) -> float:
+        """Scaling efficiency at *shards*, interpolated from the
+        measured curve (log2 axis, clamped at the measured ends)."""
+        if shards < 1:
+            raise ValidationError("shards must be >= 1")
+        counts = list(self._efficiency)
+        if shards <= counts[0]:
+            return self._efficiency[counts[0]]
+        if shards >= counts[-1]:
+            return self._efficiency[counts[-1]]
+        if shards in self._efficiency:
+            return self._efficiency[shards]
+        for low, high in zip(counts, counts[1:]):
+            if low < shards < high:
+                span = math.log2(high) - math.log2(low)
+                frac = (math.log2(shards) - math.log2(low)) / span
+                return (
+                    self._efficiency[low]
+                    + frac
+                    * (self._efficiency[high] - self._efficiency[low])
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def effective_rps(self, shards: int) -> float:
+        """Cluster capacity at *shards*: linear scaling discounted by
+        the measured efficiency."""
+        return self.per_shard_rps * shards * self.efficiency_at(shards)
+
+    def utilization(self, shards: int, offered_rps: float) -> float:
+        return offered_rps / self.effective_rps(shards)
+
+    def modeled_p99_s(
+        self, shards: int, offered_rps: float
+    ) -> float:
+        """Tail latency heuristic: the service-time p99 inflated by the
+        queueing factor ``1 / (1 - rho)``; infinite at saturation."""
+        rho = self.utilization(shards, offered_rps)
+        if rho >= 1.0:
+            return math.inf
+        return self.service_p99_s / (1.0 - rho)
+
+    # ------------------------------------------------------------ planning
+
+    def plan(
+        self,
+        offered_rps: float,
+        target_p99_s: float,
+        *,
+        cost: Optional[ShardCostModel] = None,
+        max_shards: int = DEFAULT_MAX_SHARDS,
+    ) -> CapacityPlan:
+        """The smallest shard count serving *offered_rps* with a
+        modeled p99 within *target_p99_s* (and utilization below the
+        model's cap), costed per hour and per million requests."""
+        if offered_rps <= 0:
+            raise ValidationError("offered_rps must be positive")
+        if target_p99_s <= 0:
+            raise ValidationError("target_p99_s must be positive")
+        cost = cost or ShardCostModel()
+        if target_p99_s < self.service_p99_s:
+            return CapacityPlan(
+                offered_rps=offered_rps,
+                target_p99_s=target_p99_s,
+                feasible=False,
+                shards=None,
+                utilization=None,
+                modeled_p99_s=None,
+                effective_rps=None,
+                cost_per_hour=None,
+                cost_per_million=None,
+                reason=(
+                    f"target p99 {target_p99_s:g}s is below the "
+                    f"measured service-time p99 "
+                    f"{self.service_p99_s:g}s; no shard count can "
+                    "meet it"
+                ),
+            )
+        for shards in range(1, max_shards + 1):
+            rho = self.utilization(shards, offered_rps)
+            if rho > self.max_utilization:
+                continue
+            p99 = self.modeled_p99_s(shards, offered_rps)
+            if p99 <= target_p99_s:
+                hourly = cost.cost_per_hour(shards)
+                per_million = hourly / (offered_rps * 3600.0 / 1e6)
+                return CapacityPlan(
+                    offered_rps=offered_rps,
+                    target_p99_s=target_p99_s,
+                    feasible=True,
+                    shards=shards,
+                    utilization=rho,
+                    modeled_p99_s=p99,
+                    effective_rps=self.effective_rps(shards),
+                    cost_per_hour=hourly,
+                    cost_per_million=per_million,
+                )
+        return CapacityPlan(
+            offered_rps=offered_rps,
+            target_p99_s=target_p99_s,
+            feasible=False,
+            shards=None,
+            utilization=None,
+            modeled_p99_s=None,
+            effective_rps=None,
+            cost_per_hour=None,
+            cost_per_million=None,
+            reason=(
+                f"no shard count up to {max_shards} meets p99 "
+                f"{target_p99_s:g}s at {offered_rps:g} rps"
+            ),
+        )
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def from_metrics(
+        cls,
+        snapshot: Mapping[str, Any],
+        *,
+        num_shards: int = 1,
+        **kwargs: Any,
+    ) -> "CapacityModel":
+        """Build from a :class:`~repro.serve.metrics.ServiceMetrics` (or
+        cluster) snapshot: measured throughput split across the shards
+        that produced it, latency p99 as the service-time tail."""
+        throughput = float(snapshot.get("throughput_rps") or 0.0)
+        latency = snapshot.get("latency_s") or {}
+        p99 = float(latency.get("p99") or 0.0)
+        if throughput <= 0 or p99 <= 0:
+            raise ValidationError(
+                "snapshot has no completed requests to model "
+                "capacity from"
+            )
+        return cls(throughput / max(1, num_shards), p99, **kwargs)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "per_shard_rps": self.per_shard_rps,
+            "service_p99_s": self.service_p99_s,
+            "max_utilization": self.max_utilization,
+            "efficiency": {
+                str(count): value
+                for count, value in self._efficiency.items()
+            },
+        }
+
+
+def capacity_report(
+    model: CapacityModel,
+    *,
+    offered_rps: Sequence[float],
+    target_p99_s: float,
+    cost: Optional[ShardCostModel] = None,
+    max_shards: int = DEFAULT_MAX_SHARDS,
+) -> Dict[str, Any]:
+    """Plans over a load sweep, as one JSON-serializable block (the
+    shape ``BENCH_scale.json`` embeds and the CLIs print)."""
+    cost = cost or ShardCostModel()
+    plans: List[Dict[str, Any]] = [
+        model.plan(
+            load, target_p99_s, cost=cost, max_shards=max_shards
+        ).to_json()
+        for load in offered_rps
+    ]
+    return {
+        "model": model.to_json(),
+        "cost": cost.to_json(),
+        "target_p99_s": target_p99_s,
+        "plans": plans,
+    }
+
+
+__all__ = [
+    "CapacityModel",
+    "CapacityPlan",
+    "DEFAULT_MAX_SHARDS",
+    "ShardCostModel",
+    "capacity_report",
+]

@@ -25,6 +25,15 @@ layer:
   submission delays and duplicate bursts at pinned request indices
   while the campaign asserts exactly-once completion.
 
+Shards come in two backends.  ``backend="inproc"`` (the default) hosts
+each shard's :class:`EvaluationService` in this process -- cheap, fully
+deterministic, the chaos-test substrate.  ``backend="process"`` hosts
+each shard in its own worker process
+(:class:`~repro.serve.procshard.ProcessShard`): true multi-core
+scaling, real ``kill -9`` failure modes, and cross-process metric /
+ledger collection, with the same router, exactly-once futures, circuit
+breakers and ledger-replay recovery driving both.
+
 Exactly-once delivery is enforced structurally: every cluster future
 is resolved under the cluster lock by the *first* shard completion for
 its request id (a replayed duplicate evaluation is discarded, not
@@ -48,8 +57,13 @@ from repro.exec.parallel import CacheLike, EvaluatorLike, coerce_cache
 from repro.obs.ledger import get_ledger
 from repro.obs.stats import summary as _summary
 from repro.resilience import BackoffPolicy, ChaosPolicy, CircuitBreaker
+from repro.serve.procshard import ProcessShard, validate_process_spec
 from repro.serve.request import AdmissionRejected, EvalRequest
 from repro.serve.service import EvaluationService
+
+#: Shard hosting backends: in-process services vs one worker process
+#: per shard.
+BACKENDS = ("inproc", "process")
 
 
 class ShardRouter:
@@ -175,9 +189,9 @@ class _ShardSlot:
         "progress_at",
     )
 
-    def __init__(self, index: int, service: EvaluationService) -> None:
+    def __init__(self, index: int, service: Any) -> None:
         self.index = index
-        self.service = service
+        self.service = service  # EvaluationService or ProcessShard
         self.incarnation = 0
         self.restarts = 0
         self.completions = 0
@@ -266,10 +280,19 @@ class ShardCluster:
         heartbeat_s: float = 0.02,
         stall_timeout_s: Optional[float] = 30.0,
         reroute_timeout_s: float = 10.0,
+        backend: str = "inproc",
+        shard_heartbeat_s: float = 0.05,
     ) -> None:
         if num_shards < 1:
             raise ValidationError("num_shards must be >= 1")
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown shard backend {backend!r} "
+                f"(choose from {BACKENDS})"
+            )
         self.num_shards = num_shards
+        self.backend = backend
+        self.shard_heartbeat_s = shard_heartbeat_s
         self.router = ShardRouter(num_shards, replicas=replicas)
         self.breaker_threshold = breaker_threshold
         self.breaker_recovery_s = breaker_recovery_s
@@ -279,13 +302,18 @@ class ShardCluster:
             "batch_wait_s": batch_wait_s,
             "max_queue": max_queue,
             "parallel": parallel,
-            "cache": coerce_cache(cache),
+            "cache": (
+                cache if backend == "process" else coerce_cache(cache)
+            ),
             "policy": policy,
             "default_timeout_s": default_timeout_s,
         }
+        if backend == "process":
+            # Fail fast on specs that cannot cross the spawn boundary.
+            validate_process_spec(self._service_kwargs)
         self._lock = threading.Lock()
         self._slots = [
-            _ShardSlot(index, self._make_service())
+            _ShardSlot(index, self._make_service(index))
             for index in range(num_shards)
         ]
         self._inflight: Dict[int, _Entry] = {}
@@ -306,8 +334,32 @@ class ShardCluster:
             )
             self.supervisor.start()
 
-    def _make_service(self) -> EvaluationService:
+    def _make_service(self, index: int, incarnation: int = 0) -> Any:
+        if self.backend == "process":
+            spec = dict(self._service_kwargs)
+            if isinstance(spec["cache"], str):
+                # One store per shard: the consistent-hash router keeps
+                # a digest on one shard, so shards never need to share
+                # a file (and never race each other's writes).
+                spec["cache"] = f"{spec['cache']}.shard{index}"
+            return ProcessShard(
+                index,
+                spec,
+                incarnation=incarnation,
+                heartbeat_s=self.shard_heartbeat_s,
+            )
         return EvaluationService(**self._service_kwargs)
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until every shard is serving (process shards report
+        ready once their worker finished importing).  Benches call this
+        so spawn cost stays out of measured throughput."""
+        ok = True
+        for slot in self._slots:
+            service = slot.service
+            if hasattr(service, "wait_ready"):
+                ok = service.wait_ready(timeout) and ok
+        return ok
 
     def __enter__(self) -> "ShardCluster":
         return self
@@ -513,6 +565,9 @@ class ShardCluster:
             if self._stopped:
                 break
             if not slot.service.alive:
+                get_ledger().event(
+                    "shard.down", shard=slot.index, cause="heartbeat"
+                )
                 self._restart_shard(slot.index, cause="heartbeat")
                 restarted.append(slot.index)
                 continue
@@ -544,7 +599,9 @@ class ShardCluster:
             slot.restarts += 1
             slot.progress_mark = slot.completions
             slot.progress_at = time.monotonic()
-            slot.service = self._make_service()
+            slot.service = self._make_service(
+                shard_id, incarnation=slot.incarnation
+            )
             self.restarts += 1
             lost = sorted(self._by_shard.get(shard_id, set()))
         get_ledger().event(

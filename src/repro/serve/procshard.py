@@ -1,0 +1,491 @@
+"""Process-backed service shards: one :class:`EvaluationService` per OS
+process.
+
+The in-process shards of :class:`~repro.serve.cluster.ShardCluster`
+prove the fault-tolerance contract but share one GIL, so N shards never
+buy N cores.  :class:`ProcessShard` hosts each shard's service in its
+own worker process (``multiprocessing`` spawn context: no inherited
+locks from the threaded parent), fed over a command queue and answering
+on a response queue:
+
+- the parent keeps the shard-local future table, so the cluster's
+  set-once exactly-once futures work unchanged across the process
+  boundary;
+- the child streams back ``done`` records (``RunResult`` wire form),
+  periodic ``stats`` heartbeats carrying its
+  :class:`~repro.serve.metrics.ServiceMetrics` snapshot, and -- when the
+  run ledger was enabled at spawn time -- its ledger events, which the
+  parent merges into the process-wide ledger tagged with the shard id
+  (cross-process metric/ledger collection);
+- process liveness *is* the heartbeat: ``kill -9`` on the child makes
+  :attr:`ProcessShard.alive` go false, the
+  :class:`~repro.serve.cluster.Supervisor` restarts the slot with a
+  fresh incarnation, and the cluster replays the stranded requests from
+  the run ledger onto survivors exactly as in the in-process design.
+
+A shard killed after computing a result but before the parent drained
+the response pipe can still deliver that result; the cluster's set-once
+future discards the replayed duplicate, so delivery stays exactly-once
+either way.
+
+Spawn-context caveat: the child re-imports the parent's ``__main__``,
+so the creating program must be import-safe -- a real module or script
+whose top level is guarded by ``if __name__ == "__main__":``.  Driving
+``backend="process"`` from a stdin-fed or interactive interpreter fails
+(the child cannot re-import ``<stdin>`` and dies before reporting
+ready); all repo surfaces (``repro`` CLI, pytest, the bench scripts)
+are spawn-safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as _queue
+import threading
+import time
+from concurrent.futures import Future
+from functools import partial
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.api import RunResult
+from repro.core.errors import ValidationError
+from repro.obs.ledger import get_ledger
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.request import AdmissionRejected, EvalRequest
+
+#: Keys of the picklable service spec a worker process builds its
+#: :class:`EvaluationService` from.  ``parallel`` must be None/bool/int
+#: and ``cache`` None or a path string -- live objects cannot cross the
+#: spawn boundary.
+SPEC_KEYS = (
+    "batch_size",
+    "batch_wait_s",
+    "max_queue",
+    "parallel",
+    "cache",
+    "policy",
+    "default_timeout_s",
+)
+
+
+def validate_process_spec(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check *spec* is spawn-safe and return a plain dict of it."""
+    out = {key: spec.get(key) for key in SPEC_KEYS}
+    parallel = out["parallel"]
+    if parallel is not None and not isinstance(parallel, (bool, int)):
+        raise ValidationError(
+            "process shards take parallel=None/bool/int; a live "
+            "evaluator object cannot cross the process boundary"
+        )
+    cache = out["cache"]
+    if cache is not None and not isinstance(cache, str):
+        raise ValidationError(
+            "process shards take cache=None or a path string; a live "
+            "ResultCache cannot cross the process boundary"
+        )
+    return out
+
+
+def _shard_worker_main(
+    shard_id: int,
+    incarnation: int,
+    cmd_queue: Any,
+    out_queue: Any,
+    spec: Dict[str, Any],
+    ledger_on: bool,
+    heartbeat_s: float,
+) -> None:
+    """Worker-process entry point: host one shard's service.
+
+    Protocol (parent -> child): ``("submit", rid, request_json)``,
+    ``("snapshot", token)``, ``("stop", drain)``.  Child -> parent:
+    ``("ready", pid)``, ``("done", rid, result_json)``, ``("reject",
+    rid, reason, message)``, ``("stats", snapshot)``, ``("events",
+    records)``, ``("snapshot", token, snapshot)``, ``("stopped",
+    snapshot)``.  Every child message is prefixed with
+    ``(kind, shard_id, incarnation, ...)`` so the parent can attribute
+    it even in logs.
+    """
+    from repro.core.api import ensure_default_workloads
+    from repro.serve.service import EvaluationService
+
+    ledger = get_ledger()
+    if ledger_on:
+        ledger.enable()
+    ensure_default_workloads()
+    service = EvaluationService(
+        batch_size=spec["batch_size"],
+        batch_wait_s=spec["batch_wait_s"],
+        max_queue=spec["max_queue"],
+        parallel=spec["parallel"],
+        cache=spec["cache"],
+        policy=spec["policy"],
+        default_timeout_s=spec["default_timeout_s"],
+    )
+    events_sent = 0
+
+    def _send(kind: str, *payload: Any) -> None:
+        out_queue.put((kind, shard_id, incarnation) + payload)
+
+    def _flush_events() -> None:
+        nonlocal events_sent
+        if not ledger.enabled:
+            return
+        records = ledger.events()
+        if len(records) > events_sent:
+            _send("events", records[events_sent:])
+            events_sent = len(records)
+
+    def _on_done(rid: int, future: "Future[RunResult]") -> None:
+        exc = future.exception()
+        if exc is not None:
+            _send(
+                "reject", rid,
+                getattr(exc, "reason", "error"), str(exc),
+            )
+            return
+        _send("done", rid, future.result().to_json())
+
+    _send("ready", os.getpid())
+    while True:
+        try:
+            message = cmd_queue.get(timeout=heartbeat_s)
+        except _queue.Empty:
+            _flush_events()
+            _send("stats", service.snapshot())
+            continue
+        kind = message[0]
+        if kind == "submit":
+            rid, payload = message[1], message[2]
+            try:
+                future = service.submit_request(
+                    EvalRequest.from_json(payload), block=True
+                )
+            except Exception as exc:
+                _send(
+                    "reject", rid,
+                    getattr(exc, "reason", "error"), str(exc),
+                )
+                continue
+            future.add_done_callback(partial(_on_done, rid))
+        elif kind == "snapshot":
+            _send("snapshot", message[1], service.snapshot())
+        elif kind == "stop":
+            service.shutdown(drain=bool(message[1]))
+            _flush_events()
+            _send("stopped", service.snapshot())
+            break
+
+
+class ProcessShard:
+    """One shard of a :class:`~repro.serve.cluster.ShardCluster`, hosted
+    in its own worker process.
+
+    Implements the same surface the cluster drives on an in-process
+    :class:`EvaluationService` shard -- ``submit_request``/``alive``/
+    ``kill``/``shutdown``/``snapshot`` -- with the future table kept on
+    the parent side of the pipe, which is what lets the cluster's
+    exactly-once and ledger-replay machinery work unchanged when the
+    shard is a real process that can die under ``kill -9``.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec: Mapping[str, Any],
+        *,
+        incarnation: int = 0,
+        heartbeat_s: float = 0.05,
+        start_timeout_s: float = 60.0,
+    ) -> None:
+        if heartbeat_s <= 0:
+            raise ValidationError("heartbeat_s must be positive")
+        self.index = index
+        self.incarnation = incarnation
+        self.heartbeat_s = heartbeat_s
+        self.start_timeout_s = start_timeout_s
+        self._spec = validate_process_spec(spec)
+        self.max_queue = int(self._spec["max_queue"])
+        self._ctx = multiprocessing.get_context("spawn")
+        self._cmd: Any = self._ctx.Queue()
+        self._out: Any = self._ctx.Queue()
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._futures: Dict[int, "Future[RunResult]"] = {}
+        self._rid = 0
+        self._submitted = 0
+        self._finished = 0
+        self._killed = False
+        self._stopped = False
+        self._ready = threading.Event()
+        self._last_snapshot: Dict[str, Any] = ServiceMetrics().snapshot()
+        self._last_heartbeat = time.monotonic()
+        self._snapshot_waiters: Dict[int, Tuple[threading.Event, list]] = {}
+        self._snapshot_token = 0
+        self.pid: Optional[int] = None
+        self._process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                index,
+                incarnation,
+                self._cmd,
+                self._out,
+                self._spec,
+                get_ledger().enabled,
+                heartbeat_s,
+            ),
+            name=f"repro-shard-{index}.{incarnation}",
+            daemon=True,
+        )
+        self._process.start()
+        self._pump_thread = threading.Thread(
+            target=self._pump,
+            name=f"repro-shard-{index}.{incarnation}-pump",
+            daemon=True,
+        )
+        self._pump_thread.start()
+
+    # ------------------------------------------------------------ liveness
+
+    @property
+    def alive(self) -> bool:
+        """Process liveness doubles as the heartbeat: a ``kill -9`` is
+        visible here within one supervisor sweep."""
+        return (
+            not self._stopped
+            and not self._killed
+            and self._process.is_alive()
+        )
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until the worker finished importing and reported ready
+        (benches call this so spawn cost stays out of measured time)."""
+        return self._ready.wait(
+            self.start_timeout_s if timeout is None else timeout
+        )
+
+    def heartbeat_age_s(self) -> float:
+        return time.monotonic() - self._last_heartbeat
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._submitted - self._finished
+
+    # ------------------------------------------------------------ admission
+
+    def submit_request(
+        self, request: EvalRequest, *, block: bool = False
+    ) -> "Future[RunResult]":
+        """Queue *request* into the worker; parent-side bounded
+        admission mirrors the child service's ``max_queue`` contract."""
+        if not self.alive:
+            raise AdmissionRejected(
+                "shard process is not running", reason="stopped"
+            )
+        future: "Future[RunResult]" = Future()
+        with self._lock:
+            while self._submitted - self._finished >= self.max_queue:
+                if not block:
+                    raise AdmissionRejected(
+                        f"shard queue is full ({self.max_queue} "
+                        "requests); retry later or submit with "
+                        "block=True",
+                        reason="queue full",
+                    )
+                self._space.wait(self.heartbeat_s)
+                if self._stopped or self._killed:
+                    raise AdmissionRejected(
+                        "shard process is not running", reason="stopped"
+                    )
+            self._rid += 1
+            rid = self._rid
+            self._futures[rid] = future
+            self._submitted += 1
+        try:
+            self._cmd.put(("submit", rid, request.to_json()))
+        except Exception as exc:
+            with self._lock:
+                self._futures.pop(rid, None)
+                self._submitted -= 1
+            raise AdmissionRejected(
+                f"shard command pipe is down: {exc}", reason="stopped"
+            )
+        return future
+
+    # ------------------------------------------------------------ responses
+
+    def _pump(self) -> None:
+        """Drain the response queue, resolving shard-local futures and
+        merging cross-process observability back into this process."""
+        while True:
+            try:
+                message = self._out.get(timeout=self.heartbeat_s)
+            except _queue.Empty:
+                if not self._process.is_alive() and (
+                    self._stopped or self._killed
+                ):
+                    break
+                if not self._process.is_alive() and self._ready.is_set():
+                    # Crashed (not via kill()): nothing more will come
+                    # once the pipe is drained; leave futures stranded
+                    # for the cluster to replay.
+                    break
+                continue
+            except (EOFError, OSError):
+                break
+            self._handle(message)
+        # Unblock anyone waiting for a synchronous snapshot.
+        with self._lock:
+            waiters = list(self._snapshot_waiters.values())
+            self._snapshot_waiters.clear()
+        for event, _slot in waiters:
+            event.set()
+
+    def _handle(self, message: Tuple) -> None:
+        kind = message[0]
+        payload = message[3:]
+        self._last_heartbeat = time.monotonic()
+        if kind == "ready":
+            self.pid = payload[0]
+            self._ready.set()
+        elif kind == "done":
+            rid, record = payload
+            self._resolve(rid, result=RunResult.from_json(record))
+        elif kind == "reject":
+            rid, reason, text = payload
+            self._resolve(
+                rid,
+                error=AdmissionRejected(
+                    f"shard {self.index} rejected request: {text}",
+                    reason=reason,
+                ),
+            )
+        elif kind == "stats":
+            self._last_snapshot = payload[0]
+        elif kind == "events":
+            ledger = get_ledger()
+            if ledger.enabled:
+                ledger.extend(
+                    [{**record, "shard": self.index}
+                     for record in payload[0]]
+                )
+        elif kind == "snapshot":
+            token, snapshot = payload
+            self._last_snapshot = snapshot
+            with self._lock:
+                waiter = self._snapshot_waiters.pop(token, None)
+            if waiter is not None:
+                waiter[1].append(snapshot)
+                waiter[0].set()
+        elif kind == "stopped":
+            self._last_snapshot = payload[0]
+
+    def _resolve(
+        self,
+        rid: int,
+        *,
+        result: Optional[RunResult] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        with self._lock:
+            future = self._futures.pop(rid, None)
+            if future is None:
+                return
+            self._finished += 1
+            self._space.notify_all()
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def kill(self) -> None:
+        """Crash the shard the way an OOM kill would: SIGKILL the
+        worker, strand its futures.  Recovery (restart + ledger replay)
+        is the cluster supervisor's job."""
+        self._killed = True
+        try:
+            self._process.kill()
+        except Exception:
+            pass
+        with self._lock:
+            self._space.notify_all()
+        get_ledger().event(
+            "shard.killed", shard=self.index, pid=self.pid
+        )
+
+    def shutdown(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop the worker process (gracefully draining by default) and
+        fail any still-unresolved local futures."""
+        if self._stopped:
+            return
+        self._stopped = True
+        join_s = 10.0 if timeout is None else timeout
+        if self._process.is_alive() and not self._killed:
+            try:
+                self._cmd.put(("stop", bool(drain)))
+            except Exception:
+                pass
+            self._process.join(join_s)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(5.0)
+        self._pump_thread.join(max(1.0, self.heartbeat_s * 4))
+        with self._lock:
+            stranded = list(self._futures.values())
+            self._futures.clear()
+            self._space.notify_all()
+        for future in stranded:
+            if not future.done():
+                future.set_exception(
+                    AdmissionRejected(
+                        "shard shut down before this request resolved",
+                        reason="cancelled",
+                    )
+                )
+        for channel in (self._cmd, self._out):
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------ reporting
+
+    def snapshot(self, timeout_s: float = 1.0) -> Dict[str, Any]:
+        """The child service's metrics snapshot.
+
+        Queries the live worker synchronously; a dead or unresponsive
+        worker answers with the last heartbeat snapshot, so the cluster
+        aggregate never blocks on a corpse.
+        """
+        if self.alive and self._ready.is_set():
+            with self._lock:
+                self._snapshot_token += 1
+                token = self._snapshot_token
+                event = threading.Event()
+                slot: list = []
+                self._snapshot_waiters[token] = (event, slot)
+            try:
+                self._cmd.put(("snapshot", token))
+            except Exception:
+                with self._lock:
+                    self._snapshot_waiters.pop(token, None)
+            else:
+                if event.wait(timeout_s) and slot:
+                    return dict(slot[0])
+                with self._lock:
+                    self._snapshot_waiters.pop(token, None)
+        return dict(self._last_snapshot)
+
+
+__all__ = [
+    "ProcessShard",
+    "SPEC_KEYS",
+    "validate_process_spec",
+]

@@ -1,0 +1,143 @@
+"""Tests for the capacity/TCO planning model.
+
+The model is pure arithmetic over measured numbers, so these tests pin
+exact hand-computed outcomes: a 100 rps / 50 ms-p99 shard asked to
+serve 250 rps under a 100 ms target needs exactly 5 shards (rho = 0.5
+doubles the tail to precisely the target), and the cost chain follows
+mechanically.  Anything fuzzier would let a silently changed formula
+ship plausible-looking nonsense.
+"""
+
+import math
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.serve import CapacityModel, ShardCostModel, capacity_report
+
+
+def _model(**kwargs):
+    kwargs.setdefault("per_shard_rps", 100.0)
+    kwargs.setdefault("service_p99_s", 0.05)
+    return CapacityModel(**kwargs)
+
+
+class TestPlanHandComputed:
+    def test_five_shards_at_250rps_under_100ms(self):
+        # rho = 250 / (100 * n) must satisfy 0.05 / (1 - rho) <= 0.1,
+        # i.e. rho <= 0.5, i.e. n >= 5.  At n = 5 the modeled p99 is
+        # exactly the target.
+        plan = _model().plan(
+            250.0,
+            0.1,
+            cost=ShardCostModel(
+                shard_cost_per_hour=0.50, cluster_overhead_per_hour=0.0
+            ),
+        )
+        assert plan.feasible
+        assert plan.shards == 5
+        assert plan.utilization == pytest.approx(0.5)
+        assert plan.modeled_p99_s == pytest.approx(0.1)
+        assert plan.cost_per_hour == pytest.approx(2.5)
+        # 250 rps * 3600 s = 0.9M requests/hour; $2.50 / 0.9M.
+        assert plan.cost_per_million == pytest.approx(2.5 / 0.9)
+
+    def test_overhead_lands_in_cost(self):
+        plan = _model().plan(
+            250.0,
+            0.1,
+            cost=ShardCostModel(
+                shard_cost_per_hour=0.50, cluster_overhead_per_hour=0.20
+            ),
+        )
+        assert plan.cost_per_hour == pytest.approx(2.7)
+
+    def test_infeasible_target_below_service_p99(self):
+        plan = _model().plan(100.0, 0.04)
+        assert not plan.feasible
+        assert plan.shards is None
+        assert "below the measured service-time p99" in plan.reason
+
+    def test_infeasible_when_max_shards_exhausted(self):
+        plan = _model().plan(1e6, 0.1, max_shards=4)
+        assert not plan.feasible
+        assert "up to 4" in plan.reason
+
+    def test_utilization_cap_forces_extra_shard(self):
+        # 96 rps on one 100 rps shard is rho = 0.96 > 0.95 cap, even
+        # though a generous p99 target would tolerate it.
+        plan = _model().plan(96.0, 10.0)
+        assert plan.shards == 2
+
+
+class TestEfficiencyCurve:
+    def test_interpolates_on_log2_axis(self):
+        model = _model(efficiency={4: 0.8})
+        # Midpoint of log2(1)..log2(4) is 2 shards: halfway between
+        # 1.0 and 0.8.
+        assert model.efficiency_at(2) == pytest.approx(0.9)
+
+    def test_holds_flat_beyond_measured(self):
+        model = _model(efficiency={2: 0.9, 4: 0.8})
+        assert model.efficiency_at(8) == pytest.approx(0.8)
+        assert model.efficiency_at(1024) == pytest.approx(0.8)
+
+    def test_effective_rps_discounts_by_efficiency(self):
+        model = _model(efficiency={4: 0.8})
+        assert model.effective_rps(4) == pytest.approx(320.0)
+
+    def test_saturated_load_models_infinite_p99(self):
+        assert math.isinf(_model().modeled_p99_s(1, 100.0))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CapacityModel(0.0, 0.05)
+        with pytest.raises(ValidationError):
+            CapacityModel(100.0, -1.0)
+        with pytest.raises(ValidationError):
+            _model(efficiency={0: 1.0})
+        with pytest.raises(ValidationError):
+            _model(efficiency={2: 0.0})
+        with pytest.raises(ValidationError):
+            _model(max_utilization=1.5)
+        with pytest.raises(ValidationError):
+            ShardCostModel(shard_cost_per_hour=-0.1)
+        with pytest.raises(ValidationError):
+            _model().plan(-1.0, 0.1)
+
+
+class TestFromMetricsAndReport:
+    def test_from_metrics_splits_throughput_across_shards(self):
+        snapshot = {"throughput_rps": 200.0, "latency_s": {"p99": 0.05}}
+        model = CapacityModel.from_metrics(snapshot, num_shards=2)
+        assert model.per_shard_rps == pytest.approx(100.0)
+        assert model.service_p99_s == pytest.approx(0.05)
+
+    def test_from_metrics_rejects_empty_snapshot(self):
+        with pytest.raises(ValidationError):
+            CapacityModel.from_metrics({"throughput_rps": 0.0})
+
+    def test_report_shape_and_roundtrip(self):
+        report = capacity_report(
+            _model(efficiency={2: 0.9}),
+            offered_rps=[50.0, 250.0],
+            target_p99_s=0.1,
+        )
+        assert set(report) == {"model", "cost", "target_p99_s", "plans"}
+        assert len(report["plans"]) == 2
+        assert report["plans"][0]["feasible"]
+        assert report["model"]["efficiency"] == {"1": 1.0, "2": 0.9}
+        # The JSON model block reconstructs the same planner.
+        rebuilt = CapacityModel(
+            report["model"]["per_shard_rps"],
+            report["model"]["service_p99_s"],
+            efficiency={
+                int(k): v
+                for k, v in report["model"]["efficiency"].items()
+            },
+            max_utilization=report["model"]["max_utilization"],
+        )
+        assert (
+            rebuilt.plan(250.0, 0.1).to_json()
+            == report["plans"][1]
+        )

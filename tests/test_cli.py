@@ -87,3 +87,70 @@ class TestServeCli:
         path.write_text('{"workload": "hls"}')
         with pytest.raises(ValidationError, match="array"):
             main(["serve", "--requests", str(path)])
+
+
+class TestCapacityCli:
+    def test_capacity_from_measured_numbers(self, capsys):
+        assert main([
+            "capacity", "--shard-rps", "100", "--shard-p99-ms", "50",
+            "--target-p99-ms", "100", "--offered-rps", "250",
+            "--overhead-cost", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        # The hand-computed case: 5 shards, $2.50/h, $2.78 per 1M.
+        row = [line for line in out.splitlines()
+               if line.startswith("250")]
+        assert row and "| 5" in row[0]
+        assert "2.5" in row[0]
+        assert "2.778" in row[0]
+
+    def test_capacity_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "capacity.json"
+        assert main([
+            "capacity", "--shard-rps", "80", "--shard-p99-ms", "40",
+            "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        assert set(report) == {"model", "cost", "target_p99_s", "plans"}
+        assert report["model"]["per_shard_rps"] == 80.0
+
+    def test_capacity_from_scale_report(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_scale.json"
+        bench.write_text(json.dumps({
+            "capacity": {
+                "model": {
+                    "per_shard_rps": 100.0,
+                    "service_p99_s": 0.05,
+                    "efficiency": {"1": 1.0, "2": 0.9},
+                },
+            },
+        }))
+        assert main([
+            "capacity", "--from-report", str(bench),
+            "--offered-rps", "50",
+        ]) == 0
+        assert "100.0 rps/shard" in capsys.readouterr().out
+
+    def test_capacity_requires_a_model_source(self):
+        from repro.core.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="--shard-rps"):
+            main(["capacity"])
+
+    def test_serve_capacity_report_footer(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "snapshot.json"
+        assert main([
+            "serve", "--num-requests", "8", "--pool", "4",
+            "--capacity-report", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "capacity plan" in out
+        snapshot = json.loads(out_path.read_text())
+        assert "capacity" in snapshot
+        assert snapshot["capacity"]["plans"]

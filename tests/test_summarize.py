@@ -1,0 +1,96 @@
+"""Tests for the CI benchmark summarizer.
+
+``benchmarks/summarize.py`` is the last step of the CI bench matrix --
+if it crashes, the step summary silently vanishes -- so it must render
+a table for every input shape it can meet: passing and failing check
+blocks, assert-gated reports with no check block, non-report JSON
+artifacts, and unreadable files.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "summarize.py"
+)
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("bench_summarize", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestSummarize:
+    def test_pass_fail_and_assert_rows(self, tmp_path):
+        mod = _load()
+        paths = [
+            _write(tmp_path, "BENCH_good.json", {
+                "check": {"passed": True, "messages": ["ok: fine"]},
+                "points": [{"speedup_vs_1shard": 1.7,
+                            "latency_s": {"p99": 0.25}}],
+            }),
+            _write(tmp_path, "BENCH_bad.json", {
+                "check": {"passed": False,
+                          "messages": ["FAIL: broke"]},
+            }),
+            _write(tmp_path, "BENCH_asserted.json", {
+                "results": [{"speedup": 3.0}],
+            }),
+        ]
+        table = mod.summarize(paths)
+        lines = table.splitlines()
+        assert lines[0].startswith("## Benchmark summary")
+        assert "| asserted | asserted |" in table
+        assert "3.00x" in table
+        assert "| bad | **FAIL** |" in table
+        assert "FAIL: broke" in table
+        assert "| good | PASS |" in table
+        assert "1.70x" in table
+        assert "250.0" in table
+
+    def test_skipped_gates_counted(self, tmp_path):
+        mod = _load()
+        row = mod.extract_row("scale", {
+            "check": {
+                "passed": True,
+                "messages": ["ok: a", "ok: b", "skip: no cores"],
+            },
+        })
+        assert row["verdict"] == "PASS"
+        assert "2 gate(s) ok, 1 skipped" in row["note"]
+
+    def test_unreadable_and_non_report_inputs(self, tmp_path):
+        mod = _load()
+        bad = tmp_path / "BENCH_corrupt.json"
+        bad.write_text("{not json", encoding="utf-8")
+        trace = _write(tmp_path, "BENCH_obs_trace.json", [{"span": 1}])
+        table = mod.summarize(
+            [str(bad), trace, str(tmp_path / "BENCH_missing.json")]
+        )
+        assert "**unreadable**" in table
+        assert "non-report JSON (list)" in table
+        assert "missing" in table
+        # Still a well-formed markdown table: every row has 6 pipes.
+        for line in table.splitlines()[2:]:
+            assert line.count("|") == 6
+
+    def test_main_writes_out_file(self, tmp_path, capsys):
+        mod = _load()
+        path = _write(tmp_path, "BENCH_x.json", {
+            "check": {"passed": True, "messages": []},
+        })
+        out = tmp_path / "summary.md"
+        assert mod.main([path, "--out", str(out)]) == 0
+        assert "Benchmark summary" in capsys.readouterr().out
+        assert "| x | PASS |" in out.read_text(encoding="utf-8")
