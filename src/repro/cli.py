@@ -222,8 +222,11 @@ def _cmd_exec(args: "argparse.Namespace") -> str:
     table.add_row(["serial", 1, len(specs), round(serial_s, 3),
                    "-", "-", "-"])
 
+    engine = None
     for label in ("parallel (cold)", "parallel (warm)"):
-        engine = ParallelEvaluator(max_workers=workers, cache=cache)
+        engine = ParallelEvaluator(
+            max_workers=workers, cache=cache, transport=args.transport
+        )
         before = cache.stats() if cache is not None else None
         start = time.perf_counter()
         result = crossbar_sweep(specs, parallel=engine)
@@ -243,6 +246,11 @@ def _cmd_exec(args: "argparse.Namespace") -> str:
     if cache is not None:
         cache.close()
     footer = "results identical across serial/parallel/cached passes"
+    if engine is not None:
+        footer += (
+            f"; transport={args.transport} "
+            f"(last map used {engine.last_transport or 'none: no pool work'})"
+        )
     if args.cache_dir:
         footer += f"; persistent cache at {args.cache_dir}"
     return table.render() + "\n" + footer
@@ -784,6 +792,9 @@ def _demo_sparta() -> None:
     region = bfs_tasks(random_graph(128, seed=14), seed=14)
     simulate(region)
     simulate(region, enable_cache=False, memory_latency=200)
+    # Compiled tier: either a jit.compile timer (numba installed) or a
+    # jit.fallback counter shows up in the profile table.
+    simulate(region, impl="jit")
 
 
 def _demo_hls() -> None:
@@ -796,14 +807,33 @@ def _demo_hls() -> None:
         schedule_list(body, {OpKind.MUL: muls, OpKind.ADD: 2})
 
 
+def _exec_demo_probe(task: dict) -> float:
+    """Reduce the demo map's shared payload (module-level: the process
+    pool pickles it by reference)."""
+    return float(task["payload"][::512].sum())
+
+
 def _demo_exec() -> None:
-    from repro.exec import ResultCache
+    import numpy as np
+
+    from repro.exec import ParallelEvaluator, ResultCache
     from repro.imc.sweep import crossbar_sweep, sweep_grid
 
     cache = ResultCache()
     specs = sweep_grid(6, rows=24, cols=24, num_inputs=4)
     crossbar_sweep(specs, cache=cache)  # cold: all misses
     crossbar_sweep(specs, cache=cache)  # warm: all hits
+    # Zero-copy transport: four tasks sharing one 2 MB payload, so the
+    # shm.register / shm.encode / shm.attach timers become visible.
+    engine = ParallelEvaluator(
+        max_workers=2, mode="process", transport="shm"
+    )
+    payload = np.random.default_rng(15).standard_normal(1 << 18)
+    tasks = [{"payload": payload, "cell": i} for i in range(4)]
+    try:
+        engine.map(_exec_demo_probe, tasks)
+    finally:
+        engine.arena.close()
 
 
 _PROFILE_DEMOS = {
@@ -893,6 +923,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=16,
         help="exec: number of campaign cells to sweep",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("auto", "pickle", "shm"),
+        default="auto",
+        help="exec: how task payloads reach the process pool -- "
+        "'pickle' copies, 'shm' ships large ndarrays as zero-copy "
+        "shared-memory descriptors, 'auto' (default) switches to shm "
+        "above a 1 MB payload threshold",
     )
     parser.add_argument(
         "--cache-dir",

@@ -49,6 +49,7 @@ def cluster_reads(
     reads: List[str],
     distance_threshold: int,
     counter: Optional[CellUpdateCounter] = None,
+    impl: str = "numpy",
 ) -> ClusteringResult:
     """Greedy edit-distance clustering of *reads*.
 
@@ -67,7 +68,7 @@ def cluster_reads(
             comparisons += 1
             distance = levenshtein_banded(
                 read, cluster.representative, band=distance_threshold,
-                counter=counter,
+                counter=counter, impl=impl,
             )
             if distance is not None:
                 cluster.reads.append(read)

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.jit import resolve_impl
 from repro.perf import profiled
 
 
@@ -107,24 +108,48 @@ def levenshtein_banded(
     ``impl`` selects the kernel: ``"scalar"`` is the dict-based
     reference DP; ``"numpy"`` (default) evaluates each band row as one
     vector operation (substitution/deletion elementwise, the insertion
-    chain by prefix-minimum) and returns the identical distance, early
-    exit row, and cell-update charge.  Non-ASCII inputs fall back to the
-    scalar path (the vector kernel compares byte codes).
+    chain by prefix-minimum); ``"jit"`` runs the numba-compiled flat
+    band loop of :mod:`repro.dna.jitkernels` -- the fastest tier at
+    clustering-scale bands -- and degrades gracefully to ``"numpy"``
+    when numba is not installed.  All tiers return the identical
+    distance, early exit row, and cell-update charge.  Non-ASCII inputs
+    fall back to the scalar path (the fast kernels compare byte codes).
     """
     if band < 0:
         raise ValueError("band must be non-negative")
+    if impl not in ("scalar", "numpy", "jit"):
+        raise ValueError(
+            f"impl must be 'scalar', 'numpy' or 'jit', got {impl!r}"
+        )
     if abs(len(a) - len(b)) > band:
         return None
     if len(a) < len(b):
         a, b = b, a
-    if impl == "numpy":
+    impl = resolve_impl(impl)  # "jit" -> "numpy" on numba-free installs
+    if impl != "scalar":
         a_codes = np.frombuffer(a.encode("utf-8"), dtype=np.uint8)
         b_codes = np.frombuffer(b.encode("utf-8"), dtype=np.uint8)
         if len(a_codes) == len(a) and len(b_codes) == len(b):
+            if impl == "jit":
+                return _banded_jit(a_codes, b_codes, band, counter)
             return _banded_numpy(a_codes, b_codes, band, counter)
-    elif impl != "scalar":
-        raise ValueError(f"impl must be 'scalar' or 'numpy', got {impl!r}")
     return _banded_scalar(a, b, band, counter)
+
+
+def _banded_jit(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    band: int,
+    counter: Optional[CellUpdateCounter],
+) -> Optional[int]:
+    """Adapter over the compiled band kernel (``None`` verdicts travel
+    as ``-1`` through the nopython boundary)."""
+    from repro.dna.jitkernels import banded_kernel
+
+    distance, cells = banded_kernel(a_codes, b_codes, band)
+    if counter is not None:
+        counter.charge(int(cells))
+    return None if distance < 0 else int(distance)
 
 
 def _banded_scalar(

@@ -39,9 +39,9 @@ class DNAPipelineWorkload:
         from repro.dna.channel import ChannelParams
         from repro.dna.decoder import DNAStorageSystem
 
-        if impl not in (None, "scalar", "numpy"):
+        if impl not in (None, "scalar", "numpy", "jit"):
             raise ValidationError(
-                f"dna-pipeline supports impl=None|'scalar'|'numpy', "
+                f"dna-pipeline supports impl=None|'scalar'|'numpy'|'jit', "
                 f"got {impl!r}"
             )
         cfg = dict(config)

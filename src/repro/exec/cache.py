@@ -128,35 +128,62 @@ def _is_memoizable(obj: Any) -> bool:
     )
 
 
+def _memo_key(obj: Any) -> Optional[Tuple[Any, ...]]:
+    """Memo key for *obj*, or ``None`` when it must be digested afresh.
+
+    Frozen dataclasses key by identity (fields cannot be rebound).
+    ndarrays -- the dominant payload of zero-copy campaigns, and by far
+    the most expensive objects to canonicalize (an element-wise
+    ``tolist()`` walk) -- key by ``(id, nbytes)``, the same scheme the
+    :class:`~repro.exec.shm.ShmArena` content memo uses: the entry's
+    strong reference pins the id, and the convention (shared with the
+    arena) is that arrays handed to evaluation configs are not mutated
+    in place afterwards.
+    """
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", id(obj), obj.nbytes)
+    if _is_memoizable(obj):
+        return ("frozen", id(obj))
+    return None
+
+
 class _DigestMemo:
-    """``id()``-keyed memo of the most recent *capacity* config digests.
+    """Keyed memo of the most recent *capacity* config digests.
 
     Campaign loops re-digest the *same* config objects (sweep grids hold
     one frozen spec per cell and pass it to several stages), so the
     canonical-JSON walk is repeated work.  Entries hold a strong
     reference to the object: an id cannot be recycled while its entry
-    lives, which is what makes identity keying sound.  Each entry also
-    remembers how long the original digest took, so hits can account the
-    time they saved.
+    lives, which is what makes identity keying (see :func:`_memo_key`)
+    sound.  Each entry also remembers how long the original digest took,
+    so hits can account the time they saved.
     """
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValidationError("digest memo capacity must be >= 1")
         self.capacity = capacity
-        self._entries: "OrderedDict[int, Tuple[Any, str, float]]" = (
-            OrderedDict()
-        )
+        self._entries: (
+            "OrderedDict[Tuple[Any, ...], Tuple[Any, str, float]]"
+        ) = OrderedDict()
 
-    def lookup(self, obj: Any) -> Optional[Tuple[Any, str, float]]:
-        entry = self._entries.get(id(obj))
+    def lookup(
+        self, key: Tuple[Any, ...]
+    ) -> Optional[Tuple[Any, str, float]]:
+        entry = self._entries.get(key)
         if entry is not None:
-            self._entries.move_to_end(id(obj))
+            self._entries.move_to_end(key)
         return entry
 
-    def store(self, obj: Any, digest: str, elapsed_s: float) -> None:
-        self._entries[id(obj)] = (obj, digest, elapsed_s)
-        self._entries.move_to_end(id(obj))
+    def store(
+        self,
+        key: Tuple[Any, ...],
+        obj: Any,
+        digest: str,
+        elapsed_s: float,
+    ) -> None:
+        self._entries[key] = (obj, digest, elapsed_s)
+        self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
@@ -197,6 +224,7 @@ class ResultCache:
         self._recovered = False
         self._digest_memo = _DigestMemo(digest_memo_size)
         self._memo_hits = 0
+        self._ndarray_memo_hits = 0
         self._digest_time_saved_s = 0.0
         self._records: "OrderedDict[str, Any]" = self._load()
 
@@ -295,22 +323,29 @@ class ResultCache:
     def digest(self, obj: Any) -> str:
         """:func:`config_digest` of *obj*, memoized by object identity.
 
-        Frozen-dataclass configs seen among the most recent
-        ``digest_memo_size`` objects skip the canonical-JSON walk
-        entirely; every other object (mutable, ad-hoc) is digested
-        afresh.  :meth:`stats` reports the hits and the digest time they
-        saved.
+        Frozen-dataclass configs and ndarray payloads seen among the
+        most recent ``digest_memo_size`` objects skip the canonical-JSON
+        walk entirely (ndarrays key by ``(id, nbytes)`` -- see
+        :func:`_memo_key` -- and are the big win: their walk is
+        element-wise); every other object (mutable, ad-hoc) is digested
+        afresh.  :meth:`stats` reports the hits -- ndarray hits also
+        separately -- and the digest time they saved.
         """
-        if not _is_memoizable(obj):
+        key = _memo_key(obj)
+        if key is None:
             return config_digest(obj)
-        entry = self._digest_memo.lookup(obj)
+        entry = self._digest_memo.lookup(key)
         if entry is not None:
             self._memo_hits += 1
+            if key[0] == "ndarray":
+                self._ndarray_memo_hits += 1
             self._digest_time_saved_s += entry[2]
             return entry[1]
         start = time.perf_counter()
         digest = config_digest(obj)
-        self._digest_memo.store(obj, digest, time.perf_counter() - start)
+        self._digest_memo.store(
+            key, obj, digest, time.perf_counter() - start
+        )
         return digest
 
     def get_or_compute(self, key: str, fn: Callable[[], Any]) -> Any:
@@ -335,6 +370,7 @@ class ResultCache:
             "persistent": self.path is not None,
             "recovered_from_corruption": self._recovered,
             "digest_memo_hits": self._memo_hits,
+            "ndarray_memo_hits": self._ndarray_memo_hits,
             "digest_time_saved_s": self._digest_time_saved_s,
         }
 

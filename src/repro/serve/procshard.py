@@ -17,6 +17,14 @@ on a response queue:
   run ledger was enabled at spawn time -- its ledger events, which the
   parent merges into the process-wide ledger tagged with the shard id
   (cross-process metric/ledger collection);
+- large ndarray request configs ride the zero-copy shared-memory
+  transport of :mod:`repro.exec.shm`: the parent swaps them for leased
+  :class:`~repro.exec.shm.ShmDescriptor` wire forms before the command
+  queue (``transport="auto"`` above ``shm_threshold_bytes``, same
+  contract as :class:`~repro.exec.parallel.ParallelEvaluator`), the
+  child attaches zero-copy views, and the lease is released when the
+  ``done``/``reject`` answer drains -- or at shutdown for stranded
+  requests, whose cluster replay re-encodes from the original request;
 - process liveness *is* the heartbeat: ``kill -9`` on the child makes
   :attr:`ProcessShard.alive` go false, the
   :class:`~repro.serve.cluster.Supervisor` restarts the slot with a
@@ -50,9 +58,19 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.api import RunResult
 from repro.core.errors import ValidationError
+from repro.exec.shm import (
+    DEFAULT_THRESHOLD_BYTES,
+    ShmArena,
+    decode_payload,
+    payload_bytes,
+)
 from repro.obs.ledger import get_ledger
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.request import AdmissionRejected, EvalRequest
+
+#: Transports a shard accepts for large request configs (same contract
+#: as :class:`~repro.exec.parallel.ParallelEvaluator`).
+_TRANSPORTS = ("auto", "pickle", "shm")
 
 #: Keys of the picklable service spec a worker process builds its
 #: :class:`EvaluationService` from.  ``parallel`` must be None/bool/int
@@ -159,6 +177,10 @@ def _shard_worker_main(
         if kind == "submit":
             rid, payload = message[1], message[2]
             try:
+                # Large configs arrive as ShmDescriptor wire forms; the
+                # decode is a zero-copy attach, not a deserialization.
+                payload = dict(payload)
+                payload["config"] = decode_payload(payload["config"])
                 future = service.submit_request(
                     EvalRequest.from_json(payload), block=True
                 )
@@ -198,9 +220,23 @@ class ProcessShard:
         incarnation: int = 0,
         heartbeat_s: float = 0.05,
         start_timeout_s: float = 60.0,
+        transport: str = "auto",
+        shm_threshold_bytes: int = DEFAULT_THRESHOLD_BYTES,
+        arena: Optional[ShmArena] = None,
     ) -> None:
         if heartbeat_s <= 0:
             raise ValidationError("heartbeat_s must be positive")
+        if transport not in _TRANSPORTS:
+            raise ValidationError(
+                f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+            )
+        if shm_threshold_bytes < 1:
+            raise ValidationError("shm_threshold_bytes must be >= 1")
+        self.transport = transport
+        self.shm_threshold_bytes = shm_threshold_bytes
+        self._arena = arena
+        self._owns_arena = arena is None
+        self._rid_leases: Dict[int, Tuple[str, ...]] = {}
         self.index = index
         self.incarnation = incarnation
         self.heartbeat_s = heartbeat_s
@@ -273,6 +309,34 @@ class ProcessShard:
         with self._lock:
             return self._submitted - self._finished
 
+    # ------------------------------------------------------------ transport
+
+    @property
+    def arena(self) -> ShmArena:
+        """The shard's shared-memory arena (created on first shm use;
+        cluster callers may inject one shared arena across shards)."""
+        if self._arena is None:
+            self._arena = ShmArena()
+        return self._arena
+
+    def _encode_config(self, payload: Dict[str, Any]) -> Tuple[str, ...]:
+        """Swap large ndarrays in ``payload["config"]`` for leased
+        descriptors; returns the lease digests (empty = plain pickle)."""
+        if self.transport == "pickle":
+            return ()
+        config = payload["config"]
+        if (
+            self.transport == "auto"
+            and payload_bytes(config, self.shm_threshold_bytes)
+            < self.shm_threshold_bytes
+        ):
+            return ()
+        encoded, leases = self.arena.encode(
+            config, self.shm_threshold_bytes
+        )
+        payload["config"] = encoded
+        return tuple(leases)
+
     # ------------------------------------------------------------ admission
 
     def submit_request(
@@ -303,12 +367,21 @@ class ProcessShard:
             rid = self._rid
             self._futures[rid] = future
             self._submitted += 1
+        payload = request.to_json()
+        leases: Tuple[str, ...] = ()
         try:
-            self._cmd.put(("submit", rid, request.to_json()))
+            leases = self._encode_config(payload)
+            if leases:
+                with self._lock:
+                    self._rid_leases[rid] = leases
+            self._cmd.put(("submit", rid, payload))
         except Exception as exc:
             with self._lock:
                 self._futures.pop(rid, None)
+                self._rid_leases.pop(rid, None)
                 self._submitted -= 1
+            if leases:
+                self.arena.release_all(list(leases))
             raise AdmissionRejected(
                 f"shard command pipe is down: {exc}", reason="stopped"
             )
@@ -391,10 +464,16 @@ class ProcessShard:
     ) -> None:
         with self._lock:
             future = self._futures.pop(rid, None)
-            if future is None:
-                return
-            self._finished += 1
-            self._space.notify_all()
+            leases = self._rid_leases.pop(rid, ())
+            if future is not None:
+                self._finished += 1
+                self._space.notify_all()
+        if leases and self._arena is not None:
+            # The worker answered, so its view served its purpose; the
+            # last lease parks the segment in the arena's idle LRU.
+            self._arena.release_all(list(leases))
+        if future is None:
+            return
         if error is not None:
             future.set_exception(error)
         else:
@@ -439,7 +518,19 @@ class ProcessShard:
         with self._lock:
             stranded = list(self._futures.values())
             self._futures.clear()
+            stranded_leases = [
+                digest
+                for leases in self._rid_leases.values()
+                for digest in leases
+            ]
+            self._rid_leases.clear()
             self._space.notify_all()
+        if stranded_leases and self._arena is not None:
+            # Stranded requests are replayed (re-encoded) elsewhere by
+            # the cluster; their payload leases die with this shard.
+            self._arena.release_all(stranded_leases)
+        if self._arena is not None and self._owns_arena:
+            self._arena.close()
         for future in stranded:
             if not future.done():
                 future.set_exception(

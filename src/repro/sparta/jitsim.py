@@ -1,0 +1,536 @@
+"""Compiled (``impl="jit"``) SPARTA cycle simulator.
+
+The object-graph simulator (:class:`~repro.sparta.simulator.SpartaSystem`
+stepping :class:`~repro.sparta.accelerator.AcceleratorLane` /
+:class:`~repro.sparta.noc.CrossbarNoc` instances) spends its cycles in
+Python attribute dispatch: the per-cycle loop is pure integer state
+machinery, precisely the shape that compiles to machine code.  This
+module flattens the whole system -- contexts, lanes, crossbar channels,
+set-associative LRU memory-side caches, the task queue -- into int64
+arrays and advances it in one numba ``nopython`` kernel, including the
+all-lanes-stalled event skip of the numpy tier.
+
+Equivalence contract: the kernel is a line-for-line transcription of
+``AcceleratorLane.step`` / ``CrossbarNoc.request`` /
+``MemorySideCache.access`` / ``MemoryChannel.issue`` and the
+``SpartaSystem.run`` feed loop, so the resulting
+:class:`~repro.sparta.simulator.SimulationStats` -- cycle count, busy /
+stall split, context switches, cache hits/misses, requests routed --
+are **bit-identical** to the scalar oracle.  LRU order is carried as
+monotonic access stamps (min-stamp eviction == ``OrderedDict``
+least-recently-used).  Via the :func:`repro.core.jit.njit` shim the
+kernel also runs as plain Python on numba-free installs, which is how
+the equivalence tests pin it everywhere.
+
+State is exported from the live objects before the kernel runs and
+imported back afterwards (counters, channel issue cursors, cache tag /
+recency state, per-context execution state), so a reused
+:class:`SpartaSystem` accumulates statistics exactly as the scalar path
+would -- warm caches included.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.core.jit import njit, timed_first_call
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sparta.openmp import ParallelForRegion
+    from repro.sparta.simulator import SpartaSystem
+
+#: Step kind codes in the flattened task program.
+_LOAD, _STORE, _COMPUTE = 0, 1, 2
+#: Context state codes (mirror ContextState member order).
+_IDLE, _READY, _RUNNING, _WAITING = 0, 1, 2, 3
+
+_KINDS = {"load": _LOAD, "store": _STORE, "compute": _COMPUTE}
+
+
+@timed_first_call("sparta.cycle")
+@njit(cache=True)
+def cycle_kernel(
+    # task program (read-only)
+    step_kind, step_arg, task_off, num_tasks,
+    # lane/context mutable state
+    cstate, ctask, cstep, ccomp, cready,
+    cur, last, switch_stall,
+    busy, stall, switches, completed,
+    # lane config scalars
+    num_contexts, switch_penalty, scratch_words, scratch_latency,
+    # NoC / channels / caches
+    next_issue, served, chan_busy,
+    hop_latency, memory_latency, line_words, enable_cache,
+    tags, stamps, stampctr, hits, misses,
+    cache_sets, cache_ways, cache_hit_latency,
+    # run control + out-params
+    queue_head, max_cycles, out,
+):
+    """Advance the flattened system until completion or *max_cycles*.
+
+    ``out[0]`` is 1 on timeout, ``out[1]`` the final cycle count,
+    ``out[2]`` the requests-routed delta, ``out[3]`` the final queue
+    head.  Everything else is mutated in place.
+    """
+    num_lanes = cstate.shape[0]
+    now = 0
+    qh = queue_head
+    requests = 0
+    timeout = 0
+    while True:
+        # ---- feed: drain finished waiters, then assign queued tasks.
+        for lane in range(num_lanes):
+            for c in range(num_contexts):
+                if (
+                    cstate[lane, c] == _WAITING
+                    and cready[lane, c] <= now
+                    and ctask[lane, c] >= 0
+                    and cstep[lane, c] >= (
+                        task_off[ctask[lane, c] + 1]
+                        - task_off[ctask[lane, c]]
+                    )
+                    and ccomp[lane, c] == 0
+                ):
+                    # retire
+                    ctask[lane, c] = -1
+                    cstate[lane, c] = _IDLE
+                    completed[lane] += 1
+                    if cur[lane] == c:
+                        cur[lane] = -1
+            while qh < num_tasks:
+                slot = -1
+                for c in range(num_contexts):
+                    if cstate[lane, c] == _IDLE:
+                        slot = c
+                        break
+                if slot < 0:
+                    break
+                ctask[lane, slot] = qh
+                cstep[lane, slot] = 0
+                ccomp[lane, slot] = 0
+                cready[lane, slot] = now
+                cstate[lane, slot] = _READY
+                qh += 1
+        if qh >= num_tasks:
+            all_idle = True
+            for lane in range(num_lanes):
+                for c in range(num_contexts):
+                    if cstate[lane, c] != _IDLE:
+                        all_idle = False
+                        break
+                if not all_idle:
+                    break
+            if all_idle:
+                break
+        # ---- step every lane one cycle.
+        for lane in range(num_lanes):
+            if switch_stall[lane] > 0:
+                switch_stall[lane] -= 1
+                stall[lane] += 1
+                continue
+            ctx = cur[lane]
+            if ctx < 0 or cstate[lane, ctx] != _RUNNING:
+                # wake waiting contexts whose data has returned
+                for c in range(num_contexts):
+                    if (
+                        cstate[lane, c] == _WAITING
+                        and cready[lane, c] <= now
+                    ):
+                        cstate[lane, c] = _READY
+                candidate = -1
+                for c in range(num_contexts):
+                    if (
+                        cstate[lane, c] == _READY
+                        and cready[lane, c] <= now
+                    ):
+                        candidate = c
+                        break
+                if candidate < 0:
+                    stall[lane] += 1
+                    continue
+                if last[lane] >= 0 and candidate != last[lane]:
+                    switches[lane] += 1
+                    if switch_penalty > 0:
+                        switch_stall[lane] = switch_penalty - 1
+                        cur[lane] = candidate
+                        last[lane] = candidate
+                        cstate[lane, candidate] = _RUNNING
+                        stall[lane] += 1
+                        continue
+                cur[lane] = candidate
+                last[lane] = candidate
+                cstate[lane, candidate] = _RUNNING
+                ctx = candidate
+            # ---- execute one cycle of ctx (busy by definition).
+            busy[lane] += 1
+            task = ctask[lane, ctx]
+            task_len = task_off[task + 1] - task_off[task]
+            if ccomp[lane, ctx] > 0:
+                ccomp[lane, ctx] -= 1
+                if ccomp[lane, ctx] == 0 and cstep[lane, ctx] >= task_len:
+                    ctask[lane, ctx] = -1
+                    cstate[lane, ctx] = _IDLE
+                    completed[lane] += 1
+                    if cur[lane] == ctx:
+                        cur[lane] = -1
+                continue
+            if cstep[lane, ctx] >= task_len:
+                ctask[lane, ctx] = -1
+                cstate[lane, ctx] = _IDLE
+                completed[lane] += 1
+                if cur[lane] == ctx:
+                    cur[lane] = -1
+                continue
+            step = task_off[task] + cstep[lane, ctx]
+            kind = step_kind[step]
+            arg = step_arg[step]
+            cstep[lane, ctx] += 1
+            if kind == _COMPUTE:
+                ccomp[lane, ctx] = arg - 1
+                if ccomp[lane, ctx] == 0 and cstep[lane, ctx] >= task_len:
+                    ctask[lane, ctx] = -1
+                    cstate[lane, ctx] = _IDLE
+                    completed[lane] += 1
+                    if cur[lane] == ctx:
+                        cur[lane] = -1
+            elif kind == _LOAD:
+                if arg < scratch_words:
+                    cready[lane, ctx] = now + scratch_latency
+                else:
+                    # ---- CrossbarNoc.request (read)
+                    requests += 1
+                    line = arg // line_words
+                    ch = line % next_issue.shape[0]
+                    arrival = now + hop_latency
+                    done = arrival
+                    hit = False
+                    if enable_cache != 0:
+                        s = line % cache_sets
+                        way = -1
+                        for w in range(cache_ways):
+                            if tags[ch, s, w] == line:
+                                way = w
+                                break
+                        if way >= 0:
+                            hits[ch] += 1
+                            stampctr[ch] += 1
+                            stamps[ch, s, way] = stampctr[ch]
+                            done = arrival + cache_hit_latency
+                            hit = True
+                        else:
+                            misses[ch] += 1
+                            victim = -1
+                            for w in range(cache_ways):
+                                if tags[ch, s, w] < 0:
+                                    victim = w
+                                    break
+                            if victim < 0:
+                                best = stamps[ch, s, 0]
+                                victim = 0
+                                for w in range(1, cache_ways):
+                                    if stamps[ch, s, w] < best:
+                                        best = stamps[ch, s, w]
+                                        victim = w
+                            tags[ch, s, victim] = line
+                            stampctr[ch] += 1
+                            stamps[ch, s, victim] = stampctr[ch]
+                    if not hit:
+                        issue_cycle = arrival
+                        if next_issue[ch] > issue_cycle:
+                            issue_cycle = next_issue[ch]
+                        next_issue[ch] = issue_cycle + 1
+                        served[ch] += 1
+                        chan_busy[ch] += 1
+                        done = issue_cycle + memory_latency
+                    cready[lane, ctx] = done + hop_latency
+                cstate[lane, ctx] = _WAITING
+                cur[lane] = -1
+            else:  # _STORE
+                if arg >= scratch_words:
+                    # posted write: routes (and allocates) but no wait
+                    requests += 1
+                    line = arg // line_words
+                    ch = line % next_issue.shape[0]
+                    arrival = now + hop_latency
+                    hit = False
+                    if enable_cache != 0:
+                        s = line % cache_sets
+                        way = -1
+                        for w in range(cache_ways):
+                            if tags[ch, s, w] == line:
+                                way = w
+                                break
+                        if way >= 0:
+                            hits[ch] += 1
+                            stampctr[ch] += 1
+                            stamps[ch, s, way] = stampctr[ch]
+                            hit = True
+                        else:
+                            misses[ch] += 1
+                            victim = -1
+                            for w in range(cache_ways):
+                                if tags[ch, s, w] < 0:
+                                    victim = w
+                                    break
+                            if victim < 0:
+                                best = stamps[ch, s, 0]
+                                victim = 0
+                                for w in range(1, cache_ways):
+                                    if stamps[ch, s, w] < best:
+                                        best = stamps[ch, s, w]
+                                        victim = w
+                            tags[ch, s, victim] = line
+                            stampctr[ch] += 1
+                            stamps[ch, s, victim] = stampctr[ch]
+                    if not hit:
+                        issue_cycle = arrival
+                        if next_issue[ch] > issue_cycle:
+                            issue_cycle = next_issue[ch]
+                        next_issue[ch] = issue_cycle + 1
+                        served[ch] += 1
+                        chan_busy[ch] += 1
+                if cstep[lane, ctx] >= task_len:
+                    ctask[lane, ctx] = -1
+                    cstate[lane, ctx] = _IDLE
+                    completed[lane] += 1
+                    if cur[lane] == ctx:
+                        cur[lane] = -1
+        now += 1
+        if now >= max_cycles:
+            timeout = 1
+            break
+        # ---- event skip: retire whole all-lanes-stalled spans at once.
+        can_skip = True
+        for lane in range(num_lanes):
+            if cur[lane] >= 0 or switch_stall[lane] > 0:
+                can_skip = False
+                break
+        if can_skip and qh < num_tasks:
+            for lane in range(num_lanes):
+                for c in range(num_contexts):
+                    if cstate[lane, c] == _IDLE:
+                        can_skip = False
+                        break
+                if not can_skip:
+                    break
+        if can_skip:
+            wake = -1
+            for lane in range(num_lanes):
+                lane_wake = -1
+                for c in range(num_contexts):
+                    st = cstate[lane, c]
+                    if st == _IDLE:
+                        continue
+                    if st == _WAITING:
+                        if cready[lane, c] <= now:
+                            lane_wake = -2  # can act now
+                            break
+                        if lane_wake < 0 or cready[lane, c] < lane_wake:
+                            lane_wake = cready[lane, c]
+                    else:  # READY or RUNNING
+                        lane_wake = -2
+                        break
+                if lane_wake == -2:
+                    wake = -2
+                    break
+                if lane_wake >= 0 and (wake < 0 or lane_wake < wake):
+                    wake = lane_wake
+            if wake >= 0:
+                skip_to = wake if wake < max_cycles else max_cycles
+                skip = skip_to - now
+                if skip > 0:
+                    for lane in range(num_lanes):
+                        stall[lane] += skip
+                    now += skip
+                    if now >= max_cycles:
+                        timeout = 1
+                        break
+    out[0] = timeout
+    out[1] = now
+    out[2] = requests
+    out[3] = qh
+    return 0
+
+
+def _flatten_region(region: "ParallelForRegion"):
+    """Task programs as flat (kind, arg, offsets) arrays."""
+    total = sum(len(task.steps) for task in region.tasks)
+    step_kind = np.empty(max(total, 1), dtype=np.int64)
+    step_arg = np.empty(max(total, 1), dtype=np.int64)
+    task_off = np.zeros(len(region.tasks) + 1, dtype=np.int64)
+    cursor = 0
+    for t, task in enumerate(region.tasks):
+        for kind, arg in task.steps:
+            step_kind[cursor] = _KINDS[kind]
+            step_arg[cursor] = arg
+            cursor += 1
+        task_off[t + 1] = cursor
+    return step_kind, step_arg, task_off
+
+
+def _export_caches(system: "SpartaSystem"):
+    """Cache tag/recency state as (tags, stamps, counters) arrays; LRU
+    order becomes ascending stamps."""
+    cfg = system.noc.config
+    K = cfg.num_channels
+    S = cfg.cache_sets
+    W = cfg.cache_associativity
+    tags = np.full((K, S, W), -1, dtype=np.int64)
+    stamps = np.zeros((K, S, W), dtype=np.int64)
+    stampctr = np.zeros(K, dtype=np.int64)
+    for k, cache in enumerate(system.noc.caches):
+        ctr = 0
+        for set_idx, ways in cache._sets.items():
+            w = 0
+            for line in ways:  # OrderedDict iterates LRU -> MRU
+                ctr += 1
+                tags[k, set_idx, w] = line
+                stamps[k, set_idx, w] = ctr
+                w += 1
+        stampctr[k] = ctr
+    return tags, stamps, stampctr
+
+
+def _import_caches(system: "SpartaSystem", tags, stamps) -> None:
+    """Write tag/recency arrays back into the live cache objects."""
+    from collections import OrderedDict
+
+    for k, cache in enumerate(system.noc.caches):
+        sets = {}
+        for set_idx in range(tags.shape[1]):
+            entries = [
+                (int(stamps[k, set_idx, w]), int(tags[k, set_idx, w]))
+                for w in range(tags.shape[2])
+                if tags[k, set_idx, w] >= 0
+            ]
+            if entries:
+                entries.sort()
+                sets[set_idx] = OrderedDict(
+                    (line, True) for _, line in entries
+                )
+        cache._sets = sets
+
+
+def run_jit(
+    system: "SpartaSystem",
+    region: "ParallelForRegion",
+    max_cycles: int,
+) -> Tuple[bool, int]:
+    """Execute *region* on *system* via the compiled kernel.
+
+    Mutates the live system objects exactly as a scalar run would
+    (counters accumulate, caches warm, channel issue cursors advance)
+    and returns ``(timed_out, cycles)``; the caller builds the
+    :class:`SimulationStats` / raises the timeout, keeping one
+    stats/ error path for every tier.
+    """
+    lanes = system.lanes
+    L = len(lanes)
+    C = lanes[0].config.num_contexts
+    lane_cfg = lanes[0].config
+    noc_cfg = system.noc.config
+
+    step_kind, step_arg, task_off = _flatten_region(region)
+
+    cstate = np.zeros((L, C), dtype=np.int64)
+    ctask = np.full((L, C), -1, dtype=np.int64)
+    cstep = np.zeros((L, C), dtype=np.int64)
+    ccomp = np.zeros((L, C), dtype=np.int64)
+    cready = np.zeros((L, C), dtype=np.int64)
+    cur = np.full(L, -1, dtype=np.int64)
+    last = np.full(L, -1, dtype=np.int64)
+    switch_stall = np.zeros(L, dtype=np.int64)
+    busy = np.zeros(L, dtype=np.int64)
+    stall = np.zeros(L, dtype=np.int64)
+    switches = np.zeros(L, dtype=np.int64)
+    completed = np.zeros(L, dtype=np.int64)
+    for i, lane in enumerate(lanes):
+        busy[i] = lane.busy_cycles
+        stall[i] = lane.stall_cycles
+        switches[i] = lane.switches
+        completed[i] = lane.tasks_completed
+        switch_stall[i] = lane._switch_stall
+        if lane._current is not None:
+            cur[i] = lane._current.slot
+        if lane._last_running is not None:
+            # Persists across runs: the first pick of the next region
+            # charges a switch when it lands on a different slot.
+            last[i] = lane._last_running.slot
+
+    channels = system.noc.channels
+    next_issue = np.array(
+        [ch.next_issue_cycle for ch in channels], dtype=np.int64
+    )
+    served = np.array(
+        [ch.requests_served for ch in channels], dtype=np.int64
+    )
+    chan_busy = np.array(
+        [ch.busy_cycles for ch in channels], dtype=np.int64
+    )
+    tags, stamps, stampctr = _export_caches(system)
+    hits = np.array([c.hits for c in system.noc.caches], dtype=np.int64)
+    misses = np.array(
+        [c.misses for c in system.noc.caches], dtype=np.int64
+    )
+    hit_latency = system.noc.caches[0].hit_latency
+
+    out = np.zeros(4, dtype=np.int64)
+    cycle_kernel(
+        step_kind, step_arg, task_off, len(region.tasks),
+        cstate, ctask, cstep, ccomp, cready,
+        cur, last, switch_stall,
+        busy, stall, switches, completed,
+        C, lane_cfg.switch_penalty, lane_cfg.scratchpad_words,
+        lane_cfg.scratchpad_latency,
+        next_issue, served, chan_busy,
+        noc_cfg.hop_latency, noc_cfg.memory_latency,
+        noc_cfg.cache_line_words, 1 if noc_cfg.enable_cache else 0,
+        tags, stamps, stampctr, hits, misses,
+        noc_cfg.cache_sets, noc_cfg.cache_associativity, hit_latency,
+        0, max_cycles, out,
+    )
+
+    # ---- write the flattened state back into the live objects.
+    from repro.sparta.accelerator import ContextState
+
+    states = (
+        ContextState.IDLE, ContextState.READY,
+        ContextState.RUNNING, ContextState.WAITING,
+    )
+    for i, lane in enumerate(lanes):
+        lane.busy_cycles = int(busy[i])
+        lane.stall_cycles = int(stall[i])
+        lane.switches = int(switches[i])
+        lane.tasks_completed = int(completed[i])
+        lane._switch_stall = int(switch_stall[i])
+        lane._current = (
+            lane.contexts[int(cur[i])] if cur[i] >= 0 else None
+        )
+        lane._last_running = (
+            lane.contexts[int(last[i])] if last[i] >= 0 else None
+        )
+        for c, ctx in enumerate(lane.contexts):
+            ctx.state = states[int(cstate[i, c])]
+            ctx.task = (
+                region.tasks[int(ctask[i, c])]
+                if ctask[i, c] >= 0
+                else None
+            )
+            ctx.step_index = int(cstep[i, c])
+            ctx.compute_remaining = int(ccomp[i, c])
+            ctx.ready_at = int(cready[i, c])
+    for k, channel in enumerate(channels):
+        channel.next_issue_cycle = int(next_issue[k])
+        channel.requests_served = int(served[k])
+        channel.busy_cycles = int(chan_busy[k])
+    for k, cache in enumerate(system.noc.caches):
+        cache.hits = int(hits[k])
+        cache.misses = int(misses[k])
+    _import_caches(system, tags, stamps)
+    system.noc.requests_routed += int(out[2])
+    return bool(out[0]), int(out[1])
+
+
+__all__ = ["cycle_kernel", "run_jit"]

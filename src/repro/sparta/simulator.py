@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence
 
 from repro.core.errors import SimulationTimeout, ValidationError
+from repro.core.jit import resolve_impl
 from repro.perf import profiled
 from repro.sparta.accelerator import AcceleratorLane, LaneConfig
 from repro.sparta.noc import CrossbarNoc, NocConfig
@@ -141,14 +142,37 @@ class SpartaSystem:
         reference); ``impl="numpy"`` (default) detects spans where every
         lane is stalled on outstanding memory -- the dominant regime at
         DRAM-class latencies -- and retires the whole span in one bulk
-        update.  The resulting :class:`SimulationStats`
-        (cycle count included) are identical; the equivalence tests pin
-        that.
+        update.  ``impl="jit"`` runs the whole cycle loop as one
+        numba-compiled kernel over flattened array state
+        (:mod:`repro.sparta.jitsim`) and degrades gracefully to
+        ``"numpy"`` when numba is not installed.  The resulting
+        :class:`SimulationStats` (cycle count included) are identical
+        across all tiers; the equivalence tests pin that.
         """
-        if impl not in ("scalar", "numpy"):
+        if impl not in ("scalar", "numpy", "jit"):
             raise ValidationError(
-                f"impl must be 'scalar' or 'numpy', got {impl!r}"
+                f"impl must be 'scalar', 'numpy' or 'jit', got {impl!r}"
             )
+        if impl == "jit":
+            impl = resolve_impl(impl)  # "numpy" on numba-free installs
+        if impl == "jit" and not all(
+            lane.fully_idle for lane in self.lanes
+        ):
+            # Mid-flight context state (a rerun after a timeout) has no
+            # task->index mapping into *region*; the object-graph tier
+            # handles it, so degrade rather than guess.
+            impl = "numpy"
+        if impl == "jit":
+            from repro.sparta.jitsim import run_jit
+
+            timed_out, now = run_jit(self, region, max_cycles)
+            if timed_out:
+                raise SimulationTimeout(
+                    f"simulation exceeded {max_cycles} cycles",
+                    partial_stats=self._stats(region, now),
+                    cycles=now,
+                )
+            return self._stats(region, now)
         queue: Deque = deque(region.tasks)
         now = 0
         while True:

@@ -37,9 +37,10 @@ class SpartaWorkload:
         from repro.sparta.kernels import bfs_tasks, random_graph
         from repro.sparta.simulator import simulate
 
-        if impl not in (None, "scalar", "numpy"):
+        if impl not in (None, "scalar", "numpy", "jit"):
             raise ValidationError(
-                f"sparta supports impl=None|'scalar'|'numpy', got {impl!r}"
+                "sparta supports impl=None|'scalar'|'numpy'|'jit', "
+                f"got {impl!r}"
             )
         cfg = dict(config)
         start = time.perf_counter()

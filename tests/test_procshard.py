@@ -18,11 +18,14 @@ import time
 
 import pytest
 
+import numpy as np
+
 from repro.core.api import get_workload
 from repro.core.errors import ValidationError
 from repro.obs.ledger import get_ledger
 from repro.serve import ShardCluster, ShardRouter, generate_requests
-from repro.serve.procshard import validate_process_spec
+from repro.serve.procshard import ProcessShard, validate_process_spec
+from repro.serve.request import EvalRequest
 
 WORKLOAD = "imc-crossbar"
 
@@ -186,3 +189,75 @@ class TestRouterRebalance:
         }
         # The victim's keys spread over multiple survivors, not one.
         assert len(moved_to) >= 2
+
+
+class TestShardShmTransport:
+    """Large ndarray request payloads ride the shared-memory descriptor
+    protocol through the shard's command queue; the worker decodes
+    them before evaluation and the parent releases every lease when the
+    answer (or a shutdown) drains it."""
+
+    def _shard(self, **kwargs):
+        spec = {"batch_size": 2, "batch_wait_s": 0.01, "max_queue": 8,
+                "parallel": None, "cache": None, "policy": None,
+                "default_timeout_s": None}
+        kwargs.setdefault("transport", "auto")
+        kwargs.setdefault("shm_threshold_bytes", 64 * 1024)
+        return ProcessShard(0, spec, **kwargs)
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValidationError):
+            self._shard(transport="carrier-pigeon")
+
+    def test_large_payload_rides_shm_and_leases_drain(self):
+        shard = self._shard()
+        try:
+            assert shard.wait_ready(90)
+            payload = np.arange(40_000, dtype=np.float64)  # 320 KB
+            config = {"num_nodes": 48, "num_lanes": 2, "payload": payload}
+            futures = [
+                shard.submit_request(
+                    EvalRequest(workload="sparta", config=config,
+                                seed=seed),
+                    block=True,
+                )
+                for seed in (0, 1)
+            ]
+            results = [f.result(timeout=120) for f in futures]
+            assert all(r.status == "ok" for r in results)
+            stats = shard.arena.stats()
+            # One segment for both requests (content-addressed reuse)...
+            assert stats["segments_created"] == 1
+            assert stats["segments_reused"] == 1
+            # ...and no lease survives its answer.
+            assert shard.arena.active_digests() == []
+
+            # A below-threshold request never touches the arena.
+            small = shard.submit_request(
+                EvalRequest(workload="sparta",
+                            config={"num_nodes": 48, "num_lanes": 2}),
+                block=True,
+            )
+            assert small.result(timeout=120).status == "ok"
+            assert shard.arena.stats()["registered"] == 2
+        finally:
+            shard.shutdown()
+
+    def test_shm_results_match_pickle_transport(self):
+        payload = np.arange(40_000, dtype=np.float64)
+        config = {"num_nodes": 48, "num_lanes": 2, "payload": payload}
+        request = EvalRequest(workload="sparta", config=config, seed=3)
+        answers = {}
+        for transport in ("pickle", "shm"):
+            shard = self._shard(transport=transport)
+            try:
+                assert shard.wait_ready(90)
+                future = shard.submit_request(request, block=True)
+                answers[transport] = future.result(timeout=120)
+            finally:
+                shard.shutdown()
+        assert answers["pickle"].status == answers["shm"].status == "ok"
+        assert (
+            answers["pickle"].canonical_json()
+            == answers["shm"].canonical_json()
+        )
