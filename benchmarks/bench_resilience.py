@@ -34,7 +34,12 @@ from repro.hetero.campaign import run_resilient_campaign
 from repro.hetero.workload import SegmentationWorkload
 from repro.imc.devices import NVMDevice, RRAM_PARAMS
 from repro.imc.program_verify import program_and_verify
-from repro.resilience import BackoffPolicy, FaultInjector, FaultModel
+from repro.resilience import (
+    BackoffPolicy,
+    FaultInjector,
+    FaultModel,
+    ResiliencePolicy,
+)
 from repro.sparta.kernels import streaming_tasks
 from repro.sparta.simulator import simulate
 
@@ -67,14 +72,16 @@ def imc_degradation(fractions=IMC_STUCK_FRACTIONS):
 def hetero_degradation(rates=STORAGE_FAULT_RATES):
     """Transient-storage fault rate -> campaign completion/overhead."""
     workload = SegmentationWorkload(num_volumes=16, epochs=1)
-    policy = BackoffPolicy(max_attempts=4, base_delay_s=0.01)
+    resilience = ResiliencePolicy(
+        backoff=BackoffPolicy(max_attempts=4, base_delay_s=0.01)
+    )
     rows = []
     for rate in rates:
         injector = FaultInjector(
             FaultModel(storage_transient_rate=rate), seed=11
         )
         report = run_resilient_campaign(
-            workload, injector=injector, policy=policy
+            workload, injector=injector, resilience=resilience
         )
         rows.append(
             (rate, len(report.cells), len(report.errors),

@@ -1,0 +1,67 @@
+"""Declarative campaign DAGs over the suite's execution spine.
+
+One graph API for every campaign shape the suite runs: design-space
+explorations, heterogeneous device x storage matrices, IMC crossbar
+sweeps, and cross-subsystem composites of all three.  Describe the
+campaign as a :class:`CampaignGraph` of :class:`EvalNode` /
+:class:`TaskNode` / :class:`ReduceNode` vertices, then hand it to
+:class:`GraphRunner`, which batches each topological layer onto the
+``parallel=``/``cache=`` engine or a live
+:class:`~repro.serve.EvaluationService`, runs per-node validation
+:class:`Gate`\\ s with :class:`~repro.resilience.ResiliencePolicy`
+backtracking, and checkpoints/resumes whole campaigns through
+:class:`~repro.resilience.CheckpointStore`.
+
+The legacy entry points (``DSERunner.run/compare``,
+``repro.hetero.run_campaign`` / ``run_resilient_campaign``,
+``repro.imc.crossbar_sweep``) are now thin wrappers over the builders
+in :mod:`repro.campaign.builders`, with byte-identical outputs.
+"""
+
+from repro.campaign.builders import (
+    composite_campaign_graph,
+    crossbar_sweep_graph,
+    dse_compare_graph,
+    dse_run_graph,
+    hetero_campaign_graph,
+    resilient_campaign_graph,
+)
+from repro.campaign.graph import (
+    REDUCE_OPS,
+    CampaignGraph,
+    EvalNode,
+    Gate,
+    GraphNode,
+    ReduceNode,
+    ResultRef,
+    TaskNode,
+    resolve_refs,
+    run_named_reduce,
+)
+from repro.campaign.runner import (
+    CampaignRunReport,
+    GraphRunner,
+    NodeResult,
+)
+
+__all__ = [
+    "REDUCE_OPS",
+    "CampaignGraph",
+    "CampaignRunReport",
+    "EvalNode",
+    "Gate",
+    "GraphNode",
+    "GraphRunner",
+    "NodeResult",
+    "ReduceNode",
+    "ResultRef",
+    "TaskNode",
+    "composite_campaign_graph",
+    "crossbar_sweep_graph",
+    "dse_compare_graph",
+    "dse_run_graph",
+    "hetero_campaign_graph",
+    "resilient_campaign_graph",
+    "resolve_refs",
+    "run_named_reduce",
+]

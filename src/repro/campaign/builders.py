@@ -1,0 +1,447 @@
+"""Campaign-graph builders for the suite's classic campaign shapes.
+
+Each builder turns one of the legacy bespoke loops -- IMC crossbar
+sweeps, the hetero device x storage matrix (plain and fault-injected),
+DSE exploration runs and explorer comparisons -- into a declarative
+:class:`~repro.campaign.CampaignGraph`, which the public entry points
+(``crossbar_sweep``, ``run_campaign``, ``run_resilient_campaign``,
+``DSERunner.run/compare``) now execute through
+:class:`~repro.campaign.GraphRunner` behind unchanged signatures.
+:func:`composite_campaign_graph` is the cross-subsystem example: a DSE
+exploration feeding a hetero campaign feeding a Pareto reduction, fully
+JSON-serializable for the ``repro campaign`` CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.campaign.graph import (
+    CampaignGraph,
+    EvalNode,
+    ReduceNode,
+    ResultRef,
+    TaskNode,
+)
+from repro.core.api import request_digest
+
+# ------------------------------------------------------------ IMC sweeps
+
+
+def crossbar_sweep_graph(
+    specs: Sequence[Any], *, capture_errors: bool = False
+) -> CampaignGraph:
+    """The IMC crossbar grid as one EvalNode per spec plus a ``rows``
+    reduction rebuilding the legacy record list (in spec order, legacy
+    key order)."""
+    specs = list(specs)
+    graph = CampaignGraph(name="crossbar-sweep")
+    names: List[str] = []
+    for index, spec in enumerate(specs):
+        name = f"cell-{index}"
+        graph.add(
+            EvalNode(
+                name=name,
+                workload="imc-crossbar",
+                config={
+                    "rows": spec.rows,
+                    "cols": spec.cols,
+                    "device": spec.device,
+                    "wire_resistance_ohm": spec.wire_resistance_ohm,
+                    "use_program_verify": spec.use_program_verify,
+                    "num_inputs": spec.num_inputs,
+                    "t_seconds": spec.t_seconds,
+                },
+                seed=spec.seed,
+                capture_errors=capture_errors,
+            )
+        )
+        names.append(name)
+
+    def rows_fn(deps: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        rows = []
+        for spec, name in zip(specs, names):
+            result = deps[name].value
+            record = {
+                "rows": spec.rows,
+                "cols": spec.cols,
+                "device": spec.device,
+                "wire_resistance_ohm": spec.wire_resistance_ohm,
+                "use_program_verify": spec.use_program_verify,
+                "seed": spec.seed,
+            }
+            record.update(result.metrics)
+            rows.append(record)
+        return rows
+
+    graph.add(ReduceNode(name="rows", deps=tuple(names), fn=rows_fn))
+    return graph
+
+
+# -------------------------------------------------------- hetero campaigns
+
+
+def _hetero_cell_nodes(
+    workload: Any,
+    devices: Tuple[Any, ...],
+    storage_tiers: Tuple[Any, ...],
+) -> List[Tuple[str, Any, Any, str]]:
+    from repro.hetero.campaign import _scheduled_cells
+
+    return [
+        (f"{device.name}|{storage.name}|{phase}", device, storage, phase)
+        for device, storage, phase in _scheduled_cells(
+            devices, storage_tiers
+        )
+    ]
+
+
+def hetero_campaign_graph(
+    workload: Any,
+    devices: Tuple[Any, ...],
+    storage_tiers: Tuple[Any, ...],
+) -> CampaignGraph:
+    """The device x storage matrix as campaign nodes.
+
+    Cells whose device and storage match the ``hetero-cell`` presets
+    become :class:`EvalNode`\\ s (servable, cacheable by
+    ``request_digest``); non-preset hardware falls back to
+    :class:`TaskNode`\\ s around the legacy cell function, content-keyed
+    through :func:`~repro.core.api.request_digest` all the same.  The
+    ``cells`` reduction rebuilds the legacy ``List[CampaignCell]``.
+    """
+    import dataclasses
+
+    from repro.hetero.campaign import CampaignCell, _campaign_cell_task
+    from repro.hetero.workload import HeteroCellWorkload
+
+    device_presets, storage_presets = HeteroCellWorkload._presets()
+    device_keys = {v: k for k, v in device_presets.items()}
+    storage_keys = {v: k for k, v in storage_presets.items()}
+    workload_config = dataclasses.asdict(workload)
+
+    graph = CampaignGraph(name="hetero-campaign")
+    names: List[str] = []
+    for name, device, storage, phase in _hetero_cell_nodes(
+        workload, devices, storage_tiers
+    ):
+        if device in device_keys and storage in storage_keys:
+            config = {
+                "device": device_keys[device],
+                "storage": storage_keys[storage],
+                "phase": phase,
+                **workload_config,
+            }
+            graph.add(
+                EvalNode(
+                    name=name,
+                    workload="hetero-cell",
+                    config=config,
+                    seed=0,
+                    capture_errors=False,
+                )
+            )
+        else:
+            graph.add(
+                TaskNode(
+                    name=name,
+                    fn=_campaign_cell_task,
+                    payload=(workload, device, storage, phase),
+                    key=request_digest(
+                        "hetero-cell",
+                        {
+                            "workload": workload,
+                            "device": device,
+                            "storage": storage,
+                            "phase": phase,
+                        },
+                        None,
+                        None,
+                    ),
+                    capture_errors=False,
+                )
+            )
+        names.append(name)
+
+    def cells_fn(deps: Mapping[str, Any]) -> List[CampaignCell]:
+        cells = []
+        for name in names:
+            value = deps[name].value
+            if isinstance(value, dict):
+                cells.append(CampaignCell.from_record(value))
+            else:
+                cells.append(CampaignCell.from_run_result(value))
+        return cells
+
+    graph.add(ReduceNode(name="cells", deps=tuple(names), fn=cells_fn))
+    return graph
+
+
+def resilient_campaign_graph(
+    workload: Any,
+    devices: Tuple[Any, ...],
+    storage_tiers: Tuple[Any, ...],
+    injector: Any,
+    backoff: Any,
+) -> CampaignGraph:
+    """The fault-injected matrix: one :class:`TaskNode` per scheduled
+    cell around the legacy resilient cell contract (key-addressed fault
+    streams, in-worker retry), checkpointed under the legacy
+    ``device|storage|phase`` keys, plus a ``report`` reduction that
+    rebuilds the legacy :class:`~repro.hetero.campaign.CampaignReport`
+    -- resumed cells contribute zero backoff, exactly as before."""
+    from repro.core.errors import CampaignCellError
+    from repro.hetero.campaign import (
+        CampaignCell,
+        CampaignReport,
+        _resilient_cell_task,
+    )
+
+    failed = injector.failed_devices([d.name for d in devices])
+    survivors = [d for d in devices if d.name not in failed]
+    fallback = survivors[0] if survivors else None
+
+    graph = CampaignGraph(name="resilient-campaign")
+    names: List[str] = []
+    for name, device, storage, phase in _hetero_cell_nodes(
+        workload, devices, storage_tiers
+    ):
+        actual = device
+        executed_on = None
+        if device.name in failed and fallback is not None:
+            actual = fallback
+            executed_on = fallback.name
+        graph.add(
+            TaskNode(
+                name=name,
+                fn=_resilient_cell_task,
+                payload=(
+                    workload, device, actual, executed_on, storage,
+                    phase, injector, backoff, name,
+                ),
+                key=name,
+                to_checkpoint=lambda value: value["record"],
+                from_checkpoint=lambda record: {
+                    "record": record, "backoff_s": 0.0,
+                },
+            )
+        )
+        names.append(name)
+
+    def report_fn(deps: Mapping[str, Any]) -> CampaignReport:
+        from repro.obs.ledger import get_ledger
+
+        ledger = get_ledger()
+        cells: List[CampaignCell] = []
+        errors: List[CampaignCellError] = []
+        total_backoff = 0.0
+        for name in names:
+            outcome = deps[name].value
+            record = outcome["record"]
+            total_backoff += outcome["backoff_s"]
+            if "error" in record:
+                errors.append(CampaignCellError.from_record(record))
+                ledger.event(
+                    "cell.error", cell=name,
+                    attempts=int(record.get("attempts", 1)),
+                )
+            else:
+                cells.append(CampaignCell.from_record(record))
+        return CampaignReport(
+            cells=cells, errors=errors, total_backoff_s=total_backoff
+        )
+
+    graph.add(ReduceNode(name="report", deps=tuple(names), fn=report_fn))
+    return graph
+
+
+# --------------------------------------------------------------- DSE runs
+
+
+def dse_run_graph(
+    runner: Any,
+    explorer: Any,
+    budget: int,
+    seed: Any,
+    parallel: Any,
+    cache: Any,
+) -> CampaignGraph:
+    """One exploration as a single coordinator-local node (the
+    explorer's objective evaluations still fan out through the
+    ``parallel=``/``cache=`` engine inside the node)."""
+    graph = CampaignGraph(name=f"dse-run-{explorer.name}")
+    graph.add(
+        TaskNode(
+            name="explore",
+            fn=lambda _payload: runner._explore(
+                explorer, budget, seed, parallel, cache
+            ),
+            local=True,
+            capture_errors=False,
+        )
+    )
+    return graph
+
+
+def dse_compare_graph(
+    runner: Any,
+    explorers: Sequence[Any],
+    budget: int,
+    seed: Any,
+    backoff: Any,
+    parallel: Any,
+    cache: Any,
+) -> CampaignGraph:
+    """Explorer comparison: one node per explorer (failures captured,
+    transients retried under *backoff*) and a ``scores`` reduction
+    reproducing the shared-reference hypervolume scoring over the
+    explorers that actually ran."""
+    import numpy as np
+
+    from repro.core.errors import TransientFault
+    from repro.resilience import resilient_run
+
+    graph = CampaignGraph(name="dse-compare")
+    order: List[Tuple[str, str]] = []  # (explorer name, node name)
+    for explorer in explorers:
+        node_name = f"run-{explorer.name}"
+
+        def run_one(_payload: Any, _explorer: Any = explorer) -> Tuple:
+            start = time.perf_counter()
+            outcome = resilient_run(
+                lambda: runner.run(
+                    _explorer, budget, seed=seed,
+                    parallel=parallel, cache=cache,
+                ),
+                policy=backoff,
+                retry_on=(TransientFault,),
+            )
+            return outcome.value, time.perf_counter() - start
+
+        graph.add(
+            TaskNode(
+                name=node_name, fn=run_one, local=True,
+                capture_errors=True,
+            )
+        )
+        order.append((explorer.name, node_name))
+
+    def scores_fn(deps: Mapping[str, Any]) -> Dict[str, Dict[str, float]]:
+        results: Dict[str, Tuple[Any, float]] = {}
+        failures: Dict[str, str] = {}
+        for explorer_name, node_name in order:
+            node_result = deps[node_name]
+            if node_result.ok:
+                results[explorer_name] = node_result.value
+            else:
+                failures[explorer_name] = node_result.error
+        scores: Dict[str, Dict[str, float]] = {}
+        if results:
+            all_objs = np.vstack(
+                [
+                    np.array([p.objectives for p in res.evaluated])
+                    for res, _ in results.values()
+                ]
+            )
+            reference = all_objs.max(axis=0) * 1.1
+            for explorer_name, (res, wall) in results.items():
+                scores[explorer_name] = {
+                    "hypervolume": res.hypervolume(reference),
+                    "front_size": float(len(res.front)),
+                    "evaluations": float(len(res.evaluated)),
+                    "unique_evaluations": float(res.unique_evaluations),
+                    "wall_time_s": wall,
+                    "best_latency_s": res.best_latency.latency_s,
+                    "best_area": res.best_area.area,
+                }
+        for explorer_name, message in failures.items():
+            scores[explorer_name] = {"error": message}
+        return scores
+
+    graph.add(
+        ReduceNode(
+            name="scores",
+            deps=tuple(node for _, node in order),
+            fn=scores_fn,
+            allow_failed_deps=True,
+        )
+    )
+    return graph
+
+
+# ------------------------------------------------------ composite example
+
+
+def composite_campaign_graph(
+    *,
+    dse_budget: int = 16,
+    seed: int = 0,
+    devices: Sequence[str] = ("cpu", "gpu"),
+    storage_tiers: Sequence[str] = ("sata", "nvme"),
+    phase: str = "inference",
+    epochs: int = 1,
+) -> CampaignGraph:
+    """The worked cross-subsystem example: DSE -> hetero -> Pareto.
+
+    A DSE exploration sizes the downstream hetero campaign (each cell's
+    ``num_volumes`` is a :class:`ResultRef` to the exploration's Pareto
+    front size), and a ``pareto`` reduction folds the campaign cells
+    into the time/energy frontier.  Every node is an Eval/Reduce node,
+    so the whole graph serializes to JSON (``repro campaign example``)
+    and rides :class:`~repro.serve.EvaluationService` end to end.
+    """
+    graph = CampaignGraph(name="dse-hetero-pareto")
+    graph.add(
+        EvalNode(
+            name="dse",
+            workload="dse",
+            config={
+                "explorer": "random",
+                "budget": dse_budget,
+                "kernel": "gemm",
+                "size": 32,
+            },
+            seed=seed,
+        )
+    )
+    cell_names: List[str] = []
+    for device in devices:
+        for storage in storage_tiers:
+            name = f"hetero-{device}-{storage}"
+            graph.add(
+                EvalNode(
+                    name=name,
+                    workload="hetero-cell",
+                    config={
+                        "device": device,
+                        "storage": storage,
+                        "phase": phase,
+                        "num_volumes": ResultRef(
+                            "dse", "metrics.front_size"
+                        ),
+                        "epochs": epochs,
+                    },
+                    seed=seed,
+                )
+            )
+            cell_names.append(name)
+    graph.add(
+        ReduceNode(
+            name="pareto",
+            op="pareto",
+            params={"metrics": ["total_seconds", "energy_j"]},
+            deps=tuple(cell_names),
+        )
+    )
+    return graph
+
+
+__all__ = [
+    "composite_campaign_graph",
+    "crossbar_sweep_graph",
+    "dse_compare_graph",
+    "dse_run_graph",
+    "hetero_campaign_graph",
+    "resilient_campaign_graph",
+]

@@ -30,6 +30,14 @@ renders one request's span tree and ledger events, ``repro obs
 summary`` aggregates span durations per name, ``repro obs export
 --format=chrome`` re-exports the spans as Chrome trace-event JSON.
 
+``campaign`` runs declarative campaign DAGs (:mod:`repro.campaign`)
+from a JSON or ``.py`` graph spec: ``repro campaign run spec.json
+[--workers N] [--cache PATH] [--checkpoint PATH] [--serve]
+[--trace-dir DIR]``, ``resume`` to continue against a checkpoint,
+``status`` to inspect progress, ``example`` to emit the worked
+composite spec (a DSE exploration feeding a hetero campaign feeding a
+Pareto reduction).
+
 ``capacity`` answers the sizing question directly from the
 :mod:`repro.serve.capacity` model: given a measured per-shard
 throughput and service-time p99 (``--shard-rps`` / ``--shard-p99-ms``,
@@ -149,10 +157,15 @@ def _cmd_faults() -> str:
     from repro.hetero.workload import SegmentationWorkload
     from repro.imc.devices import NVMDevice, RRAM_PARAMS
     from repro.imc.program_verify import program_and_verify
-    from repro.resilience import BackoffPolicy, FaultInjector, FaultModel
+    from repro.resilience import (
+        BackoffPolicy,
+        FaultInjector,
+        FaultModel,
+        ResiliencePolicy,
+    )
 
     workload = SegmentationWorkload(num_volumes=16, epochs=1)
-    policy = BackoffPolicy(max_attempts=4)
+    resilience = ResiliencePolicy(backoff=BackoffPolicy(max_attempts=4))
     hetero = Table(
         ["transient fault rate", "cells ok", "cells failed", "attempts",
          "backoff (s)"],
@@ -163,7 +176,7 @@ def _cmd_faults() -> str:
             FaultModel(storage_transient_rate=rate), seed=7
         )
         report = run_resilient_campaign(
-            workload, injector=injector, policy=policy
+            workload, injector=injector, resilience=resilience
         )
         hetero.add_row(
             [rate, len(report.cells), len(report.errors),
@@ -737,6 +750,219 @@ def _obs_main(argv: List[str]) -> int:
     return 0
 
 
+def _load_campaign_graph(path: str):
+    """Load a campaign spec: ``.json`` files through
+    :meth:`~repro.campaign.CampaignGraph.from_json`, ``.py`` files by
+    executing them and taking their ``GRAPH`` object (or calling their
+    ``build()``)."""
+    import json
+    import runpy
+
+    from repro.campaign import CampaignGraph
+    from repro.core.errors import ValidationError
+
+    if path.endswith(".py"):
+        namespace = runpy.run_path(path)
+        graph = namespace.get("GRAPH")
+        if graph is None and callable(namespace.get("build")):
+            graph = namespace["build"]()
+        if not isinstance(graph, CampaignGraph):
+            raise ValidationError(
+                f"{path} must define a CampaignGraph as GRAPH or "
+                "return one from build()"
+            )
+        return graph
+    with open(path, "r", encoding="utf-8") as fh:
+        return CampaignGraph.from_json(json.load(fh))
+
+
+def _campaign_main(argv: List[str]) -> int:
+    """The ``repro campaign`` subcommand family: run/resume a declarative
+    campaign graph spec, inspect a checkpoint's progress, or emit the
+    worked composite example (DSE -> hetero -> Pareto)."""
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="Run declarative campaign DAGs (repro.campaign) "
+        "from a JSON or .py graph spec.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign graph spec")
+    resume = sub.add_parser(
+        "resume",
+        help="re-execute a spec against its checkpoint (completed "
+        "nodes are restored, not re-run)",
+    )
+    status = sub.add_parser(
+        "status", help="show a spec's progress against a checkpoint"
+    )
+    example = sub.add_parser(
+        "example",
+        help="print the composite example graph (DSE -> hetero -> "
+        "Pareto) as a runnable JSON spec",
+    )
+    for verb in (run, resume, status):
+        verb.add_argument("spec", help="campaign graph spec (.json or .py)")
+    for verb in (run, resume):
+        verb.add_argument(
+            "--workers", type=int, default=None,
+            help="evaluate each layer over a process pool this wide "
+            "(default: serial)",
+        )
+        verb.add_argument(
+            "--cache", default=None,
+            help="path for the content-addressed result cache",
+        )
+        verb.add_argument(
+            "--serve", action="store_true",
+            help="route evaluations through a live EvaluationService "
+            "(admission control, micro-batching, dedup)",
+        )
+        verb.add_argument(
+            "--batch-size", type=int, default=8,
+            help="--serve: micro-batch size",
+        )
+        verb.add_argument(
+            "--trace-dir", default=None,
+            help="record the run under repro.obs tracing and write "
+            "trace.jsonl / ledger.jsonl / trace.chrome.json here",
+        )
+        verb.add_argument(
+            "--out", default=None,
+            help="write the campaign run report JSON here",
+        )
+    run.add_argument(
+        "--checkpoint", default=None,
+        help="JSON checkpoint store for node results (enables resume)",
+    )
+    resume.add_argument(
+        "--checkpoint", required=True,
+        help="JSON checkpoint store written by a previous run",
+    )
+    status.add_argument("--checkpoint", required=True)
+    example.add_argument(
+        "--out", default=None,
+        help="write the example spec here (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.verb == "example":
+        from repro.campaign import composite_campaign_graph
+
+        payload = json.dumps(
+            composite_campaign_graph().to_json(), indent=2, sort_keys=True
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(payload)
+        return 0
+
+    graph = _load_campaign_graph(args.spec)
+
+    if args.verb == "status":
+        from repro.resilience import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint)
+        done = set(store.completed_keys())
+        table = Table(
+            ["node", "kind", "state"],
+            title=f"repro campaign status -- {graph.name} "
+            f"({len(done)} checkpointed record(s))",
+        )
+        completed = 0
+        for node in graph.nodes:
+            key = getattr(node, "key", None) or node.name
+            checkpointed = key in done or any(
+                k.startswith(f"{node.name}|") for k in done
+            )
+            state = "done" if checkpointed else (
+                "recomputed" if node.kind == "reduce" else "pending"
+            )
+            completed += int(checkpointed)
+            table.add_row([node.name, node.kind, state])
+        print(table.render())
+        print(f"{completed}/{len(graph)} nodes checkpointed")
+        return 0
+
+    from repro.campaign import GraphRunner
+
+    if args.trace_dir:
+        from repro import obs
+
+        obs.enable()
+        obs.get_tracer().reset()
+        obs.get_ledger().reset()
+
+    checkpoint = None
+    if args.checkpoint:
+        from repro.resilience import CheckpointStore
+
+        checkpoint = CheckpointStore(args.checkpoint)
+    service = None
+    try:
+        if args.serve:
+            from repro.serve import EvaluationService
+
+            service = EvaluationService(
+                batch_size=args.batch_size,
+                max_queue=max(16, 2 * len(graph)),
+                parallel=args.workers,
+                cache=args.cache,
+            )
+            runner = GraphRunner(service=service, checkpoint=checkpoint)
+        else:
+            runner = GraphRunner(
+                parallel=args.workers, cache=args.cache,
+                checkpoint=checkpoint,
+            )
+        report = runner.run(graph)
+    finally:
+        if service is not None:
+            service.shutdown()
+
+    counts = report.counts()
+    table = Table(
+        ["node", "kind", "status", "resumed", "attempts", "backtracks",
+         "detail"],
+        title=f"repro campaign {args.verb} -- {graph.name} "
+        f"({len(report.layers)} layer(s))",
+    )
+    for name, result in report.results.items():
+        detail = result.error or ""
+        if result.ok and result.kind == "eval":
+            head = sorted(result.value.metrics)[:2]
+            detail = ", ".join(
+                f"{k}={result.value.metrics[k]}" for k in head
+            )
+        table.add_row(
+            [name, result.kind, result.status, "yes" if result.resumed
+             else "", result.attempts, result.backtracks, detail]
+        )
+    body = table.render()
+    body += (
+        f"\n{counts['ok']}/{counts['nodes']} ok, "
+        f"{counts['error']} error(s), {counts['skipped']} skipped, "
+        f"{counts['resumed']} resumed, "
+        f"{counts['backtracks']} backtrack(s)"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        body += f"\nrun report written to {args.out}"
+    if args.trace_dir:
+        from repro import obs
+
+        body += "\n" + _export_observability(args.trace_dir)
+        obs.disable()
+    print(body)
+    return 0 if report.ok else 1
+
+
 def _demo_imc() -> None:
     import numpy as np
 
@@ -885,6 +1111,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate ICSC Flagship 2 paper artifacts.",
@@ -892,7 +1120,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "artifact",
         choices=sorted(_COMMANDS) + [
-            "capacity", "chaos", "exec", "obs", "profile", "serve",
+            "campaign", "capacity", "chaos", "exec", "obs", "profile",
+            "serve",
         ],
         help="which paper artifact to regenerate ('exec' runs the "
         "parallel evaluation engine demo, 'profile' times the "

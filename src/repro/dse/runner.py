@@ -9,13 +9,12 @@ quality (larger is better).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.errors import TransientFault, ValidationError
+from repro.core.errors import ValidationError
 from repro.core.pareto import hypervolume_2d, pareto_indices
 from repro.core.rng import SeedLike
 from repro.dse.objectives import DesignPoint, HLSEvaluator
@@ -28,12 +27,18 @@ from repro.hls.kernels import LoopNest
 
 @dataclass
 class ExplorationResult:
-    """Outcome of one exploration run."""
+    """Outcome of one exploration run.
+
+    *summary* is set on results rebuilt from the interchange form
+    (:meth:`from_run_result`): the point lists are gone, but the scored
+    metrics round-trip byte-identically through :meth:`to_run_result`.
+    """
 
     explorer_name: str
     evaluated: List[DesignPoint]
     front: List[DesignPoint]
     unique_evaluations: int
+    summary: Optional[Dict[str, float]] = None
 
     def hypervolume(self, reference: Sequence[float]) -> float:
         objs = np.array([p.objectives for p in self.front])
@@ -62,18 +67,36 @@ class ExplorationResult:
         hypervolume *reference* so results are comparable across runs."""
         from repro.core.api import build_run_result
 
-        metrics = {
-            "explorer": self.explorer_name,
-            "hypervolume": self.hypervolume(reference),
-            "front_size": len(self.front),
-            "evaluations": len(self.evaluated),
-            "unique_evaluations": self.unique_evaluations,
-            "best_latency_s": self.best_latency.latency_s,
-            "best_area": self.best_area.area,
-        }
+        if self.summary is not None:
+            metrics = dict(self.summary)
+        else:
+            metrics = {
+                "explorer": self.explorer_name,
+                "hypervolume": self.hypervolume(reference),
+                "front_size": len(self.front),
+                "evaluations": len(self.evaluated),
+                "unique_evaluations": self.unique_evaluations,
+                "best_latency_s": self.best_latency.latency_s,
+                "best_area": self.best_area.area,
+            }
         return build_run_result(
             workload, metrics, config=config, seed=seed, impl=impl,
             wall_time_s=wall_time_s,
+        )
+
+    @classmethod
+    def from_run_result(cls, result) -> "ExplorationResult":
+        """Inverse of :meth:`to_run_result` for the scored summary: the
+        design-point lists do not ride through the interchange shape,
+        so the rebuilt result carries them empty and keeps the metrics
+        in :attr:`summary`."""
+        metrics = dict(result.metrics)
+        return cls(
+            explorer_name=str(metrics.get("explorer", result.workload)),
+            evaluated=[],
+            front=[],
+            unique_evaluations=int(metrics.get("unique_evaluations", 0)),
+            summary=metrics,
         )
 
 
@@ -108,7 +131,27 @@ class DSERunner:
         is a pure function of the configuration and explorer RNG
         streams never depend on execution order, so serial and parallel
         runs produce bit-identical results at a fixed seed.
+
+        A thin wrapper: the exploration is a single-node
+        :func:`repro.campaign.dse_run_graph` executed by
+        :class:`~repro.campaign.GraphRunner`, so it composes into
+        larger campaign graphs unchanged.
         """
+        from repro.campaign import GraphRunner, dse_run_graph
+
+        graph = dse_run_graph(self, explorer, budget, seed, parallel, cache)
+        runner = GraphRunner(observe=False)
+        return runner.run(graph).value("explore")
+
+    def _explore(
+        self,
+        explorer,
+        budget: int,
+        seed: SeedLike,
+        parallel: EvaluatorLike,
+        cache: CacheLike,
+    ) -> ExplorationResult:
+        """The exploration body :meth:`run`'s graph node executes."""
         from repro.obs.ledger import get_ledger
 
         ledger = get_ledger()
@@ -149,6 +192,7 @@ class DSERunner:
         checkpoint=None,
         parallel: EvaluatorLike = None,
         cache: CacheLike = None,
+        resilience=None,
     ) -> Dict[str, Dict[str, float]]:
         """Score *explorers* at equal *budget* by front hypervolume.
 
@@ -163,72 +207,60 @@ class DSERunner:
 
         The comparison degrades gracefully: an explorer whose run fails
         is recorded with an ``{"error": ...}`` entry instead of aborting
-        the whole study, transient faults are retried under *policy*
-        (a :class:`~repro.resilience.BackoffPolicy`), and a *checkpoint*
-        (:class:`~repro.resilience.CheckpointStore`) lets an interrupted
-        comparison resume with completed explorers' scores intact.
+        the whole study, transient faults are retried under the backoff
+        of *resilience* (a :class:`~repro.resilience.ResiliencePolicy`;
+        ``policy=BackoffPolicy(...)`` is the deprecated spelling), and a
+        *checkpoint* (:class:`~repro.resilience.CheckpointStore`) lets
+        an interrupted comparison resume with completed explorers'
+        scores intact.
 
         Checkpointed scores are computed against that run's own
         reference point; mixing resumed and fresh scores is therefore
         only meaningful when the evaluated kernels are deterministic
         (they are, for the built-in evaluator at a fixed seed).
-        """
-        from repro.resilience import BackoffPolicy, resilient_run
 
-        policy = policy or BackoffPolicy(max_attempts=1)
-        results: Dict[str, ExplorationResult] = {}
-        failures: Dict[str, str] = {}
+        A thin wrapper: the fresh explorers run as a
+        :func:`repro.campaign.dse_compare_graph` whose ``scores``
+        reduction reproduces the shared-reference scoring.
+        """
+        from repro.campaign import GraphRunner, dse_compare_graph
+        from repro.resilience import BackoffPolicy, coerce_resilience
+
+        resolved = coerce_resilience(
+            resilience, policy, caller="DSERunner.compare"
+        )
+        backoff = (
+            resolved.backoff
+            if resolved is not None
+            else BackoffPolicy(max_attempts=1)
+        )
+
         resumed: Dict[str, Dict[str, float]] = {}
-        wall_times: Dict[str, float] = {}
+        fresh: List = []
         for explorer in explorers:
             key = f"{explorer.name}|budget={budget}|seed={seed}"
             if checkpoint is not None and key in checkpoint:
                 resumed[explorer.name] = dict(checkpoint.get(key))
                 continue
-            start = time.perf_counter()
-            try:
-                outcome = resilient_run(
-                    lambda e=explorer: self.run(
-                        e, budget, seed=seed, parallel=parallel, cache=cache
-                    ),
-                    policy=policy,
-                    retry_on=(TransientFault,),
-                )
-            except Exception as exc:
-                failures[explorer.name] = str(exc)
-            else:
-                results[explorer.name] = outcome.value
-                wall_times[explorer.name] = time.perf_counter() - start
+            fresh.append(explorer)
 
         scores: Dict[str, Dict[str, float]] = dict(resumed)
-        if results:
-            all_objs = np.vstack(
-                [
-                    np.array([p.objectives for p in res.evaluated])
-                    for res in results.values()
-                ]
+        computed: Dict[str, Dict[str, float]] = {}
+        if fresh:
+            graph = dse_compare_graph(
+                self, fresh, budget, seed, backoff, parallel, cache
             )
-            reference = all_objs.max(axis=0) * 1.1
-            for name, res in results.items():
-                scores[name] = {
-                    "hypervolume": res.hypervolume(reference),
-                    "front_size": float(len(res.front)),
-                    "evaluations": float(len(res.evaluated)),
-                    "unique_evaluations": float(res.unique_evaluations),
-                    "wall_time_s": wall_times[name],
-                    "best_latency_s": res.best_latency.latency_s,
-                    "best_area": res.best_area.area,
-                }
-                if checkpoint is not None:
-                    key = f"{name}|budget={budget}|seed={seed}"
-                    checkpoint.save(key, scores[name])
-                    from repro.obs.ledger import get_ledger
-
-                    get_ledger().event("checkpoint.saved", cell=key)
-        elif not scores and not failures:
+            computed = GraphRunner(observe=False).run(graph).value("scores")
+        elif not scores:
             raise ValidationError("compare needs at least one explorer")
-        for name, message in failures.items():
-            scores[name] = {"error": message}
+        for name, score in computed.items():
+            scores[name] = score
+            if checkpoint is not None and "error" not in score:
+                key = f"{name}|budget={budget}|seed={seed}"
+                checkpoint.save(key, score)
+                from repro.obs.ledger import get_ledger
+
+                get_ledger().event("checkpoint.saved", cell=key)
         if checkpoint is not None:
             checkpoint.flush()
         return scores

@@ -18,7 +18,6 @@ from repro.core.errors import (
     TransientFault,
     ValidationError,
 )
-from repro.exec import config_digest, make_evaluator
 from repro.exec.parallel import CacheLike, EvaluatorLike
 from repro.hetero.devices import (
     CPU_XEON,
@@ -110,6 +109,23 @@ class CampaignCell:
             wall_time_s=wall_time_s, attempts=self.attempts,
         )
 
+    @classmethod
+    def from_run_result(cls, result) -> "CampaignCell":
+        """Inverse of :meth:`to_run_result`: rebuild the cell from the
+        uniform interchange shape."""
+        metrics = result.metrics
+        return cls(
+            device=str(metrics["device"]),
+            storage=str(metrics["storage"]),
+            phase=str(metrics["phase"]),
+            total_seconds=float(metrics["total_seconds"]),
+            throughput_volumes_s=float(metrics["throughput_volumes_s"]),
+            energy_j=float(metrics["energy_j"]),
+            bottleneck=str(metrics["bottleneck"]),
+            attempts=int(result.attempts),
+            executed_on=metrics.get("executed_on"),
+        )
+
 
 def _campaign_cell_task(
     args: Tuple[SegmentationWorkload, ComputeDevice, StorageDevice, str],
@@ -130,22 +146,6 @@ def _campaign_cell_task(
     ).to_record()
 
 
-def _cell_digest(
-    workload: SegmentationWorkload,
-    device: ComputeDevice,
-    storage: StorageDevice,
-    phase: str,
-) -> str:
-    return config_digest(
-        {
-            "workload": workload,
-            "device": device,
-            "storage": storage,
-            "phase": phase,
-        }
-    )
-
-
 def run_campaign(
     workload: SegmentationWorkload = SegmentationWorkload(),
     devices: Tuple[ComputeDevice, ...] = DEFAULT_DEVICES,
@@ -161,25 +161,23 @@ def run_campaign(
     Cells are independent pure evaluations: *parallel* fans them out
     over a :class:`~repro.exec.ParallelEvaluator` (worker count or a
     ready engine) and *cache* memoizes cells across invocations by the
-    content digest of (workload, device, storage, phase).  Results are
+    request digest of (workload, device, storage, phase).  Results are
     returned in sweep order either way, so parallel and serial runs are
     identical.
+
+    A thin wrapper: the matrix is one layer of a
+    :class:`~repro.campaign.CampaignGraph` (built by
+    :func:`repro.campaign.hetero_campaign_graph`) executed by
+    :class:`~repro.campaign.GraphRunner`; build the graph directly to
+    compose the matrix into larger campaigns.
     """
-    scheduled = _scheduled_cells(devices, storage_tiers)
-    tasks = [
-        (workload, device, storage, phase)
-        for device, storage, phase in scheduled
-    ]
-    engine = make_evaluator(parallel, cache)
-    if engine is None:
-        records = [_campaign_cell_task(task) for task in tasks]
-    else:
-        keys = [
-            _cell_digest(workload, device, storage, phase)
-            for device, storage, phase in scheduled
-        ]
-        records = engine.map(_campaign_cell_task, tasks, keys=keys)
-    return [CampaignCell.from_record(record) for record in records]
+    from repro.campaign import GraphRunner, hetero_campaign_graph
+
+    graph = hetero_campaign_graph(
+        workload, tuple(devices), tuple(storage_tiers)
+    )
+    runner = GraphRunner(parallel=parallel, cache=cache, observe=False)
+    return runner.run(graph).value("cells")
 
 
 @dataclass(frozen=True)
@@ -299,13 +297,16 @@ def run_resilient_campaign(
     policy: Optional["BackoffPolicy"] = None,
     checkpoint: Optional["CheckpointStore"] = None,
     parallel: EvaluatorLike = None,
+    resilience: Optional["ResiliencePolicy"] = None,
 ) -> CampaignReport:
     """The campaign matrix under fault injection, without aborting.
 
     Each scheduled (device, storage, phase) cell runs through
     :func:`~repro.resilience.resilient_run`: transient storage faults
-    injected by *injector* are retried under the bounded backoff
-    *policy*; a cell that still fails is recorded as a
+    injected by *injector* are retried under the bounded backoff of
+    *resilience* (a :class:`~repro.resilience.ResiliencePolicy`;
+    ``policy=BackoffPolicy(...)`` is the deprecated spelling); a cell
+    that still fails is recorded as a
     :class:`~repro.core.errors.CampaignCellError` and the sweep
     continues.  Devices lost to dropout have their cells remapped to
     the first surviving device (recorded via ``executed_on``).  With a
@@ -321,13 +322,26 @@ def run_resilient_campaign(
     scheduled sweep order).  Results are not content-cached here: under
     fault injection a cell's outcome is part of the injected world, not
     a reusable pure value.
+
+    A thin wrapper: the sweep is a
+    :func:`repro.campaign.resilient_campaign_graph` executed by
+    :class:`~repro.campaign.GraphRunner` (which supplies the serial
+    incremental / parallel batch checkpointing and resume).
     """
+    from repro.campaign import GraphRunner, resilient_campaign_graph
     from repro.obs.ledger import get_ledger
-    from repro.resilience import BackoffPolicy, FaultInjector
+    from repro.resilience import FaultInjector, coerce_resilience
 
     ledger = get_ledger()
     injector = injector or FaultInjector()
-    policy = policy or BackoffPolicy()
+    resolved = coerce_resilience(
+        resilience, policy, caller="run_resilient_campaign"
+    )
+    backoff = resolved.backoff if resolved is not None else None
+    if backoff is None:
+        from repro.resilience import BackoffPolicy
+
+        backoff = BackoffPolicy()
 
     ledger.event(
         "run.started",
@@ -335,76 +349,22 @@ def run_resilient_campaign(
         devices=len(devices),
         storage_tiers=len(storage_tiers),
     )
-    failed = injector.failed_devices([d.name for d in devices])
-    survivors = [d for d in devices if d.name not in failed]
-    fallback = survivors[0] if survivors else None
-
-    resumed: Dict[str, Dict[str, Any]] = {}
-    tasks = []
-    for device, storage, phase in _scheduled_cells(devices, storage_tiers):
-        key = f"{device.name}|{storage.name}|{phase}"
-        if checkpoint is not None and key in checkpoint:
-            resumed[key] = checkpoint.get(key)
-            continue
-        actual = device
-        executed_on = None
-        if device.name in failed and fallback is not None:
-            actual = fallback
-            executed_on = fallback.name
-        tasks.append(
-            (workload, device, actual, executed_on, storage, phase,
-             injector, policy, key)
-        )
-
-    engine = make_evaluator(parallel)
-    fresh: Dict[str, Dict[str, Any]] = {}
-    if engine is None:
-        # Serial sweep: checkpoint incrementally, so a crash at cell
-        # 900/1000 resumes with 899 cells intact.
-        for task in tasks:
-            outcome = _resilient_cell_task(task)
-            fresh[task[-1]] = outcome
-            if checkpoint is not None:
-                checkpoint.save(task[-1], outcome["record"])
-                ledger.event("checkpoint.saved", cell=task[-1])
-    else:
-        outcomes = engine.map(_resilient_cell_task, tasks)
-        for task, outcome in zip(tasks, outcomes):
-            fresh[task[-1]] = outcome
-            if checkpoint is not None:
-                checkpoint.save(task[-1], outcome["record"])
-                ledger.event("checkpoint.saved", cell=task[-1])
-
-    cells: List[CampaignCell] = []
-    errors: List[CampaignCellError] = []
-    total_backoff = 0.0
-    for device, storage, phase in _scheduled_cells(devices, storage_tiers):
-        key = f"{device.name}|{storage.name}|{phase}"
-        if key in resumed:
-            record = resumed[key]
-        else:
-            record = fresh[key]["record"]
-            total_backoff += fresh[key]["backoff_s"]
-        if "error" in record:
-            errors.append(CampaignCellError.from_record(record))
-            ledger.event(
-                "cell.error", cell=key,
-                attempts=int(record.get("attempts", 1)),
-            )
-        else:
-            cells.append(CampaignCell.from_record(record))
-    if checkpoint is not None:
-        checkpoint.flush()
+    graph = resilient_campaign_graph(
+        workload, tuple(devices), tuple(storage_tiers), injector, backoff
+    )
+    runner = GraphRunner(
+        parallel=parallel, checkpoint=checkpoint, observe=False
+    )
+    run = runner.run(graph)
+    report: CampaignReport = run.value("report")
     ledger.event(
         "run.finished",
         kind="resilient_campaign",
-        cells=len(cells),
-        errors=len(errors),
-        resumed=len(resumed),
+        cells=len(report.cells),
+        errors=len(report.errors),
+        resumed=run.counts()["resumed"],
     )
-    return CampaignReport(
-        cells=cells, errors=errors, total_backoff_s=total_backoff
-    )
+    return report
 
 
 def best_configuration(

@@ -122,6 +122,13 @@ class HeteroCellWorkload:
             "phase": ("inference", "training"),
             "num_volumes": (32, 64, 200),
             "epochs": (1, 3),
+            # Full workload shape, so campaign graphs can evaluate any
+            # SegmentationWorkload -- defaults first, digest-friendly.
+            "bytes_per_volume": (96 * MEBI, 32 * MEBI),
+            "train_flops_per_volume": (15_000 * GIGA, 5_000 * GIGA),
+            "infer_flops_per_volume": (11_000 * GIGA, 4_000 * GIGA),
+            "preprocess_cpu_s_per_volume": (0.35, 0.1),
+            "postprocess_cpu_s_per_volume": (0.05, 0.01),
         }
 
     @staticmethod
@@ -168,8 +175,36 @@ class HeteroCellWorkload:
             )
         if phase not in ("training", "inference"):
             raise ValidationError(f"unknown phase {phase!r}")
+        defaults = SegmentationWorkload()
         workload = SegmentationWorkload(
             num_volumes=int(cfg.get("num_volumes", 32)),
+            bytes_per_volume=float(
+                cfg.get("bytes_per_volume", defaults.bytes_per_volume)
+            ),
+            train_flops_per_volume=float(
+                cfg.get(
+                    "train_flops_per_volume",
+                    defaults.train_flops_per_volume,
+                )
+            ),
+            infer_flops_per_volume=float(
+                cfg.get(
+                    "infer_flops_per_volume",
+                    defaults.infer_flops_per_volume,
+                )
+            ),
+            preprocess_cpu_s_per_volume=float(
+                cfg.get(
+                    "preprocess_cpu_s_per_volume",
+                    defaults.preprocess_cpu_s_per_volume,
+                )
+            ),
+            postprocess_cpu_s_per_volume=float(
+                cfg.get(
+                    "postprocess_cpu_s_per_volume",
+                    defaults.postprocess_cpu_s_per_volume,
+                )
+            ),
             epochs=int(cfg.get("epochs", 1)),
         )
         start = time.perf_counter()

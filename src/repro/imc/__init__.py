@@ -30,6 +30,8 @@ from repro.imc.mapper import LayerMapping, map_linear_layer
 from repro.imc.conv_mapper import ConvMapping, map_conv_layer
 from repro.imc.architecture import IMCAccelerator, SystemConfig
 from repro.imc.sweep import (
+    sweep_row_from_run_result,
+    sweep_row_to_run_result,
     CrossbarSweepSpec,
     crossbar_sweep,
     evaluate_crossbar_spec,
@@ -63,5 +65,7 @@ __all__ = [
     "evaluate_crossbar_spec",
     "mvm_cost",
     "sweep_grid",
+    "sweep_row_from_run_result",
+    "sweep_row_to_run_result",
     "taxonomy_table",
 ]

@@ -22,7 +22,6 @@ from typing import Any, Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.errors import ValidationError
-from repro.exec import config_digest, make_evaluator
 from repro.exec.parallel import CacheLike, EvaluatorLike
 from repro.imc.crossbar import AnalogCrossbar, CrossbarConfig
 from repro.imc.devices import DeviceParams, PCM_PARAMS, RRAM_PARAMS
@@ -131,19 +130,51 @@ def crossbar_sweep(
 
     *parallel* fans the cells out over a
     :class:`~repro.exec.ParallelEvaluator`; *cache* memoizes them by
-    spec digest across sweeps.  Order and values are identical to a
+    request digest across sweeps.  Order and values are identical to a
     serial ``[evaluate_crossbar_spec(s) for s in specs]``.
+
+    A thin wrapper: the grid is one layer of a
+    :class:`~repro.campaign.CampaignGraph` (one ``imc-crossbar``
+    :class:`~repro.campaign.EvalNode` per spec plus a record-rebuilding
+    reduction) executed by :class:`~repro.campaign.GraphRunner`; use
+    :func:`repro.campaign.crossbar_sweep_graph` directly to compose
+    sweeps into larger campaigns.
     """
-    specs = list(specs)
-    engine = make_evaluator(parallel, cache)
-    if engine is None:
-        return [evaluate_crossbar_spec(spec) for spec in specs]
-    # Frozen specs digest through the cache's identity memo when one is
-    # attached, so repeated sweeps over the same grid skip the
-    # canonical-JSON walk.
-    digest = engine.cache.digest if engine.cache is not None else config_digest
-    keys = [digest(spec) for spec in specs]
-    return engine.map(evaluate_crossbar_spec, specs, keys=keys)
+    from repro.campaign import GraphRunner, crossbar_sweep_graph
+
+    graph = crossbar_sweep_graph(specs)
+    runner = GraphRunner(parallel=parallel, cache=cache, observe=False)
+    return runner.run(graph).value("rows")
+
+
+#: The spec-identity keys every sweep record echoes (in record order).
+_ROW_IDENTITY = (
+    "rows", "cols", "device", "wire_resistance_ohm", "use_program_verify",
+)
+
+
+def sweep_row_to_run_result(row: Dict[str, Any]):
+    """Lift one sweep record into the uniform
+    :class:`~repro.core.api.RunResult` interchange form.
+
+    The full record rides in ``metrics`` so
+    :func:`sweep_row_from_run_result` round-trips it byte-identically;
+    the spec-identity keys double as the result's ``config`` and the
+    record's seed as its ``seed``.
+    """
+    from repro.core.api import build_run_result
+
+    return build_run_result(
+        "imc-crossbar",
+        dict(row),
+        config={k: row[k] for k in _ROW_IDENTITY if k in row},
+        seed=int(row.get("seed", 0)),
+    )
+
+
+def sweep_row_from_run_result(result) -> Dict[str, Any]:
+    """Inverse of :func:`sweep_row_to_run_result`: the legacy record."""
+    return dict(result.metrics)
 
 
 def sweep_grid(
@@ -197,4 +228,6 @@ __all__ = [
     "crossbar_sweep",
     "evaluate_crossbar_spec",
     "sweep_grid",
+    "sweep_row_from_run_result",
+    "sweep_row_to_run_result",
 ]

@@ -13,6 +13,10 @@ Entry points:
   fault models for the IMC, SPARTA, hetero and SCF thrusts;
 - :func:`resilient_run` + :class:`BackoffPolicy` -- retry harness for
   :class:`~repro.core.errors.TransientFault`;
+- :class:`ResiliencePolicy` -- the bundled recovery knob (in-place
+  backoff retries plus campaign-graph backtracking: perturbed-seed
+  re-runs and implementation fallback) shared by campaigns and
+  :class:`~repro.campaign.GraphRunner` nodes;
 - :class:`Deadline` -- cycle/wall-clock budgets raising structured
   :class:`~repro.core.errors.SimulationTimeout`;
 - :class:`CheckpointStore` -- atomic JSON checkpoint/resume for
@@ -32,6 +36,7 @@ from repro.resilience.breaker import (
 from repro.resilience.chaos import ChaosEvent, ChaosPolicy
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import FaultInjector, FaultModel, FaultyStorage
+from repro.resilience.policy import ResiliencePolicy, coerce_resilience
 from repro.resilience.retry import (
     BackoffPolicy,
     Deadline,
@@ -50,6 +55,8 @@ __all__ = [
     "FaultInjector",
     "FaultModel",
     "FaultyStorage",
+    "ResiliencePolicy",
     "RunOutcome",
+    "coerce_resilience",
     "resilient_run",
 ]
