@@ -1,7 +1,18 @@
 """``python -m repro`` dispatches to the CLI."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    code = main()
+    # Flush now, while EPIPE can still be caught below -- otherwise
+    # interpreter-exit flushing turns a closed pipe into a traceback.
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream consumer (head, less, ...) closed the pipe: the Unix
+    # convention is to die quietly with the SIGPIPE status.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 141
+sys.exit(code)

@@ -432,6 +432,18 @@ class GraphRunner:
     def _policy_for(self, node: GraphNode) -> Optional[ResiliencePolicy]:
         return getattr(node, "resilience", None) or self.resilience
 
+    def _service_trace_ctx(self):
+        """The campaign-layer trace context to stitch service-dispatched
+        evaluations under, or ``None`` when tracing is off."""
+        if not self.observe:
+            return None
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        return tracer.current()
+
     def _dispatch_evals(
         self, nodes: List[EvalNode], report: CampaignRunReport
     ) -> Dict[str, RunResult]:
@@ -444,6 +456,11 @@ class GraphRunner:
             for node in nodes
         }
         if self.service is not None:
+            # Under tracing the layer span is this thread's active
+            # context; handing it to the service stitches every node's
+            # request trace under the campaign trace -- across the
+            # cluster router and process-shard boundary too.
+            trace_ctx = self._service_trace_ctx()
             futures = [
                 self.service.submit(
                     node.workload,
@@ -451,6 +468,7 @@ class GraphRunner:
                     seed=node.seed,
                     impl=node.impl,
                     block=True,
+                    trace_ctx=trace_ctx,
                 )
                 for node in nodes
             ]
@@ -493,7 +511,8 @@ class GraphRunner:
         """One backtrack re-run, on the same backend as the batch."""
         if self.service is not None:
             return self.service.submit(
-                node.workload, config, seed=seed, impl=impl, block=True
+                node.workload, config, seed=seed, impl=impl, block=True,
+                trace_ctx=self._service_trace_ctx(),
             ).result()
         policy = self._policy_for(node)
         task = (

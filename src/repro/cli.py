@@ -274,11 +274,15 @@ def _cmd_exec(args: "argparse.Namespace") -> str:
 TRACE_FILE = "trace.jsonl"
 LEDGER_FILE = "ledger.jsonl"
 CHROME_FILE = "trace.chrome.json"
+METRICS_FILE = "metrics.json"
+FLIGHT_FILE = "flight.jsonl"
 
 
-def _export_observability(trace_dir: str) -> str:
-    """Write the collected spans/events/Chrome trace into *trace_dir*
-    and return a one-line footer describing what landed where."""
+def _export_observability(trace_dir: str, recorder=None) -> str:
+    """Write the collected spans/events/Chrome trace plus the metrics
+    snapshot (and, when a flight *recorder* ran, its sample ring) into
+    *trace_dir*; returns a one-line footer describing what landed
+    where."""
     import json
     import os
 
@@ -292,11 +296,23 @@ def _export_observability(trace_dir: str) -> str:
     chrome_path = os.path.join(trace_dir, CHROME_FILE)
     with open(chrome_path, "w", encoding="utf-8") as fh:
         json.dump(tracer.to_chrome(), fh, indent=2, sort_keys=True)
-    return (
+    with open(
+        os.path.join(trace_dir, METRICS_FILE), "w", encoding="utf-8"
+    ) as fh:
+        json.dump(
+            obs.get_metrics().snapshot(), fh, indent=2, sort_keys=True
+        )
+    footer = (
         f"trace: {spans} spans / {events} events -> {trace_dir} "
         f"(chrome: {chrome_path}; inspect with 'repro obs summary "
         f"--trace-dir {trace_dir}')"
     )
+    if recorder is not None:
+        samples = recorder.export_jsonl(
+            os.path.join(trace_dir, FLIGHT_FILE)
+        )
+        footer += f"; flight recorder: {samples} samples/dumps"
+    return footer
 
 
 def _capacity_table(report: dict, title: str) -> str:
@@ -444,12 +460,18 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
         EvaluationService,
     )
 
+    recorder = None
     if args.trace_dir:
         from repro import obs
+        from repro.obs.recorder import FlightRecorder
 
         obs.enable()
         obs.get_tracer().reset()
         obs.get_ledger().reset()
+        obs.get_metrics().reset()
+        recorder = FlightRecorder()
+        recorder.watch_ledger()
+        recorder.start()
 
     batch_size = args.batch_size
     if args.requests:
@@ -512,6 +534,9 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
                 parallel=args.workers,
                 cache=args.cache_dir and f"{args.cache_dir}/serve-cache.json",
             )
+        if recorder is not None:
+            if hasattr(service, "gauges"):
+                recorder.add_source("serve", service.gauges)
         try:
             point = run_load(service, requests, rate_rps=args.rate)
             snapshot = service.snapshot()
@@ -577,7 +602,9 @@ def _cmd_serve(args: "argparse.Namespace") -> str:
     if args.trace_dir:
         from repro import obs
 
-        body += "\n" + _export_observability(args.trace_dir)
+        if recorder is not None:
+            recorder.stop()
+        body += "\n" + _export_observability(args.trace_dir, recorder)
         obs.disable()
     return body
 
@@ -649,6 +676,26 @@ def _cmd_chaos(args: "argparse.Namespace") -> str:
     return table.render() + "\n" + footer
 
 
+#: Default SLO specs for ``repro obs slo`` when no ``--spec`` file is
+#: given: generic serving health objectives.
+DEFAULT_SLO_SPECS = (
+    {"name": "latency-p99", "objective": "p99_latency", "target": 0.5},
+    {"name": "errors", "objective": "error_rate", "target": 0.05},
+    {"name": "availability", "objective": "availability",
+     "target": 0.99},
+)
+
+
+def _load_obs_file(loader, path: str, what: str):
+    """Satellite guard: a corrupt or unreadable observability artifact
+    becomes a one-line error + nonzero exit, not a traceback."""
+    try:
+        return loader(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {what} at {path}: {exc}", file=sys.stderr)
+        return None
+
+
 def _obs_main(argv: List[str]) -> int:
     """The ``repro obs`` subcommand family (its own parser: the obs
     verbs take a trace directory, not a paper artifact)."""
@@ -657,12 +704,18 @@ def _obs_main(argv: List[str]) -> int:
 
     from repro.obs import (
         chrome_trace,
+        critical_path_report,
+        compare_reports,
+        load_flight_jsonl,
         load_ledger_jsonl,
         load_trace_jsonl,
+        prometheus_text,
         render_summary,
+        render_top,
         render_trace,
         select_trace,
     )
+    from repro.obs.slo import SLOSpec, evaluate_slos
 
     parser = argparse.ArgumentParser(
         prog="repro obs",
@@ -682,19 +735,127 @@ def _obs_main(argv: List[str]) -> int:
         "export", help="re-export collected spans"
     )
     export.add_argument(
-        "--format", choices=("chrome", "jsonl"), default="chrome"
+        "--format", choices=("chrome", "jsonl", "prom"),
+        default="chrome",
+        help="chrome/jsonl re-export the spans; prom renders the "
+        "exported metrics snapshot as Prometheus text exposition",
     )
     export.add_argument(
         "--out", default=None,
         help="output file (default: stdout)",
     )
-    for verb in (show, summary, export):
+    top = sub.add_parser(
+        "top",
+        help="slowest requests with their critical-path phase split",
+    )
+    top.add_argument(
+        "--top", type=int, default=10, help="how many requests to list"
+    )
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO burn rates over the flight-recorder samples",
+    )
+    slo.add_argument(
+        "--spec", default=None,
+        help="JSON file with a list of SLO spec objects "
+        "(default: built-in latency/error/availability objectives)",
+    )
+    critical = sub.add_parser(
+        "critical-path",
+        help="aggregate critical-path phase report "
+        "(optionally vs a baseline trace dir)",
+    )
+    critical.add_argument(
+        "--top", type=int, default=10, help="how many requests to list"
+    )
+    critical.add_argument(
+        "--baseline", default=None,
+        help="another trace dir to attribute a regression against",
+    )
+    for verb in (show, summary, export, top, slo, critical):
         verb.add_argument(
             "--trace-dir", default="obs",
             help="directory written by 'repro serve --trace-dir' "
             "(default: ./obs)",
         )
     args = parser.parse_args(argv)
+
+    if args.verb == "export" and args.format == "prom":
+        metrics_path = os.path.join(args.trace_dir, METRICS_FILE)
+        if not os.path.exists(metrics_path):
+            print(
+                f"no metrics snapshot at {metrics_path}; record one "
+                f"with 'repro serve --trace-dir {args.trace_dir}'",
+                file=sys.stderr,
+            )
+            return 1
+
+        def _load_metrics(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+
+        snapshot = _load_obs_file(
+            _load_metrics, metrics_path, "metrics snapshot"
+        )
+        if snapshot is None:
+            return 1
+        payload = prometheus_text(snapshot)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            print(f"wrote {args.out}")
+        else:
+            print(payload, end="")
+        return 0
+
+    if args.verb == "slo":
+        flight_path = os.path.join(args.trace_dir, FLIGHT_FILE)
+        if not os.path.exists(flight_path):
+            print(
+                f"no flight recording at {flight_path}; record one "
+                f"with 'repro serve --trace-dir {args.trace_dir}'",
+                file=sys.stderr,
+            )
+            return 1
+        flight = _load_obs_file(
+            load_flight_jsonl, flight_path, "flight recording"
+        )
+        if flight is None:
+            return 1
+        spec_dicts = DEFAULT_SLO_SPECS
+        if args.spec:
+            def _load_specs(path):
+                with open(path, "r", encoding="utf-8") as fh:
+                    return json.load(fh)
+
+            spec_dicts = _load_obs_file(
+                _load_specs, args.spec, "SLO spec file"
+            )
+            if spec_dicts is None:
+                return 1
+        specs = [SLOSpec.from_json(d) for d in spec_dicts]
+        statuses = evaluate_slos(specs, flight["samples"])
+        breached = False
+        print(
+            f"{'slo':<16} {'objective':<14} {'target':>10} "
+            f"{'state':<9} burn/window"
+        )
+        for status in statuses:
+            burns = "  ".join(
+                f"{window:g}s={result['burn']:.2f}x"
+                for window, result in sorted(status["windows"].items())
+            )
+            print(
+                f"{status['name']:<16} {status['objective']:<14} "
+                f"{status['target']:>10g} {status['state']:<9} {burns}"
+            )
+            breached = breached or status["state"] == "breached"
+        dumps = flight.get("dumps", [])
+        print(
+            f"samples: {len(flight['samples'])}   "
+            f"flight dumps: {len(dumps)}"
+        )
+        return 2 if breached else 0
 
     trace_path = os.path.join(args.trace_dir, TRACE_FILE)
     if not os.path.exists(trace_path):
@@ -704,13 +865,17 @@ def _obs_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 1
-    spans = load_trace_jsonl(trace_path)
+    spans = _load_obs_file(load_trace_jsonl, trace_path, "trace")
+    if spans is None:
+        return 1
     ledger_path = os.path.join(args.trace_dir, LEDGER_FILE)
-    events = (
-        load_ledger_jsonl(ledger_path)
-        if os.path.exists(ledger_path)
-        else []
-    )
+    events = []
+    if os.path.exists(ledger_path):
+        events = _load_obs_file(
+            load_ledger_jsonl, ledger_path, "ledger"
+        )
+        if events is None:
+            return 1
 
     if args.verb == "show":
         selected = select_trace(spans, args.trace_id)
@@ -732,6 +897,37 @@ def _obs_main(argv: List[str]) -> int:
         )
     elif args.verb == "summary":
         print(render_summary(spans, events))
+    elif args.verb == "top":
+        report = critical_path_report(spans, top=args.top)
+        samples = []
+        flight_path = os.path.join(args.trace_dir, FLIGHT_FILE)
+        if os.path.exists(flight_path):
+            flight = _load_obs_file(
+                load_flight_jsonl, flight_path, "flight recording"
+            )
+            if flight is None:
+                return 1
+            samples = flight["samples"]
+        print(render_top(report, samples))
+    elif args.verb == "critical-path":
+        report = critical_path_report(spans, top=args.top)
+        if args.baseline:
+            base_path = os.path.join(args.baseline, TRACE_FILE)
+            if not os.path.exists(base_path):
+                print(
+                    f"no baseline trace at {base_path}",
+                    file=sys.stderr,
+                )
+                return 1
+            base_spans = _load_obs_file(
+                load_trace_jsonl, base_path, "baseline trace"
+            )
+            if base_spans is None:
+                return 1
+            baseline = critical_path_report(base_spans, top=args.top)
+            report = dict(report)
+            report["vs_baseline"] = compare_reports(baseline, report)
+        print(json.dumps(report, indent=2, sort_keys=True))
     else:
         if args.format == "chrome":
             payload = json.dumps(

@@ -596,6 +596,18 @@ class ParallelEvaluator:
             info["cache"] = self.cache.stats()
         return info
 
+    def gauges(self) -> Dict[str, float]:
+        """Flat numeric counters for flight-recorder sampling (cheap:
+        plain attribute reads, no pool or arena traffic)."""
+        return {
+            "tasks_seen": float(self.tasks_seen),
+            "tasks_computed": float(self.tasks_computed),
+            "worker_crashes": float(self.worker_crashes),
+            "tasks_quarantined": float(self.tasks_quarantined),
+            "shm_tasks": float(self.shm_tasks),
+            "shm_bytes": float(self.shm_bytes),
+        }
+
 
 EvaluatorLike = Union[None, bool, int, ParallelEvaluator]
 CacheLike = Union[None, str, "os.PathLike[str]", ResultCache]

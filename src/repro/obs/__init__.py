@@ -1,4 +1,5 @@
-"""repro.obs -- tracing, metrics, and the run ledger in one spine.
+"""repro.obs -- the observability plane: traces, metrics, ledger,
+flight recorder, SLOs.
 
 Three pillars, one enablement policy (disabled by default, single
 boolean check on every hot path):
@@ -8,14 +9,34 @@ boolean check on every hot path):
   boundaries, exported as JSONL or Chrome ``trace_event`` JSON;
 - :mod:`repro.obs.metrics` -- process-wide Counter/Gauge/Histogram
   registry with mergeable fixed-bucket histograms, absorbing the
-  serve/perf/cache metric stores behind one ``snapshot()``;
+  serve/perf/cache metric stores behind one ``snapshot()``, with
+  Prometheus text exposition;
 - :mod:`repro.obs.ledger` -- append-only event log keyed by trace id
-  (run/fault/retry/cache/admission/checkpoint events).
+  (run/fault/retry/cache/admission/checkpoint events), with watcher
+  hooks for crash-triggered consumers.
 
-``enable()``/``disable()`` flip all three together, which is what the
-``repro serve --trace-dir`` path and the tests use.
+Layered on the pillars (no extra enablement state of their own):
+
+- :mod:`repro.obs.recorder` -- a bounded flight-recorder ring of
+  periodic metric/gauge samples, dumped automatically on shard
+  death;
+- :mod:`repro.obs.slo` -- declarative SLO specs evaluated as
+  multi-window burn rates over recorder samples, coupled into the
+  cluster's circuit breakers;
+- :mod:`repro.obs.critical` -- critical-path decomposition of
+  stitched request traces into admission/batch/transport/eval/route
+  phases.
+
+``enable()``/``disable()`` flip the three pillars together, which is
+what the ``repro serve --trace-dir`` path and the tests use.
 """
 
+from repro.obs.critical import (
+    compare_reports,
+    critical_path_report,
+    request_breakdowns,
+    trace_breakdown,
+)
 from repro.obs.ledger import (
     RunLedger,
     disable_ledger,
@@ -31,14 +52,23 @@ from repro.obs.metrics import (
     disable_metrics,
     enable_metrics,
     get_metrics,
+    prometheus_text,
 )
+from repro.obs.recorder import FlightRecorder, load_flight_jsonl
 from repro.obs.report import (
     render_summary,
+    render_top,
     render_trace,
     select_trace,
     summarize_spans,
 )
-from repro.obs.stats import bucket_percentile, percentile, summary
+from repro.obs.slo import SLOEvaluator, SLOSpec, evaluate_slos
+from repro.obs.stats import (
+    bucket_fraction_above,
+    bucket_percentile,
+    percentile,
+    summary,
+)
 from repro.obs.trace import (
     Span,
     TraceContext,
@@ -72,16 +102,22 @@ def disable() -> None:
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RunLedger",
+    "SLOEvaluator",
+    "SLOSpec",
     "Span",
     "TraceContext",
     "Tracer",
+    "bucket_fraction_above",
     "bucket_percentile",
     "canonical_spans",
     "chrome_trace",
+    "compare_reports",
+    "critical_path_report",
     "derive_span_id",
     "derive_trace_id",
     "disable",
@@ -92,15 +128,21 @@ __all__ = [
     "enable_ledger",
     "enable_metrics",
     "enable_tracing",
+    "evaluate_slos",
     "get_ledger",
     "get_metrics",
     "get_tracer",
+    "load_flight_jsonl",
     "load_ledger_jsonl",
     "load_trace_jsonl",
     "percentile",
+    "prometheus_text",
     "render_summary",
+    "render_top",
     "render_trace",
+    "request_breakdowns",
     "select_trace",
     "summarize_spans",
     "summary",
+    "trace_breakdown",
 ]

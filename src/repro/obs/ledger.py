@@ -24,6 +24,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -34,8 +35,13 @@ from typing import (
 )
 
 #: Event-record keys that vary run to run (wall clock, measured
-#: delays); the canonical form strips them.
-VOLATILE_EVENT_FIELDS = ("ts", "seq", "elapsed_s", "delay_s", "wait_s")
+#: delays, merge bookkeeping); the canonical form strips them.
+#: ``shard_seq`` is the originating shard's local sequence number,
+#: preserved when :func:`repro.serve.procshard.merge_shard_events`
+#: re-sorts a shipped batch deterministically.
+VOLATILE_EVENT_FIELDS = (
+    "ts", "seq", "elapsed_s", "delay_s", "wait_s", "shard_seq",
+)
 
 
 class RunLedger:
@@ -51,6 +57,7 @@ class RunLedger:
         self._local = threading.local()
         self._events: List[Dict[str, Any]] = []
         self._seq = 0
+        self._watchers: List[Callable[[Dict[str, Any]], Any]] = []
 
     # ------------------------------------------------------------- control
 
@@ -99,7 +106,45 @@ class RunLedger:
             buffer.append(record)
             return record
         self._append(record)
+        self._notify(record)
         return record
+
+    # ------------------------------------------------------------ watchers
+
+    def add_watcher(
+        self, watcher: Callable[[Dict[str, Any]], Any]
+    ) -> None:
+        """Register *watcher* to be called (outside the ledger lock)
+        with every event recorded through :meth:`event` on this
+        process's direct path -- captured worker events are merged in
+        bulk and do not fire watchers.  This is how the flight recorder
+        triggers crash dumps on ``shard.killed``/``shard.down`` without
+        the hot path paying anything while no watcher is registered."""
+        with self._lock:
+            if watcher not in self._watchers:
+                self._watchers.append(watcher)
+
+    def remove_watcher(
+        self, watcher: Callable[[Dict[str, Any]], Any]
+    ) -> None:
+        with self._lock:
+            if watcher in self._watchers:
+                self._watchers.remove(watcher)
+
+    def _notify(self, record: Dict[str, Any]) -> None:
+        if not self._watchers:
+            return
+        if getattr(self._local, "in_watcher", False):
+            return  # a watcher recording events must not recurse
+        self._local.in_watcher = True
+        try:
+            for watcher in list(self._watchers):
+                try:
+                    watcher(record)
+                except Exception:  # pragma: no cover - defensive
+                    continue
+        finally:
+            self._local.in_watcher = False
 
     def _append(self, record: Dict[str, Any]) -> None:
         with self._lock:

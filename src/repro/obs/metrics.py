@@ -301,6 +301,65 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
 
+def _prom_name(name: str) -> str:
+    """A metric name sanitized to the Prometheus charset (dots and any
+    other punctuation become underscores)."""
+    out = [
+        ch if (ch.isalnum() or ch in "_:") else "_" for ch in name
+    ]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def _prom_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_text(snapshot: Mapping[str, Any]) -> str:
+    """A :meth:`MetricsRegistry.snapshot` in the Prometheus text
+    exposition format (version 0.0.4).
+
+    Counters and gauges map one to one; histograms emit the standard
+    cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
+    ``_count``, which is exactly what lets the fixed-bucket mergeable
+    histograms scrape into any Prometheus-compatible stack.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric} {_prom_value(snapshot['counters'][name])}"
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(
+            f"{metric} {_prom_value(snapshot['gauges'][name])}"
+        )
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{metric}_bucket{{le="{repr(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {int(hist["count"])}'
+        )
+        lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{metric}_count {int(hist['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 _REGISTRY = MetricsRegistry()
 
 
@@ -328,4 +387,5 @@ __all__: List[str] = [
     "disable_metrics",
     "enable_metrics",
     "get_metrics",
+    "prometheus_text",
 ]

@@ -127,6 +127,58 @@ def render_summary(
     return "\n".join(lines)
 
 
+def render_top(
+    report: Mapping[str, Any],
+    samples: Sequence[Mapping[str, Any]] = (),
+) -> str:
+    """The ``repro obs top`` view: slowest requests with their
+    critical-path phase split, plus latest recorder gauges when a
+    flight sample set is available."""
+    from repro.obs.critical import PHASES
+
+    lines = [f"requests: {report.get('requests', 0)}"]
+    means = report.get("phase_means_s", {})
+    if report.get("requests"):
+        mean_line = "  ".join(
+            f"{phase}={float(means.get(phase, 0.0)) * 1e3:.3f}ms"
+            for phase in PHASES
+        )
+        lines.append(f"phase means: {mean_line}")
+    top = report.get("top", [])
+    if top:
+        lines.append(
+            f"{'trace':<18} {'workload':<16} {'total ms':>9}  phases"
+        )
+        for entry in top:
+            phases = entry.get("phases", {})
+            dominant = sorted(
+                (
+                    (phase, float(phases.get(phase, 0.0)))
+                    for phase in PHASES
+                ),
+                key=lambda item: (-item[1], item[0]),
+            )[:3]
+            split = " ".join(
+                f"{phase}={value * 1e3:.3f}ms"
+                for phase, value in dominant
+                if value > 0.0
+            )
+            lines.append(
+                f"{str(entry['trace_id'])[:16]:<18} "
+                f"{str(entry.get('workload', ''))[:16]:<16} "
+                f"{float(entry['total_s']) * 1e3:>9.3f}  {split}"
+            )
+    if samples:
+        latest = samples[-1]
+        gauges = latest.get("gauges", {})
+        if gauges:
+            gauge_line = "  ".join(
+                f"{name}={gauges[name]:g}" for name in sorted(gauges)
+            )
+            lines.append(f"gauges: {gauge_line}")
+    return "\n".join(lines)
+
+
 def select_trace(
     spans: Sequence[Mapping[str, Any]], trace_id: str
 ) -> List[Dict[str, Any]]:
@@ -148,6 +200,7 @@ def select_trace(
 
 __all__: List[str] = [
     "render_summary",
+    "render_top",
     "render_trace",
     "select_trace",
     "summarize_spans",

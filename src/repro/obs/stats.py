@@ -88,4 +88,45 @@ def bucket_percentile(
     return float(lo)
 
 
-__all__: List[str] = ["bucket_percentile", "percentile", "summary"]
+def bucket_fraction_above(
+    bounds: Sequence[float], counts: Sequence[int], threshold: float
+) -> float:
+    """Estimated fraction of observations above *threshold* in a
+    fixed-bucket histogram count vector.
+
+    The bucket containing the threshold contributes linearly by
+    position (same interpolation model as :func:`bucket_percentile`);
+    the unbounded overflow bucket counts entirely as above any
+    threshold below its lower edge.  This is what the SLO layer uses
+    to turn a latency histogram *delta* into "what fraction of this
+    window's requests blew the latency target".
+    """
+    if len(counts) != len(bounds) + 1:
+        raise ValidationError("counts must have one entry per bucket")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    above = 0.0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        lo = bounds[i - 1] if i > 0 else 0.0
+        if i >= len(bounds):
+            # Overflow bucket: above any threshold below its lower edge.
+            if threshold < lo:
+                above += count
+            continue
+        hi = bounds[i]
+        if threshold <= lo:
+            above += count
+        elif threshold < hi:
+            above += count * (hi - threshold) / (hi - lo)
+    return float(above / total)
+
+
+__all__: List[str] = [
+    "bucket_fraction_above",
+    "bucket_percentile",
+    "percentile",
+    "summary",
+]

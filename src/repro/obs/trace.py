@@ -163,9 +163,25 @@ def canonical_spans(
     by ``order``), traces sorted by id -- so two runs of the same
     request stream produce byte-identical canonical JSON regardless of
     worker scheduling or batch timing.
+
+    Two further normalizations make *stitched* cluster traces compare
+    byte-identical across backends and chaos replays: duplicate span
+    ids collapse to their first record (a replayed attempt of the same
+    request re-derives the same ids, so a kill-and-replay trace equals
+    its fault-free twin), and spans whose volatile dict carries
+    ``ephemeral: True`` (execution-mode artifacts like the shm
+    transport encode) are excluded entirely.
     """
     by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    seen_ids: set = set()
     for record in records:
+        volatile = record.get("volatile") or {}
+        if volatile.get("ephemeral"):
+            continue
+        identity = (str(record["trace_id"]), str(record["span_id"]))
+        if identity in seen_ids:
+            continue
+        seen_ids.add(identity)
         entry = {
             k: v
             for k, v in record.items()
@@ -198,15 +214,26 @@ def canonical_spans(
 
 class _Frame:
     """One thread-local activation: a context plus an optional sink
-    that captures finished spans instead of the global list."""
+    that captures finished spans instead of the global list.
 
-    __slots__ = ("ctx", "sink")
+    Sink-bearing frames (the worker envelope mechanism) also scope the
+    span-order counters to the activation: a replayed evaluation of the
+    same request starts counting from zero again, so its spans derive
+    the same deterministic ids as the first attempt -- which is what
+    lets a kill-and-replay trace collapse onto its fault-free twin in
+    :func:`canonical_spans`.
+    """
+
+    __slots__ = ("ctx", "sink", "orders")
 
     def __init__(
         self, ctx: TraceContext, sink: Optional[List[Dict[str, Any]]]
     ) -> None:
         self.ctx = ctx
         self.sink = sink
+        self.orders: Optional[Dict[Tuple[str, str], int]] = (
+            {} if sink is not None else None
+        )
 
 
 class Tracer:
@@ -297,8 +324,15 @@ class Tracer:
     # ------------------------------------------------------- span creation
 
     def next_order(self, trace_id: str, parent_id: str) -> int:
+        key = (trace_id, parent_id)
+        frames = getattr(self._local, "frames", None)
+        if frames:
+            for frame in reversed(frames):
+                if frame.orders is not None:
+                    order = frame.orders.get(key, 0)
+                    frame.orders[key] = order + 1
+                    return order
         with self._lock:
-            key = (trace_id, parent_id)
             order = self._orders.get(key, 0)
             self._orders[key] = order + 1
         return order
@@ -366,6 +400,7 @@ class Tracer:
         *,
         trace_id: str,
         parent_id: str = "",
+        order: Optional[int] = None,
         start_s: float,
         end_s: float,
         status: str = "ok",
@@ -378,6 +413,7 @@ class Tracer:
             name,
             trace_id=trace_id,
             parent_id=parent_id,
+            order=order,
             attributes=attributes,
             volatile=volatile,
             start_s=start_s,

@@ -56,6 +56,7 @@ from repro.core.errors import ValidationError
 from repro.exec.parallel import CacheLike, EvaluatorLike, coerce_cache
 from repro.obs.ledger import get_ledger
 from repro.obs.stats import summary as _summary
+from repro.obs.trace import TraceContext, derive_trace_id, get_tracer
 from repro.resilience import BackoffPolicy, ChaosPolicy, CircuitBreaker
 from repro.serve.procshard import ProcessShard, validate_process_spec
 from repro.serve.request import AdmissionRejected, EvalRequest
@@ -163,9 +164,9 @@ def incomplete_from_ledger(
 
 class _Entry:
     """One in-flight cluster request: the set-once future plus its
-    current shard assignment."""
+    current shard assignment and (under tracing) its router span."""
 
-    __slots__ = ("rid", "request", "future", "shard", "resolved")
+    __slots__ = ("rid", "request", "future", "shard", "resolved", "trace")
 
     def __init__(self, rid: int, request: EvalRequest) -> None:
         self.rid = rid
@@ -173,6 +174,7 @@ class _Entry:
         self.future: "Future[RunResult]" = Future()
         self.shard: Optional[int] = None
         self.resolved = False
+        self.trace: Optional[Any] = None  # the open cluster.request span
 
 
 class _ShardSlot:
@@ -312,6 +314,12 @@ class ShardCluster:
             # Fail fast on specs that cannot cross the spawn boundary.
             validate_process_spec(self._service_kwargs)
         self._lock = threading.Lock()
+        # Trace stitching state: per-digest occurrence counters for
+        # fresh cluster traces, and per-(trace_id, parent) order slots
+        # for submissions nested under a caller's span (campaigns).
+        # Mirrors the EvaluationService scheme one level up.
+        self._trace_occurrences: Dict[str, int] = {}
+        self._ctx_orders: Dict[Tuple[str, str], Dict[str, int]] = {}
         self._slots = [
             _ShardSlot(index, self._make_service(index))
             for index in range(num_shards)
@@ -348,7 +356,12 @@ class ShardCluster:
                 incarnation=incarnation,
                 heartbeat_s=self.shard_heartbeat_s,
             )
-        return EvaluationService(**self._service_kwargs)
+        service = EvaluationService(**self._service_kwargs)
+        # Stitched request spans carry which shard served them (the
+        # process backend's worker sets the same field on its child
+        # service, so both backends tag identically).
+        service.shard_index = index
+        return service
 
     def wait_ready(self, timeout: Optional[float] = None) -> bool:
         """Block until every shard is serving (process shards report
@@ -397,11 +410,19 @@ class ShardCluster:
             return len(self._inflight)
 
     def submit_request(
-        self, request: EvalRequest, *, block: bool = False
+        self,
+        request: EvalRequest,
+        *,
+        block: bool = False,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> "Future[RunResult]":
         """Route *request* to its shard; returns a cluster-level future
         that resolves exactly once even if the owning shard dies and
-        the request is replayed elsewhere."""
+        the request is replayed elsewhere.  Under tracing the cluster
+        opens one ``cluster.request`` span per request (nested under
+        *trace_ctx* when a campaign layer supplies one); every dispatch
+        attempt -- including chaos replays -- stitches the shard-side
+        spans under that single span."""
         get_workload(request.workload)
         if self._stopped:
             raise AdmissionRejected(
@@ -411,14 +432,63 @@ class ShardCluster:
         with self._lock:
             self._rid += 1
             entry = _Entry(self._rid, request)
+            entry.trace = self._open_cluster_trace(request, trace_ctx)
             self._inflight[entry.rid] = entry
         try:
             self._dispatch(entry, block=block)
         except AdmissionRejected:
             with self._lock:
                 self._inflight.pop(entry.rid, None)
+            if entry.trace is not None:
+                get_tracer().end_span(entry.trace, status="rejected")
             raise
         return entry.future
+
+    def _open_cluster_trace(
+        self,
+        request: EvalRequest,
+        trace_ctx: Optional[TraceContext],
+    ) -> Optional[Any]:
+        """Open the router-level span for one cluster request (``None``
+        when tracing is off).  Called under the cluster lock.
+
+        Standalone submissions root a fresh deterministic trace
+        (``cluster|<digest>`` material, per-digest occurrence); nested
+        submissions take the next per-digest order slot under the
+        caller's span, same allocation scheme as
+        :meth:`EvaluationService._open_trace` one level down.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        digest = request.digest
+        if trace_ctx is not None:
+            trace_id = trace_ctx.trace_id
+            parent_id = trace_ctx.span_id
+            orders = self._ctx_orders.setdefault(
+                (trace_id, parent_id), {}
+            )
+            order = orders.get(digest)
+            if order is None:
+                order = len(orders)
+                orders[digest] = order
+        else:
+            occurrence = self._trace_occurrences.get(digest, 0)
+            self._trace_occurrences[digest] = occurrence + 1
+            trace_id = derive_trace_id(f"cluster|{digest}", occurrence)
+            parent_id = ""
+            order = 0
+        return tracer.start_span(
+            "cluster.request",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            order=order,
+            attributes={
+                "workload": request.workload,
+                "digest": digest,
+                "seed": request.seed,
+            },
+        )
 
     def submit(
         self,
@@ -430,6 +500,7 @@ class ShardCluster:
         priority: Any = "normal",
         timeout_s: Optional[float] = None,
         block: bool = False,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> "Future[RunResult]":
         """Convenience :meth:`submit_request` from bare arguments."""
         return self.submit_request(
@@ -442,6 +513,7 @@ class ShardCluster:
                 timeout_s=timeout_s,
             ),
             block=block,
+            trace_ctx=trace_ctx,
         )
 
     def _dispatch(self, entry: _Entry, *, block: bool) -> None:
@@ -480,9 +552,18 @@ class ShardCluster:
                 digest=entry.request.digest,
                 workload=entry.request.workload,
             )
+            # Pass the trace context only when a span is actually open:
+            # with tracing off the shard call stays byte-compatible
+            # with minimal service stand-ins (tests, custom shards)
+            # whose submit_request knows nothing of trace_ctx.
+            submit_kwargs: Dict[str, Any] = {}
+            if entry.trace is not None:
+                submit_kwargs["trace_ctx"] = entry.trace.context
             try:
                 shard_future = slot.service.submit_request(
-                    entry.request, block=block
+                    entry.request,
+                    block=block,
+                    **submit_kwargs,
                 )
             except AdmissionRejected as exc:
                 with self._lock:
@@ -524,6 +605,8 @@ class ShardCluster:
                 error_type=type(exc).__name__,
             )
             breaker.record_failure()
+            if entry.trace is not None:
+                get_tracer().end_span(entry.trace, status="error")
             entry.future.set_exception(exc)
             return
         result: RunResult = shard_future.result()
@@ -537,6 +620,10 @@ class ShardCluster:
             shard=shard_id,
             status=result.status,
         )
+        if entry.trace is not None:
+            get_tracer().end_span(
+                entry.trace, status="ok" if result.ok else "error"
+            )
         entry.future.set_result(result)
 
     # ----------------------------------------------------- failure handling
@@ -688,6 +775,8 @@ class ShardCluster:
                 entry.resolved = True
             self._inflight.clear()
         for entry in stranded:
+            if entry.trace is not None:
+                get_tracer().end_span(entry.trace, status="cancelled")
             if not entry.future.done():
                 entry.future.set_exception(
                     AdmissionRejected(
@@ -697,6 +786,39 @@ class ShardCluster:
                 )
 
     # ------------------------------------------------------------ reporting
+
+    def gauges(self) -> Dict[str, float]:
+        """Cheap live gauges for the flight recorder: lock-only reads
+        plus per-shard liveness/backlog, no worker round trips (a
+        :meth:`snapshot` queries process shards synchronously -- far
+        too heavy for a periodic sampler)."""
+        with self._lock:
+            out: Dict[str, float] = {
+                "in_flight": float(len(self._inflight)),
+                "restarts": float(self.restarts),
+                "replayed": float(self.replayed),
+            }
+            backlog = {
+                index: float(len(rids))
+                for index, rids in self._by_shard.items()
+            }
+        alive = 0
+        for slot in self._slots:
+            service = slot.service
+            up = bool(service.alive)
+            alive += int(up)
+            out[f"shard{slot.index}.alive"] = float(up)
+            out[f"shard{slot.index}.backlog"] = backlog.get(
+                slot.index, 0.0
+            )
+            # EvaluationService exposes queue_depth; ProcessShard the
+            # parent-side in_flight counter.
+            depth = getattr(service, "queue_depth", None)
+            if depth is None:
+                depth = getattr(service, "in_flight", 0)
+            out[f"shard{slot.index}.queue_depth"] = float(depth)
+        out["alive"] = float(alive)
+        return out
 
     def snapshot(self) -> Dict[str, Any]:
         """Cluster-wide metrics: shard snapshots aggregated into the
@@ -770,6 +892,7 @@ def run_chaos_campaign(
     stall_timeout_s: Optional[float] = 30.0,
     breaker_threshold: int = 32,
     result_timeout_s: float = 60.0,
+    recorder: Optional[Any] = None,
 ) -> Tuple[List[RunResult], Dict[str, Any]]:
     """Serve *requests* through a shard cluster under a chaos schedule.
 
@@ -779,6 +902,11 @@ def run_chaos_campaign(
     ``burst`` duplicate copies).  Returns the results in request order
     plus a report the bench's ``--check`` gate asserts on: zero lost,
     zero duplicated, latency summary, restart/replay counts.
+
+    A :class:`~repro.obs.recorder.FlightRecorder` passed as *recorder*
+    is attached to the cluster's gauges, armed to dump on the chaos
+    kill events, started for the campaign and stopped afterwards (its
+    samples and dumps are kept for the caller to export).
     """
     policy = policy or ChaosPolicy()
     cluster = ShardCluster(
@@ -792,6 +920,10 @@ def run_chaos_campaign(
         stall_timeout_s=stall_timeout_s,
         breaker_threshold=breaker_threshold,
     )
+    if recorder is not None:
+        recorder.attach_cluster(cluster)
+        recorder.watch_ledger()
+        recorder.start()
     latencies: List[float] = []
     latency_lock = threading.Lock()
 
@@ -882,4 +1014,6 @@ def run_chaos_campaign(
         }
         return results, report
     finally:
+        if recorder is not None:
+            recorder.stop()
         cluster.shutdown(drain=False)

@@ -59,10 +59,12 @@ class ServiceMetrics:
             self.submitted += 1
             self._queue_depths.append(queue_depth)
             self._trim(self._queue_depths)
+            in_flight = self.submitted - self.completed - self.failed
         registry = get_metrics()
         if registry.enabled:
             registry.inc("serve.submitted")
             registry.set_gauge("serve.queue_depth", queue_depth)
+            registry.set_gauge("serve.in_flight", in_flight)
 
     def record_reject(self, reason: str) -> None:
         with self._lock:
@@ -110,11 +112,13 @@ class ServiceMetrics:
             self._queue_waits.append(queue_wait_s)
             self._trim(self._latencies)
             self._trim(self._queue_waits)
+            in_flight = self.submitted - self.completed - self.failed
         registry = get_metrics()
         if registry.enabled:
             registry.inc("serve.completed" if ok else "serve.failed")
             registry.observe("serve.latency_s", latency_s)
             registry.observe("serve.queue_wait_s", queue_wait_s)
+            registry.set_gauge("serve.in_flight", in_flight)
 
     @staticmethod
     def _trim(samples: List[Any]) -> None:

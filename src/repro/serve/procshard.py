@@ -64,7 +64,8 @@ from repro.exec.shm import (
     decode_payload,
     payload_bytes,
 )
-from repro.obs.ledger import get_ledger
+from repro.obs.ledger import RunLedger, get_ledger
+from repro.obs.trace import TraceContext, get_tracer
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.request import AdmissionRejected, EvalRequest
 
@@ -112,18 +113,20 @@ def _shard_worker_main(
     out_queue: Any,
     spec: Dict[str, Any],
     ledger_on: bool,
+    tracing_on: bool,
     heartbeat_s: float,
 ) -> None:
     """Worker-process entry point: host one shard's service.
 
-    Protocol (parent -> child): ``("submit", rid, request_json)``,
-    ``("snapshot", token)``, ``("stop", drain)``.  Child -> parent:
-    ``("ready", pid)``, ``("done", rid, result_json)``, ``("reject",
-    rid, reason, message)``, ``("stats", snapshot)``, ``("events",
-    records)``, ``("snapshot", token, snapshot)``, ``("stopped",
-    snapshot)``.  Every child message is prefixed with
-    ``(kind, shard_id, incarnation, ...)`` so the parent can attribute
-    it even in logs.
+    Protocol (parent -> child): ``("submit", rid, request_json)`` --
+    plus a trailing trace wire context when the parent runs under
+    tracing -- ``("snapshot", token)``, ``("stop", drain)``.  Child ->
+    parent: ``("ready", pid)``, ``("done", rid, result_json)``,
+    ``("reject", rid, reason, message)``, ``("stats", snapshot)``,
+    ``("events", records)``, ``("spans", records)``, ``("snapshot",
+    token, snapshot)``, ``("stopped", snapshot)``.  Every child message
+    is prefixed with ``(kind, shard_id, incarnation, ...)`` so the
+    parent can attribute it even in logs.
     """
     from repro.core.api import ensure_default_workloads
     from repro.serve.service import EvaluationService
@@ -131,6 +134,11 @@ def _shard_worker_main(
     ledger = get_ledger()
     if ledger_on:
         ledger.enable()
+    tracer = get_tracer()
+    if tracing_on:
+        from repro.obs.trace import enable_tracing
+
+        tracer = enable_tracing()
     ensure_default_workloads()
     service = EvaluationService(
         batch_size=spec["batch_size"],
@@ -141,7 +149,9 @@ def _shard_worker_main(
         policy=spec["policy"],
         default_timeout_s=spec["default_timeout_s"],
     )
+    service.shard_index = shard_id
     events_sent = 0
+    spans_sent = 0
 
     def _send(kind: str, *payload: Any) -> None:
         out_queue.put((kind, shard_id, incarnation) + payload)
@@ -154,6 +164,17 @@ def _shard_worker_main(
         if len(records) > events_sent:
             _send("events", records[events_sent:])
             events_sent = len(records)
+
+    def _flush_spans() -> None:
+        # Only completed spans are ever filed, so the span list grows
+        # monotonically; an incremental cursor ships each record once.
+        nonlocal spans_sent
+        if not tracer.enabled:
+            return
+        records = tracer.spans()
+        if len(records) > spans_sent:
+            _send("spans", records[spans_sent:])
+            spans_sent = len(records)
 
     def _on_done(rid: int, future: "Future[RunResult]") -> None:
         exc = future.exception()
@@ -170,19 +191,27 @@ def _shard_worker_main(
         try:
             message = cmd_queue.get(timeout=heartbeat_s)
         except _queue.Empty:
+            _flush_spans()
             _flush_events()
             _send("stats", service.snapshot())
             continue
         kind = message[0]
         if kind == "submit":
             rid, payload = message[1], message[2]
+            wire = message[3] if len(message) > 3 else None
             try:
                 # Large configs arrive as ShmDescriptor wire forms; the
                 # decode is a zero-copy attach, not a deserialization.
                 payload = dict(payload)
                 payload["config"] = decode_payload(payload["config"])
                 future = service.submit_request(
-                    EvalRequest.from_json(payload), block=True
+                    EvalRequest.from_json(payload),
+                    block=True,
+                    trace_ctx=(
+                        TraceContext.from_wire(wire)
+                        if wire is not None and tracer.enabled
+                        else None
+                    ),
                 )
             except Exception as exc:
                 _send(
@@ -195,9 +224,41 @@ def _shard_worker_main(
             _send("snapshot", message[1], service.snapshot())
         elif kind == "stop":
             service.shutdown(drain=bool(message[1]))
+            _flush_spans()
             _flush_events()
             _send("stopped", service.snapshot())
             break
+
+
+def merge_shard_events(
+    ledger: RunLedger,
+    shard_index: int,
+    records: Any,
+) -> None:
+    """Merge one shipped batch of shard ledger events deterministically.
+
+    Each record is tagged with the originating shard, its child-side
+    sequence number is preserved as ``shard_seq`` (volatile), and the
+    batch is sorted by ``(trace_id, shard_seq)`` before the extend --
+    so two shards flushing concurrently can interleave their batches
+    any way the pump threads race, yet each trace's event story arrives
+    in the shard's own causal order and the canonical ledger form
+    (grouped per trace) comes out byte-identical across runs.
+    """
+    if not ledger.enabled or not records:
+        return
+    tagged = [
+        {
+            **record,
+            "shard": shard_index,
+            "shard_seq": record.get("seq", position),
+        }
+        for position, record in enumerate(records)
+    ]
+    tagged.sort(
+        key=lambda r: (str(r.get("trace_id", "")), r["shard_seq"])
+    )
+    ledger.extend(tagged)
 
 
 class ProcessShard:
@@ -269,6 +330,7 @@ class ProcessShard:
                 self._out,
                 self._spec,
                 get_ledger().enabled,
+                get_tracer().enabled,
                 heartbeat_s,
             ),
             name=f"repro-shard-{index}.{incarnation}",
@@ -340,10 +402,17 @@ class ProcessShard:
     # ------------------------------------------------------------ admission
 
     def submit_request(
-        self, request: EvalRequest, *, block: bool = False
+        self,
+        request: EvalRequest,
+        *,
+        block: bool = False,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> "Future[RunResult]":
         """Queue *request* into the worker; parent-side bounded
-        admission mirrors the child service's ``max_queue`` contract."""
+        admission mirrors the child service's ``max_queue`` contract.
+        *trace_ctx* rides the command queue as a trailing wire element,
+        so the child service stitches its spans under the caller's
+        (router's) span."""
         if not self.alive:
             raise AdmissionRejected(
                 "shard process is not running", reason="stopped"
@@ -367,14 +436,41 @@ class ProcessShard:
             rid = self._rid
             self._futures[rid] = future
             self._submitted += 1
+        tracer = get_tracer()
+        wire = (
+            trace_ctx.to_wire()
+            if trace_ctx is not None and tracer.enabled
+            else None
+        )
         payload = request.to_json()
         leases: Tuple[str, ...] = ()
         try:
+            encode_start = time.time()
             leases = self._encode_config(payload)
             if leases:
                 with self._lock:
                     self._rid_leases[rid] = leases
-            self._cmd.put(("submit", rid, payload))
+                if wire is not None:
+                    # Ephemeral: a process-backend transport artifact,
+                    # visible in raw exports and the critical-path
+                    # breakdown but excluded from canonical identity
+                    # (an inproc run has no such span).
+                    tracer.record_span(
+                        "transport.encode",
+                        trace_id=trace_ctx.trace_id,
+                        parent_id=trace_ctx.span_id,
+                        order=0,
+                        start_s=encode_start,
+                        end_s=time.time(),
+                        volatile={
+                            "ephemeral": True,
+                            "shard": self.index,
+                            "leases": len(leases),
+                        },
+                    )
+            self._cmd.put(("submit", rid, payload) + (
+                (wire,) if wire is not None else ()
+            ))
         except Exception as exc:
             with self._lock:
                 self._futures.pop(rid, None)
@@ -440,9 +536,21 @@ class ProcessShard:
         elif kind == "events":
             ledger = get_ledger()
             if ledger.enabled:
-                ledger.extend(
-                    [{**record, "shard": self.index}
-                     for record in payload[0]]
+                merge_shard_events(ledger, self.index, payload[0])
+        elif kind == "spans":
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.add_records(
+                    [
+                        {
+                            **record,
+                            "volatile": {
+                                **(record.get("volatile") or {}),
+                                "shard": self.index,
+                            },
+                        }
+                        for record in payload[0]
+                    ]
                 )
         elif kind == "snapshot":
             token, snapshot = payload
@@ -578,5 +686,6 @@ class ProcessShard:
 __all__ = [
     "ProcessShard",
     "SPEC_KEYS",
+    "merge_shard_events",
     "validate_process_spec",
 ]

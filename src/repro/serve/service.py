@@ -37,7 +37,7 @@ from repro.core.errors import ValidationError, WorkerCrashError
 from repro.exec import ParallelEvaluator, coerce_cache
 from repro.exec.parallel import CacheLike, EvaluatorLike, make_evaluator
 from repro.obs.ledger import get_ledger
-from repro.obs.trace import derive_trace_id, get_tracer
+from repro.obs.trace import TraceContext, derive_trace_id, get_tracer
 from repro.perf import get_profiler
 from repro.resilience import BackoffPolicy, Deadline, resilient_run
 from repro.serve.metrics import ServiceMetrics
@@ -194,6 +194,15 @@ class EvaluationService:
         # same request content gets the n-th deterministic trace id, so
         # a rerun of the same request stream reproduces its trace ids.
         self._trace_occurrences: Dict[str, int] = {}
+        # Stitched submissions (an inherited trace context) instead
+        # allocate the root span's order per (trace_id, parent span):
+        # each distinct digest under one parent gets the next slot, and
+        # a resubmission of the same digest (a cluster replay) reuses
+        # its slot -- identical span ids across attempts and backends.
+        self._ctx_orders: Dict[Tuple[str, str], Dict[str, int]] = {}
+        # Set by cluster backends so stitched traces carry which shard
+        # served the request (volatile: excluded from canonical form).
+        self.shard_index: Optional[int] = None
         self._pending = 0
         self._draining = False
         self._stopped = False
@@ -244,14 +253,20 @@ class EvaluationService:
     # ------------------------------------------------------------ admission
 
     def submit_request(
-        self, request: EvalRequest, *, block: bool = False
+        self,
+        request: EvalRequest,
+        *,
+        block: bool = False,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> "Future[RunResult]":
         """Admit *request*; returns a future resolving to its
         :class:`~repro.core.api.RunResult`.
 
         A saturated queue raises :class:`AdmissionRejected` immediately
         unless ``block=True``, in which case the caller waits for space
-        -- backpressure instead of rejection.
+        -- backpressure instead of rejection.  *trace_ctx* stitches the
+        request's trace under a caller-side parent span (the cluster
+        router or a campaign layer) instead of opening a fresh root.
         """
         get_workload(request.workload)  # unknown names fail fast
         future: "Future[RunResult]" = Future()
@@ -273,7 +288,7 @@ class EvaluationService:
                 self._space_ready.wait()
                 self._check_admission()
             self._seq += 1
-            trace = self._open_trace(request)
+            trace = self._open_trace(request, trace_ctx)
             heapq.heappush(
                 self._queue,
                 (
@@ -290,27 +305,57 @@ class EvaluationService:
             self._work_ready.notify()
         return future
 
-    def _open_trace(self, request: EvalRequest) -> Optional[Dict[str, Any]]:
+    def _open_trace(
+        self,
+        request: EvalRequest,
+        trace_ctx: Optional[TraceContext] = None,
+    ) -> Optional[Dict[str, Any]]:
         """Allocate the request's deterministic trace id and open its
         root span (``None`` when tracing is off -- one boolean check).
-        Called under the service lock (the occurrence counter)."""
+        Called under the service lock (the occurrence counter).
+
+        With a *trace_ctx* the request span nests under the caller's
+        span in the caller's trace; its order slot is allocated per
+        digest under that parent, so a cluster replay onto a fresh
+        shard incarnation re-derives the exact span id of the first
+        attempt (canonical traces stay byte-identical under chaos).
+        """
         tracer = get_tracer()
         if not tracer.enabled:
             return None
         digest = request.digest
-        occurrence = self._trace_occurrences.get(digest, 0)
-        self._trace_occurrences[digest] = occurrence + 1
-        trace_id = derive_trace_id(digest, occurrence)
+        if trace_ctx is not None:
+            trace_id = trace_ctx.trace_id
+            parent_id = trace_ctx.span_id
+            orders = self._ctx_orders.setdefault(
+                (trace_id, parent_id), {}
+            )
+            order = orders.get(digest)
+            if order is None:
+                order = len(orders)
+                orders[digest] = order
+        else:
+            occurrence = self._trace_occurrences.get(digest, 0)
+            self._trace_occurrences[digest] = occurrence + 1
+            trace_id = derive_trace_id(digest, occurrence)
+            parent_id = ""
+            order = 0
         root = tracer.start_span(
             "request",
             trace_id=trace_id,
-            parent_id="",
+            parent_id=parent_id,
+            order=order,
             attributes={
                 "workload": request.workload,
                 "digest": digest,
                 "seed": request.seed,
                 "priority": str(request.priority),
             },
+            volatile=(
+                {"shard": self.shard_index}
+                if self.shard_index is not None
+                else None
+            ),
         )
         get_ledger().event(
             "request.admitted",
@@ -348,6 +393,7 @@ class EvaluationService:
         priority: Any = "normal",
         timeout_s: Optional[float] = None,
         block: bool = False,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> "Future[RunResult]":
         """Convenience :meth:`submit_request` from bare arguments."""
         return self.submit_request(
@@ -363,6 +409,7 @@ class EvaluationService:
                 ),
             ),
             block=block,
+            trace_ctx=trace_ctx,
         )
 
     def submit_async(self, request: EvalRequest, *, block: bool = False):
@@ -542,10 +589,15 @@ class EvaluationService:
             batch_trace_ids.add(tid)
             root_id = trace["root"].span_id
             now_wall = time.time()
+            # Explicit orders: the span names differ, so both ids stay
+            # unique under the root, and a replayed attempt (cluster
+            # restart after a kill) re-derives the same ids instead of
+            # consuming fresh order-counter slots.
             tracer.record_span(
                 "queue.wait",
                 trace_id=tid,
                 parent_id=root_id,
+                order=0,
                 start_s=trace["submitted_wall"],
                 end_s=now_wall,
             )
@@ -553,6 +605,7 @@ class EvaluationService:
                 "batch",
                 trace_id=tid,
                 parent_id=root_id,
+                order=0,
                 volatile={"batch_size": len(batch)},
                 start_s=now_wall,
             )
@@ -785,6 +838,16 @@ class EvaluationService:
         return records
 
     # ------------------------------------------------------------ reporting
+
+    def gauges(self) -> Dict[str, float]:
+        """Cheap live gauges for the flight recorder: lock-only reads,
+        no evaluator or cache round trips."""
+        with self._lock:
+            return {
+                "queue_depth": float(len(self._queue)),
+                "pending": float(self._pending),
+                "alive": 1.0 if not self._stopped else 0.0,
+            }
 
     def snapshot(self) -> Dict[str, Any]:
         """Metrics snapshot including cache and evaluator accounting."""
